@@ -1,0 +1,37 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one paper table/figure: it runs the experiment
+grid once (``benchmark.pedantic(rounds=1)`` — these are simulations,
+not microbenchmarks), prints the paper-shaped text table, saves it to
+``benchmarks/out/`` and asserts the qualitative shape the paper claims.
+
+``REPRO_FULL_SCALE=1`` switches every bench to the paper's exact
+Table-I sizes and multiple seeds (slower).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_report(name: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.experiments import current_scale
+
+    return current_scale()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,18 @@
+"""XTRA-C bench: LATE vs MOON on opportunistic nodes (paper VII)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import run_once, save_report
+
+
+def test_late_vs_moon(benchmark):
+    data = run_once(benchmark, ablations.run_late_ablation)
+    save_report("ablation_late", ablations.report_late(data))
+    late, moon = data["LATE"], data["MOON-Hybrid"]
+    assert all(v is not None for v in moon), data
+    # The paper's claim: LATE's constant-progress-rate assumption breaks
+    # on opportunistic resources; MOON must win at the highest rate.
+    if late[-1] is not None:
+        assert moon[-1] <= late[-1] * 1.05, data

@@ -1,0 +1,18 @@
+"""XTRA-A bench: FIFO-queue vs max-min fair-share transfer model."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import run_once, save_report
+
+
+def test_network_model_ablation(benchmark):
+    data = run_once(benchmark, ablations.run_network_ablation)
+    save_report("ablation_network", ablations.report_network(data))
+    fifo, fair = data["fifo"], data["fairshare"]
+    # Both models must complete the runs and agree within a factor ~2
+    # (they model the same physical contention differently).
+    for a, b in zip(fifo, fair):
+        assert a is not None and b is not None
+        assert 0.4 <= a / b <= 2.5, (fifo, fair)

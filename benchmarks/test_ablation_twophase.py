@@ -1,0 +1,21 @@
+"""XTRA-B bench: two-phase scheduling H/R sweep (paper: H=20, R=2
+'worked well'; this quantifies the trade-off around that point)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+from conftest import run_once, save_report
+
+
+def test_twophase_parameter_sweep(benchmark):
+    data = run_once(benchmark, ablations.run_twophase_sweep)
+    save_report("ablation_twophase", ablations.report_twophase(data))
+
+    # All configurations finish.
+    assert all(v["time"] is not None for v in data.values()), data
+    # The homestretch costs duplicates: H=0 (off) must duplicate less
+    # than the aggressive H=40 configuration.
+    assert (
+        data["H=0,R=1"]["duplicates"] <= data["H=40,R=2"]["duplicates"]
+    ), data

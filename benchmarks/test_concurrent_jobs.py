@@ -1,0 +1,87 @@
+"""XTRA-F: concurrent MapReduce jobs (paper VIII future work).
+
+*"this paper investigated single-job execution, and it would be
+interesting future work to study the scheduling and QoS issues of
+concurrent MapReduce jobs on opportunistic environments."*
+
+We submit three heterogeneous jobs together (I/O-heavy sort, compute-
+heavy word count, tiny grep) on one MOON deployment and compare the
+concurrent makespan against running them back-to-back — slot sharing
+should overlap one job's shuffle with another's maps.
+"""
+
+from __future__ import annotations
+
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.plotting import table
+from repro.workloads import grep_spec, sort_spec, wordcount_spec
+
+from conftest import run_once, save_report
+
+
+def _config(seed=42):
+    return SystemConfig(
+        cluster=ClusterConfig(n_volatile=30, n_dedicated=3),
+        trace=TraceConfig(unavailability_rate=0.3),
+        scheduler=moon_scheduler_config(hybrid_aware=True),
+        seed=seed,
+    )
+
+
+def _specs():
+    return [
+        sort_spec(n_maps=96, block_mb=16.0),
+        wordcount_spec(n_maps=80, block_mb=16.0, n_reduces=10),
+        grep_spec(n_maps=48, block_mb=16.0),
+    ]
+
+
+def test_concurrent_jobs(benchmark, scale):
+    def experiment():
+        # Concurrent: all three submitted at t=0.
+        system = moon_system(_config())
+        results = system.run_jobs(_specs(), time_limit=scale.time_limit)
+        concurrent_makespan = system.sim.now
+        # Serial: fresh system per job, same traces (same seed).
+        serial_total = 0.0
+        per_job = []
+        for spec in _specs():
+            s = moon_system(_config())
+            r = s.run_job(spec, time_limit=scale.time_limit)
+            assert r.succeeded, f"serial {spec.name} did not finish"
+            serial_total += r.elapsed
+            per_job.append((spec.name, r.elapsed))
+        return {
+            "results": [
+                (r.workload, r.state, r.elapsed) for r in results
+            ],
+            "concurrent_makespan": concurrent_makespan,
+            "serial_total": serial_total,
+            "per_job": per_job,
+        }
+
+    data = run_once(benchmark, experiment)
+
+    rows = [
+        [name, state, None if t is None else f"{t:.0f}"]
+        for name, state, t in data["results"]
+    ]
+    rows.append(["(makespan)", "concurrent",
+                 f"{data['concurrent_makespan']:.0f}"])
+    rows.append(["(sum)", "serial", f"{data['serial_total']:.0f}"])
+    report = table(
+        ["job", "state", "time s"],
+        rows,
+        title="XTRA-F - three concurrent jobs vs serial execution",
+    )
+    save_report("concurrent_jobs", report)
+
+    assert all(state == "succeeded" for _n, state, _t in data["results"])
+    # Overlap must beat strictly serial execution.
+    assert data["concurrent_makespan"] < data["serial_total"]

@@ -1,0 +1,17 @@
+"""FIG1 bench: 7-day volunteer-availability trace (paper Figure 1)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig1
+
+from conftest import run_once, save_report
+
+
+def test_fig1_weekly_unavailability(benchmark):
+    profiles = run_once(benchmark, lambda: fig1.run(seed=42))
+    save_report("fig1", fig1.report(profiles))
+    assert len(profiles) == 7
+    assert fig1.shape_holds(profiles), (
+        "Fig. 1 band violated: curves must stay within the paper's "
+        "25-95% regime with ~0.4 mean unavailability"
+    )

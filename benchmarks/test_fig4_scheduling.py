@@ -1,0 +1,23 @@
+"""FIG4 bench: execution time under five scheduling policies
+(Hadoop 10/5/1-min expiry, MOON, MOON-Hybrid) at rates 0.1/0.3/0.5."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+
+from conftest import run_once, save_report
+
+
+def test_fig4a_sort_sleep(benchmark):
+    data = run_once(benchmark, lambda: fig4.run("sort"))
+    save_report("fig4a", fig4.report("sort", data))
+    checks = fig4.shapes(data)
+    assert checks["hadoop_1min_beats_10min_at_high_rate"], checks
+    assert checks["moon_hybrid_beats_hadoop1min_at_high_rate"], checks
+
+
+def test_fig4b_wordcount_sleep(benchmark):
+    data = run_once(benchmark, lambda: fig4.run("word count"))
+    save_report("fig4b", fig4.report("word count", data))
+    checks = fig4.shapes(data)
+    assert checks["moon_hybrid_beats_hadoop1min_at_high_rate"], checks

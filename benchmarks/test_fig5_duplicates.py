@@ -1,0 +1,32 @@
+"""FIG5 bench: duplicated tasks issued by each scheduling policy.
+
+Reuses the Fig. 4 runs (harness cache), so this bench measures only
+the aggregation; the assertions are the paper's Fig. 5 claims.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+from repro.metrics import series_table
+
+from conftest import run_once, save_report
+
+
+def test_fig5_duplicated_tasks(benchmark):
+    def collect():
+        return {app: fig4.run(app) for app in ("sort", "word count")}
+
+    data = run_once(benchmark, collect)
+    for app, d in data.items():
+        tag = "fig5a" if app == "sort" else "fig5b"
+        table = series_table(
+            f"FIG5 - duplicated tasks, sleep[{app}]",
+            "unavail rate",
+            fig4.RATES,
+            {k: v["duplicates"] for k, v in d.items()},
+            unit="tasks",
+            fmt="{:10.0f}",
+        )
+        save_report(tag, table)
+        checks = fig4.shapes(d)
+        assert checks["moon_fewer_duplicates_than_hadoop1min"], (app, checks)

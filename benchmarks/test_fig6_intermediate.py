@@ -1,0 +1,23 @@
+"""FIG6 bench: intermediate-data replication policies (VO-V1..V5 vs
+HA-V1..V3) on sort and word count at rates 0.1/0.3/0.5."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6
+
+from conftest import run_once, save_report
+
+
+def test_fig6a_sort(benchmark):
+    data = run_once(benchmark, lambda: fig6.run("sort"))
+    save_report("fig6a", fig6.report("sort", data))
+    checks = fig6.shapes("sort", data)
+    assert checks["ha_v1_beats_best_vo_at_high_rate"], checks
+    assert checks["vo_v3_no_worse_than_vo_v1_at_high_rate"], checks
+
+
+def test_fig6b_wordcount(benchmark):
+    data = run_once(benchmark, lambda: fig6.run("word count"))
+    save_report("fig6b", fig6.report("word count", data))
+    checks = fig6.shapes("word count", data)
+    assert checks["ha_v1_beats_best_vo_at_high_rate"], checks

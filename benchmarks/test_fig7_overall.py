@@ -1,0 +1,24 @@
+"""FIG7 bench: overall MOON (D=3/4/6 dedicated) vs augmented
+Hadoop-VO (six uniform replicas, all machines volatile)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7
+
+from conftest import run_once, save_report
+
+
+def test_fig7a_sort(benchmark):
+    data = run_once(benchmark, lambda: fig7.run("sort"))
+    save_report("fig7a", fig7.report("sort", data))
+    checks = fig7.shapes("sort", data)
+    assert checks["moon_d6_beats_hadoop_at_high_rate"], checks
+    if "sort_speedup_at_least_1_5x" in checks:
+        assert checks["sort_speedup_at_least_1_5x"], checks
+
+
+def test_fig7b_wordcount(benchmark):
+    data = run_once(benchmark, lambda: fig7.run("word count"))
+    save_report("fig7b", fig7.report("word count", data))
+    checks = fig7.shapes("word count", data)
+    assert checks["moon_d6_beats_hadoop_at_high_rate"], checks

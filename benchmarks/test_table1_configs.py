@@ -1,0 +1,62 @@
+"""TABLE I bench: application configurations.
+
+Verifies the workload library reproduces Table I exactly at full scale
+and proportionally at reduced scale, and benchmarks input staging of
+the sort workload (384 blocks through the placement policy).
+"""
+
+from __future__ import annotations
+
+from repro.config import ClusterConfig, SystemConfig, TraceConfig
+from repro.config import moon_scheduler_config
+from repro.core import moon_system
+from repro.experiments import current_scale, full_scale
+from repro.workloads import sort_spec, wordcount_spec
+
+from conftest import run_once, save_report
+
+
+def test_table1_configurations(benchmark, scale):
+    def check():
+        s, w = sort_spec(), wordcount_spec()
+        rows = [
+            "TABLE I - application configurations",
+            f"{'application':<12}{'input':>8}{'# maps':>8}{'# reduces':>22}",
+            f"{'sort':<12}{s.input_mb / 1024:>6.0f}GB{s.n_maps:>8}"
+            f"{'0.9 x AvailSlots':>22}",
+            f"{'word count':<12}{w.input_mb / 1024:>6.0f}GB{w.n_maps:>8}"
+            f"{w.n_reduces:>22}",
+        ]
+        assert s.n_maps == 384 and s.input_mb == 24 * 1024
+        assert w.n_maps == 320 and w.input_mb == 20 * 1024
+        assert w.n_reduces == 20
+        assert s.resolve_reduces(132) == 118  # 0.9 x 132 slots
+        return "\n".join(rows)
+
+    report = run_once(benchmark, check)
+    save_report("table1", report)
+
+
+def test_input_staging_throughput(benchmark, scale):
+    """How fast the simulated DFS stages Table-I inputs (placement +
+    metadata for every block) - a real benchmark of the NameNode path."""
+
+    def stage():
+        cfg = SystemConfig(
+            cluster=ClusterConfig(
+                n_volatile=scale.n_volatile, n_dedicated=scale.n_dedicated
+            ),
+            trace=TraceConfig(unavailability_rate=0.0),
+            scheduler=moon_scheduler_config(),
+            seed=1,
+        )
+        system = moon_system(cfg)
+        spec = sort_spec(n_maps=384, block_mb=64.0 * scale.data_factor)
+        file = system.dfs.stage_input(
+            "/bench/input", spec.input_mb, spec.input_rf,
+            block_size_mb=spec.map_input_mb,
+        )
+        return len(file.blocks)
+
+    blocks = benchmark(stage)
+    assert blocks == 384

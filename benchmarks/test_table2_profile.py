@@ -1,0 +1,35 @@
+"""TABLE II bench: execution profiles at unavailability 0.5 for
+VO-V1, VO-V3, VO-V5 and HA-V1 (reuses the Fig. 6 runs)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6
+
+from conftest import run_once, save_report
+
+
+def test_table2_execution_profiles(benchmark):
+    def collect():
+        return {
+            app: fig6.table2(app) for app in ("sort", "word count")
+        }
+
+    profiles = run_once(benchmark, collect)
+    report = "\n\n".join(
+        fig6.report_table2(app, p) for app, p in profiles.items()
+    )
+    save_report("table2", report)
+
+    sort_p = profiles["sort"]
+    # Paper Table II claims (sort at 0.5):
+    # VO-V1's shuffle is far longer than HA-V1's (paper ~5x).
+    assert (
+        sort_p["VO-V1"].avg_shuffle_time
+        > 1.5 * sort_p["HA-V1"].avg_shuffle_time
+    ), {k: v.avg_shuffle_time for k, v in sort_p.items()}
+    # Killed maps: VO-V1 wildly above HA-V1 (paper: 1389 vs 18.75).
+    assert sort_p["VO-V1"].killed_maps > sort_p["HA-V1"].killed_maps, {
+        k: v.killed_maps for k, v in sort_p.items()
+    }
+    # Map time grows with the volatile replication degree.
+    assert sort_p["VO-V5"].avg_map_time > sort_p["VO-V1"].avg_map_time

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Correlated outages: why volatile-only replication breaks in bursts.
+
+The paper warns that *"many machines in a computer lab will be occupied
+simultaneously during a lab session"* (Section III) and that
+*"handling large-scale correlated resource unavailability requires even
+more replication"* (Section I).  This example makes that concrete:
+
+1. generate "lab session" traces where most downtime arrives in
+   correlated bursts, and show the burst depth independence can't reach;
+2. run the same sort job with volatile-only (VO-3) vs hybrid-anchored
+   (HA: one dedicated copy) intermediate data under those traces and
+   compare job time and forced map re-executions.
+
+Run:  python examples/correlated_outages.py     (~a minute)
+"""
+
+import numpy as np
+
+from repro.analysis import prob_at_least_k_down
+from repro.cluster import Cluster, Node, NodeKind
+from repro.config import (
+    ClusterConfig,
+    NodeSpec,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import MoonSystem
+from repro.dfs import ReplicationFactor
+from repro.traces import (
+    CorrelatedConfig,
+    compute_stats,
+    generate_correlated_traces,
+    peak_simultaneous_down,
+)
+from repro.workloads import sort_spec
+
+N_VOLATILE, N_DEDICATED, RATE = 30, 3, 0.4
+
+
+def build_system(traces, seed=5) -> MoonSystem:
+    """Assemble a MOON system over externally generated traces."""
+    config = SystemConfig(
+        cluster=ClusterConfig(n_volatile=N_VOLATILE, n_dedicated=N_DEDICATED),
+        trace=TraceConfig(unavailability_rate=RATE),
+        scheduler=moon_scheduler_config(hybrid_aware=True),
+        seed=seed,
+    )
+    spec = NodeSpec()
+    nodes = [Node(i, NodeKind.DEDICATED, spec) for i in range(N_DEDICATED)]
+    nodes += [
+        Node(N_DEDICATED + i, NodeKind.VOLATILE, spec, trace)
+        for i, trace in enumerate(traces)
+    ]
+    return MoonSystem(config, cluster=Cluster(nodes))
+
+
+def main() -> None:
+    correlated = generate_correlated_traces(
+        CorrelatedConfig(
+            base=TraceConfig(unavailability_rate=RATE),
+            n_groups=2,
+            correlation_weight=0.8,
+            session_mean=900.0,  # ~15-minute lab bursts
+            session_sigma=200.0,
+        ),
+        N_VOLATILE,
+        np.random.default_rng(17),
+    )
+
+    print("trace structure:")
+    print(f"  {compute_stats(correlated)}")
+    peak = peak_simultaneous_down(correlated)
+    k = int(peak * N_VOLATILE)
+    print(f"  observed peak simultaneous down: {peak:.0%}")
+    print(
+        f"  P(that deep a burst) if outages were independent: "
+        f"{prob_at_least_k_down(N_VOLATILE, k, RATE):.2e}"
+    )
+    print()
+
+    # Long enough (~7 clean minutes) that lab bursts land mid-job.
+    base = sort_spec(n_maps=480, block_mb=16.0)
+    configs = {
+        "VO-3 (volatile only)": base.with_(
+            intermediate_rf=ReplicationFactor(0, 3)
+        ),
+        "HA   (1 dedicated)  ": base.with_(
+            intermediate_rf=ReplicationFactor(1, 1)
+        ),
+    }
+    print(f"sort under lab-session outages ({N_VOLATILE}V + {N_DEDICATED}D):")
+    for label, spec in configs.items():
+        system = build_system(correlated)
+        result = system.run_job(spec)
+        out = f"{result.elapsed:,.0f} s" if result.succeeded else "DNF"
+        print(
+            f"  intermediate {label}: {out}  "
+            f"(map re-executions: {result.metrics.map_reexecutions}, "
+            f"fetch failures: {result.metrics.fetch_failures})"
+        )
+    print()
+    print(
+        "Reading: when a whole lab disappears at once, every volatile\n"
+        "replica of a map output can vanish together, forcing map\n"
+        "re-execution; one copy on a dedicated anchor rides the burst\n"
+        "out (paper Sections I and III)."
+    )
+
+
+if __name__ == "__main__":
+    main()

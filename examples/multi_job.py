@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Concurrent jobs on one MOON deployment (paper VIII future work).
+
+The paper evaluates single jobs and names concurrent-job QoS as future
+work; the runtime here already schedules multiple jobs by priority, so
+this example runs a high-priority short job next to a low-priority
+long one and shows the short job is barely delayed.
+
+Run:  python examples/multi_job.py
+"""
+
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.workloads import sleep_spec
+
+
+def main() -> None:
+    config = SystemConfig(
+        cluster=ClusterConfig(n_volatile=20, n_dedicated=2),
+        trace=TraceConfig(unavailability_rate=0.3),
+        scheduler=moon_scheduler_config(),
+        seed=5,
+    )
+    system = moon_system(config)
+
+    urgent = sleep_spec(5.0, 5.0, n_maps=20, n_reduces=4).with_(name="urgent")
+    batch = sleep_spec(30.0, 20.0, n_maps=120, n_reduces=8).with_(name="batch")
+
+    batch_job = system.submit(batch, priority=0)
+    urgent_job = system.submit(urgent, priority=10)
+    system.sim.run(
+        until=8 * 3600.0,
+        stop_when=lambda: batch_job.finished and urgent_job.finished,
+    )
+
+    for job in (urgent_job, batch_job):
+        print(f"{job.spec.name:<8} {job.state.value:<10} "
+              f"{job.elapsed:7.0f}s  maps={len(job.maps)} "
+              f"reduces={job.n_reduces}")
+
+    assert urgent_job.elapsed < batch_job.elapsed
+    print("\nThe urgent job finished first despite sharing the cluster -")
+    print("the JobTracker offers slots to jobs in priority order.")
+
+
+if __name__ == "__main__":
+    main()

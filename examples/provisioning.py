@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Dedicated-node provisioning study: "how many anchors do I need?"
+
+The operational question MOON's hybrid architecture raises (paper
+Sections III and VI-C): given a pool of volunteer PCs at some
+volatility, how many dedicated nodes buy how much job-time improvement?
+This example sweeps the V-to-D ratio like the paper's Figure 7 and
+pairs the simulation with the analytical replication arithmetic.
+
+Run:  python examples/provisioning.py        (~a minute)
+"""
+
+from repro.analysis import strategy_table
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.plotting import bar_chart
+from repro.workloads import sort_spec
+
+RATE = 0.4  # the production desktop grid's average (paper Fig. 1)
+N_VOLATILE = 30
+
+
+def simulate(n_dedicated: int) -> float:
+    config = SystemConfig(
+        cluster=ClusterConfig(n_volatile=N_VOLATILE, n_dedicated=n_dedicated),
+        trace=TraceConfig(unavailability_rate=RATE),
+        scheduler=moon_scheduler_config(hybrid_aware=True),
+        seed=11,
+    )
+    system = moon_system(config)
+    spec = sort_spec(n_maps=96, block_mb=16.0)
+    result = system.run_job(spec)
+    return result.elapsed if result.succeeded else None
+
+
+def main() -> None:
+    # 1. The storage arithmetic: why one dedicated copy is so valuable.
+    print(strategy_table(RATE, 0.9999))
+    print()
+
+    # 2. The scheduling/IO effect: job time vs number of anchors.
+    ratios = [1, 2, 3, 5]
+    times = {"sort": []}
+    for d in ratios:
+        elapsed = simulate(d)
+        times["sort"].append(elapsed)
+        label = f"{elapsed:,.0f} s" if elapsed else "DNF"
+        print(f"{N_VOLATILE}:{d} volatile-to-dedicated -> {label}")
+    print()
+    print(
+        bar_chart(
+            [f"{N_VOLATILE}:{d}" for d in ratios],
+            times,
+            title=f"sort job time vs provisioning at p={RATE}",
+            unit="s",
+        )
+    )
+    print()
+    print(
+        "Reading: a handful of anchors captures most of the benefit —\n"
+        "the paper found 10:1 sufficient, with 20:1 competitive except\n"
+        "for I/O-heavy sort at low volatility (Fig. 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for offline editable installs (`pip install -e . --no-use-pep517`).
+
+The environment has no `wheel` package and no network, so the PEP-517
+editable path (which requires bdist_wheel) is unavailable; this file
+lets setuptools' legacy develop mode handle `pip install -e .`.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a full reproduction of *MOON: MapReduce On Opportunistic
+eNvironments* (Lin et al., HPDC 2010).
+
+Public API lives here; see README.md for a tour and DESIGN.md for the
+paper-to-module mapping.
+"""
+
+__version__ = "1.0.0"
+
+from .config import (
+    ClusterConfig,
+    DfsConfig,
+    NodeSpec,
+    SchedulerConfig,
+    ShuffleConfig,
+    SystemConfig,
+    TraceConfig,
+    hadoop_scheduler_config,
+    moon_scheduler_config,
+)
+from .errors import ReproError
+from .simulation import Simulation
+
+__all__ = [
+    "__version__",
+    "Simulation",
+    "ReproError",
+    "SystemConfig",
+    "ClusterConfig",
+    "TraceConfig",
+    "DfsConfig",
+    "SchedulerConfig",
+    "ShuffleConfig",
+    "NodeSpec",
+    "hadoop_scheduler_config",
+    "moon_scheduler_config",
+]

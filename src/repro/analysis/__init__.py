@@ -1,0 +1,45 @@
+"""Analytical models of opportunistic MapReduce (validation layer).
+
+The simulator answers "what happens"; this package answers "what should
+happen" from first principles, so the two can be checked against each
+other:
+
+* :mod:`repro.analysis.markov` — the two-state up/down node model
+  behind all of the paper's availability arithmetic: steady-state
+  unavailability, k-of-n outage laws, burst probabilities.
+* :mod:`repro.analysis.makespan` — expected task and job durations on
+  volatile nodes (suspension-inflated service times, wave model).
+* :mod:`repro.analysis.costmodel` — replication traffic and storage
+  against delivered availability for volatile-only vs hybrid schemes
+  (the Section I / III / VI-C trade-off, generalised to curves).
+"""
+
+from .costmodel import (
+    ReplicationCost,
+    StrategyPoint,
+    hybrid_curve,
+    strategy_table,
+    volatile_only_curve,
+)
+from .makespan import (
+    MakespanEstimate,
+    estimate_makespan,
+    expected_task_time,
+    waves,
+)
+from .markov import TwoStateModel, k_of_n_down_pmf, prob_at_least_k_down
+
+__all__ = [
+    "TwoStateModel",
+    "k_of_n_down_pmf",
+    "prob_at_least_k_down",
+    "expected_task_time",
+    "waves",
+    "estimate_makespan",
+    "MakespanEstimate",
+    "ReplicationCost",
+    "StrategyPoint",
+    "volatile_only_curve",
+    "hybrid_curve",
+    "strategy_table",
+]

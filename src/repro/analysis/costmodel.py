@@ -1,0 +1,144 @@
+"""Replication strategy trade-off curves (paper Sections I, III, VI-C).
+
+The paper's core economic argument in one module: to hold a block at a
+target availability you can either pile volatile replicas (eleven at
+``p = 0.4`` for four nines, Section I) or anchor one copy on a
+dedicated node and keep a few volatile ones ({1, 3}, Section III).
+These helpers produce the full curves behind those two data points so
+the trade-off can be plotted, tested and cited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..dfs.availability import block_availability, replication_cost_mb
+from ..errors import DfsError
+
+
+@dataclass(frozen=True)
+class StrategyPoint:
+    """One replication configuration and what it delivers."""
+
+    dedicated: int
+    volatile: int
+    availability: float
+    #: Network MB moved to materialise the copies of one block.
+    traffic_mb: float
+    #: Total storage MB consumed per block.
+    storage_mb: float
+
+    @property
+    def total_replicas(self) -> int:
+        return self.dedicated + self.volatile
+
+    def meets(self, goal: float) -> bool:
+        return self.availability > goal
+
+
+@dataclass(frozen=True)
+class ReplicationCost:
+    """Cheapest configuration meeting a goal, if any."""
+
+    goal: float
+    point: Optional[StrategyPoint]
+
+    @property
+    def feasible(self) -> bool:
+        return self.point is not None
+
+
+def _point(
+    d: int, v: int, p_volatile: float, p_dedicated: float, block_mb: float
+) -> StrategyPoint:
+    avail = block_availability(p_volatile, v, p_dedicated, d)
+    total = d + v
+    return StrategyPoint(
+        dedicated=d,
+        volatile=v,
+        availability=avail,
+        traffic_mb=replication_cost_mb(block_mb, total),
+        storage_mb=block_mb * total,
+    )
+
+
+def volatile_only_curve(
+    p_volatile: float, max_replicas: int = 12, block_mb: float = 64.0
+) -> List[StrategyPoint]:
+    """Availability/cost for v = 1..max volatile-only replicas — the
+    Hadoop-VO family of Section VI-C."""
+    if max_replicas < 1:
+        raise DfsError("max_replicas must be >= 1")
+    return [
+        _point(0, v, p_volatile, 0.0, block_mb)
+        for v in range(1, max_replicas + 1)
+    ]
+
+
+def hybrid_curve(
+    p_volatile: float,
+    p_dedicated: float = 0.001,
+    max_volatile: int = 12,
+    block_mb: float = 64.0,
+) -> List[StrategyPoint]:
+    """Availability/cost for one dedicated + v = 0..max volatile copies
+    — the MOON family ({1, v} factors)."""
+    if max_volatile < 0:
+        raise DfsError("max_volatile must be >= 0")
+    return [
+        _point(1, v, p_volatile, p_dedicated, block_mb)
+        for v in range(0, max_volatile + 1)
+    ]
+
+
+def cheapest_meeting(
+    curve: Sequence[StrategyPoint], goal: float
+) -> ReplicationCost:
+    """First (fewest-replica) point on a curve exceeding the goal."""
+    if not 0.0 < goal < 1.0:
+        raise DfsError("goal must be in (0, 1)")
+    for point in curve:
+        if point.meets(goal):
+            return ReplicationCost(goal, point)
+    return ReplicationCost(goal, None)
+
+
+def strategy_table(
+    p_volatile: float,
+    goal: float,
+    p_dedicated: float = 0.001,
+    block_mb: float = 64.0,
+    max_replicas: int = 16,
+) -> str:
+    """Text table contrasting the cheapest VO and hybrid strategies at a
+    goal — the paper's Section I vs Section III arithmetic, printable.
+    """
+    vo = cheapest_meeting(
+        volatile_only_curve(p_volatile, max_replicas, block_mb), goal
+    )
+    hy = cheapest_meeting(
+        hybrid_curve(p_volatile, p_dedicated, max_replicas, block_mb), goal
+    )
+    lines = [
+        f"goal {goal:.4%} at p_volatile={p_volatile}, "
+        f"p_dedicated={p_dedicated}, block={block_mb:.0f} MB",
+        f"{'strategy':<14} {'replicas':>9} {'avail':>10} "
+        f"{'traffic MB':>11} {'storage MB':>11}",
+    ]
+    for name, cost in (("volatile-only", vo), ("hybrid {1,v}", hy)):
+        if cost.point is None:
+            lines.append(f"{name:<14} {'infeasible':>9}")
+            continue
+        pt = cost.point
+        label = f"{{{pt.dedicated},{pt.volatile}}}"
+        lines.append(
+            f"{name:<14} {label:>9} {pt.availability:>10.6f} "
+            f"{pt.traffic_mb:>11.0f} {pt.storage_mb:>11.0f}"
+        )
+    if vo.point is not None and hy.point is not None:
+        saved = vo.point.traffic_mb - hy.point.traffic_mb
+        lines.append(
+            f"hybrid saves {saved:.0f} MB of replication traffic per block"
+        )
+    return "\n".join(lines)

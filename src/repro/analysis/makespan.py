@@ -1,0 +1,147 @@
+"""First-order makespan model for MapReduce on volatile nodes.
+
+A deliberately simple sanity model, not a scheduler: it answers "what
+job time should we *roughly* expect at unavailability ``p``" so that
+simulation output can be ranged-checked (EXPERIMENTS.md quotes both).
+
+Model:
+
+* A volatile node delivers useful work a fraction ``1 - p`` of the
+  time, so a task needing ``s`` seconds of service occupies its node
+  ``s / (1 - p)`` seconds in expectation (suspensions freeze progress,
+  per the paper's VM-pause semantics).
+* A kill policy (Hadoop's TrackerExpiryInterval) additionally loses
+  work: each interruption longer than the expiry restarts the task,
+  adding a geometric retry factor.
+* Tasks are scheduled in waves over the live slots (the classic
+  Hadoop wave model); the job time is the sum of map and reduce wave
+  times plus a shuffle term bounded by bisection bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..workloads import JobSpec
+from .markov import TwoStateModel
+
+
+def expected_task_time(
+    service_seconds: float,
+    model: TwoStateModel,
+    kill_after: float = float("inf"),
+) -> float:
+    """Expected wall-clock occupancy of one task on one volatile node.
+
+    With pause/resume only (MOON): ``s / (1 - p)``.
+    With a kill-after-expiry policy (Hadoop): interruptions longer than
+    ``kill_after`` scrap the attempt; with exponential outages a
+    fraction ``q = exp(-kill_after / mean_outage)`` of interruptions
+    kill, each costing on average half the service plus the detection
+    time, approximated as a geometric restart factor.
+    """
+    if service_seconds < 0:
+        raise ConfigError("negative service time")
+    if service_seconds == 0:
+        return 0.0
+    p = model.p
+    base = service_seconds / max(1e-9, (1.0 - p))
+    if math.isinf(kill_after) or p == 0.0:
+        return base
+    # Interruptions per attempt and the probability one is fatal.
+    n_int = model.expected_interruptions(service_seconds)
+    q_fatal = math.exp(-kill_after / model.mean_outage)
+    p_killed = 1.0 - math.exp(-n_int * q_fatal)
+    if p_killed >= 0.999:
+        p_killed = 0.999
+    # Each killed attempt wastes ~half its progress plus the expiry wait.
+    waste = 0.5 * base + kill_after
+    return base + (p_killed / (1.0 - p_killed)) * waste
+
+
+def waves(n_tasks: int, n_slots: int) -> int:
+    """Number of scheduling waves to run ``n_tasks`` on ``n_slots``."""
+    if n_tasks < 0 or n_slots < 0:
+        raise ConfigError("negative task or slot count")
+    if n_tasks == 0:
+        return 0
+    if n_slots == 0:
+        raise ConfigError("no execution slots")
+    return math.ceil(n_tasks / n_slots)
+
+
+@dataclass(frozen=True)
+class MakespanEstimate:
+    """Breakdown of the analytical job-time estimate (seconds)."""
+
+    map_time: float
+    shuffle_time: float
+    reduce_time: float
+
+    @property
+    def total(self) -> float:
+        return self.map_time + self.shuffle_time + self.reduce_time
+
+
+def estimate_makespan(
+    spec: JobSpec,
+    n_volatile: int,
+    p: float,
+    mean_outage: float = 409.0,
+    map_slots_per_node: int = 2,
+    reduce_slots_per_node: int = 2,
+    disk_mbps: float = 60.0,
+    nic_mbps: float = 80.0,
+    kill_after: float = float("inf"),
+) -> MakespanEstimate:
+    """Expected job time for ``spec`` on ``n_volatile`` live-average nodes.
+
+    The estimate deliberately ignores replication traffic and dedicated
+    nodes: it is the *volatile-only lower-bound shape* used to sanity-
+    check simulated results, not a substitute for the simulator.
+    """
+    if n_volatile < 1:
+        raise ConfigError("need at least one node")
+    model = TwoStateModel(p, mean_outage)
+    live = max(1.0, n_volatile * (1.0 - p))
+
+    # --- map phase -------------------------------------------------------
+    map_service = (
+        spec.map_input_mb / disk_mbps
+        + spec.map_cpu_seconds
+        + spec.map_output_mb / disk_mbps
+    )
+    map_occupancy = expected_task_time(map_service, model, kill_after)
+    map_slots = live * map_slots_per_node
+    map_time = waves(spec.n_maps, math.floor(map_slots)) * map_occupancy
+
+    # --- shuffle ----------------------------------------------------------
+    n_reduces = spec.resolve_reduces(
+        int(n_volatile * reduce_slots_per_node)
+    )
+    total_intermediate = spec.n_maps * spec.map_output_mb
+    # All intermediate data crosses the network once, spread over the
+    # live nodes' NICs; suspensions inflate it like compute.
+    shuffle_seconds = total_intermediate / (live * nic_mbps)
+    shuffle_time = shuffle_seconds / max(1e-9, 1.0 - p)
+
+    # --- reduce phase -----------------------------------------------------
+    per_reduce_in = (
+        total_intermediate / n_reduces if n_reduces > 0 else 0.0
+    )
+    out_mb = spec.resolve_reduce_output_mb(n_reduces)
+    reduce_service = (
+        per_reduce_in * spec.sort_seconds_per_mb
+        + spec.reduce_cpu_seconds
+        + out_mb / disk_mbps
+    )
+    reduce_occupancy = expected_task_time(reduce_service, model, kill_after)
+    reduce_slots = live * reduce_slots_per_node
+    reduce_time = (
+        waves(n_reduces, math.floor(reduce_slots)) * reduce_occupancy
+        if n_reduces
+        else 0.0
+    )
+    return MakespanEstimate(map_time, shuffle_time, reduce_time)

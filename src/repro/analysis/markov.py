@@ -1,0 +1,120 @@
+"""Two-state (up/down) Markov model of a volunteer node.
+
+This is the implicit model behind every availability number in the
+paper: a node alternates between available periods of mean ``1/lambda``
+and outages of mean ``1/mu``; the steady-state unavailability is
+``p = lambda / (lambda + mu)``, and with independent nodes the number
+simultaneously down is binomial.  The model connects the trace
+generator's knobs (rate, mean outage) to closed-form answers that the
+simulator can be validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..errors import TraceError
+
+
+@dataclass(frozen=True)
+class TwoStateModel:
+    """Alternating-renewal node availability model.
+
+    Parameters mirror :class:`repro.config.TraceConfig`: the target
+    steady-state unavailability ``p`` and the mean outage length in
+    seconds (409 s in the paper's Entropia extract).
+    """
+
+    p: float
+    mean_outage: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p < 1.0:
+            raise TraceError("p must be in [0, 1)")
+        if self.mean_outage <= 0:
+            raise TraceError("mean_outage must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_uptime(self) -> float:
+        """Mean available interval implied by ``p`` and the outage mean:
+        ``p = down / (up + down)``  =>  ``up = down (1 - p) / p``."""
+        if self.p == 0.0:
+            return float("inf")
+        return self.mean_outage * (1.0 - self.p) / self.p
+
+    @property
+    def failure_rate(self) -> float:
+        """Transitions into the down state per second (1 / mean uptime)."""
+        up = self.mean_uptime
+        return 0.0 if up == float("inf") else 1.0 / up
+
+    @property
+    def repair_rate(self) -> float:
+        return 1.0 / self.mean_outage
+
+    # ------------------------------------------------------------------
+    def availability_at(self, t: float, up_at_zero: bool = True) -> float:
+        """Transient availability ``P(up at t)`` for exponential
+        sojourns, starting from a known state at ``t = 0``.
+
+        ``A(t) = mu/(l+mu) + C e^{-(l+mu) t}`` with ``C`` fixed by the
+        initial state; converges to ``1 - p``.
+        """
+        if t < 0:
+            raise TraceError("negative time")
+        lam, mu = self.failure_rate, self.repair_rate
+        if lam == 0.0:
+            return 1.0
+        steady = mu / (lam + mu)
+        start = 1.0 if up_at_zero else 0.0
+        return steady + (start - steady) * np.exp(-(lam + mu) * t)
+
+    def prob_survives(self, duration: float) -> float:
+        """Probability an up node stays up for ``duration`` seconds
+        (exponential uptime) — the chance a task of that length runs
+        uninterrupted, motivating the paper's claim that long tasks
+        "may be difficult to finish on purely volatile resources"."""
+        if duration < 0:
+            raise TraceError("negative duration")
+        lam = self.failure_rate
+        return float(np.exp(-lam * duration))
+
+    def expected_interruptions(self, duration: float) -> float:
+        """Mean number of suspensions hitting a task needing ``duration``
+        seconds of compute (interruptions arrive at the failure rate
+        while the node is up)."""
+        if duration < 0:
+            raise TraceError("negative duration")
+        return self.failure_rate * duration
+
+
+def k_of_n_down_pmf(n: int, p: float) -> np.ndarray:
+    """PMF of the number of nodes simultaneously down out of ``n``
+    independent nodes with unavailability ``p`` (binomial)."""
+    if n < 0:
+        raise TraceError("n must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise TraceError("p must be in [0, 1]")
+    # Snap (sub)normal extremes to the exact degenerate PMF: scipy's
+    # incomplete-beta path overflows on denormal p.
+    if p < 1e-300 or 1.0 - p < 1e-300:
+        pmf = np.zeros(n + 1)
+        pmf[0 if p < 0.5 else n] = 1.0
+        return pmf
+    return stats.binom.pmf(np.arange(n + 1), n, p)
+
+
+def prob_at_least_k_down(n: int, k: int, p: float) -> float:
+    """Tail probability ``P(#down >= k)`` — e.g. the chance of the
+    90%-down bursts the paper's Figure 1 shows (which the independent
+    model makes astronomically rare, motivating the correlated model in
+    :mod:`repro.traces.correlated`)."""
+    if k < 0:
+        raise TraceError("k must be non-negative")
+    if k == 0:
+        return 1.0
+    return float(stats.binom.sf(k - 1, n, p))

@@ -1,0 +1,25 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+One subcommand per reproducible artifact plus utilities:
+
+=============  ======================================================
+``fig1``       Figure 1 — volunteer-trace unavailability, 7 days
+``fig4``       Figure 4 — scheduling policies vs job time (and Fig. 5)
+``fig6``       Figure 6 — intermediate-data replication policies
+``fig7``       Figure 7 — overall MOON vs Hadoop-VO
+``table1``     Table I — application configurations
+``table2``     Table II — execution profile at rate 0.5
+``ablations``  network / two-phase / LATE ablation sweeps
+``run``        run one job on a configured system, print metrics
+``trace``      generate / inspect availability trace files
+``availability`` replication-strategy arithmetic (Sections I/III)
+``estimate``   analytical makespan model for a workload
+=============  ======================================================
+
+Every experiment honours ``REPRO_FULL_SCALE=1`` for the paper's exact
+sizes; the default reduced scale finishes in seconds per figure cell.
+"""
+
+from .main import build_parser, main
+
+__all__ = ["main", "build_parser"]

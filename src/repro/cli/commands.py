@@ -1,0 +1,263 @@
+"""CLI command handlers.
+
+Each handler takes the parsed :mod:`argparse` namespace, prints its
+report to stdout, and returns an exit code.  Experiments delegate to
+:mod:`repro.experiments`; utility commands assemble systems directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import estimate_makespan, strategy_table
+from ..config import (
+    ClusterConfig,
+    SchedulerConfig,
+    SystemConfig,
+    TraceConfig,
+)
+from ..core import hadoop_system, moon_system
+from ..experiments import ablations, current_scale, fig1, fig4, fig6, fig7
+from ..plotting import bar_chart, histogram
+from ..traces import (
+    CorrelatedConfig,
+    compute_stats,
+    generate_correlated_traces,
+    generate_trace,
+    load_traces_csv,
+    load_traces_json,
+    save_traces_csv,
+    save_traces_json,
+)
+from ..workloads import (
+    grep_spec,
+    sleep_like_sort,
+    sleep_like_wordcount,
+    sort_spec,
+    wordcount_spec,
+)
+
+_APPS = {"sort": "sort", "wordcount": "word count"}
+
+
+def _apps(choice: str):
+    if choice == "both":
+        return ["sort", "word count"]
+    return [_APPS[choice]]
+
+
+# ======================================================================
+# Figures / tables
+# ======================================================================
+def cmd_fig1(args) -> int:
+    """Figure 1: weekly volunteer-grid unavailability profile."""
+    profiles = fig1.run()
+    print(fig1.report(profiles))
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    """Figures 4+5: scheduling-policy comparison (and duplicates)."""
+    for app in _apps(args.app):
+        data = fig4.run(app)
+        print(fig4.report(app, data))
+        print()
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    """Figure 6: intermediate-data replication policies."""
+    for app in _apps(args.app):
+        data = fig6.run(app)
+        print(fig6.report(app, data))
+        print()
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    """Figure 7: overall MOON vs augmented Hadoop."""
+    for app in _apps(args.app):
+        data = fig7.run(app)
+        print(fig7.report(app, data))
+        print()
+    return 0
+
+
+def cmd_table1(args) -> int:
+    """Table I: the two applications' configurations."""
+    s, w = sort_spec(), wordcount_spec()
+    print("TABLE I - application configurations")
+    print(f"{'application':<14}{'input':>8}{'# maps':>8}  {'# reduces'}")
+    print(f"{'sort':<14}{s.input_mb / 1024:>6.0f}GB{s.n_maps:>8}  "
+          f"0.9 x AvailSlots")
+    print(f"{'word count':<14}{w.input_mb / 1024:>6.0f}GB{w.n_maps:>8}  "
+          f"{w.n_reduces}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    """Table II: execution profiles at 0.5 unavailability."""
+    for app in _apps(args.app):
+        profiles = fig6.table2(app)
+        print(fig6.report_table2(app, profiles))
+        print()
+    return 0
+
+
+def cmd_ablations(args) -> int:
+    """Network / two-phase / LATE ablation sweeps."""
+    which = args.which
+    if which in ("network", "all"):
+        print(ablations.report_network(ablations.run_network_ablation()))
+        print()
+    if which in ("twophase", "all"):
+        print(ablations.report_twophase(ablations.run_twophase_sweep()))
+        print()
+    if which in ("late", "all"):
+        print(ablations.report_late(ablations.run_late_ablation()))
+        print()
+    return 0
+
+
+# ======================================================================
+# run
+# ======================================================================
+_WORKLOADS = {
+    "sort": sort_spec,
+    "wordcount": wordcount_spec,
+    "sleep-sort": sleep_like_sort,
+    "sleep-wordcount": sleep_like_wordcount,
+    "grep": grep_spec,
+}
+
+
+def cmd_run(args) -> int:
+    """Run one job on a configured simulated cluster."""
+    spec = _WORKLOADS[args.workload]()
+    if args.maps is not None:
+        spec = spec.with_(n_maps=args.maps)
+        spec.validate()
+
+    expiry = (
+        args.expiry_minutes * 60.0
+        if args.expiry_minutes is not None
+        else (1800.0 if args.scheduler == "moon" else 600.0)
+    )
+    sched = SchedulerConfig(
+        kind=args.scheduler,
+        tracker_expiry_interval=expiry,
+        hybrid_aware=(args.scheduler == "moon" and not args.no_hybrid),
+    )
+    cfg = SystemConfig(
+        cluster=ClusterConfig(
+            n_volatile=args.volatile, n_dedicated=args.dedicated
+        ),
+        trace=TraceConfig(unavailability_rate=args.rate),
+        scheduler=sched,
+        seed=args.seed,
+    )
+    system = (
+        moon_system(cfg) if args.scheduler == "moon" else hadoop_system(cfg)
+    )
+    result = system.run_job(spec)
+    print(result.summary())
+    print(result.profile.row())
+    return 0 if result.succeeded else 1
+
+
+# ======================================================================
+# trace
+# ======================================================================
+def cmd_trace(args) -> int:
+    """Generate or summarise availability trace files."""
+    if args.trace_command == "generate":
+        return _trace_generate(args)
+    return _trace_stats(args)
+
+
+def _trace_generate(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    base = TraceConfig(
+        unavailability_rate=args.rate, distribution=args.distribution
+    )
+    if args.correlated:
+        traces = generate_correlated_traces(
+            CorrelatedConfig(base=base), args.nodes, rng
+        )
+    else:
+        traces = [generate_trace(base, rng) for _ in range(args.nodes)]
+    if str(args.output).endswith(".json"):
+        save_traces_json(args.output, traces)
+    else:
+        save_traces_csv(args.output, traces)
+    stats = compute_stats(traces)
+    print(f"wrote {len(traces)} traces to {args.output}")
+    print(stats)
+    return 0
+
+
+def _trace_stats(args) -> int:
+    if str(args.input).endswith(".json"):
+        traces = load_traces_json(args.input)
+    else:
+        traces = load_traces_csv(args.input)
+    stats = compute_stats(traces)
+    print(stats)
+    lengths = np.concatenate(
+        [t.outage_lengths() for t in traces if len(t)] or [np.empty(0)]
+    )
+    if args.histogram and lengths.size:
+        print()
+        print(histogram(lengths.tolist(), bins=12,
+                        title="outage lengths (s)"))
+    if getattr(args, "fit", False) and lengths.size >= 3:
+        from ..traces import fit_outages, fit_report
+
+        print()
+        print(fit_report(fit_outages(lengths)))
+    return 0
+
+
+# ======================================================================
+# availability / estimate
+# ======================================================================
+def cmd_availability(args) -> int:
+    """Replication-strategy arithmetic (paper Sections I/III)."""
+    print(strategy_table(args.p, args.goal, p_dedicated=args.p_dedicated))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Cross-check the simulator against the analytical models."""
+    from ..experiments import validate
+
+    points = validate.run_validation()
+    print(validate.report(points))
+    return 0 if validate.within_band(points) else 1
+
+
+def cmd_estimate(args) -> int:
+    """Analytical makespan estimate for a workload."""
+    spec = sort_spec() if args.workload == "sort" else wordcount_spec()
+    kill = (
+        args.expiry_minutes * 60.0
+        if args.expiry_minutes is not None
+        else float("inf")
+    )
+    est = estimate_makespan(spec, args.nodes, args.rate, kill_after=kill)
+    print(
+        bar_chart(
+            [args.workload],
+            {
+                "map": [est.map_time],
+                "shuffle": [est.shuffle_time],
+                "reduce": [est.reduce_time],
+            },
+            title=(
+                f"analytical makespan, {args.nodes} nodes at "
+                f"p={args.rate}: {est.total:,.0f} s total"
+            ),
+            unit="s",
+        )
+    )
+    return 0

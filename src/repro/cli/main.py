@@ -1,0 +1,154 @@
+"""CLI argument parsing and dispatch (see package docstring)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .. import __version__
+from . import commands
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `repro` argument parser (one sub-command per artifact)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "MOON (HPDC 2010) reproduction: regenerate the paper's "
+            "figures and tables, run jobs, inspect traces."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # --- figures/tables -------------------------------------------------
+    for name, help_text in (
+        ("fig1", "Figure 1: 7-day volunteer availability trace"),
+        ("fig4", "Figures 4+5: scheduling policy comparison"),
+        ("fig6", "Figure 6: intermediate-data replication policies"),
+        ("fig7", "Figure 7: overall MOON vs augmented Hadoop"),
+        ("table1", "Table I: application configurations"),
+        ("table2", "Table II: execution profile at 0.5 unavailability"),
+        ("ablations", "network / two-phase / LATE ablation sweeps"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        if name in ("fig4", "fig6", "fig7", "table2"):
+            p.add_argument(
+                "--app",
+                choices=["sort", "wordcount", "both"],
+                default="both",
+                help="which application panel to reproduce",
+            )
+        if name == "ablations":
+            p.add_argument(
+                "--which",
+                choices=["network", "twophase", "late", "all"],
+                default="all",
+            )
+
+    # --- run ------------------------------------------------------------
+    run_p = sub.add_parser("run", help="run one job on a simulated cluster")
+    run_p.add_argument(
+        "--workload",
+        choices=["sort", "wordcount", "sleep-sort", "sleep-wordcount", "grep"],
+        default="sort",
+    )
+    run_p.add_argument("--scheduler", choices=["moon", "hadoop", "late"],
+                       default="moon")
+    run_p.add_argument("--no-hybrid", action="store_true",
+                       help="disable hybrid-aware task placement")
+    run_p.add_argument("--rate", type=float, default=0.3,
+                       help="volatile-node unavailability rate")
+    run_p.add_argument("--volatile", type=int, default=60)
+    run_p.add_argument("--dedicated", type=int, default=6)
+    run_p.add_argument("--maps", type=int, default=None,
+                       help="override the workload's map-task count")
+    run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument("--expiry-minutes", type=float, default=None,
+                       help="TrackerExpiryInterval override (minutes)")
+
+    # --- trace ----------------------------------------------------------
+    trace_p = sub.add_parser(
+        "trace", help="generate or inspect availability traces"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    gen = trace_sub.add_parser("generate", help="write a trace file")
+    gen.add_argument("output", help="output path (.csv or .json)")
+    gen.add_argument("--nodes", type=int, default=60)
+    gen.add_argument("--rate", type=float, default=0.4)
+    gen.add_argument(
+        "--distribution",
+        choices=["normal", "lognormal", "weibull", "exponential", "pareto"],
+        default="normal",
+    )
+    gen.add_argument("--correlated", action="store_true",
+                     help="use the lab-session correlated model")
+    gen.add_argument("--seed", type=int, default=42)
+    stats = trace_sub.add_parser("stats", help="summarise a trace file")
+    stats.add_argument("input", help="trace file written by 'generate'")
+    stats.add_argument("--histogram", action="store_true",
+                       help="also print the outage-length histogram")
+    stats.add_argument("--fit", action="store_true",
+                       help="fit outage-length families (ranked by AIC)")
+
+    # --- availability math -----------------------------------------------
+    avail_p = sub.add_parser(
+        "availability",
+        help="replication-strategy arithmetic (paper Sections I/III)",
+    )
+    avail_p.add_argument("--p", type=float, default=0.4,
+                         help="volatile-node unavailability")
+    avail_p.add_argument("--p-dedicated", type=float, default=0.001)
+    avail_p.add_argument("--goal", type=float, default=0.9999)
+
+    # --- analytical estimate ---------------------------------------------
+    est_p = sub.add_parser(
+        "estimate", help="analytical makespan estimate for a workload"
+    )
+    est_p.add_argument("--workload", choices=["sort", "wordcount"],
+                       default="sort")
+    est_p.add_argument("--nodes", type=int, default=60)
+    est_p.add_argument("--rate", type=float, default=0.3)
+    est_p.add_argument("--expiry-minutes", type=float, default=None)
+
+    # --- validation --------------------------------------------------------
+    sub.add_parser(
+        "validate",
+        help="cross-check the simulator against the analytical models",
+    )
+
+    return parser
+
+
+#: command-name -> handler in :mod:`repro.cli.commands`.
+_DISPATCH = {
+    "fig1": commands.cmd_fig1,
+    "fig4": commands.cmd_fig4,
+    "fig6": commands.cmd_fig6,
+    "fig7": commands.cmd_fig7,
+    "table1": commands.cmd_table1,
+    "table2": commands.cmd_table2,
+    "ablations": commands.cmd_ablations,
+    "run": commands.cmd_run,
+    "trace": commands.cmd_trace,
+    "availability": commands.cmd_availability,
+    "estimate": commands.cmd_estimate,
+    "validate": commands.cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = _DISPATCH[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:  # e.g. `repro fig4 | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Cluster substrate (S4): nodes, availability replay, failure detection."""
+
+from .cluster import Cluster, build_cluster, connect_network
+from .detector import FailureDetector
+from .monitor import AvailabilityMonitor
+from .node import Node, NodeKind
+
+__all__ = [
+    "Node",
+    "NodeKind",
+    "Cluster",
+    "build_cluster",
+    "connect_network",
+    "AvailabilityMonitor",
+    "FailureDetector",
+]

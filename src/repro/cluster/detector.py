@@ -1,0 +1,108 @@
+"""Heartbeat-based failure detection, computed analytically.
+
+Hadoop decides a worker is gone when no heartbeat arrived for an expiry
+interval.  Simulating each 3-second heartbeat would cost ~600k events
+per run, so we use the exact equivalent: when a node suspends at time
+``t``, a judgement for threshold ``T`` fires at ``t + T + h`` (``h`` =
+heartbeat interval, the last beat seen before the outage) *iff* the
+node is still down.  Resuming cancels pending judgements and notifies
+recovery for all judgements already delivered.
+
+One :class:`FailureDetector` serves one observer (JobTracker or
+NameNode) and can carry several thresholds, e.g. MOON's NameNode
+watches NodeHibernateInterval *and* NodeExpiryInterval.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from ..simulation import PRIORITY_HEARTBEAT, Simulation
+from .cluster import Cluster
+from .node import Node
+
+DownCallback = Callable[[Node], None]
+UpCallback = Callable[[Node], None]
+
+
+class _Judgement(NamedTuple):
+    name: str
+    threshold: float
+    on_trip: DownCallback
+    on_recover: Optional[UpCallback]
+
+
+class FailureDetector:
+    """Per-observer heartbeat watcher with multiple named thresholds."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        heartbeat_interval: float = 3.0,
+    ) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.heartbeat_interval = heartbeat_interval
+        self._judgements: List[_Judgement] = []
+        #: node_id -> list of pending timer events (parallel to judgements)
+        self._pending: Dict[int, List[Optional[object]]] = {}
+        #: node_id -> set of judgement indices already tripped
+        self._tripped: Dict[int, set] = {}
+        cluster.on_suspend(self._node_suspended)
+        cluster.on_resume(self._node_resumed)
+
+    def add_threshold(
+        self,
+        name: str,
+        threshold: float,
+        on_trip: DownCallback,
+        on_recover: Optional[UpCallback] = None,
+    ) -> None:
+        """Register: call ``on_trip(node)`` once the node has been silent
+        for ``threshold`` seconds; ``on_recover(node)`` when it returns
+        after tripping."""
+        self._judgements.append(_Judgement(name, threshold, on_trip, on_recover))
+
+    def has_tripped(self, node: Node, name: str) -> bool:
+        idx = self._index(name)
+        return idx in self._tripped.get(node.node_id, set())
+
+    def _index(self, name: str) -> int:
+        for i, j in enumerate(self._judgements):
+            if j.name == name:
+                return i
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    def _node_suspended(self, node: Node) -> None:
+        events: List[Optional[object]] = []
+        for i, j in enumerate(self._judgements):
+            # Last heartbeat was at most `heartbeat_interval` before the
+            # outage; the observer notices silence at threshold past it.
+            delay = j.threshold + self.heartbeat_interval
+            events.append(
+                self.sim.call_after(
+                    delay, self._trip, node, i, priority=PRIORITY_HEARTBEAT
+                )
+            )
+        self._pending[node.node_id] = events
+
+    def _trip(self, node: Node, idx: int) -> None:
+        if node.available:  # stale timer (resume races are cancelled, but be safe)
+            return
+        pending = self._pending.get(node.node_id)
+        if pending is not None:
+            pending[idx] = None
+        self._tripped.setdefault(node.node_id, set()).add(idx)
+        self._judgements[idx].on_trip(node)
+
+    def _node_resumed(self, node: Node) -> None:
+        for ev in self._pending.pop(node.node_id, []):
+            if ev is not None:
+                ev.cancel()
+        tripped = self._tripped.pop(node.node_id, set())
+        for idx in sorted(tripped):
+            j = self._judgements[idx]
+            if j.on_recover is not None:
+                j.on_recover(node)

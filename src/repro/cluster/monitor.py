@@ -1,0 +1,53 @@
+"""Availability monitor: replays each node's trace as suspend/resume
+events, exactly like the paper's per-node monitoring process that
+suspends and resumes all Hadoop/MOON processes (Section VI)."""
+
+from __future__ import annotations
+
+from ..simulation import PRIORITY_NODE_STATE, Simulation
+from .cluster import Cluster
+from .node import Node
+
+
+class AvailabilityMonitor:
+    """Schedules every trace transition for every node at start-up.
+
+    Transitions carry ``PRIORITY_NODE_STATE`` so at any timestamp the
+    cluster state is updated before heartbeats, transfers or scheduler
+    work run at that same instant.
+    """
+
+    def __init__(self, sim: Simulation, cluster: Cluster) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self._scheduled = 0
+        for node in cluster.nodes:
+            if node.trace is None:
+                continue
+            for interval in node.trace:
+                if interval.start >= 0:
+                    sim.call_at(
+                        interval.start,
+                        self._suspend,
+                        node,
+                        priority=PRIORITY_NODE_STATE,
+                    )
+                    sim.call_at(
+                        interval.end,
+                        self._resume,
+                        node,
+                        priority=PRIORITY_NODE_STATE,
+                    )
+                    self._scheduled += 2
+
+    @property
+    def scheduled_transitions(self) -> int:
+        return self._scheduled
+
+    def _suspend(self, node: Node) -> None:
+        if node.available:
+            self.cluster._notify_suspend(node)
+
+    def _resume(self, node: Node) -> None:
+        if not node.available:
+            self.cluster._notify_resume(node)

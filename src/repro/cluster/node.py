@@ -1,0 +1,55 @@
+"""Cluster nodes: volatile volunteer PCs and dedicated anchors."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..config import NodeSpec
+from ..traces import AvailabilityTrace
+
+
+class NodeKind(enum.Enum):
+    """Resource class: DEDICATED anchors vs VOLATILE volunteer PCs."""
+    VOLATILE = "volatile"
+    DEDICATED = "dedicated"
+
+
+class Node:
+    """One machine.  ``available`` tracks the *instantaneous* trace
+    state; failure-detector states (suspended / hibernated / dead) are
+    judgements made by observers with heartbeat delay, and live in the
+    observing components (JobTracker, NameNode), not here.
+
+    Nodes start ``available``; a trace that is down at t=0 delivers its
+    suspend through the :class:`~repro.cluster.monitor.AvailabilityMonitor`
+    as a priority event at t=0, so every observer sees the transition.
+    """
+
+    __slots__ = ("node_id", "kind", "spec", "trace", "available", "name")
+
+    def __init__(
+        self,
+        node_id: int,
+        kind: NodeKind,
+        spec: NodeSpec,
+        trace: Optional[AvailabilityTrace] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.kind = kind
+        self.spec = spec
+        self.trace = trace
+        self.available = True
+        self.name = f"{kind.value}-{node_id}"
+
+    @property
+    def is_dedicated(self) -> bool:
+        return self.kind is NodeKind.DEDICATED
+
+    @property
+    def is_volatile(self) -> bool:
+        return self.kind is NodeKind.VOLATILE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.available else "down"
+        return f"<Node {self.name} {state}>"

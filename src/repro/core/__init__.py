@@ -1,0 +1,6 @@
+"""System assembly (S10): MOON and Hadoop-baseline deployments."""
+
+from .results import JobResult
+from .system import MoonSystem, hadoop_system, moon_system
+
+__all__ = ["MoonSystem", "moon_system", "hadoop_system", "JobResult"]

@@ -1,0 +1,50 @@
+"""Run results: what an experiment records for each executed job."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mapreduce.job import Job, JobState
+from ..metrics import ExecutionProfile, RunMetrics
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome + metrics of one job on one system."""
+
+    job_id: str
+    workload: str
+    state: str
+    elapsed: Optional[float]
+    metrics: RunMetrics
+    failure_reason: Optional[str]
+
+    @staticmethod
+    def from_run(system, job: Job) -> "JobResult":
+        policy = system.config.scheduler.kind
+        return JobResult(
+            job_id=job.job_id,
+            workload=job.spec.name,
+            state=job.state.value,
+            elapsed=job.elapsed,
+            metrics=RunMetrics.from_job(job, system.namenode, policy),
+            failure_reason=job.failure_reason,
+        )
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state == JobState.SUCCEEDED.value
+
+    @property
+    def profile(self) -> ExecutionProfile:
+        return self.metrics.profile
+
+    def summary(self) -> str:
+        elapsed = f"{self.elapsed:.0f}s" if self.elapsed is not None else "DNF"
+        return (
+            f"{self.workload:<12} {self.state:<10} {elapsed:>8}  "
+            f"dupTasks={self.metrics.duplicated_tasks:<4} "
+            f"reexec={self.metrics.map_reexecutions:<4} "
+            f"fetchFail={self.metrics.fetch_failures}"
+        )

@@ -1,0 +1,44 @@
+"""MOON-DFS (S5 + S11): multi-dimensional, cost-effective replication
+on the hybrid dedicated/volatile architecture (paper Section IV)."""
+
+from .availability import (
+    block_availability,
+    hybrid_equivalent,
+    replication_cost_mb,
+    required_volatile_replicas,
+)
+from .client import DfsClient, ReadOp, WriteOp
+from .namenode import NameNode
+from .placement import PlacementPolicy, WritePlan
+from .throttle import THROTTLED, UNTHROTTLED, ThrottleDetector, ThrottleService
+from .types import (
+    BlockInfo,
+    DataNodeInfo,
+    FileInfo,
+    FileKind,
+    NodeState,
+    ReplicationFactor,
+)
+
+__all__ = [
+    "NameNode",
+    "DfsClient",
+    "WriteOp",
+    "ReadOp",
+    "PlacementPolicy",
+    "WritePlan",
+    "ThrottleDetector",
+    "ThrottleService",
+    "THROTTLED",
+    "UNTHROTTLED",
+    "ReplicationFactor",
+    "FileKind",
+    "FileInfo",
+    "BlockInfo",
+    "DataNodeInfo",
+    "NodeState",
+    "block_availability",
+    "required_volatile_replicas",
+    "hybrid_equivalent",
+    "replication_cost_mb",
+]

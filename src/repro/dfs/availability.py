@@ -1,0 +1,82 @@
+"""Analytical availability model (paper Sections I, III, IV-A, VI-C).
+
+The paper's motivating arithmetic, reproduced as a small API:
+
+* at node unavailability ``p = 0.4``, a block needs **11** volatile
+  replicas for 99.99% availability (Section I),
+* with one dedicated replica (``p_d ~ 0.001``) plus three volatile
+  copies, the same 99.99% goal is met (Section III),
+* the adaptive rule: choose the smallest ``v'`` with ``1 - p^v' > A``
+  (Section IV-A),
+* the Hadoop-VO baseline: six uniform replicas give ~99.5% availability
+  at ``p = 0.4`` (Section VI-C).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import DfsError
+
+
+def block_availability(p_volatile: float, v: int, p_dedicated: float = 0.0, d: int = 0) -> float:
+    """Probability a block with ``d`` dedicated + ``v`` volatile replicas
+    has at least one reachable copy, assuming independent failures."""
+    _check_p(p_volatile)
+    if d:
+        _check_p(p_dedicated)
+    if v < 0 or d < 0:
+        raise DfsError("replica counts must be non-negative")
+    if v + d == 0:
+        return 0.0
+    return 1.0 - (p_volatile**v) * (p_dedicated**d if d else 1.0)
+
+
+def required_volatile_replicas(
+    availability_goal: float, p: float, max_replicas: int = 64
+) -> int:
+    """Smallest ``v'`` with ``1 - p^v' > availability_goal``.
+
+    This is MOON's adaptive replication rule for opportunistic files
+    whose dedicated replica was declined (paper IV-A).  ``p = 0`` needs
+    a single copy; the result is clamped to ``max_replicas``.
+    """
+    if not 0.0 < availability_goal < 1.0:
+        raise DfsError("availability_goal must be in (0, 1)")
+    _check_p(p)
+    if p == 0.0:
+        return 1
+    # 1 - p^v > A  <=>  v > log(1 - A) / log(p)   (log p < 0).
+    v = math.log(1.0 - availability_goal) / math.log(p)
+    result = max(1, math.floor(v) + 1)  # strictly greater
+    return min(result, max_replicas)
+
+
+def replication_cost_mb(size_mb: float, rf_total: int) -> float:
+    """Bytes moved to materialise ``rf_total`` copies of a block whose
+    first copy is written locally (pipeline traffic)."""
+    if rf_total < 1:
+        raise DfsError("rf_total must be >= 1")
+    return size_mb * (rf_total - 1)
+
+
+def hybrid_equivalent(
+    availability_goal: float, p_volatile: float, p_dedicated: float, max_v: int = 64
+) -> int:
+    """Volatile replicas needed *alongside one dedicated copy* to reach
+    the goal: smallest ``v`` with ``1 - p_d * p^v > goal``."""
+    if not 0.0 < availability_goal < 1.0:
+        raise DfsError("availability_goal must be in (0, 1)")
+    _check_p(p_volatile)
+    _check_p(p_dedicated)
+    if p_dedicated == 0.0:
+        return 0
+    for v in range(max_v + 1):
+        if 1.0 - p_dedicated * (p_volatile**v) > availability_goal:
+            return v
+    return max_v
+
+
+def _check_p(p: float) -> None:
+    if not 0.0 <= p < 1.0:
+        raise DfsError(f"unavailability must be in [0, 1), got {p}")

@@ -1,0 +1,510 @@
+"""The MOON-DFS NameNode (paper Section IV).
+
+Owns all metadata (files, blocks, replica maps), judges DataNode states
+through heartbeat thresholds (``alive -> hibernated -> dead``), runs
+the prioritised replication queue, estimates volatile-node
+unavailability ``p`` for the adaptive replication rule, and hosts the
+throttle service for dedicated DataNodes.
+
+Key behaviours from the paper:
+
+* hibernated DataNodes are not sent I/O requests (IV-C);
+* on hibernation, only opportunistic blocks *without* a dedicated
+  replica are queued for re-replication — blocks anchored on dedicated
+  nodes already have the availability to ride out transient outages;
+* on expiry (dead), the node's replicas are dropped from the replica
+  maps and every affected block is queued (reliable files first);
+* when a dead node returns, its block report re-registers surviving
+  replicas; any copies beyond a file's factor are recorded as
+  *replication thrashing* (the waste MOON's hibernate state avoids);
+* files below their replication factor sit in a queue scanned
+  periodically, reliable files served before opportunistic ones.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import Counter
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..cluster import Cluster, FailureDetector, Node
+from ..config import DfsConfig
+from ..errors import DfsError, FileAlreadyExists, FileNotFound
+from ..net import NetworkModel
+from ..simulation import PeriodicTask, Simulation
+from .placement import PlacementPolicy
+from .throttle import ThrottleService
+from .types import (
+    BlockInfo,
+    DataNodeInfo,
+    FileInfo,
+    FileKind,
+    NodeState,
+    ReplicationFactor,
+)
+
+#: Replication-queue priorities (lower = served first).
+PRIO_RELIABLE = 0
+PRIO_OPPORTUNISTIC = 1
+
+
+class NameNode:
+    """Metadata service + replication manager."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        network: NetworkModel,
+        config: DfsConfig,
+    ) -> None:
+        config.validate()
+        self.sim = sim
+        self.cluster = cluster
+        self.network = network
+        self.config = config
+        self.counters: Counter = Counter()
+        self.rng = sim.rng("namenode")
+
+        self._files: Dict[str, FileInfo] = {}
+        self._blocks: Dict[int, BlockInfo] = {}
+        self._infos: Dict[int, DataNodeInfo] = {}
+        self._states: Dict[int, NodeState] = {}
+        for node in cluster.nodes:
+            self._infos[node.node_id] = DataNodeInfo(
+                node.node_id, node.is_dedicated, node.spec.storage_gb * 1024.0
+            )
+            self._states[node.node_id] = NodeState.ALIVE
+
+        self.placement = PlacementPolicy(self)
+        self.throttle = ThrottleService(
+            sim,
+            network,
+            [n.node_id for n in cluster.dedicated],
+            config,
+            on_unthrottled=self._dedicated_unthrottled,
+        )
+
+        # Heartbeat judgements.
+        self._detector = FailureDetector(sim, cluster)
+        self._detector.add_threshold(
+            "hibernate",
+            config.node_hibernate_interval,
+            self._on_hibernate,
+            self._on_wake,
+        )
+        self._detector.add_threshold(
+            "expiry", config.node_expiry_interval, self._on_expiry, self._on_rejoin
+        )
+
+        # p estimation over the past interval I (volatile nodes only).
+        self._down_integral = 0.0
+        self._down_count = 0
+        self._last_down_change = 0.0
+        self._p_window_start_integral = 0.0
+        self._p_estimate = 0.0
+        cluster.on_suspend(self._track_down)
+        cluster.on_resume(self._track_up)
+        self._p_task = PeriodicTask(
+            sim, config.p_estimate_interval, self._refresh_p_estimate
+        )
+
+        # Replication queue: (priority, seq, block_id).
+        self._repl_queue: List[Tuple[int, int, int]] = []
+        self._queued: set = set()
+        self._seq = itertools.count()
+        self._repl_task = PeriodicTask(
+            sim, config.replication_check_interval, self._replication_scan
+        )
+        #: Opportunistic blocks awaiting a dedicated replica.
+        self._want_dedicated: set = set()
+        #: file path -> list of (target_check, callback) commit watchers.
+        self._watchers: Dict[str, List[Callable[[], None]]] = {}
+
+    # ==================================================================
+    # Views used by the placement policy and clients
+    # ==================================================================
+    def info(self, node_id: int) -> DataNodeInfo:
+        return self._infos[node_id]
+
+    def dedicated_infos(self) -> Iterable[DataNodeInfo]:
+        return (self._infos[n.node_id] for n in self.cluster.dedicated)
+
+    def volatile_infos(self) -> Iterable[DataNodeInfo]:
+        return (self._infos[n.node_id] for n in self.cluster.volatile)
+
+    def is_dedicated(self, node_id: int) -> bool:
+        return self._infos[node_id].is_dedicated
+
+    def node_state(self, node_id: int) -> NodeState:
+        return self._states[node_id]
+
+    def node_is_servable(self, node_id: int) -> bool:
+        """Should the NameNode direct I/O at this node?  Hibernated and
+        dead nodes are excluded (IV-C); an undetected outage still
+        counts as servable — clients then pay the timeout."""
+        return self._states[node_id] is NodeState.ALIVE
+
+    def estimated_p(self) -> float:
+        return self._p_estimate
+
+    # ==================================================================
+    # Namespace operations
+    # ==================================================================
+    def create_file(
+        self,
+        path: str,
+        kind: FileKind,
+        rf: ReplicationFactor,
+        size_mb: float,
+        block_size_mb: Optional[float] = None,
+    ) -> FileInfo:
+        if path in self._files:
+            raise FileAlreadyExists(path)
+        rf.validate()
+        if size_mb < 0:
+            raise DfsError("negative file size")
+        file = FileInfo(path, kind, rf, self.sim.now)
+        bs = block_size_mb or self.config.block_size_mb
+        remaining = size_mb
+        index = 0
+        while remaining > 0 or index == 0:
+            size = min(bs, remaining) if remaining > 0 else 0.0
+            block = BlockInfo(file, index, size)
+            file.blocks.append(block)
+            self._blocks[block.block_id] = block
+            remaining -= size
+            index += 1
+            if remaining <= 0:
+                break
+        self._files[path] = file
+        return file
+
+    def file(self, path: str) -> FileInfo:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def files(self) -> Iterable[FileInfo]:
+        return self._files.values()
+
+    def delete_file(self, path: str) -> None:
+        file = self.file(path)
+        for block in file.blocks:
+            for node_id in list(block.replicas):
+                self._infos[node_id].drop_block(block)
+            block.replicas.clear()
+            block.dedicated_replicas.clear()
+            self._blocks.pop(block.block_id, None)
+            self._want_dedicated.discard(block.block_id)
+        del self._files[path]
+        self._watchers.pop(path, None)
+
+    def convert_to_reliable(self, path: str) -> None:
+        """Opportunistic -> reliable (output commit, Section IV-A); any
+        missing dedicated replicas are queued with top priority."""
+        file = self.file(path)
+        if file.kind is FileKind.RELIABLE:
+            return
+        file.kind = FileKind.RELIABLE
+        file.adjusted_volatile = None
+        for block in file.blocks:
+            self._want_dedicated.discard(block.block_id)
+            if self._block_deficit(block):
+                self._enqueue(block)
+
+    # ==================================================================
+    # Replica bookkeeping
+    # ==================================================================
+    def register_replica(self, block: BlockInfo, node_id: int) -> None:
+        if block.block_id not in self._blocks:
+            return  # file deleted while the write was in flight
+        if node_id in block.replicas:
+            return
+        block.replicas.add(node_id)
+        info = self._infos[node_id]
+        info.add_block(block)
+        if info.is_dedicated:
+            block.dedicated_replicas.add(node_id)
+            self._want_dedicated.discard(block.block_id)
+        self.counters["replicas_written"] += 1
+        self._notify_watchers(block.file)
+
+    def drop_replica(self, block: BlockInfo, node_id: int) -> None:
+        block.replicas.discard(node_id)
+        block.dedicated_replicas.discard(node_id)
+        self._infos[node_id].drop_block(block)
+
+    def read_targets(self, block: BlockInfo, reader_node: int) -> List[int]:
+        """Replica candidates in MOON's preferred order: local copy,
+        then volatile replicas, then dedicated (Section IV-B: volatile
+        clients only touch dedicated nodes as a last resort)."""
+        local: List[int] = []
+        volatile: List[int] = []
+        dedicated: List[int] = []
+        for nid in block.replicas:
+            if not self.node_is_servable(nid):
+                continue
+            if nid == reader_node:
+                local.append(nid)
+            elif self.is_dedicated(nid):
+                dedicated.append(nid)
+            else:
+                volatile.append(nid)
+        # Deterministic shuffle for load spreading.
+        if len(volatile) > 1:
+            self.rng.shuffle(volatile)
+        if len(dedicated) > 1:
+            self.rng.shuffle(dedicated)
+        if self.is_dedicated(reader_node):
+            return local + dedicated + volatile
+        return local + volatile + dedicated
+
+    def live_dedicated_replicas(self, block: BlockInfo) -> set:
+        """Dedicated replicas on nodes currently judged ALIVE."""
+        return {
+            n for n in block.dedicated_replicas if self.node_is_servable(n)
+        }
+
+    def effective_volatile_count(self, block: BlockInfo) -> int:
+        """Volatile copies that count toward the replication target.
+
+        Paper IV-C: a block with a (live) dedicated replica already has
+        the availability to ride out transient outages, so hibernated
+        volatile copies still count; without a dedicated anchor only
+        copies on ALIVE nodes count, which is what triggers the
+        hibernate-time re-replication of unanchored opportunistic data.
+        """
+        if self.live_dedicated_replicas(block):
+            return len(block.volatile_replicas)
+        return sum(
+            1 for n in block.volatile_replicas if self.node_is_servable(n)
+        )
+
+    def block_availability_now(self, block: BlockInfo) -> bool:
+        """Is any replica actually reachable this instant?  (Used by the
+        MOON JobTracker's fetch-failure fast path, Section VI-B.)"""
+        return any(
+            self.node_is_servable(nid) and self.cluster.node(nid).available
+            for nid in block.replicas
+        )
+
+    # ==================================================================
+    # Commit watchers (output files reaching full factor)
+    # ==================================================================
+    def when_fully_replicated(self, path: str, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once every block of ``path`` meets its
+        replication factor (used for output commit)."""
+        file = self.file(path)
+        if self._file_fully_replicated(file):
+            self.sim.call_after(0.0, callback)
+            return
+        self._watchers.setdefault(path, []).append(callback)
+        for block in file.blocks:
+            if self._block_deficit(block):
+                self._enqueue(block)
+
+    def _file_fully_replicated(self, file: FileInfo) -> bool:
+        return all(not self._block_deficit(b) for b in file.blocks)
+
+    def _notify_watchers(self, file: FileInfo) -> None:
+        watchers = self._watchers.get(file.path)
+        if not watchers or not self._file_fully_replicated(file):
+            return
+        del self._watchers[file.path]
+        for cb in watchers:
+            self.sim.call_after(0.0, cb)
+
+    # ==================================================================
+    # Node-state transitions
+    # ==================================================================
+    def _on_hibernate(self, node: Node) -> None:
+        self._states[node.node_id] = NodeState.HIBERNATED
+        self.counters["hibernations"] += 1
+        # Re-replicate only opportunistic blocks lacking a dedicated copy.
+        info = self._infos[node.node_id]
+        for block_id in info.blocks:
+            block = self._blocks.get(block_id)
+            if block is None:
+                continue
+            if (
+                block.file.kind is FileKind.OPPORTUNISTIC
+                and not self.live_dedicated_replicas(block)
+            ):
+                self._enqueue(block)
+
+    def _on_wake(self, node: Node) -> None:
+        if self._states[node.node_id] is NodeState.HIBERNATED:
+            self._states[node.node_id] = NodeState.ALIVE
+
+    def _on_expiry(self, node: Node) -> None:
+        self._states[node.node_id] = NodeState.DEAD
+        self.counters["expiries"] += 1
+        info = self._infos[node.node_id]
+        for block_id in list(info.blocks):
+            block = self._blocks.get(block_id)
+            if block is None:
+                info.blocks.discard(block_id)
+                continue
+            block.replicas.discard(node.node_id)
+            block.dedicated_replicas.discard(node.node_id)
+            if not block.replicas:
+                self.counters["blocks_lost"] += 1
+            self._enqueue(block)
+        # The data remains on the node's disk (info.blocks kept) so a
+        # rejoin can re-register it via block report.
+
+    def _on_rejoin(self, node: Node) -> None:
+        if self._states[node.node_id] is not NodeState.DEAD:
+            return
+        self._states[node.node_id] = NodeState.ALIVE
+        info = self._infos[node.node_id]
+        for block_id in list(info.blocks):
+            block = self._blocks.get(block_id)
+            if block is None:
+                info.blocks.discard(block_id)
+                continue
+            was_needed = self._block_deficit(block)
+            block.replicas.add(node.node_id)
+            if info.is_dedicated:
+                block.dedicated_replicas.add(node.node_id)
+            if not was_needed:
+                # The system replicated elsewhere meanwhile: thrashing.
+                self.counters["replication_thrash"] += 1
+            self._notify_watchers(block.file)
+
+    # ==================================================================
+    # p estimation
+    # ==================================================================
+    def _track_down(self, node: Node) -> None:
+        if node.is_volatile:
+            self._integrate_downtime()
+            self._down_count += 1
+
+    def _track_up(self, node: Node) -> None:
+        if node.is_volatile:
+            self._integrate_downtime()
+            self._down_count -= 1
+
+    def _integrate_downtime(self) -> None:
+        now = self.sim.now
+        self._down_integral += self._down_count * (now - self._last_down_change)
+        self._last_down_change = now
+
+    def _refresh_p_estimate(self) -> None:
+        self._integrate_downtime()
+        n = max(1, len(self.cluster.volatile))
+        window = self.config.p_estimate_interval
+        seen = self._down_integral - self._p_window_start_integral
+        self._p_estimate = min(0.99, seen / (n * window))
+        self._p_window_start_integral = self._down_integral
+
+    # ==================================================================
+    # Replication queue
+    # ==================================================================
+    def _block_deficit(self, block: BlockInfo) -> bool:
+        file = block.file
+        if block.block_id not in self._blocks:
+            return False
+        if file.rf.dedicated > 0 and file.kind is FileKind.RELIABLE:
+            if len(self.live_dedicated_replicas(block)) < file.rf.dedicated:
+                return True
+        return self.effective_volatile_count(block) < file.volatile_target()
+
+    def _enqueue(self, block: BlockInfo) -> None:
+        if block.block_id in self._queued or block.block_id not in self._blocks:
+            return
+        prio = (
+            PRIO_RELIABLE
+            if block.file.kind is FileKind.RELIABLE
+            else PRIO_OPPORTUNISTIC
+        )
+        heapq.heappush(self._repl_queue, (prio, next(self._seq), block.block_id))
+        self._queued.add(block.block_id)
+
+    def note_write_shortfall(self, block: BlockInfo, declined: bool) -> None:
+        """Client tells us a block finished its pipeline below target."""
+        if declined and not block.has_dedicated_replica():
+            self._want_dedicated.add(block.block_id)
+            self._enqueue(block)
+        if self._block_deficit(block):
+            self._enqueue(block)
+
+    def _dedicated_unthrottled(self, node_id: int) -> None:
+        """A dedicated node left saturation: try to give opportunistic
+        files their dedicated copies (paper IV-A: 'MOON will attempt to
+        have dedicated replicas for opportunistic files when possible')."""
+        for block_id in list(self._want_dedicated):
+            block = self._blocks.get(block_id)
+            if block is None:
+                self._want_dedicated.discard(block_id)
+                continue
+            self._enqueue(block)
+
+    def _replication_scan(self) -> None:
+        budget = self.config.max_replications_per_scan
+        deferred: List[Tuple[int, int, int]] = []
+        while self._repl_queue and budget > 0:
+            prio, seq, block_id = heapq.heappop(self._repl_queue)
+            self._queued.discard(block_id)
+            block = self._blocks.get(block_id)
+            if block is None or not self._block_deficit(block):
+                if block is not None and block.block_id in self._want_dedicated:
+                    self._try_dedicated_fill(block)
+                continue
+            plan = self.placement.plan_rereplication(block)
+            if plan is None:
+                deferred.append((prio, seq, block_id))
+                continue
+            source, target = plan
+            self._issue_replication(block, source, target)
+            budget -= 1
+            if self._block_deficit(block):
+                deferred.append((prio, next(self._seq), block_id))
+        for item in deferred:
+            if item[2] not in self._queued:
+                heapq.heappush(self._repl_queue, item)
+                self._queued.add(item[2])
+
+    def _try_dedicated_fill(self, block: BlockInfo) -> None:
+        if block.has_dedicated_replica():
+            self._want_dedicated.discard(block.block_id)
+            return
+        targets = self.placement._pick_dedicated(
+            1, block.replicas, require_unthrottled=True, size=block.size_mb
+        )
+        live = [n for n in block.replicas if self.node_is_servable(n)]
+        if targets and live:
+            self._issue_replication(block, live[0], targets[0])
+
+    def _issue_replication(self, block: BlockInfo, source: int, target: int) -> None:
+        self.counters["replications_issued"] += 1
+        self.counters["replication_mb"] += block.size_mb
+
+        def done(_t) -> None:
+            self.register_replica(block, target)
+
+        def fail(_t) -> None:
+            self.counters["replications_failed"] += 1
+            if self._block_deficit(block):
+                self._enqueue(block)
+
+        self.network.transfer(
+            source, target, block.size_mb, on_complete=done, on_fail=fail,
+            kind="replication",
+        )
+
+    # ------------------------------------------------------------------
+    def replication_queue_length(self) -> int:
+        return len(self._queued)
+
+    def stop(self) -> None:
+        """Halt periodic services (end of experiment)."""
+        self._repl_task.stop()
+        self._p_task.stop()
+        self.throttle.stop()

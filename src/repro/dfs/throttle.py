@@ -1,0 +1,131 @@
+"""Sliding-window I/O throttling on dedicated DataNodes (Algorithm 1).
+
+The paper's algorithm verbatim: given the current sample ``bw_i`` and
+the mean ``avg_bw`` of the previous ``W`` samples,
+
+* if ``bw_i > avg_bw`` and the node is *unthrottled* and
+  ``bw_i < avg_bw * (1 + Tb)`` — the bandwidth is still rising but only
+  by a small margin — the node is **throttled** (saturated);
+* if ``bw_i < avg_bw`` and the node is *throttled* and
+  ``bw_i < avg_bw * (1 - Tb)`` — the bandwidth fell by more than the
+  margin — the node is **unthrottled**.
+
+The hysteresis avoids flapping on load oscillation.  Samples are the
+I/O bandwidth consumed per interval, which each dedicated DataNode
+reports to the NameNode piggybacked on heartbeats; here the
+:class:`ThrottleService` derives them from the network model's served-
+byte counters on a fixed sampling period.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..config import DfsConfig
+from ..net import NetworkModel
+from ..simulation import PeriodicTask, Simulation
+
+THROTTLED = "throttled"
+UNTHROTTLED = "unthrottled"
+
+
+class ThrottleDetector:
+    """Algorithm 1 for a single dedicated DataNode."""
+
+    __slots__ = ("window", "threshold", "_samples", "state", "transitions")
+
+    def __init__(self, window: int, threshold: float) -> None:
+        self.window = window
+        self.threshold = threshold
+        self._samples: deque = deque(maxlen=window)
+        self.state = UNTHROTTLED
+        self.transitions = 0
+
+    @property
+    def throttled(self) -> bool:
+        return self.state == THROTTLED
+
+    def observe(self, bw: float) -> str:
+        """Feed one bandwidth sample; returns the (possibly new) state.
+
+        Deviation note: the paper's inequalities are strict, which is
+        fine for noisy real measurements where ``bw == avg`` has measure
+        zero.  A deterministic simulator serving a saturated queue emits
+        *exactly* equal samples, so a flat **positive** plateau is
+        treated as the limiting case of "increasing by a small margin"
+        and throttles; a flat zero plateau (idle node) never does.
+        """
+        if len(self._samples) == self.window:
+            avg_bw = sum(self._samples) / self.window
+            if bw > avg_bw:
+                if self.state == UNTHROTTLED and bw < avg_bw * (1.0 + self.threshold):
+                    self.state = THROTTLED
+                    self.transitions += 1
+            elif bw < avg_bw:
+                if self.state == THROTTLED and bw < avg_bw * (1.0 - self.threshold):
+                    self.state = UNTHROTTLED
+                    self.transitions += 1
+            elif bw > 0.0 and self.state == UNTHROTTLED:
+                self.state = THROTTLED
+                self.transitions += 1
+        self._samples.append(bw)
+        return self.state
+
+
+class ThrottleService:
+    """Samples served bandwidth for every dedicated node and runs one
+    :class:`ThrottleDetector` each; consulted by the placement policy."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        network: NetworkModel,
+        dedicated_ids: Iterable[int],
+        config: DfsConfig,
+        on_unthrottled: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.detectors: Dict[int, ThrottleDetector] = {
+            nid: ThrottleDetector(config.throttle_window, config.throttle_threshold)
+            for nid in dedicated_ids
+        }
+        self._last_mb: Dict[int, float] = {
+            nid: network.mb_served.get(nid, 0.0) for nid in self.detectors
+        }
+        self._on_unthrottled = on_unthrottled
+        self._task = PeriodicTask(
+            sim, config.throttle_sample_interval, self._sample
+        )
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    def is_throttled(self, node_id: int) -> bool:
+        det = self.detectors.get(node_id)
+        return det.throttled if det is not None else False
+
+    def all_throttled(self) -> bool:
+        """True when *every* dedicated DataNode is saturated — the
+        condition under which opportunistic writes are declined."""
+        return bool(self.detectors) and all(
+            d.throttled for d in self.detectors.values()
+        )
+
+    def unthrottled_nodes(self) -> List[int]:
+        return [nid for nid, d in self.detectors.items() if not d.throttled]
+
+    # ------------------------------------------------------------------
+    def _sample(self) -> None:
+        dt = self.config.throttle_sample_interval
+        for nid, det in self.detectors.items():
+            total = self.network.mb_served.get(nid, 0.0)
+            bw = (total - self._last_mb[nid]) / dt
+            self._last_mb[nid] = total
+            was = det.throttled
+            det.observe(bw)
+            if was and not det.throttled and self._on_unthrottled is not None:
+                self._on_unthrottled(nid)

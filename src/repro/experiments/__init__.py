@@ -1,0 +1,34 @@
+"""Experiment drivers (S13): one module per paper table/figure."""
+
+from . import ablations, fig1, fig4, fig6, fig7, validate
+from .harness import (
+    RATES,
+    SCHED_POLICIES,
+    hadoop_policy,
+    late_policy,
+    mean_counter,
+    mean_elapsed,
+    moon_policy,
+    run_cell,
+)
+from .scale import Scale, current_scale, full_scale
+
+__all__ = [
+    "fig1",
+    "validate",
+    "fig4",
+    "fig6",
+    "fig7",
+    "ablations",
+    "run_cell",
+    "mean_elapsed",
+    "mean_counter",
+    "moon_policy",
+    "hadoop_policy",
+    "late_policy",
+    "SCHED_POLICIES",
+    "RATES",
+    "Scale",
+    "current_scale",
+    "full_scale",
+]

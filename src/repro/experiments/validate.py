@@ -1,0 +1,115 @@
+"""Cross-validation: simulator vs first-principles models.
+
+A reproduction whose only reference is itself is hard to trust.  This
+driver runs the same configurations through two independent paths —
+
+* the full discrete-event simulator (`repro.core`), and
+* the closed-form makespan/availability models (`repro.analysis`) —
+
+and reports the ratio.  The models ignore replication traffic,
+stragglers and heartbeat latency, so agreement is expected within a
+small factor, not to the percent; a blow-up flags a modelling bug on
+one side.  `tests/test_experiments_validate.py` asserts the band, and
+``python -m repro validate`` prints the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis import estimate_makespan
+from ..config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from ..core import moon_system
+from ..plotting import table
+from ..workloads import JobSpec, sleep_like_sort, sort_spec
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One (workload, rate) comparison."""
+
+    workload: str
+    rate: float
+    simulated: Optional[float]
+    estimated: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """simulated / estimated; None for a DNF."""
+        if self.simulated is None or self.estimated <= 0:
+            return None
+        return self.simulated / self.estimated
+
+
+def _simulate(
+    spec: JobSpec, rate: float, n_volatile: int, n_dedicated: int, seed: int
+) -> Optional[float]:
+    cfg = SystemConfig(
+        cluster=ClusterConfig(n_volatile=n_volatile, n_dedicated=n_dedicated),
+        trace=TraceConfig(unavailability_rate=rate),
+        scheduler=moon_scheduler_config(hybrid_aware=True),
+        seed=seed,
+    )
+    result = moon_system(cfg).run_job(spec)
+    return result.elapsed if result.succeeded else None
+
+
+def run_validation(
+    rates: Sequence[float] = (0.0, 0.1, 0.3),
+    n_volatile: int = 20,
+    n_dedicated: int = 2,
+    seed: int = 5,
+) -> List[ValidationPoint]:
+    """Compare simulation and analytical estimates across a small grid.
+
+    Uses a compute-dominated sleep workload (where the analytical model
+    is meaningful) and a reduced sort (I/O included, looser agreement).
+    """
+    points: List[ValidationPoint] = []
+    workloads = {
+        "sleep[sort]": sleep_like_sort(n_maps=96),
+        "sort(small)": sort_spec(n_maps=64, block_mb=16.0),
+    }
+    for rate in rates:
+        for name, spec in workloads.items():
+            sim_t = _simulate(spec, rate, n_volatile, n_dedicated, seed)
+            est = estimate_makespan(spec, n_volatile, rate).total
+            points.append(ValidationPoint(name, rate, sim_t, est))
+    return points
+
+
+def report(points: Sequence[ValidationPoint]) -> str:
+    """Render the sim-vs-analytic comparison table."""
+    rows = []
+    for p in points:
+        rows.append([
+            p.workload,
+            f"{p.rate:.1f}",
+            None if p.simulated is None else f"{p.simulated:.0f}",
+            f"{p.estimated:.0f}",
+            None if p.ratio is None else f"{p.ratio:.2f}",
+        ])
+    out = table(
+        ["workload", "rate", "simulated s", "analytic s", "sim/est"],
+        rows,
+        title="simulator vs analytical makespan model",
+    )
+    return out + (
+        "\n\nThe analytic model ignores replication traffic, stragglers"
+        "\nand detection latency; ratios within a small constant factor"
+        "\n(and growing mildly with the rate) are the expected signature."
+    )
+
+
+def within_band(
+    points: Sequence[ValidationPoint], low: float = 1 / 3, high: float = 4.0
+) -> bool:
+    """True when every finished point's ratio lies in [low, high]."""
+    ratios = [p.ratio for p in points if p.ratio is not None]
+    return bool(ratios) and all(low <= r <= high for r in ratios)

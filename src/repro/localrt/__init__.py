@@ -1,0 +1,39 @@
+"""Functional in-process MapReduce engine (S12) + application library."""
+
+from .api import JobOutput, MapReduceJob, default_partitioner
+from .apps import (
+    grep_count,
+    histogram,
+    inverted_index,
+    join,
+    kmeans,
+    kmeans_iteration,
+    kmer_count,
+    word_count,
+)
+from .faults import NO_FAULTS, FaultPlan, InjectedFault
+from .io import group_by_key, partition, split_records, split_text
+from .runner import LocalRunner, run_mapreduce
+
+__all__ = [
+    "MapReduceJob",
+    "JobOutput",
+    "LocalRunner",
+    "run_mapreduce",
+    "FaultPlan",
+    "InjectedFault",
+    "NO_FAULTS",
+    "default_partitioner",
+    "split_records",
+    "split_text",
+    "partition",
+    "group_by_key",
+    "word_count",
+    "grep_count",
+    "inverted_index",
+    "join",
+    "kmeans",
+    "kmeans_iteration",
+    "kmer_count",
+    "histogram",
+]

@@ -1,0 +1,69 @@
+"""Functional MapReduce API (S12).
+
+A real, in-process implementation of the programming model the paper
+builds on (Section II-B): user-supplied ``Map`` and ``Reduce``
+primitives over key-value pairs, with hash partitioning, optional
+combiners, and fault injection that mirrors the volatility the
+simulator models (tasks can fail and are retried up to the Hadoop
+limit).  Used by the examples and to cross-validate the simulator's
+workload accounting against actually-executed jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from ..errors import LocalRuntimeError
+
+KeyValue = Tuple[Any, Any]
+MapFn = Callable[[Any, Any], Iterable[KeyValue]]
+ReduceFn = Callable[[Any, List[Any]], Iterable[KeyValue]]
+CombineFn = ReduceFn
+Partitioner = Callable[[Any, int], int]
+
+
+def default_partitioner(key: Any, n_reduces: int) -> int:
+    """Stable hash partitioning (Python's ``hash`` is salted per
+    process for str; use a deterministic fold instead)."""
+    h = 0
+    for ch in repr(key):
+        h = (h * 31 + ord(ch)) & 0x7FFFFFFF
+    return h % n_reduces
+
+
+@dataclass
+class MapReduceJob:
+    """A functional job description."""
+
+    map_fn: MapFn
+    reduce_fn: ReduceFn
+    n_reduces: int = 2
+    combiner: Optional[CombineFn] = None
+    partitioner: Partitioner = default_partitioner
+    #: Retry budget per task, matching Hadoop's limit (footnote 1).
+    max_attempts: int = 4
+    name: str = "localjob"
+
+    def validate(self) -> None:
+        if self.n_reduces < 1:
+            raise LocalRuntimeError("n_reduces must be >= 1")
+        if self.max_attempts < 1:
+            raise LocalRuntimeError("max_attempts must be >= 1")
+        if not callable(self.map_fn) or not callable(self.reduce_fn):
+            raise LocalRuntimeError("map_fn and reduce_fn must be callable")
+
+
+@dataclass
+class JobOutput:
+    """Result of a functional run."""
+
+    pairs: List[KeyValue]
+    map_attempts: int = 0
+    reduce_attempts: int = 0
+    map_failures: int = 0
+    reduce_failures: int = 0
+    partitions: List[List[KeyValue]] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return dict(self.pairs)

@@ -1,0 +1,279 @@
+"""Ready-made MapReduce applications for the functional runtime.
+
+The paper motivates MapReduce-on-volunteers with web search data,
+machine learning [11], bioinformatics [12] and log analysis [13]; this
+module implements one representative job per area so the examples (and
+users) have real workloads to run on :class:`~repro.localrt.LocalRunner`:
+
+* :func:`word_count` / :func:`grep_count` — the paper's two benchmark
+  applications (Table I), executed for real;
+* :func:`inverted_index` — web-search indexing;
+* :func:`join` — reduce-side equi-join of two relations;
+* :func:`kmeans_iteration` / :func:`kmeans` — Lloyd iterations as
+  chained MapReduce jobs (the machine-learning use case);
+* :func:`kmer_count` — k-mer counting, the bioinformatics staple;
+* :func:`histogram` — numeric binning for log analysis.
+
+All of them return plain :class:`~repro.localrt.JobOutput` so fault
+injection and retry accounting work uniformly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import LocalRuntimeError
+from .api import JobOutput, KeyValue
+from .faults import NO_FAULTS, FaultPlan
+from .runner import run_mapreduce
+
+_WORD_RE = re.compile(r"[A-Za-z0-9']+")
+
+
+# ======================================================================
+# Text: word count / grep / inverted index
+# ======================================================================
+def word_count(
+    documents: Sequence[str],
+    n_reduces: int = 4,
+    faults: FaultPlan = NO_FAULTS,
+) -> JobOutput:
+    """Count word occurrences across documents (Table I's ``word
+    count``), with a combiner so map outputs stay small — exactly why
+    the paper's word count shuffles so little data (VI-B)."""
+
+    def map_fn(_key, line: str) -> Iterable[KeyValue]:
+        for word in _WORD_RE.findall(line.lower()):
+            yield (word, 1)
+
+    def reduce_fn(word, counts) -> Iterable[KeyValue]:
+        yield (word, sum(counts))
+
+    records = list(enumerate(documents))
+    return run_mapreduce(
+        map_fn, reduce_fn, records, n_reduces=n_reduces,
+        combiner=reduce_fn, faults=faults,
+    )
+
+
+def grep_count(
+    documents: Sequence[str],
+    pattern: str,
+    faults: FaultPlan = NO_FAULTS,
+) -> JobOutput:
+    """Count pattern matches per document (the classic MapReduce grep:
+    huge input, near-zero intermediate data)."""
+    regex = re.compile(pattern)
+
+    def map_fn(doc_id, line: str) -> Iterable[KeyValue]:
+        n = len(regex.findall(line))
+        if n:
+            yield (doc_id, n)
+
+    def reduce_fn(doc_id, counts) -> Iterable[KeyValue]:
+        yield (doc_id, sum(counts))
+
+    records = list(enumerate(documents))
+    return run_mapreduce(
+        map_fn, reduce_fn, records, n_reduces=1, faults=faults
+    )
+
+
+def inverted_index(
+    documents: Sequence[str],
+    n_reduces: int = 4,
+    faults: FaultPlan = NO_FAULTS,
+) -> JobOutput:
+    """Build ``word -> sorted list of document ids`` (web indexing)."""
+
+    def map_fn(doc_id, line: str) -> Iterable[KeyValue]:
+        for word in set(_WORD_RE.findall(line.lower())):
+            yield (word, doc_id)
+
+    def reduce_fn(word, doc_ids) -> Iterable[KeyValue]:
+        yield (word, sorted(set(doc_ids)))
+
+    records = list(enumerate(documents))
+    return run_mapreduce(
+        map_fn, reduce_fn, records, n_reduces=n_reduces, faults=faults
+    )
+
+
+# ======================================================================
+# Relational: reduce-side join
+# ======================================================================
+def join(
+    left: Sequence[Tuple[object, object]],
+    right: Sequence[Tuple[object, object]],
+    n_reduces: int = 4,
+    faults: FaultPlan = NO_FAULTS,
+) -> JobOutput:
+    """Equi-join two relations on their key.
+
+    Classic reduce-side join: maps tag each record with its side, the
+    reduce emits the cross product per key.  Output pairs are
+    ``(key, (left_value, right_value))``.
+    """
+
+    def map_fn(_idx, tagged) -> Iterable[KeyValue]:
+        side, key, value = tagged
+        yield (key, (side, value))
+
+    def reduce_fn(key, tagged_values) -> Iterable[KeyValue]:
+        lefts = [v for s, v in tagged_values if s == "L"]
+        rights = [v for s, v in tagged_values if s == "R"]
+        for lv in lefts:
+            for rv in rights:
+                yield (key, (lv, rv))
+
+    records = [(i, ("L", k, v)) for i, (k, v) in enumerate(left)]
+    records += [
+        (len(left) + i, ("R", k, v)) for i, (k, v) in enumerate(right)
+    ]
+    return run_mapreduce(
+        map_fn, reduce_fn, records, n_reduces=n_reduces, faults=faults
+    )
+
+
+# ======================================================================
+# Machine learning: k-means (chained jobs)
+# ======================================================================
+def kmeans_iteration(
+    points: Sequence[Sequence[float]],
+    centroids: Sequence[Sequence[float]],
+    n_reduces: int = 2,
+    faults: FaultPlan = NO_FAULTS,
+) -> JobOutput:
+    """One Lloyd iteration as a MapReduce job.
+
+    Map assigns each point to its nearest centroid; reduce averages the
+    members of each cluster.  Output pairs are
+    ``(cluster_index, new_centroid_tuple)`` — empty clusters keep their
+    previous centroid.
+    """
+    cents = np.asarray(centroids, dtype=float)
+    if cents.ndim != 2 or not len(cents):
+        raise LocalRuntimeError("centroids must be a non-empty 2-D array")
+
+    def map_fn(_idx, point) -> Iterable[KeyValue]:
+        p = np.asarray(point, dtype=float)
+        d = ((cents - p) ** 2).sum(axis=1)
+        yield (int(d.argmin()), tuple(p))
+
+    def reduce_fn(cluster, members) -> Iterable[KeyValue]:
+        arr = np.asarray(members, dtype=float)
+        yield (cluster, tuple(arr.mean(axis=0)))
+
+    records = list(enumerate(points))
+    out = run_mapreduce(
+        map_fn, reduce_fn, records, n_reduces=n_reduces, faults=faults
+    )
+    # Keep centroids for clusters that received no points.
+    seen = dict(out.pairs)
+    full = [
+        (i, seen.get(i, tuple(cents[i]))) for i in range(len(cents))
+    ]
+    out.pairs = full
+    return out
+
+
+def kmeans(
+    points: Sequence[Sequence[float]],
+    k: int,
+    iterations: int = 10,
+    seed: int = 0,
+    tol: float = 1e-6,
+    faults: FaultPlan = NO_FAULTS,
+) -> Tuple[List[Tuple[float, ...]], int]:
+    """Full k-means as chained MapReduce jobs.
+
+    Returns ``(centroids, iterations_run)``; stops early when centroids
+    move less than ``tol``.  Demonstrates iterative MapReduce — the
+    workload class for which intermediate-data availability matters
+    most (every iteration re-reads the previous one's output).
+    """
+    if k < 1:
+        raise LocalRuntimeError("k must be >= 1")
+    if len(points) < k:
+        raise LocalRuntimeError("need at least k points")
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(points), size=k, replace=False)
+    centroids = [tuple(map(float, points[i])) for i in idx]
+    for it in range(1, iterations + 1):
+        out = kmeans_iteration(points, centroids, faults=faults)
+        new = [c for _i, c in sorted(out.pairs)]
+        shift = max(
+            float(np.linalg.norm(np.subtract(a, b)))
+            for a, b in zip(centroids, new)
+        )
+        centroids = new
+        if shift < tol:
+            return centroids, it
+    return centroids, iterations
+
+
+# ======================================================================
+# Bioinformatics: k-mer counting
+# ======================================================================
+def kmer_count(
+    sequences: Sequence[str],
+    k: int = 3,
+    n_reduces: int = 4,
+    faults: FaultPlan = NO_FAULTS,
+) -> JobOutput:
+    """Count k-mers across DNA/RNA sequences (the CloudBlast-style
+    bioinformatics use case the paper cites [12])."""
+    if k < 1:
+        raise LocalRuntimeError("k must be >= 1")
+
+    def map_fn(_idx, seq: str) -> Iterable[KeyValue]:
+        s = seq.upper()
+        for i in range(len(s) - k + 1):
+            yield (s[i : i + k], 1)
+
+    def reduce_fn(kmer, counts) -> Iterable[KeyValue]:
+        yield (kmer, sum(counts))
+
+    records = list(enumerate(sequences))
+    return run_mapreduce(
+        map_fn, reduce_fn, records, n_reduces=n_reduces,
+        combiner=reduce_fn, faults=faults,
+    )
+
+
+# ======================================================================
+# Log analysis: histogram
+# ======================================================================
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    faults: FaultPlan = NO_FAULTS,
+) -> JobOutput:
+    """Bin numeric values (bin index -> count) via MapReduce."""
+    if bins < 1:
+        raise LocalRuntimeError("bins must be >= 1")
+    if not values:
+        raise LocalRuntimeError("no values")
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1.0
+    width = (hi - lo) / bins
+
+    def map_fn(_idx, v: float) -> Iterable[KeyValue]:
+        b = min(bins - 1, max(0, int((v - lo) / width)))
+        yield (b, 1)
+
+    def reduce_fn(b, counts) -> Iterable[KeyValue]:
+        yield (b, sum(counts))
+
+    records = list(enumerate(values))
+    return run_mapreduce(
+        map_fn, reduce_fn, records, n_reduces=min(bins, 4),
+        combiner=reduce_fn, faults=faults,
+    )

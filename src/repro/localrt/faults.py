@@ -1,0 +1,43 @@
+"""Fault injection for the functional engine.
+
+Mirrors the volatility regime the simulator models: each task attempt
+independently fails with a configurable probability (a stand-in for
+"the volunteer PC was reclaimed mid-task"), and the runner retries up
+to the Hadoop attempt limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import LocalRuntimeError
+
+
+class InjectedFault(LocalRuntimeError):
+    """Raised inside a task attempt that was chosen to fail."""
+
+
+@dataclass
+class FaultPlan:
+    """Per-attempt failure probabilities."""
+
+    map_failure_rate: float = 0.0
+    reduce_failure_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for r in (self.map_failure_rate, self.reduce_failure_rate):
+            if not 0.0 <= r < 1.0:
+                raise LocalRuntimeError("failure rates must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+
+    def map_attempt_fails(self) -> bool:
+        return bool(self._rng.random() < self.map_failure_rate)
+
+    def reduce_attempt_fails(self) -> bool:
+        return bool(self._rng.random() < self.reduce_failure_rate)
+
+
+NO_FAULTS = FaultPlan()

@@ -1,0 +1,55 @@
+"""Input splitting and shuffle plumbing for the functional engine."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import LocalRuntimeError
+from .api import KeyValue, Partitioner
+
+
+def split_records(
+    records: Sequence[KeyValue], n_splits: int
+) -> List[List[KeyValue]]:
+    """Round-robin-free contiguous splitting (like HDFS blocks)."""
+    if n_splits < 1:
+        raise LocalRuntimeError("n_splits must be >= 1")
+    n = len(records)
+    if n == 0:
+        return [[] for _ in range(n_splits)]
+    base, extra = divmod(n, n_splits)
+    out, start = [], 0
+    for i in range(n_splits):
+        size = base + (1 if i < extra else 0)
+        out.append(list(records[start : start + size]))
+        start += size
+    return out
+
+
+def split_text(text: str, n_splits: int) -> List[List[KeyValue]]:
+    """Line-oriented text input: key = line number, value = line."""
+    records = [(i, line) for i, line in enumerate(text.splitlines())]
+    return split_records(records, n_splits)
+
+
+def partition(
+    pairs: Iterable[KeyValue], n_reduces: int, partitioner: Partitioner
+) -> List[List[KeyValue]]:
+    """Scatter map output into reduce partitions."""
+    out: List[List[KeyValue]] = [[] for _ in range(n_reduces)]
+    for k, v in pairs:
+        idx = partitioner(k, n_reduces)
+        if not 0 <= idx < n_reduces:
+            raise LocalRuntimeError(
+                f"partitioner returned {idx} for {n_reduces} reduces"
+            )
+        out[idx].append((k, v))
+    return out
+
+
+def group_by_key(pairs: Iterable[KeyValue]) -> Dict[Any, List[Any]]:
+    """The sort/group step between shuffle and reduce."""
+    grouped: Dict[Any, List[Any]] = {}
+    for k, v in pairs:
+        grouped.setdefault(k, []).append(v)
+    return grouped

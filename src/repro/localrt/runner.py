@@ -1,0 +1,141 @@
+"""The functional MapReduce runner.
+
+Executes a :class:`~repro.localrt.api.MapReduceJob` over real input
+records with retries under fault injection.  Execution is
+deterministic: task order, partitioning and output ordering do not
+depend on thread scheduling (maps can optionally run on a thread pool,
+but results are collected in task order).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from ..errors import LocalRuntimeError
+from .api import JobOutput, KeyValue, MapReduceJob
+from .faults import NO_FAULTS, FaultPlan, InjectedFault
+from .io import group_by_key, partition, split_records
+
+
+class LocalRunner:
+    """Runs functional jobs; one instance may run many jobs."""
+
+    def __init__(
+        self, faults: FaultPlan = NO_FAULTS, max_workers: Optional[int] = None
+    ) -> None:
+        self.faults = faults
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        job: MapReduceJob,
+        records: Sequence[KeyValue],
+        n_maps: Optional[int] = None,
+    ) -> JobOutput:
+        job.validate()
+        n_maps = n_maps or max(1, min(len(records), 8))
+        splits = split_records(records, n_maps)
+        output = JobOutput(pairs=[])
+
+        map_results = self._run_maps(job, splits, output)
+
+        # Shuffle: scatter every map's output into reduce partitions.
+        partitions: List[List[KeyValue]] = [[] for _ in range(job.n_reduces)]
+        for result in map_results:
+            for idx, part in enumerate(partition(result, job.n_reduces,
+                                                 job.partitioner)):
+                partitions[idx].extend(part)
+        output.partitions = partitions
+
+        # Reduce phase.
+        for idx, part in enumerate(partitions):
+            reduced = self._run_with_retries(
+                job,
+                lambda: self._reduce_once(job, part),
+                is_map=False,
+                output=output,
+                what=f"reduce {idx}",
+            )
+            output.pairs.extend(reduced)
+        output.pairs.sort(key=lambda kv: repr(kv[0]))
+        return output
+
+    # ------------------------------------------------------------------
+    def _run_maps(self, job, splits, output) -> List[List[KeyValue]]:
+        def one_map(split):
+            return self._run_with_retries(
+                job,
+                lambda: self._map_once(job, split),
+                is_map=True,
+                output=output,
+                what="map",
+            )
+
+        if self.max_workers and self.max_workers > 1:
+            # Threads execute; results are collected in task order so
+            # the run stays deterministic.
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(one_map, splits))
+        return [one_map(split) for split in splits]
+
+    def _map_once(self, job, split) -> List[KeyValue]:
+        if self.faults.map_attempt_fails():
+            raise InjectedFault("map attempt lost its node")
+        out: List[KeyValue] = []
+        for k, v in split:
+            out.extend(job.map_fn(k, v))
+        if job.combiner is not None:
+            combined: List[KeyValue] = []
+            for k, values in group_by_key(out).items():
+                combined.extend(job.combiner(k, values))
+            return combined
+        return out
+
+    def _reduce_once(self, job, part) -> List[KeyValue]:
+        if self.faults.reduce_attempt_fails():
+            raise InjectedFault("reduce attempt lost its node")
+        out: List[KeyValue] = []
+        for k, values in sorted(
+            group_by_key(part).items(), key=lambda kv: repr(kv[0])
+        ):
+            out.extend(job.reduce_fn(k, values))
+        return out
+
+    def _run_with_retries(self, job, fn, is_map, output, what):
+        for attempt in range(job.max_attempts):
+            if is_map:
+                output.map_attempts += 1
+            else:
+                output.reduce_attempts += 1
+            try:
+                return fn()
+            except InjectedFault:
+                if is_map:
+                    output.map_failures += 1
+                else:
+                    output.reduce_failures += 1
+        raise LocalRuntimeError(
+            f"{what} failed {job.max_attempts} times (footnote-1 limit)"
+        )
+
+
+def run_mapreduce(
+    map_fn,
+    reduce_fn,
+    records: Sequence[KeyValue],
+    n_reduces: int = 2,
+    n_maps: Optional[int] = None,
+    combiner=None,
+    faults: FaultPlan = NO_FAULTS,
+    max_workers: Optional[int] = None,
+) -> JobOutput:
+    """One-call convenience wrapper (see examples/real_wordcount.py)."""
+    job = MapReduceJob(
+        map_fn=map_fn, reduce_fn=reduce_fn, n_reduces=n_reduces,
+        combiner=combiner,
+    )
+    return LocalRunner(faults=faults, max_workers=max_workers).run(
+        job, records, n_maps=n_maps
+    )

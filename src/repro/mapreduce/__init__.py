@@ -1,0 +1,23 @@
+"""MapReduce runtime (S6): JobTracker, TaskTrackers, tasks, shuffle."""
+
+from .execution import MapRunner, ReduceRunner, make_runner
+from .job import Job, JobState
+from .jobtracker import JobTracker, Runtime
+from .task import AttemptState, Task, TaskAttempt, TaskState, TaskType
+from .tasktracker import TaskTracker
+
+__all__ = [
+    "Job",
+    "JobState",
+    "JobTracker",
+    "Runtime",
+    "Task",
+    "TaskAttempt",
+    "TaskType",
+    "TaskState",
+    "AttemptState",
+    "TaskTracker",
+    "MapRunner",
+    "ReduceRunner",
+    "make_runner",
+]

@@ -1,0 +1,122 @@
+"""Job state: tasks, lifecycle, per-job counters."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import Counter
+from typing import List, Optional
+
+from ..workloads import JobSpec
+from .task import Task, TaskState, TaskType
+
+
+class JobState(enum.Enum):
+    """Job lifecycle: RUNNING -> COMMITTING -> SUCCEEDED / FAILED."""
+    PENDING = "pending"
+    RUNNING = "running"
+    COMMITTING = "committing"  # reduces done; output reaching its factor
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+class Job:
+    """One submitted MapReduce job."""
+
+    _ids = itertools.count()
+
+    def __init__(self, spec: JobSpec, priority: int = 0) -> None:
+        spec.validate()
+        self.spec = spec
+        self.priority = priority
+        self.job_id = f"job{next(Job._ids)}"
+        self.state = JobState.PENDING
+        self.maps: List[Task] = [
+            Task(self, TaskType.MAP, i) for i in range(spec.n_maps)
+        ]
+        self.reduces: List[Task] = []  # created at submit (slot-dependent)
+        self.n_reduces = 0
+        self.submitted_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.counters: Counter = Counter()
+        #: set when the job fails (diagnostics / tests).
+        self.failure_reason: Optional[str] = None
+        #: live count of unfinished speculative attempts, maintained by
+        #: the JobTracker (cheap cap checks on every assignment).
+        self._spec_active = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> List[Task]:
+        return self.maps + self.reduces
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JobState.SUCCEEDED, JobState.FAILED)
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.submitted_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def input_path(self) -> str:
+        return f"/{self.job_id}/input"
+
+    def intermediate_path(self, map_index: int, attempt_id: int) -> str:
+        return f"/{self.job_id}/intermediate/m{map_index}/a{attempt_id}"
+
+    def output_path(self, reduce_index: int, attempt_id: int) -> str:
+        return f"/{self.job_id}/output/r{reduce_index}/a{attempt_id}"
+
+    # ------------------------------------------------------------------
+    def incomplete_tasks(self, task_type: Optional[TaskType] = None) -> List[Task]:
+        pool = (
+            self.tasks
+            if task_type is None
+            else (self.maps if task_type is TaskType.MAP else self.reduces)
+        )
+        return [t for t in pool if not t.complete and t.state is not TaskState.FAILED]
+
+    def pending_tasks(self, task_type: TaskType) -> List[Task]:
+        pool = self.maps if task_type is TaskType.MAP else self.reduces
+        return [t for t in pool if t.state is TaskState.PENDING]
+
+    def running_tasks(self, task_type: TaskType) -> List[Task]:
+        pool = self.maps if task_type is TaskType.MAP else self.reduces
+        return [t for t in pool if t.state is TaskState.RUNNING]
+
+    def maps_completed(self) -> int:
+        return sum(1 for t in self.maps if t.complete)
+
+    def reduces_completed(self) -> int:
+        return sum(1 for t in self.reduces if t.complete)
+
+    def all_maps_done(self) -> bool:
+        return self.maps_completed() == len(self.maps)
+
+    def all_reduces_done(self) -> bool:
+        return self.reduces and self.reduces_completed() == len(self.reduces)
+
+    def speculative_attempts_active(self) -> int:
+        return self._spec_active
+
+    def recount_speculative(self) -> int:
+        """O(attempts) ground truth for the `_spec_active` counter
+        (consistency checks in tests)."""
+        return sum(
+            1
+            for t in self.tasks
+            for a in t.attempts
+            if a.is_speculative and not a.finished
+        )
+
+    def average_progress(self, task_type: TaskType) -> float:
+        pool = self.maps if task_type is TaskType.MAP else self.reduces
+        started = [t for t in pool if t.attempts or t.complete]
+        if not started:
+            return 0.0
+        return sum(t.best_progress() for t in started) / len(started)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Job {self.job_id} {self.spec.name} {self.state.value}>"

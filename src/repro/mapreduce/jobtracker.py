@@ -1,0 +1,495 @@
+"""The JobTracker: job lifecycle, task assignment, failure handling.
+
+Assignment is pull-style as in Hadoop (II-C): a heartbeat tick walks
+the TaskTrackers and fills free slots by asking the scheduling policy
+for work.  Failure handling implements both generations of behaviour:
+
+* Hadoop: TrackerExpiryInterval -> kill + reschedule; fetch failures
+  re-execute a map once >50% of running reduces report it;
+* MOON: SuspensionInterval flags attempts inactive (frozen-task input),
+  TrackerExpiryInterval (much longer) kills; after 3 fetch failures the
+  JobTracker queries the file system and immediately re-executes a map
+  whose output has no live replica (VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cluster import Cluster, FailureDetector, Node
+from ..config import SchedulerConfig, ShuffleConfig
+from ..dfs import DfsClient, NameNode
+from ..errors import SchedulingError
+from ..simulation import PeriodicTask, Simulation
+from ..workloads import JobSpec
+from .execution import ReduceRunner, make_runner
+from .job import Job, JobState
+from .task import AttemptState, Task, TaskAttempt, TaskState, TaskType
+from .tasktracker import TaskTracker
+
+
+class Runtime:
+    """Shared context handed to attempt runners."""
+
+    def __init__(self, sim, cluster, namenode, dfs, shuffle_cfg, jobtracker):
+        self.sim = sim
+        self.cluster = cluster
+        self.namenode = namenode
+        self.dfs = dfs
+        self.shuffle_cfg = shuffle_cfg
+        self.jobtracker = jobtracker
+
+
+class JobTracker:
+    """Master-side control (II-C) with MOON extensions (V)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        namenode: NameNode,
+        scheduler_cfg: SchedulerConfig,
+        shuffle_cfg: ShuffleConfig,
+        policy,
+        heartbeat_interval: float = 3.0,
+    ) -> None:
+        scheduler_cfg.validate()
+        shuffle_cfg.validate()
+        self.sim = sim
+        self.cluster = cluster
+        self.namenode = namenode
+        self.cfg = scheduler_cfg
+        self.shuffle_cfg = shuffle_cfg
+        self.policy = policy
+        self.dfs = DfsClient(namenode)
+        self.rt = Runtime(sim, cluster, namenode, self.dfs, shuffle_cfg, self)
+
+        self.trackers: Dict[int, TaskTracker] = {
+            n.node_id: TaskTracker(n) for n in cluster.nodes
+        }
+        self.jobs: List[Job] = []
+        self._schedule_seq = 0
+
+        policy.bind(self)
+
+        # Physical pause/resume of runners (VM-pause semantics).
+        cluster.on_suspend(self._physical_suspend)
+        cluster.on_resume(self._physical_resume)
+
+        # Heartbeat judgements.
+        self._detector = FailureDetector(
+            sim, cluster, heartbeat_interval=heartbeat_interval
+        )
+        if self.cfg.kind == "moon":
+            self._detector.add_threshold(
+                "suspension",
+                self.cfg.suspension_interval,
+                self._tracker_suspected,
+                self._tracker_unsuspected,
+            )
+        self._detector.add_threshold(
+            "expiry",
+            self.cfg.tracker_expiry_interval,
+            self._tracker_dead,
+            self._tracker_rejoined,
+        )
+
+        self._tick_task = PeriodicTask(sim, heartbeat_interval, self._tick)
+
+    # ==================================================================
+    # Submission
+    # ==================================================================
+    def submit(self, spec: JobSpec, priority: int = 0) -> Job:
+        job = Job(spec, priority)
+        job.submitted_at = self.sim.now
+        job.state = JobState.RUNNING
+
+        # Stage the input file (paper: inputs staged before the runs).
+        if spec.map_input_mb > 0:
+            input_file = self.dfs.stage_input(
+                job.input_path(),
+                spec.input_mb,
+                spec.input_rf,
+                block_size_mb=spec.map_input_mb,
+            )
+            for task, block in zip(job.maps, input_file.blocks):
+                task.input_block = block
+
+        n_reduces = spec.resolve_reduces(self._available_reduce_slots())
+        job.n_reduces = n_reduces
+        job.reduces = [Task(job, TaskType.REDUCE, i) for i in range(n_reduces)]
+
+        self.jobs.append(job)
+        self.jobs.sort(key=lambda j: -j.priority)
+        self._tick()  # give it a first assignment round immediately
+        return job
+
+    # ==================================================================
+    # Views used by scheduling policies
+    # ==================================================================
+    def available_slots(self) -> int:
+        """'Currently available execution slots' (paper V-A/V-B).
+
+        Counts the slots of every tracker not judged *dead*: suspended
+        trackers keep their slots in the job's capacity (their tasks
+        are inactive, not lost — that is the point of MOON's long
+        TrackerExpiryInterval).  Making the speculative budget shrink
+        with every suspension would throttle frozen-task rescue exactly
+        when it is most needed, inverting the paper's Fig. 4 results.
+        """
+        return sum(
+            t.total_slots() for t in self.trackers.values() if not t.dead
+        )
+
+    def _available_reduce_slots(self) -> int:
+        """Table I's 'AvailSlots': total cluster reduce-slot capacity
+        (not the instantaneous live subset), so the reduce count is
+        deterministic across traces."""
+        return sum(t.reduce_slots for t in self.trackers.values())
+
+    def running_jobs(self) -> List[Job]:
+        return [j for j in self.jobs if not j.finished]
+
+    def next_schedule_order(self) -> int:
+        self._schedule_seq += 1
+        return self._schedule_seq
+
+    # ==================================================================
+    # Heartbeat tick: progress refresh + assignment
+    # ==================================================================
+    def _tick(self) -> None:
+        for tracker in self.trackers.values():
+            for attempt in tracker.running_attempts():
+                if attempt.runner is not None:
+                    attempt.runner.update_progress()
+        jobs = self.running_jobs()
+        if not jobs:
+            return
+        # Candidate lists (pending, stragglers, frozen...) are memoised
+        # inside the policy for the duration of one tick, so idle ticks
+        # on big clusters cost O(tasks) once instead of per free slot.
+        self.policy.begin_tick()
+        for tracker in self._assignment_order():
+            if not tracker.usable:
+                continue
+            for task_type in (TaskType.MAP, TaskType.REDUCE):
+                free = tracker.free_slots(task_type)
+                for _ in range(free):
+                    if not self._assign_one(tracker, task_type, jobs):
+                        break
+
+    def _assignment_order(self) -> List[TaskTracker]:
+        # Volatile trackers first so dedicated slots stay free for the
+        # hybrid policy's speculative placement (V-C).
+        return sorted(
+            self.trackers.values(),
+            key=lambda t: (t.node.is_dedicated, t.node_id),
+        )
+
+    def _assign_one(self, tracker, task_type, jobs) -> bool:
+        for job in jobs:
+            if job.finished:
+                continue
+            picked = self.policy.select_task(job, tracker, task_type)
+            if picked is not None:
+                task, speculative = picked
+                self.launch(task, tracker, speculative)
+                return True
+        return False
+
+    # ==================================================================
+    # Launch / lifecycle
+    # ==================================================================
+    def launch(
+        self, task: Task, tracker: TaskTracker, speculative: bool
+    ) -> TaskAttempt:
+        if task.complete:
+            raise SchedulingError(f"launching completed task {task.task_id}")
+        attempt = TaskAttempt(
+            task,
+            tracker.node_id,
+            self.sim.now,
+            is_speculative=speculative,
+            on_dedicated=tracker.node.is_dedicated,
+        )
+        task.attempts.append(attempt)
+        if task.scheduled_order is None:
+            task.scheduled_order = self.next_schedule_order()
+        if task.state is TaskState.PENDING:
+            task.state = TaskState.RUNNING
+        tracker.add(attempt)
+
+        job = task.job
+        kind = "map" if task.is_map else "reduce"
+        job.counters[f"attempts_{kind}"] += 1
+        if len(task.attempts) > 1:
+            job.counters["duplicated_tasks"] += 1
+            job.counters[f"duplicated_{kind}s"] += 1
+        if speculative:
+            job.counters["speculative_launched"] += 1
+            job._spec_active += 1
+
+        runner = make_runner(self.rt, attempt)
+        runner.start()
+        return attempt
+
+    def _note_attempt_finished(self, attempt: TaskAttempt) -> None:
+        if attempt.is_speculative:
+            attempt.task.job._spec_active -= 1
+
+    def attempt_succeeded(self, attempt: TaskAttempt, output_file) -> None:
+        attempt.state = AttemptState.SUCCEEDED
+        attempt.finished_at = self.sim.now
+        self._note_attempt_finished(attempt)
+        self.trackers[attempt.node_id].release(attempt)
+        task = attempt.task
+        job = task.job
+
+        if task.complete:
+            # A redundant copy finished after the winner: discard.
+            if output_file is not None:
+                self._delete_quiet(output_file.path)
+            return
+
+        task.state = TaskState.SUCCEEDED
+        task.finished_at = self.sim.now
+        task.output_file = output_file
+        # Kill the losing copies (they count as killed task instances).
+        for other in list(task.attempts):
+            if other is not attempt and not other.finished:
+                self.kill_attempt(other, "redundant copy")
+
+        if task.is_map:
+            task.fetch_failure_reporters.clear()
+            task.total_fetch_failures = 0
+            self._notify_reduces_of_map(job, task.index)
+            if job.n_reduces == 0 and job.all_maps_done():
+                self._commit_job(job)
+        else:
+            if job.all_reduces_done():
+                self._commit_job(job)
+
+    def attempt_failed(self, attempt: TaskAttempt, reason: str) -> None:
+        attempt.state = AttemptState.FAILED
+        attempt.finished_at = self.sim.now
+        self._note_attempt_finished(attempt)
+        self.trackers[attempt.node_id].release(attempt)
+        task = attempt.task
+        job = task.job
+        job.counters["attempt_failures"] += 1
+        task.failed_attempts += 1
+        if task.failed_attempts >= self.cfg.max_task_attempts:
+            self._job_failed(
+                job,
+                f"task {task.task_id} failed "
+                f"{task.failed_attempts} times: {reason}",
+            )
+            return
+        if not task.complete and not task.live_attempts():
+            task.state = TaskState.PENDING
+
+    def kill_attempt(self, attempt: TaskAttempt, reason: str) -> None:
+        if attempt.finished:
+            return
+        if attempt.runner is not None:
+            attempt.runner.kill()
+        attempt.state = AttemptState.KILLED
+        attempt.finished_at = self.sim.now
+        self._note_attempt_finished(attempt)
+        self.trackers[attempt.node_id].release(attempt)
+        task = attempt.task
+        job = task.job
+        kind = "map" if task.is_map else "reduce"
+        job.counters[f"killed_{kind}_attempts"] += 1
+        # Drop any partial output the attempt had registered.
+        path = (
+            job.intermediate_path(task.index, attempt.attempt_id)
+            if task.is_map
+            else job.output_path(task.index, attempt.attempt_id)
+        )
+        if task.output_file is None or task.output_file.path != path:
+            self._delete_quiet(path)
+        if not task.complete and not task.live_attempts():
+            task.state = TaskState.PENDING
+
+    # ==================================================================
+    # Fetch failures (VI-B)
+    # ==================================================================
+    def report_fetch_failure(self, reduce_task: Task, map_task: Task) -> None:
+        job = map_task.job
+        job.counters["fetch_failures"] += 1
+        if not map_task.complete:
+            return  # already being re-executed
+        map_task.fetch_failure_reporters.add(reduce_task.index)
+        map_task.total_fetch_failures += 1
+
+        if self.cfg.kind == "hadoop":
+            running = max(1, len(job.running_tasks(TaskType.REDUCE)))
+            if (
+                len(map_task.fetch_failure_reporters)
+                > self.shuffle_cfg.hadoop_failure_fraction * running
+            ):
+                self.reexecute_map(map_task)
+        else:
+            # MOON fast path: after 3 failures ask the file system.
+            if (
+                map_task.total_fetch_failures
+                >= self.shuffle_cfg.moon_fetch_failures
+            ):
+                f = map_task.output_file
+                alive = f is not None and self.namenode.block_availability_now(
+                    f.blocks[0]
+                )
+                if not alive:
+                    self.reexecute_map(map_task)
+
+    def reexecute_map(self, map_task: Task) -> None:
+        job = map_task.job
+        job.counters["map_reexecutions"] += 1
+        job.counters["killed_map_attempts"] += 1  # the lost instance
+        if map_task.output_file is not None:
+            self._delete_quiet(map_task.output_file.path)
+        map_task.output_file = None
+        map_task.state = TaskState.PENDING
+        map_task.finished_at = None
+        map_task.fetch_failure_reporters.clear()
+        map_task.total_fetch_failures = 0
+
+    # ==================================================================
+    # Tracker judgements
+    # ==================================================================
+    def _tracker_suspected(self, node: Node) -> None:
+        tracker = self.trackers[node.node_id]
+        tracker.mark_suspected()
+        for job in self.running_jobs():
+            job.counters["tracker_suspensions"] += 1
+            break
+
+    def _tracker_unsuspected(self, node: Node) -> None:
+        self.trackers[node.node_id].mark_recovered()
+
+    def _tracker_dead(self, node: Node) -> None:
+        tracker = self.trackers[node.node_id]
+        tracker.dead = True
+        for attempt in list(tracker.running_attempts()):
+            self.kill_attempt(attempt, "tracker expired")
+        # Stock Hadoop: completed maps whose output lived on the dead
+        # tracker's disk are re-executed while reduces still need them.
+        if self.cfg.reexec_completed_maps():
+            for job in self.running_jobs():
+                if job.state is not JobState.RUNNING:
+                    continue
+                if job.n_reduces > 0 and not job.all_reduces_done():
+                    for task in job.maps:
+                        if (
+                            task.complete
+                            and task.output_file is not None
+                            and any(
+                                a.node_id == node.node_id
+                                and a.state is AttemptState.SUCCEEDED
+                                for a in task.attempts
+                            )
+                        ):
+                            self.reexecute_map(task)
+
+    def _tracker_rejoined(self, node: Node) -> None:
+        self.trackers[node.node_id].dead = False
+
+    # ==================================================================
+    # Physical suspend/resume (VM-pause)
+    # ==================================================================
+    def _physical_suspend(self, node: Node) -> None:
+        tracker = self.trackers.get(node.node_id)
+        if tracker is None:
+            return
+        for attempt in tracker.running_attempts():
+            if attempt.runner is not None:
+                attempt.runner.pause()
+
+    def _physical_resume(self, node: Node) -> None:
+        tracker = self.trackers.get(node.node_id)
+        if tracker is None:
+            return
+        for attempt in tracker.running_attempts():
+            if attempt.runner is not None:
+                attempt.runner.resume()
+
+    # ==================================================================
+    # Completion
+    # ==================================================================
+    def _notify_reduces_of_map(self, job: Job, map_index: int) -> None:
+        for reduce_task in job.reduces:
+            for attempt in reduce_task.live_attempts():
+                runner = attempt.runner
+                if isinstance(runner, ReduceRunner):
+                    runner.notify_map_completed(map_index)
+
+    def _commit_job(self, job: Job) -> None:
+        if job.state is not JobState.RUNNING:
+            return
+        job.state = JobState.COMMITTING
+        # Output files become reliable; the job is complete only when
+        # every block reaches its replication factor (IV-A).
+        paths = [
+            t.output_file.path for t in job.reduces if t.output_file is not None
+        ]
+        if job.n_reduces == 0:
+            paths = [
+                t.output_file.path for t in job.maps if t.output_file is not None
+            ]
+        remaining = {"n": len(paths)}
+        if not paths:
+            self._finish_job(job)
+            return
+
+        def one_done() -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0 and job.state is JobState.COMMITTING:
+                self._finish_job(job)
+
+        for path in paths:
+            self.namenode.convert_to_reliable(path)
+            self.namenode.when_fully_replicated(path, one_done)
+
+    def _finish_job(self, job: Job) -> None:
+        job.state = JobState.SUCCEEDED
+        job.finished_at = self.sim.now
+        # Kill outstanding attempts (leftover speculative copies and
+        # maps re-executed for reduces that no longer need them): the
+        # job is complete, so their results are moot.
+        for task in job.tasks:
+            for attempt in list(task.live_attempts()):
+                self.kill_attempt(attempt, "job complete")
+        self._cleanup_job(job)
+
+    def _job_failed(self, job: Job, reason: str) -> None:
+        if job.finished:
+            return
+        job.state = JobState.FAILED
+        job.failure_reason = reason
+        job.finished_at = self.sim.now
+        for task in job.tasks:
+            for attempt in task.live_attempts():
+                self.kill_attempt(attempt, "job failed")
+        self._cleanup_job(job)
+
+    def _cleanup_job(self, job: Job) -> None:
+        # Intermediate data is transient: drop it at job end.
+        for task in job.maps:
+            if task.output_file is not None:
+                self._delete_quiet(task.output_file.path)
+                task.output_file = None
+
+    def _delete_quiet(self, path: str) -> None:
+        if self.namenode.exists(path):
+            self.namenode.delete_file(path)
+
+    # ==================================================================
+    def stop(self) -> None:
+        self._tick_task.stop()
+
+    def run_to_completion(self, job: Job, time_limit: float) -> Job:
+        """Convenience: advance the simulation until ``job`` finishes or
+        the limit is hit (callers check ``job.state``)."""
+        self.sim.run(until=time_limit, stop_when=lambda: job.finished)
+        return job

@@ -1,0 +1,180 @@
+"""Tasks and task attempts.
+
+A :class:`Task` is the unit of work (one map or one reduce); a
+:class:`TaskAttempt` is one execution instance on one node.  Attempts
+on suspended TaskTrackers become *inactive* — MOON's key observation is
+that they may come back, so they are flagged rather than killed
+(Section V-A).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dfs.types import BlockInfo, FileInfo
+
+
+class TaskType(enum.Enum):
+    """Map or reduce."""
+    MAP = "map"
+    REDUCE = "reduce"
+
+
+class AttemptState(enum.Enum):
+    """Attempt lifecycle; INACTIVE is MOON's suspended-not-killed state."""
+    RUNNING = "running"
+    INACTIVE = "inactive"  # node suspended; may resume (MOON V-A)
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"  # error (input unavailable, write declined...)
+    KILLED = "killed"  # tracker death / redundant speculative copy
+
+
+class TaskState(enum.Enum):
+    """Task lifecycle (PENDING until first launch)."""
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+class TaskAttempt:
+    """One execution of a task on a specific node."""
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "attempt_id",
+        "task",
+        "node_id",
+        "is_speculative",
+        "on_dedicated",
+        "state",
+        "started_at",
+        "finished_at",
+        "progress",
+        "phase_marks",
+        "runner",
+    )
+
+    def __init__(
+        self, task: "Task", node_id: int, now: float,
+        is_speculative: bool, on_dedicated: bool,
+    ) -> None:
+        self.attempt_id = next(TaskAttempt._ids)
+        self.task = task
+        self.node_id = node_id
+        self.is_speculative = is_speculative
+        self.on_dedicated = on_dedicated
+        self.state = AttemptState.RUNNING
+        self.started_at = now
+        self.finished_at: Optional[float] = None
+        self.progress = 0.0
+        #: phase name -> completion timestamp (Table II accounting).
+        self.phase_marks: dict = {}
+        self.runner = None  # set by the execution engine
+
+    @property
+    def active(self) -> bool:
+        return self.state is AttemptState.RUNNING
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (
+            AttemptState.SUCCEEDED,
+            AttemptState.FAILED,
+            AttemptState.KILLED,
+        )
+
+    def runtime(self, now: float) -> float:
+        return (self.finished_at or now) - self.started_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Attempt#{self.attempt_id} {self.task} on n{self.node_id} "
+            f"{self.state.value} p={self.progress:.2f}>"
+        )
+
+
+class Task:
+    """One map or reduce task of a job."""
+
+    __slots__ = (
+        "job",
+        "task_type",
+        "index",
+        "state",
+        "attempts",
+        "input_block",
+        "output_file",
+        "failed_attempts",
+        "fetch_failure_reporters",
+        "total_fetch_failures",
+        "scheduled_order",
+        "finished_at",
+    )
+
+    def __init__(self, job, task_type: TaskType, index: int) -> None:
+        self.job = job
+        self.task_type = task_type
+        self.index = index
+        self.state = TaskState.PENDING
+        self.attempts: List[TaskAttempt] = []
+        #: map input (set at staging time).
+        self.input_block: Optional["BlockInfo"] = None
+        #: map intermediate output (set when the task succeeds).
+        self.output_file: Optional["FileInfo"] = None
+        self.failed_attempts = 0
+        #: reduce task ids that reported failures fetching this map.
+        self.fetch_failure_reporters: set = set()
+        self.total_fetch_failures = 0
+        self.scheduled_order: Optional[int] = None
+        self.finished_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def task_id(self) -> str:
+        prefix = "m" if self.task_type is TaskType.MAP else "r"
+        return f"{self.job.job_id}-{prefix}{self.index}"
+
+    @property
+    def is_map(self) -> bool:
+        return self.task_type is TaskType.MAP
+
+    @property
+    def complete(self) -> bool:
+        return self.state is TaskState.SUCCEEDED
+
+    def active_attempts(self) -> List[TaskAttempt]:
+        return [a for a in self.attempts if a.active]
+
+    def live_attempts(self) -> List[TaskAttempt]:
+        """Running or inactive (could still finish if resumed)."""
+        return [a for a in self.attempts if not a.finished]
+
+    def has_dedicated_attempt(self) -> bool:
+        return any(a.on_dedicated for a in self.live_attempts())
+
+    def is_frozen(self) -> bool:
+        """MOON V-A: scheduled, not complete, and *all* copies inactive."""
+        if self.complete or not self.attempts:
+            return False
+        live = self.live_attempts()
+        return bool(live) and all(
+            a.state is AttemptState.INACTIVE for a in live
+        )
+
+    def best_progress(self) -> float:
+        if self.complete:
+            return 1.0
+        if not self.attempts:
+            return 0.0
+        return max(a.progress for a in self.attempts)
+
+    def nodes_with_attempts(self) -> set:
+        return {a.node_id for a in self.live_attempts()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.task_id} {self.state.value}>"

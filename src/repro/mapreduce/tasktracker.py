@@ -1,0 +1,74 @@
+"""TaskTracker: per-node execution slots + attempt registry."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..cluster import Node
+from .task import AttemptState, TaskAttempt, TaskType
+
+
+class TaskTracker:
+    """The worker-side agent (paper II-C): M map + R reduce slots."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.map_slots = node.spec.map_slots
+        self.reduce_slots = node.spec.reduce_slots
+        self.attempts: Set[TaskAttempt] = set()
+        #: MOON judgement after SuspensionInterval of silence (V-A).
+        self.suspected = False
+        #: JobTracker judgement after TrackerExpiryInterval of silence.
+        self.dead = False
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def usable(self) -> bool:
+        """Can receive new work right now."""
+        return self.node.available and not self.dead and not self.suspected
+
+    def occupied(self, task_type: TaskType) -> int:
+        return sum(
+            1
+            for a in self.attempts
+            if a.task.task_type is task_type and not a.finished
+        )
+
+    def free_slots(self, task_type: TaskType) -> int:
+        cap = self.map_slots if task_type is TaskType.MAP else self.reduce_slots
+        return max(0, cap - self.occupied(task_type))
+
+    def total_slots(self) -> int:
+        return self.map_slots + self.reduce_slots
+
+    # ------------------------------------------------------------------
+    def add(self, attempt: TaskAttempt) -> None:
+        self.attempts.add(attempt)
+
+    def release(self, attempt: TaskAttempt) -> None:
+        self.attempts.discard(attempt)
+
+    def running_attempts(self) -> List[TaskAttempt]:
+        return [a for a in self.attempts if not a.finished]
+
+    def mark_suspected(self) -> None:
+        self.suspected = True
+        for a in self.running_attempts():
+            if a.state is AttemptState.RUNNING:
+                a.state = AttemptState.INACTIVE
+
+    def mark_recovered(self) -> None:
+        self.suspected = False
+        for a in self.running_attempts():
+            if a.state is AttemptState.INACTIVE:
+                a.state = AttemptState.RUNNING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            f for f, on in (("S", self.suspected), ("D", self.dead)) if on
+        )
+        return f"<Tracker n{self.node_id} {len(self.attempts)} att {flags}>"

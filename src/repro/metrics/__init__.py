@@ -1,0 +1,6 @@
+"""Run metrics (S9): Table-II profiles + figure-shaped reports."""
+
+from .profile import ExecutionProfile, RunMetrics
+from .report import comparison_rows, series_table
+
+__all__ = ["ExecutionProfile", "RunMetrics", "series_table", "comparison_rows"]

@@ -1,0 +1,109 @@
+"""Execution profile extraction — the fields of the paper's Table II.
+
+All times come from successful attempts' phase marks:
+
+* **map time** — attempt start to intermediate-write completion;
+* **shuffle time** — "measured from the start of a reduce task till the
+  end of copying all related Map results" (paper VI-B);
+* **reduce time** — end of sort to output-write completion;
+* **killed maps / reduces** — killed instances + forced re-executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..mapreduce.job import Job
+from ..mapreduce.task import AttemptState
+
+
+def _mean(xs: List[float]) -> float:
+    return float(np.mean(xs)) if xs else 0.0
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """Table-II row for one run."""
+
+    policy: str
+    avg_map_time: float
+    avg_shuffle_time: float
+    avg_reduce_time: float
+    killed_maps: int
+    killed_reduces: int
+
+    @staticmethod
+    def from_job(job: Job, policy: str = "") -> "ExecutionProfile":
+        map_times: List[float] = []
+        for t in job.maps:
+            for a in t.attempts:
+                if a.state is AttemptState.SUCCEEDED and a.finished_at is not None:
+                    map_times.append(a.finished_at - a.started_at)
+
+        shuffle_times: List[float] = []
+        reduce_times: List[float] = []
+        for t in job.reduces:
+            for a in t.attempts:
+                if a.state is not AttemptState.SUCCEEDED:
+                    continue
+                marks = a.phase_marks
+                if "shuffle_done" in marks:
+                    shuffle_times.append(marks["shuffle_done"] - a.started_at)
+                end = marks.get("write_done", a.finished_at)
+                start = marks.get("sort_done")
+                if start is not None and end is not None:
+                    reduce_times.append(end - start)
+
+        return ExecutionProfile(
+            policy=policy,
+            avg_map_time=_mean(map_times),
+            avg_shuffle_time=_mean(shuffle_times),
+            avg_reduce_time=_mean(reduce_times),
+            killed_maps=int(job.counters["killed_map_attempts"]),
+            killed_reduces=int(job.counters["killed_reduce_attempts"]),
+        )
+
+    def row(self) -> str:
+        return (
+            f"{self.policy:<10} map {self.avg_map_time:7.1f}s  "
+            f"shuffle {self.avg_shuffle_time:8.1f}s  "
+            f"reduce {self.avg_reduce_time:7.1f}s  "
+            f"killed maps {self.killed_maps:4d}  "
+            f"killed reduces {self.killed_reduces:4d}"
+        )
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Everything one experiment run reports."""
+
+    job_name: str
+    policy: str
+    elapsed: Optional[float]
+    succeeded: bool
+    duplicated_tasks: int
+    speculative_launched: int
+    map_reexecutions: int
+    fetch_failures: int
+    profile: ExecutionProfile
+    namenode_counters: dict
+
+    @staticmethod
+    def from_job(job: Job, namenode, policy: str = "") -> "RunMetrics":
+        from ..mapreduce.job import JobState
+
+        return RunMetrics(
+            job_name=job.spec.name,
+            policy=policy,
+            elapsed=job.elapsed,
+            succeeded=job.state is JobState.SUCCEEDED,
+            duplicated_tasks=int(job.counters["duplicated_tasks"]),
+            speculative_launched=int(job.counters["speculative_launched"]),
+            map_reexecutions=int(job.counters["map_reexecutions"]),
+            fetch_failures=int(job.counters["fetch_failures"]),
+            profile=ExecutionProfile.from_job(job, policy),
+            namenode_counters=dict(namenode.counters) if namenode else {},
+        )

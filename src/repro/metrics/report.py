@@ -1,0 +1,43 @@
+"""Plain-text tables in the shape of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    unit: str = "s",
+    fmt: str = "{:10.1f}",
+) -> str:
+    """One paper figure as text: rows = policies, columns = x values."""
+    lines = [title, "=" * len(title)]
+    header = f"{x_label:<16}" + "".join(f"{str(x):>12}" for x in x_values)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in series.items():
+        cells = "".join(
+            f"{fmt.format(v):>12}" if v is not None else f"{'--':>12}"
+            for v in values
+        )
+        lines.append(f"{name:<16}{cells}")
+    if unit:
+        lines.append(f"(values in {unit})")
+    return "\n".join(lines)
+
+
+def comparison_rows(
+    paper: Dict[str, float], measured: Dict[str, float], what: str
+) -> List[str]:
+    """Paper-vs-measured lines for EXPERIMENTS.md."""
+    out = [f"{what}:"]
+    for key in paper:
+        p, m = paper[key], measured.get(key)
+        if m is None:
+            out.append(f"  {key}: paper={p}  measured=--")
+        else:
+            out.append(f"  {key}: paper={p:g}  measured={m:g}")
+    return out

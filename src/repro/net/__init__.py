@@ -1,0 +1,24 @@
+"""Network + disk transfer models (S3)."""
+
+from .base import DISK, NIC_IN, NIC_OUT, NetworkModel, Transfer
+from .fairshare import FairShareNetwork
+from .fifo import FifoNetwork
+
+__all__ = [
+    "NetworkModel",
+    "Transfer",
+    "FifoNetwork",
+    "FairShareNetwork",
+    "DISK",
+    "NIC_IN",
+    "NIC_OUT",
+]
+
+
+def make_network(kind: str, sim, **kwargs) -> NetworkModel:
+    """Factory used by :mod:`repro.core` (``kind`` from SystemConfig)."""
+    if kind == "fifo":
+        return FifoNetwork(sim, **kwargs)
+    if kind == "fairshare":
+        return FairShareNetwork(sim, **kwargs)
+    raise ValueError(f"unknown network model {kind!r}")

@@ -1,0 +1,193 @@
+"""Max-min fair-share flow model (ablation alternative to FIFO).
+
+Each in-flight transfer is a *flow* demanding bandwidth on its source
+NIC-out, destination NIC-in and both disks.  Rates are assigned by
+progressive filling (classic max-min fairness), recomputed whenever the
+flow set changes.  More faithful to TCP sharing than FIFO queues, at
+O(flows · channels) per change — used by ``benchmarks/test_ablation_
+network.py`` to quantify the modelling gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import NetworkError
+from ..simulation import PRIORITY_TRANSFER, Simulation
+from .base import DISK, NIC_IN, NIC_OUT, NetworkModel, OnComplete, OnFail, Transfer
+
+
+class _Flow:
+    __slots__ = ("transfer", "remaining_mb", "rate", "channels")
+
+    def __init__(
+        self, transfer: Transfer, channels: List[Tuple[int, str]]
+    ) -> None:
+        self.transfer = transfer
+        self.remaining_mb = transfer.size_mb
+        self.rate = 0.0
+        self.channels = channels  # [(node_id, channel_name), ...]
+
+
+class FairShareNetwork(NetworkModel):
+    """See module docstring."""
+
+    def __init__(self, sim: Simulation, disk_fraction: float = 1.0) -> None:
+        super().__init__(sim)
+        if not 0.0 <= disk_fraction <= 1.0:
+            raise NetworkError("disk_fraction must be in [0, 1]")
+        self._disk_fraction = disk_fraction
+        self._flows: Set[_Flow] = set()
+        self._last_update = 0.0
+        self._next_event = None
+
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        size_mb: float,
+        on_complete: Optional[OnComplete] = None,
+        on_fail: Optional[OnFail] = None,
+        kind: str = "net",
+    ) -> Transfer:
+        if size_mb < 0:
+            raise NetworkError("negative transfer size")
+        t = Transfer(src, dst, size_mb, kind, self.sim.now, on_complete, on_fail)
+        if not self.is_up(src) or not self.is_up(dst):
+            self.sim.call_after(0.0, self._fail, t, priority=PRIORITY_TRANSFER)
+            return t
+        channels = [(src, NIC_OUT), (dst, NIC_IN)]
+        if self._disk_fraction > 0:
+            channels += [(src, DISK), (dst, DISK)]
+        self._add_flow(_Flow(t, channels))
+        return t
+
+    def disk_io(
+        self,
+        node_id: int,
+        size_mb: float,
+        on_complete: Optional[OnComplete] = None,
+        on_fail: Optional[OnFail] = None,
+        kind: str = "disk",
+    ) -> Transfer:
+        if size_mb < 0:
+            raise NetworkError("negative transfer size")
+        t = Transfer(
+            node_id, node_id, size_mb, kind, self.sim.now, on_complete, on_fail
+        )
+        if not self.is_up(node_id):
+            self.sim.call_after(0.0, self._fail, t, priority=PRIORITY_TRANSFER)
+            return t
+        self._add_flow(_Flow(t, [(node_id, DISK)]))
+        return t
+
+    def active_transfers(self) -> int:
+        return len(self._flows)
+
+    def flow_rate(self, transfer: Transfer) -> float:
+        """Current assigned rate in MB/s (tests)."""
+        for f in self._flows:
+            if f.transfer is transfer:
+                return f.rate
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def _add_flow(self, flow: _Flow) -> None:
+        self._advance()
+        self._flows.add(flow)
+        if flow.remaining_mb <= 0.0:
+            # Zero-byte transfer: complete immediately (asynchronously).
+            self._flows.discard(flow)
+            self.sim.call_after(
+                0.0, self._finish, flow.transfer, priority=PRIORITY_TRANSFER
+            )
+            return
+        self._reassign()
+
+    def _advance(self) -> None:
+        """Progress all flows from the last update to now."""
+        dt = self.sim.now - self._last_update
+        if dt > 0:
+            for f in self._flows:
+                f.remaining_mb = max(0.0, f.remaining_mb - f.rate * dt)
+        self._last_update = self.sim.now
+
+    def _reassign(self) -> None:
+        """Progressive-filling max-min allocation + next-completion event."""
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+        if not self._flows:
+            return
+
+        capacity: Dict[Tuple[int, str], float] = {}
+        users: Dict[Tuple[int, str], List[_Flow]] = {}
+        for f in self._flows:
+            f.rate = 0.0
+            for node, ch in f.channels:
+                key = (node, ch)
+                if key not in capacity:
+                    ports = self.ports(node)
+                    capacity[key] = (
+                        ports.disk_mbps if ch == DISK else ports.nic_mbps
+                    )
+                    users[key] = []
+                users[key].append(f)
+
+        unfixed = set(self._flows)
+        remaining_cap = dict(capacity)
+        # Progressive filling: repeatedly find the tightest channel.
+        while unfixed:
+            best_key, best_share = None, float("inf")
+            for key, cap in remaining_cap.items():
+                active = [f for f in users[key] if f in unfixed]
+                if not active:
+                    continue
+                share = cap / len(active)
+                if share < best_share:
+                    best_share, best_key = share, key
+            if best_key is None:
+                break
+            for f in [f for f in users[best_key] if f in unfixed]:
+                f.rate = best_share
+                unfixed.discard(f)
+                for node, ch in f.channels:
+                    remaining_cap[(node, ch)] = max(
+                        0.0, remaining_cap[(node, ch)] - best_share
+                    )
+
+        soonest, soonest_flow = float("inf"), None
+        for f in self._flows:
+            if f.rate <= 0:
+                continue
+            eta = f.remaining_mb / f.rate
+            if eta < soonest:
+                soonest, soonest_flow = eta, f
+        if soonest_flow is not None:
+            self._next_event = self.sim.call_after(
+                soonest, self._on_completion_tick, priority=PRIORITY_TRANSFER
+            )
+
+    def _on_completion_tick(self) -> None:
+        self._next_event = None
+        self._advance()
+        done = [f for f in self._flows if f.remaining_mb <= 1e-9]
+        for f in done:
+            self._flows.discard(f)
+        for f in done:
+            self._finish(f.transfer)
+        self._reassign()
+
+    def _abort_transfers(self, node_id: int) -> None:
+        self._advance()
+        doomed = [
+            f
+            for f in self._flows
+            if any(node == node_id for node, _ in f.channels)
+        ]
+        for f in doomed:
+            self._flows.discard(f)
+        for f in doomed:
+            self._fail(f.transfer)
+        self._reassign()

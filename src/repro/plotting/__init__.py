@@ -1,0 +1,15 @@
+"""Terminal plotting for experiment reports.
+
+The benchmark harness regenerates the paper's figures as *data*; this
+package renders them as text so reports remain self-contained with no
+plotting dependency:
+
+* :func:`bar_chart` — grouped bars (Figs. 4, 5, 6, 7 are all grouped
+  bar charts over unavailability rates);
+* :func:`line_chart` — time series (Fig. 1's availability trace);
+* :func:`table` — aligned text tables (Tables I and II).
+"""
+
+from .ascii import bar_chart, histogram, line_chart, sparkline, table
+
+__all__ = ["bar_chart", "line_chart", "table", "sparkline", "histogram"]

@@ -1,0 +1,203 @@
+"""ASCII chart rendering primitives.
+
+Pure functions from data to strings; no terminal control codes, so the
+output is equally at home in a TTY, a log file or EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import ReproError
+
+Number = Union[int, float]
+#: Sentinel rendered for missing cells (e.g. a DNF run).
+MISSING = "-"
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+class PlotError(ReproError):
+    """Bad input to a chart renderer."""
+
+
+def _fmt(value: Optional[Number], decimals: int = 0) -> str:
+    if value is None:
+        return MISSING
+    return f"{value:,.{decimals}f}"
+
+
+def bar_chart(
+    groups: Sequence[str],
+    series: Dict[str, Sequence[Optional[Number]]],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+    decimals: int = 0,
+) -> str:
+    """Grouped horizontal bar chart.
+
+    ``groups`` labels the x-axis clusters (e.g. unavailability rates);
+    ``series`` maps a legend name to one value per group (``None`` for
+    a DNF).  This is the shape of the paper's Figures 4-7.
+    """
+    if not groups:
+        raise PlotError("no groups")
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise PlotError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    finite = [
+        v for vals in series.values() for v in vals if v is not None
+    ]
+    top = max(finite) if finite else 1.0
+    if top <= 0:
+        top = 1.0
+    label_w = max((len(n) for n in series), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            v = values[gi]
+            if v is None:
+                bar, text = "", MISSING
+            else:
+                n = int(round(width * v / top))
+                bar = "#" * max(n, 1 if v > 0 else 0)
+                text = _fmt(v, decimals) + (f" {unit}" if unit else "")
+            lines.append(f"  {name:<{label_w}} |{bar:<{width}} {text}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[Number],
+    series: Dict[str, Sequence[Number]],
+    height: int = 12,
+    width: int = 72,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart on a character grid.
+
+    Each series is resampled onto ``width`` columns and drawn with its
+    own glyph; the y-axis is annotated with min/max.  Fig. 1's shape —
+    several day-series of unavailability over the working day — renders
+    legibly at the defaults.
+    """
+    if height < 2 or width < 8:
+        raise PlotError("chart too small")
+    if not xs:
+        raise PlotError("no x values")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise PlotError(f"series {name!r} length mismatch")
+    glyphs = "*o+x@%&="
+    all_y = [y for ys in series.values() for y in ys]
+    lo, hi = min(all_y), max(all_y)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(xs), max(xs)
+    span = (x_hi - x_lo) or 1.0
+    for si, (name, ys) in enumerate(series.items()):
+        glyph = glyphs[si % len(glyphs)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / span * (width - 1))
+            row = height - 1 - int((y - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = glyph
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for ri, row in enumerate(grid):
+        if ri == 0:
+            label = f"{hi:8.3g} |"
+        elif ri == height - 1:
+            label = f"{lo:8.3g} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(series)
+    )
+    if y_label:
+        legend = f"[{y_label}]  " + legend
+    lines.append("           " + legend)
+    return "\n".join(lines)
+
+
+def table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Aligned text table; ``None`` cells render as ``-``."""
+    if not headers:
+        raise PlotError("no headers")
+    rendered = [
+        [MISSING if c is None else str(c) for c in row] for row in rows
+    ]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise PlotError("row width mismatch")
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[Number]) -> str:
+    """One-line block-glyph sketch of a series."""
+    if not values:
+        raise PlotError("no values")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _BLOCKS[4] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def histogram(
+    values: Sequence[Number],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Text histogram (used for outage-length distributions)."""
+    if not values:
+        raise PlotError("no values")
+    if bins < 1:
+        raise PlotError("bins must be >= 1")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / (hi - lo) * bins))
+        counts[idx] += 1
+    top = max(counts)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, c in enumerate(counts):
+        b_lo = lo + (hi - lo) * i / bins
+        b_hi = lo + (hi - lo) * (i + 1) / bins
+        bar = "#" * (int(round(width * c / top)) if top else 0)
+        lines.append(f"[{b_lo:9.1f}, {b_hi:9.1f}) |{bar:<{width}} {c}")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Task scheduling policies (S7)."""
+
+from ..config import SchedulerConfig
+from .base import SchedulerPolicy
+from .hadoop import HadoopScheduler
+from .late import LateScheduler
+from .moon import MoonScheduler
+
+__all__ = [
+    "SchedulerPolicy",
+    "HadoopScheduler",
+    "MoonScheduler",
+    "LateScheduler",
+    "make_scheduler",
+]
+
+
+def make_scheduler(cfg: SchedulerConfig) -> SchedulerPolicy:
+    """Factory keyed on ``SchedulerConfig.kind``."""
+    if cfg.kind == "hadoop":
+        return HadoopScheduler(cfg)
+    if cfg.kind == "moon":
+        return MoonScheduler(cfg)
+    if cfg.kind == "late":
+        return LateScheduler(cfg)
+    raise ValueError(f"unknown scheduler kind {cfg.kind!r}")

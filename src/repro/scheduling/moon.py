@@ -1,0 +1,138 @@
+"""MOON's two-phase, hybrid-aware speculative scheduling (paper V).
+
+Mechanisms, in priority order when a slot frees up:
+
+1. **Pending tasks** (recently failed first) — normal work.
+2. **Frozen tasks** (all copies inactive, V-A): always get a new copy,
+   bypassing the per-task cap, sorted by progress (lowest first).
+3. **Slow tasks** (Hadoop straggler criteria), progress-sorted.
+4. **Homestretch replication** (V-B): once remaining tasks < H% of the
+   available slots, keep >= R active copies of every remaining task.
+
+A job-level cap bounds concurrent speculative instances to a fraction
+(default 20%) of the currently available slots.  With
+``hybrid_aware=True`` (MOON-Hybrid) dedicated nodes run speculative
+copies; tasks that already hold a dedicated copy are deprioritised for
+further replication and skip the homestretch (V-C).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..mapreduce.job import Job
+from ..mapreduce.task import Task, TaskType
+from ..mapreduce.tasktracker import TaskTracker
+from .base import SchedulerPolicy
+
+
+class MoonScheduler(SchedulerPolicy):
+    """MOON's frozen/slow + two-phase + hybrid-aware policy (V)."""
+    def select_task(
+        self, job: Job, tracker: TaskTracker, task_type: TaskType
+    ) -> Optional[Tuple[Task, bool]]:
+        if tracker.node.is_dedicated:
+            if not self.cfg.hybrid_aware:
+                # Plain MOON uses dedicated machines as pure data
+                # servers (V-C: the hybrid extension is what "takes
+                # advantage of the CPU resources available on the
+                # dedicated computers").
+                return None
+            # MOON-Hybrid: best-effort speculative hosting only.
+            return self._pick_speculative(job, tracker, task_type)
+        pending = self.pick_pending(job, tracker, task_type)
+        if pending is not None:
+            return (pending, False)
+        if self.has_pending(job, task_type):
+            return None
+        return self._pick_speculative(job, tracker, task_type)
+
+    # ------------------------------------------------------------------
+    def _pick_speculative(
+        self, job: Job, tracker: TaskTracker, task_type: TaskType
+    ) -> Optional[Tuple[Task, bool]]:
+        if not self.under_job_cap(job):
+            return None
+
+        frozen = self._frozen_list(job, task_type, tracker)
+        if frozen:
+            # Frozen tasks get a copy regardless of the per-task cap.
+            task = frozen[0]
+            job.counters["frozen_speculations"] += 1
+            return (task, True)
+
+        slow = self._slow_list(job, task_type, tracker)
+        if slow:
+            return (slow[0], True)
+
+        home = self._homestretch_candidates(job, task_type, tracker)
+        if home:
+            job.counters["homestretch_speculations"] += 1
+            return (home[0], True)
+        return None
+
+    # ------------------------------------------------------------------
+    def _order(self, tasks: List[Task], tracker: TaskTracker) -> List[Task]:
+        """Progress-ascending; tasks holding a dedicated copy last
+        (they already enjoy reliable backup, V-C)."""
+        return sorted(
+            tasks,
+            key=lambda t: (t.has_dedicated_attempt(), t.best_progress(), t.index),
+        )
+
+    def _frozen_list(
+        self, job: Job, task_type: TaskType, tracker: TaskTracker
+    ) -> List[Task]:
+        key = ("frozen", job.job_id, task_type)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = [
+                t for t in job.running_tasks(task_type) if t.is_frozen()
+            ]
+            self._memo[key] = cached
+        frozen = [
+            t
+            for t in cached
+            if t.is_frozen()  # re-check: a copy may have launched
+            and self.can_host(t, tracker)
+            and not t.has_dedicated_attempt()
+        ]
+        return self._order(frozen, tracker)
+
+    def _slow_list(
+        self, job: Job, task_type: TaskType, tracker: TaskTracker
+    ) -> List[Task]:
+        slow = [
+            t
+            for t in self.hadoop_stragglers(job, task_type)
+            if not t.is_frozen()
+            and self.under_per_task_cap(t)
+            and self.can_host(t, tracker)
+        ]
+        return self._order(slow, tracker)
+
+    def _homestretch_candidates(
+        self, job: Job, task_type: TaskType, tracker: TaskTracker
+    ) -> List[Task]:
+        key = ("homestretch", job.job_id)
+        remaining = self._memo.get(key)
+        if remaining is None:
+            remaining = job.incomplete_tasks()
+            self._memo[key] = remaining
+        threshold = (
+            self.cfg.homestretch_threshold_pct / 100.0 * self.available_slots()
+        )
+        if not remaining or len(remaining) >= threshold:
+            return []
+        want = self.cfg.homestretch_replicas
+        candidates = [
+            t
+            for t in remaining
+            if t.task_type is task_type
+            and t.attempts  # scheduled at least once
+            and not t.complete
+            and len(t.active_attempts()) < want
+            and self.can_host(t, tracker)
+            and not t.has_dedicated_attempt()  # V-C exemption
+        ]
+        return self._order(candidates, tracker)

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate (S1).
+
+The MOON paper emulated a volunteer system by suspending/resuming real
+Hadoop processes from synthetic traces; this package provides the
+equivalent simulated clock on which the whole reproduction runs.
+"""
+
+from .engine import (
+    PRIORITY_HEARTBEAT,
+    PRIORITY_NODE_STATE,
+    PRIORITY_PERIODIC,
+    PRIORITY_TRANSFER,
+    PeriodicTask,
+    Simulation,
+)
+from .event import Event, EventQueue
+from .rng import RngRegistry
+
+__all__ = [
+    "Simulation",
+    "PeriodicTask",
+    "Event",
+    "EventQueue",
+    "RngRegistry",
+    "PRIORITY_NODE_STATE",
+    "PRIORITY_TRANSFER",
+    "PRIORITY_HEARTBEAT",
+    "PRIORITY_PERIODIC",
+]

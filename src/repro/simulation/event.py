@@ -1,0 +1,143 @@
+"""Event and event-queue primitives for the discrete-event engine.
+
+Events are ordered by ``(time, priority, seq)``: lower priority runs
+first at equal times, and the monotonically increasing sequence number
+makes execution order fully deterministic.
+
+Events come in two flavours, mirroring thread semantics:
+
+* **foreground** (default) — real work: compute steps, transfers,
+  trace-driven suspend/resume.  These keep a drain-style
+  :meth:`~repro.simulation.engine.Simulation.run` alive.
+* **daemon** — infrastructure that re-arms itself forever (heartbeats,
+  replication scans, throttle sampling).  A simulation whose queue
+  holds only daemon events is *idle* and a horizonless ``run()``
+  terminates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Cancel with :meth:`cancel`."""
+
+    __slots__ = (
+        "time", "priority", "seq", "fn", "args", "cancelled", "daemon",
+        "_queue", "_in_queue",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        queue: "EventQueue",
+        daemon: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.daemon = daemon
+        self._queue = queue
+        self._in_queue = True
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped.
+
+        Cancelling an event that already fired (or was cancelled) is a
+        harmless no-op.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._in_queue:
+                self._queue._note_removed(self)
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        kind = "daemon " if self.daemon else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.3f} p={self.priority} {kind}{name} {state}>"
+
+
+class EventQueue:
+    """A binary-heap event queue with lazy deletion of cancelled events.
+
+    Tracks live totals separately for foreground and daemon events so
+    the engine can detect the *idle* state (only daemons pending).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+        self._live_foreground = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    @property
+    def foreground(self) -> int:
+        """Number of live non-daemon events."""
+        return self._live_foreground
+
+    def _note_removed(self, event: Event) -> None:
+        self._live -= 1
+        if not event.daemon:
+            self._live_foreground -= 1
+        event._in_queue = False
+
+    def push(
+        self,
+        time: float,
+        priority: int,
+        fn: Callable,
+        args: tuple,
+        daemon: bool = False,
+    ) -> Event:
+        event = Event(time, priority, next(self._counter), fn, args, self, daemon)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        if not daemon:
+            self._live_foreground += 1
+        return event
+
+    def pop(self) -> Event:
+        """Pop the earliest non-cancelled event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._note_removed(event)
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,76 @@
+"""Availability traces (S2): the paper's synthetic volunteer-node
+outage model, pluggable outage-length laws, correlated "lab session"
+outages, an Entropia/SDSC-style generator for Figure 1, persistence,
+and statistics."""
+
+from .correlated import (
+    CorrelatedConfig,
+    generate_correlated_traces,
+    merge_intervals,
+    peak_simultaneous_down,
+)
+from .distributions import (
+    DISTRIBUTIONS,
+    ExponentialOutages,
+    LognormalOutages,
+    NormalOutages,
+    OutageDistribution,
+    ParetoOutages,
+    WeibullOutages,
+    distribution_names,
+    make_distribution,
+)
+from .entropia import (
+    DayProfile,
+    EntropiaConfig,
+    generate_entropia_day,
+    generate_week,
+    sample_day_profile,
+)
+from .fitting import FitResult, fit_outages, fit_report
+from .generator import empirical_rate, generate_cluster_traces, generate_trace
+from .io import (
+    load_traces_csv,
+    load_traces_json,
+    save_traces_csv,
+    save_traces_json,
+)
+from .model import AvailabilityTrace, Interval, availability_matrix
+from .stats import TraceStats, compute_stats, measured_unavailability
+
+__all__ = [
+    "AvailabilityTrace",
+    "Interval",
+    "availability_matrix",
+    "generate_trace",
+    "generate_cluster_traces",
+    "empirical_rate",
+    "OutageDistribution",
+    "NormalOutages",
+    "LognormalOutages",
+    "WeibullOutages",
+    "ExponentialOutages",
+    "ParetoOutages",
+    "DISTRIBUTIONS",
+    "make_distribution",
+    "distribution_names",
+    "CorrelatedConfig",
+    "generate_correlated_traces",
+    "merge_intervals",
+    "peak_simultaneous_down",
+    "EntropiaConfig",
+    "DayProfile",
+    "generate_entropia_day",
+    "generate_week",
+    "sample_day_profile",
+    "TraceStats",
+    "compute_stats",
+    "measured_unavailability",
+    "FitResult",
+    "fit_outages",
+    "fit_report",
+    "save_traces_csv",
+    "load_traces_csv",
+    "save_traces_json",
+    "load_traces_json",
+]

@@ -1,0 +1,207 @@
+"""Pluggable outage-length distributions.
+
+The paper generates outage lengths from a normal distribution with the
+Entropia trace's 409-second mean (Section VI).  Its own reference [15]
+(Javadi et al., "Mining for Statistical Models of Availability ...")
+found that real volunteer-computing availability is better described by
+Weibull, log-normal or Gamma laws, so this module makes the law a
+pluggable strategy: the paper's normal model is the default, and the
+heavier-tailed alternatives let users test MOON's policies against more
+realistic outage processes (the hibernate state and two-phase
+scheduling react differently to many short vs few long outages).
+
+Every distribution is calibrated by ``(mean, sigma)`` of the outage
+length, matching :class:`~repro.config.TraceConfig`, and draws are
+truncated below at ``minimum`` seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, List, Type
+
+import numpy as np
+
+from ..errors import TraceError
+
+
+class OutageDistribution(ABC):
+    """Strategy producing outage lengths with a target mean and spread."""
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    def __init__(self, mean: float, sigma: float, minimum: float = 0.0) -> None:
+        if mean <= 0:
+            raise TraceError("outage mean must be positive")
+        if sigma < 0:
+            raise TraceError("outage sigma must be non-negative")
+        if minimum < 0 or minimum > mean:
+            raise TraceError("minimum must be in [0, mean]")
+        self.mean = mean
+        self.sigma = sigma
+        self.minimum = minimum
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` outage lengths, truncated below at ``minimum``."""
+        if n < 0:
+            raise TraceError("n must be non-negative")
+        if n == 0:
+            return np.empty(0)
+        draws = self._draw(rng, n)
+        # A few resampling passes for the sub-minimum tail, then clip:
+        # keeps the law's shape without an unbounded rejection loop.
+        for _ in range(8):
+            bad = draws < self.minimum
+            if not bad.any():
+                break
+            draws[bad] = self._draw(rng, int(bad.sum()))
+        return np.maximum(draws, self.minimum)
+
+    @abstractmethod
+    def _draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Raw (untruncated) draws with the configured mean/sigma."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(mean={self.mean}, sigma={self.sigma}, "
+            f"minimum={self.minimum})"
+        )
+
+
+class NormalOutages(OutageDistribution):
+    """The paper's model: normal outage lengths (Section VI)."""
+
+    name = "normal"
+
+    def _draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.normal(self.mean, self.sigma, size=n)
+
+
+class LognormalOutages(OutageDistribution):
+    """Log-normal lengths: many short outages, a heavy right tail.
+
+    Parameterised so the *linear-scale* mean and standard deviation
+    equal the configured ``(mean, sigma)``.
+    """
+
+    name = "lognormal"
+
+    def _draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.sigma == 0:
+            return np.full(n, self.mean)
+        var = self.sigma**2
+        mu = math.log(self.mean**2 / math.sqrt(var + self.mean**2))
+        s = math.sqrt(math.log(1.0 + var / self.mean**2))
+        return rng.lognormal(mu, s, size=n)
+
+
+class WeibullOutages(OutageDistribution):
+    """Weibull lengths — the best-fit family in the paper's ref [15].
+
+    The shape ``k`` is solved from the coefficient of variation
+    (``sigma/mean``) by bisection on ``CV^2 = Γ(1+2/k)/Γ(1+1/k)^2 - 1``,
+    then the scale follows from the mean.
+    """
+
+    name = "weibull"
+
+    def __init__(self, mean: float, sigma: float, minimum: float = 0.0) -> None:
+        super().__init__(mean, sigma, minimum)
+        self._shape = self._solve_shape(sigma / mean) if sigma > 0 else None
+        if self._shape is not None:
+            self._scale = mean / math.gamma(1.0 + 1.0 / self._shape)
+
+    @staticmethod
+    def _cv2(k: float) -> float:
+        g1 = math.gamma(1.0 + 1.0 / k)
+        g2 = math.gamma(1.0 + 2.0 / k)
+        return g2 / (g1 * g1) - 1.0
+
+    @classmethod
+    def _solve_shape(cls, cv: float) -> float:
+        target = cv * cv
+        lo, hi = 0.1, 50.0
+        if not (cls._cv2(hi) <= target <= cls._cv2(lo)):
+            raise TraceError(f"unreachable Weibull CV {cv:.3f}")
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if cls._cv2(mid) > target:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def _draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self._shape is None:
+            return np.full(n, self.mean)
+        return self._scale * rng.weibull(self._shape, size=n)
+
+
+class ExponentialOutages(OutageDistribution):
+    """Memoryless lengths (CV fixed at 1; ``sigma`` is ignored).
+
+    The classic machine-repair abstraction; pairs with the analytical
+    two-state Markov model in :mod:`repro.analysis.markov`.
+    """
+
+    name = "exponential"
+
+    def _draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean, size=n)
+
+
+class ParetoOutages(OutageDistribution):
+    """Pareto (power-law) lengths: rare but enormous outages.
+
+    A stress model for MOON's reliable-file guarantees — with a heavy
+    enough tail a node can vanish for most of the trace, which is the
+    regime where dedicated replicas matter most.  The tail exponent is
+    fitted from the CV when finite-variance is possible (CV < 1 is
+    unreachable for Pareto; we then fall back to alpha=2.5).
+    """
+
+    name = "pareto"
+
+    def __init__(self, mean: float, sigma: float, minimum: float = 0.0) -> None:
+        super().__init__(mean, sigma, minimum)
+        cv2 = (sigma / mean) ** 2 if sigma > 0 else 1.0
+        # For Pareto(alpha, xm): CV^2 = 1 / (alpha (alpha - 2)) for
+        # alpha > 2.  Solve alpha = 1 + sqrt(1 + 1/CV^2).
+        self._alpha = 1.0 + math.sqrt(1.0 + 1.0 / cv2) if cv2 > 0 else 2.5
+        self._xm = mean * (self._alpha - 1.0) / self._alpha
+
+    def _draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self._xm * (1.0 + rng.pareto(self._alpha, size=n))
+
+
+#: Registry of distribution families by name.
+DISTRIBUTIONS: Dict[str, Type[OutageDistribution]] = {
+    cls.name: cls
+    for cls in (
+        NormalOutages,
+        LognormalOutages,
+        WeibullOutages,
+        ExponentialOutages,
+        ParetoOutages,
+    )
+}
+
+
+def make_distribution(
+    name: str, mean: float, sigma: float, minimum: float = 0.0
+) -> OutageDistribution:
+    """Construct a registered outage-length distribution by name."""
+    try:
+        cls = DISTRIBUTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(DISTRIBUTIONS))
+        raise TraceError(f"unknown distribution {name!r} (known: {known})") from None
+    return cls(mean, sigma, minimum)
+
+
+def distribution_names() -> List[str]:
+    """Sorted names of the registered outage-length families."""
+    return sorted(DISTRIBUTIONS)

@@ -1,0 +1,168 @@
+"""Entropia/SDSC-style production-trace synthesis (paper Figure 1).
+
+Figure 1 of the paper shows, for each of 7 working days (9AM-5PM), the
+percentage of unavailable resources sampled in 10-minute intervals on a
+production volunteer system at SDSC [Kondo et al. 2004].  The published
+characteristics we mimic:
+
+* average per-node unavailability around 0.4,
+* strong diurnal structure (monitored working hours; lab occupancy
+  rises mid-day),
+* large-scale correlated outages - up to ~90% of resources
+  simultaneously unavailable, rarely below ~25%,
+* mean outage interval 409 seconds.
+
+We model each day with a smooth base occupancy profile plus correlated
+"lab session" bursts that knock out a random subset of nodes together,
+then sample per-node on/off processes modulated by that profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import HOUR, MEAN_OUTAGE_SECONDS
+from ..errors import TraceError
+from .model import AvailabilityTrace
+
+
+@dataclass(frozen=True)
+class EntropiaConfig:
+    """Knobs for the Figure-1 style generator."""
+
+    n_nodes: int = 40
+    n_days: int = 7
+    day_start_hour: float = 9.0
+    day_end_hour: float = 17.0
+    #: Mean of the base (uncorrelated) unavailability level.
+    base_rate: float = 0.35
+    #: Daily peak amplitude added mid-day (lab occupancy).
+    diurnal_amplitude: float = 0.25
+    #: Expected number of correlated bursts per day ("lab sessions").
+    bursts_per_day: float = 2.0
+    #: Fraction of nodes taken down by a burst.
+    burst_fraction: float = 0.45
+    #: Burst length (seconds), mean/sigma.
+    burst_mean: float = 45 * 60.0
+    burst_sigma: float = 15 * 60.0
+    mean_outage: float = MEAN_OUTAGE_SECONDS
+
+    def validate(self) -> None:
+        if self.n_nodes < 1 or self.n_days < 1:
+            raise TraceError("n_nodes and n_days must be >= 1")
+        if not 0 <= self.base_rate < 1:
+            raise TraceError("base_rate must be in [0, 1)")
+        if not self.day_start_hour < self.day_end_hour <= 24:
+            raise TraceError("bad working-day window")
+
+
+@dataclass(frozen=True)
+class DayProfile:
+    """Sampled unavailability percentage of one day, Fig.-1 style."""
+
+    day: int
+    times: np.ndarray  # seconds since day start (10-min grid)
+    pct_unavailable: np.ndarray  # 0..100
+
+    def summary(self) -> str:
+        return (
+            f"DAY{self.day + 1}: mean {self.pct_unavailable.mean():5.1f}% "
+            f"min {self.pct_unavailable.min():5.1f}% "
+            f"max {self.pct_unavailable.max():5.1f}%"
+        )
+
+
+def _diurnal_level(cfg: EntropiaConfig, t: float, day_len: float) -> float:
+    """Base unavailability probability at offset ``t`` into the day."""
+    # A raised-cosine bump peaking mid-day, matching lab-hour occupancy.
+    x = t / day_len  # 0..1 across the monitored window
+    bump = 0.5 * (1.0 - np.cos(2.0 * np.pi * x))  # 0 at edges, 1 mid-day
+    return min(0.97, cfg.base_rate + cfg.diurnal_amplitude * bump)
+
+
+def generate_entropia_day(
+    cfg: EntropiaConfig, rng: np.random.Generator, day: int
+) -> List[AvailabilityTrace]:
+    """Per-node traces for one monitored day (window-relative times)."""
+    cfg.validate()
+    day_len = (cfg.day_end_hour - cfg.day_start_hour) * HOUR
+
+    # Correlated bursts: intervals + node subsets.
+    n_bursts = rng.poisson(cfg.bursts_per_day)
+    bursts = []
+    for _ in range(n_bursts):
+        start = rng.uniform(0.0, day_len)
+        length = max(5 * 60.0, rng.normal(cfg.burst_mean, cfg.burst_sigma))
+        members = rng.random(cfg.n_nodes) < cfg.burst_fraction
+        bursts.append((start, min(start + length, day_len), members))
+
+    traces: List[AvailabilityTrace] = []
+    for node in range(cfg.n_nodes):
+        intervals = []
+        t = 0.0
+        # Alternating renewal process modulated by the diurnal level.
+        while t < day_len:
+            p = _diurnal_level(cfg, t, day_len)
+            # Mean up time chosen so the duty cycle matches p.
+            mean_up = cfg.mean_outage * (1.0 - p) / max(p, 1e-6)
+            up = rng.exponential(max(mean_up, 30.0))
+            t += up
+            if t >= day_len:
+                break
+            down = max(30.0, rng.normal(cfg.mean_outage, cfg.mean_outage / 3))
+            intervals.append((t, min(t + down, day_len)))
+            t += down
+        # Overlay correlated bursts for this node's membership.
+        for start, end, members in bursts:
+            if members[node]:
+                intervals.append((start, end))
+        traces.append(AvailabilityTrace(_merge(intervals), day_len))
+    return traces
+
+
+def _merge(intervals: Sequence[tuple]) -> List[tuple]:
+    """Merge possibly overlapping intervals into a disjoint sorted list."""
+    out: List[list] = []
+    for s, e in sorted(intervals):
+        if out and s <= out[-1][1]:
+            out[-1][1] = max(out[-1][1], e)
+        else:
+            out.append([s, e])
+    return [(s, e) for s, e in out if e > s]
+
+
+def sample_day_profile(
+    traces: Sequence[AvailabilityTrace], day: int, sample_interval: float = 600.0
+) -> DayProfile:
+    """Percentage of unavailable nodes on a ``sample_interval`` grid,
+    i.e. one Fig.-1 curve.  Each sample averages availability over the
+    10-minute window, as the paper's caption specifies."""
+    if not traces:
+        raise TraceError("no traces to sample")
+    duration = traces[0].duration
+    edges = np.arange(0.0, duration + 1e-9, sample_interval)
+    times = (edges[:-1] + edges[1:]) / 2.0
+    # Sub-sample each window at 1-minute resolution and average.
+    pct = np.empty(len(times))
+    for j, (lo, hi) in enumerate(zip(edges[:-1], edges[1:])):
+        probes = np.arange(lo, hi, 60.0) + 30.0
+        down = [
+            np.mean([0.0 if tr.is_available(float(t)) else 1.0 for t in probes])
+            for tr in traces
+        ]
+        pct[j] = 100.0 * float(np.mean(down))
+    return DayProfile(day=day, times=times, pct_unavailable=pct)
+
+
+def generate_week(
+    cfg: EntropiaConfig, rng: np.random.Generator
+) -> List[DayProfile]:
+    """Seven Fig.-1 curves (one per monitored day)."""
+    profiles = []
+    for day in range(cfg.n_days):
+        traces = generate_entropia_day(cfg, rng, day)
+        profiles.append(sample_day_profile(traces, day))
+    return profiles

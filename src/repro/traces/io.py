@@ -1,0 +1,105 @@
+"""Persisting availability traces.
+
+The paper replayed pre-generated trace files on every node ("a
+monitoring process on each node reads in the assigned availability
+trace", Section VI).  This module provides that artifact format:
+
+* **CSV** — one row per outage: ``node,start,end`` with a duration
+  header comment.  Human-diffable; what a monitoring daemon would read.
+* **JSON** — a single document with metadata, for programmatic reuse.
+
+Both round-trip exactly (floats serialised with ``repr`` precision).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Union
+
+from ..errors import TraceError
+from .model import AvailabilityTrace
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_CSV_HEADER = "node,start,end"
+
+
+def save_traces_csv(path: PathLike, traces: Sequence[AvailabilityTrace]) -> None:
+    """Write a trace set as CSV (``# duration=...`` comment + rows)."""
+    if not traces:
+        raise TraceError("no traces to save")
+    duration = traces[0].duration
+    if any(t.duration != duration for t in traces):
+        raise TraceError("traces must share one duration")
+    lines = [f"# duration={duration!r}", _CSV_HEADER]
+    for node, trace in enumerate(traces):
+        for iv in trace:
+            lines.append(f"{node},{iv.start!r},{iv.end!r}")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def load_traces_csv(path: PathLike) -> List[AvailabilityTrace]:
+    """Read a trace set written by :func:`save_traces_csv`."""
+    duration = None
+    rows: Dict[int, List[tuple]] = {}
+    max_node = -1
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "duration=" in line:
+                    duration = float(line.split("duration=", 1)[1])
+                continue
+            if line == _CSV_HEADER:
+                continue
+            parts = line.split(",")
+            if len(parts) != 3:
+                raise TraceError(f"{path}:{lineno}: expected 3 fields")
+            try:
+                node, start, end = int(parts[0]), float(parts[1]), float(parts[2])
+            except ValueError as exc:
+                raise TraceError(f"{path}:{lineno}: {exc}") from None
+            rows.setdefault(node, []).append((start, end))
+            max_node = max(max_node, node)
+    if duration is None:
+        raise TraceError(f"{path}: missing '# duration=' header")
+    return [
+        AvailabilityTrace(rows.get(node, []), duration)
+        for node in range(max_node + 1)
+    ]
+
+
+def save_traces_json(path: PathLike, traces: Sequence[AvailabilityTrace]) -> None:
+    """Write a trace set as a single JSON document."""
+    if not traces:
+        raise TraceError("no traces to save")
+    duration = traces[0].duration
+    if any(t.duration != duration for t in traces):
+        raise TraceError("traces must share one duration")
+    doc = {
+        "format": "repro-availability-traces",
+        "version": 1,
+        "duration": duration,
+        "nodes": [
+            [[iv.start, iv.end] for iv in trace] for trace in traces
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+def load_traces_json(path: PathLike) -> List[AvailabilityTrace]:
+    """Read a trace set written by :func:`save_traces_json`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("format") != "repro-availability-traces":
+        raise TraceError(f"{path}: not a trace document")
+    duration = float(doc["duration"])
+    return [
+        AvailabilityTrace([(float(s), float(e)) for s, e in node], duration)
+        for node in doc["nodes"]
+    ]

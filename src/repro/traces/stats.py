@@ -1,0 +1,73 @@
+"""Statistics over availability traces (validation + Fig. 1 analysis)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import TraceError
+from .model import AvailabilityTrace, availability_matrix
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics of a set of per-node traces."""
+
+    n_nodes: int
+    mean_unavailability: float
+    mean_outage_seconds: float
+    max_simultaneous_down_fraction: float
+    min_simultaneous_down_fraction: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_nodes} nodes: mean unavail "
+            f"{self.mean_unavailability:.3f}, mean outage "
+            f"{self.mean_outage_seconds:.0f}s, simultaneous down "
+            f"{100 * self.min_simultaneous_down_fraction:.0f}%"
+            f"-{100 * self.max_simultaneous_down_fraction:.0f}%"
+        )
+
+
+def compute_stats(
+    traces: Sequence[AvailabilityTrace], sample_interval: float = 60.0
+) -> TraceStats:
+    """Summary statistics; simultaneous-down figures use a uniform grid."""
+    if not traces:
+        raise TraceError("no traces")
+    duration = traces[0].duration
+    if any(t.duration != duration for t in traces):
+        raise TraceError("traces must share one duration")
+
+    rates = [t.unavailability_rate() for t in traces]
+    lengths = np.concatenate(
+        [t.outage_lengths() for t in traces if len(t)] or [np.empty(0)]
+    )
+    times = np.arange(sample_interval / 2, duration, sample_interval)
+    avail = availability_matrix(traces, times)
+    down_frac = 1.0 - avail.mean(axis=0)
+    return TraceStats(
+        n_nodes=len(traces),
+        mean_unavailability=float(np.mean(rates)),
+        mean_outage_seconds=float(lengths.mean()) if lengths.size else 0.0,
+        max_simultaneous_down_fraction=float(down_frac.max()),
+        min_simultaneous_down_fraction=float(down_frac.min()),
+    )
+
+
+def measured_unavailability(
+    traces: Sequence[AvailabilityTrace], t_from: float, t_to: float
+) -> float:
+    """Fraction of node-time unavailable within a window — exactly what
+    MOON's NameNode estimates as ``p`` over its interval ``I``."""
+    if t_to <= t_from:
+        raise TraceError("empty measurement window")
+    total = 0.0
+    for tr in traces:
+        for iv in tr:
+            lo, hi = max(iv.start, t_from), min(iv.end, t_to)
+            if hi > lo:
+                total += hi - lo
+    return total / ((t_to - t_from) * len(traces))

@@ -1,0 +1,35 @@
+"""A ``grep``-style workload (extension; not in the paper's Table I).
+
+Distributed grep is the canonical third MapReduce example (Dean &
+Ghemawat 2008): scan-heavy maps, near-empty intermediate data, a single
+small reduce.  Included to exercise the runtime on a map-dominated job
+with an extremely sparse shuffle.
+"""
+
+from __future__ import annotations
+
+from .base import JobSpec
+
+
+def grep_spec(
+    n_maps: int = 256,
+    block_mb: float = 64.0,
+    match_fraction: float = 0.001,
+    map_cpu_seconds: float = 15.0,
+    **overrides,
+) -> JobSpec:
+    """Distributed grep: huge input, near-zero intermediate data."""
+    spec = JobSpec(
+        name="grep",
+        n_maps=n_maps,
+        n_reduces=1,
+        map_input_mb=block_mb,
+        map_output_mb=max(0.01, block_mb * match_fraction),
+        reduce_output_mb=max(0.01, n_maps * block_mb * match_fraction),
+        map_cpu_seconds=map_cpu_seconds,
+        reduce_cpu_seconds=2.0,
+        sort_seconds_per_mb=0.01,
+        **overrides,
+    )
+    spec.validate()
+    return spec

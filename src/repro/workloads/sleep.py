@@ -1,0 +1,68 @@
+"""The ``sleep`` benchmark (paper VI-A).
+
+Sleep simulates a target application with faithful map/reduce execution
+times while producing only negligible intermediate data (two integers
+per record) and zero output.  The paper uses it to isolate the task
+scheduler from data management: we feed it the average map/reduce times
+measured from sort / word count benchmarking runs, and store the tiny
+intermediate data as reliable {1,1} files so it is always available.
+"""
+
+from __future__ import annotations
+
+from ..dfs import ReplicationFactor
+from .base import JobSpec
+
+
+def sleep_spec(
+    map_seconds: float,
+    reduce_seconds: float,
+    n_maps: int,
+    n_reduces: int = None,
+    reduces_per_slot: float = 0.0,
+    **overrides,
+) -> JobSpec:
+    """A sleep job with the given faithful task durations."""
+    spec = JobSpec(
+        name="sleep",
+        n_maps=n_maps,
+        n_reduces=n_reduces,
+        reduces_per_slot=reduces_per_slot,
+        # Hadoop's sleep uses a virtual input format: splits exist but
+        # no bytes live in the DFS, so input availability can never
+        # fail a sleep job (matching the paper's Fig. 4 baselines,
+        # which completed at every unavailability rate).
+        map_input_mb=0.0,
+        map_output_mb=0.05,  # two integers per record
+        reduce_output_mb=0.0,
+        map_cpu_seconds=map_seconds,
+        reduce_cpu_seconds=reduce_seconds,
+        sort_seconds_per_mb=0.0,
+        input_rf=ReplicationFactor(1, 1),
+        intermediate_rf=ReplicationFactor(1, 1),
+        output_rf=ReplicationFactor(1, 1),
+        intermediate_reliable=True,  # paper VI-A's configuration
+        **overrides,
+    )
+    spec.validate()
+    return spec
+
+
+def sleep_like_sort(n_maps: int = 384, reduces_per_slot: float = 0.9) -> JobSpec:
+    """Sleep parameterised with sort's benchmarked task times (VI-A)."""
+    return sleep_spec(
+        map_seconds=21.0,  # Table II, sort VO-V1 map time
+        reduce_seconds=90.0,
+        n_maps=n_maps,
+        reduces_per_slot=reduces_per_slot,
+    )
+
+
+def sleep_like_wordcount(n_maps: int = 320, n_reduces: int = 20) -> JobSpec:
+    """Sleep parameterised with word count's benchmarked task times."""
+    return sleep_spec(
+        map_seconds=100.0,  # Table II, wc VO-V1 map time
+        reduce_seconds=50.0,
+        n_maps=n_maps,
+        n_reduces=n_reduces,
+    )

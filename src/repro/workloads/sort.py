@@ -1,0 +1,38 @@
+"""The ``sort`` benchmark (paper Table I: 24 GB input, 384 maps,
+0.9 x AvailSlots reduces).
+
+Sort is I/O-bound: every map emits its whole input as intermediate data
+and every reduce writes its whole shuffle volume as output, which is
+what makes sort sensitive to replication policy (Fig. 6a) and to
+dedicated-node bandwidth (Fig. 7a).
+"""
+
+from __future__ import annotations
+
+from .base import JobSpec
+
+
+def sort_spec(
+    n_maps: int = 384,
+    block_mb: float = 64.0,
+    reduces_per_slot: float = 0.9,
+    map_cpu_seconds: float = 12.0,
+    reduce_cpu_seconds: float = 6.0,
+    **overrides,
+) -> JobSpec:
+    """Table-I sort: 384 x 64 MB = 24 GB, selectivity 1.0."""
+    spec = JobSpec(
+        name="sort",
+        n_maps=n_maps,
+        n_reduces=None,
+        reduces_per_slot=reduces_per_slot,
+        map_input_mb=block_mb,
+        map_output_mb=block_mb,  # selectivity 1: all input is shuffled
+        reduce_output_mb=None,  # pass-through: input_mb / n_reduces
+        map_cpu_seconds=map_cpu_seconds,
+        reduce_cpu_seconds=reduce_cpu_seconds,
+        sort_seconds_per_mb=0.02,
+        **overrides,
+    )
+    spec.validate()
+    return spec

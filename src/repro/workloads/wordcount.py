@@ -1,0 +1,44 @@
+"""The ``word count`` benchmark (paper Table I: 20 GB, 320 maps, 20
+reduces).
+
+Word count is CPU-bound with tiny intermediate/final output (a handful
+of MB of counts per map), which is why its shuffle can hide behind map
+execution and why replication policy matters far less than for sort
+(Fig. 6b, Table II).
+"""
+
+from __future__ import annotations
+
+from .base import JobSpec
+
+
+def wordcount_spec(
+    n_maps: int = 320,
+    block_mb: float = 64.0,
+    n_reduces: int = 20,
+    map_cpu_seconds: float = 100.0,
+    reduce_cpu_seconds: float = 12.0,
+    intermediate_fraction: float = 0.05,
+    output_fraction: float = 0.4,
+    **overrides,
+) -> JobSpec:
+    """Table-I word count: 320 x 64 MB = 20 GB, 20 reduces.
+
+    ``map_cpu_seconds`` defaults near the paper's measured ~100-113 s
+    map times (Table II); intermediate data is ~5% of input.
+    """
+    map_out = block_mb * intermediate_fraction
+    spec = JobSpec(
+        name="word count",
+        n_maps=n_maps,
+        n_reduces=n_reduces,
+        map_input_mb=block_mb,
+        map_output_mb=map_out,
+        reduce_output_mb=(n_maps * map_out * output_fraction) / max(1, n_reduces),
+        map_cpu_seconds=map_cpu_seconds,
+        reduce_cpu_seconds=reduce_cpu_seconds,
+        sort_seconds_per_mb=0.02,
+        **overrides,
+    )
+    spec.validate()
+    return spec

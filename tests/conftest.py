@@ -1,0 +1,17 @@
+"""Shared fixtures for the MOON reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import Simulation
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation(seed=1234)
+
+
+@pytest.fixture
+def rng(sim):
+    return sim.rng("test")

@@ -1,0 +1,69 @@
+"""Shared builders for DFS/MapReduce tests."""
+
+from __future__ import annotations
+
+from repro.cluster import (
+    AvailabilityMonitor,
+    Cluster,
+    Node,
+    NodeKind,
+    connect_network,
+)
+from repro.config import DfsConfig, NodeSpec
+from repro.dfs import NameNode
+from repro.net import FifoNetwork
+from repro.traces import AvailabilityTrace
+
+
+def build_mr(
+    sim,
+    scheduler_cfg=None,
+    shuffle_cfg=None,
+    n_dedicated=2,
+    n_volatile=4,
+    traces=None,
+    dfs_cfg=None,
+    spec=None,
+):
+    """Full stack for MapReduce tests; returns (cluster, net, nn, jt)."""
+    from repro.config import SchedulerConfig, ShuffleConfig
+    from repro.mapreduce import JobTracker
+    from repro.scheduling import make_scheduler
+
+    cluster, net, nn = build(
+        sim, n_dedicated=n_dedicated, n_volatile=n_volatile,
+        traces=traces, cfg=dfs_cfg, spec=spec,
+    )
+    scheduler_cfg = scheduler_cfg or SchedulerConfig()
+    shuffle_cfg = shuffle_cfg or ShuffleConfig()
+    jt = JobTracker(
+        sim, cluster, nn, scheduler_cfg, shuffle_cfg,
+        make_scheduler(scheduler_cfg),
+    )
+    return cluster, net, nn, jt
+
+
+def build(sim, n_dedicated=2, n_volatile=4, traces=None, cfg=None, spec=None):
+    """Small test cluster: dedicated ids 0..d-1, volatile d..d+v-1.
+
+    ``traces`` maps node_id -> list of (start, end) unavailable
+    intervals (duration 100000 s).
+    """
+    spec = spec or NodeSpec()
+    nodes = []
+    for i in range(n_dedicated):
+        nodes.append(Node(i, NodeKind.DEDICATED, spec))
+    for j in range(n_volatile):
+        nid = n_dedicated + j
+        trace = None
+        if traces and nid in traces:
+            trace = AvailabilityTrace(traces[nid], 100000.0)
+        nodes.append(Node(nid, NodeKind.VOLATILE, spec, trace))
+    cluster = Cluster(nodes)
+    AvailabilityMonitor(sim, cluster)
+    net = FifoNetwork(sim)
+    for n in nodes:
+        net.register_node(n.node_id, n.spec.disk_mbps, n.spec.nic_mbps)
+    connect_network(cluster, net)
+    nn = NameNode(sim, cluster, net, cfg or DfsConfig())
+    return cluster, net, nn

@@ -1,0 +1,75 @@
+"""Tests for the replication-strategy cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    hybrid_curve,
+    strategy_table,
+    volatile_only_curve,
+)
+from repro.analysis.costmodel import cheapest_meeting
+from repro.errors import DfsError
+
+
+class TestCurves:
+    def test_vo_curve_monotone_availability(self):
+        curve = volatile_only_curve(0.4)
+        av = [pt.availability for pt in curve]
+        assert all(a < b for a, b in zip(av, av[1:]))
+
+    def test_vo_traffic_linear(self):
+        curve = volatile_only_curve(0.4, block_mb=64.0)
+        assert [pt.traffic_mb for pt in curve[:3]] == [0.0, 64.0, 128.0]
+
+    def test_hybrid_point_zero_volatile(self):
+        curve = hybrid_curve(0.4, p_dedicated=0.001)
+        first = curve[0]
+        assert first.dedicated == 1 and first.volatile == 0
+        assert first.availability == pytest.approx(0.999)
+
+    def test_paper_section_i_eleven_replicas(self):
+        """p=0.4, goal 99.99% -> 11 volatile-only replicas."""
+        cost = cheapest_meeting(volatile_only_curve(0.4), 0.9999)
+        assert cost.feasible
+        assert cost.point.volatile == 11
+
+    def test_paper_section_iii_one_plus_three(self):
+        """Same goal with a dedicated copy: {1,3} suffices."""
+        cost = cheapest_meeting(hybrid_curve(0.4, 0.001), 0.9999)
+        assert cost.feasible
+        assert cost.point.volatile <= 3
+        assert cost.point.total_replicas <= 4
+
+    def test_hybrid_always_cheaper_or_equal(self):
+        for goal in (0.9, 0.99, 0.999, 0.9999):
+            vo = cheapest_meeting(volatile_only_curve(0.4, 16), goal)
+            hy = cheapest_meeting(hybrid_curve(0.4, 0.001, 16), goal)
+            assert hy.point.total_replicas <= vo.point.total_replicas
+
+    def test_infeasible_goal(self):
+        cost = cheapest_meeting(volatile_only_curve(0.9, max_replicas=2), 0.9999)
+        assert not cost.feasible
+        assert cost.point is None
+
+    def test_validation(self):
+        with pytest.raises(DfsError):
+            volatile_only_curve(0.4, max_replicas=0)
+        with pytest.raises(DfsError):
+            hybrid_curve(0.4, max_volatile=-1)
+        with pytest.raises(DfsError):
+            cheapest_meeting(volatile_only_curve(0.4), 1.5)
+
+
+class TestStrategyTable:
+    def test_table_mentions_both_strategies(self):
+        text = strategy_table(0.4, 0.9999)
+        assert "volatile-only" in text
+        assert "hybrid" in text
+        assert "{0,11}" in text
+        assert "saves" in text
+
+    def test_infeasible_rendered(self):
+        text = strategy_table(0.9, 0.999999, max_replicas=3)
+        assert "infeasible" in text

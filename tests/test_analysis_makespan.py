@@ -1,0 +1,127 @@
+"""Tests for the analytical makespan model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    TwoStateModel,
+    estimate_makespan,
+    expected_task_time,
+    waves,
+)
+from repro.errors import ConfigError
+from repro.workloads import sleep_like_sort, sort_spec, wordcount_spec
+
+
+class TestExpectedTaskTime:
+    def test_no_volatility_is_service_time(self):
+        m = TwoStateModel(0.0, 409.0)
+        assert expected_task_time(100.0, m) == pytest.approx(100.0)
+
+    def test_pause_resume_inflation(self):
+        """MOON semantics: occupancy = service / (1 - p)."""
+        m = TwoStateModel(0.5, 409.0)
+        assert expected_task_time(100.0, m) == pytest.approx(200.0)
+
+    def test_kill_policy_costs_more_than_pause(self):
+        """Hadoop's expiry kills waste work: for any finite expiry the
+        expected occupancy exceeds the pause-only occupancy."""
+        m = TwoStateModel(0.4, 409.0)
+        pause = expected_task_time(300.0, m)
+        killed = expected_task_time(300.0, m, kill_after=600.0)
+        assert killed > pause
+
+    def test_shorter_expiry_wastes_more_on_long_tasks(self):
+        """A 1-minute expiry kills almost every interrupted long task;
+        30 minutes rides out most 409-second outages."""
+        m = TwoStateModel(0.4, 409.0)
+        t1 = expected_task_time(600.0, m, kill_after=60.0)
+        t30 = expected_task_time(600.0, m, kill_after=1800.0)
+        assert t1 > t30
+
+    def test_zero_service(self):
+        m = TwoStateModel(0.4, 409.0)
+        assert expected_task_time(0.0, m) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            expected_task_time(-1.0, TwoStateModel(0.4, 409.0))
+
+
+class TestWaves:
+    def test_exact_division(self):
+        assert waves(120, 60) == 2
+
+    def test_remainder_rounds_up(self):
+        assert waves(121, 60) == 3
+
+    def test_zero_tasks(self):
+        assert waves(0, 60) == 0
+
+    def test_no_slots_rejected(self):
+        with pytest.raises(ConfigError):
+            waves(10, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            waves(-1, 10)
+
+
+class TestEstimateMakespan:
+    def test_makespan_grows_with_volatility(self):
+        spec = sleep_like_sort(n_maps=384)
+        t1 = estimate_makespan(spec, 60, 0.1).total
+        t3 = estimate_makespan(spec, 60, 0.3).total
+        t5 = estimate_makespan(spec, 60, 0.5).total
+        assert t1 < t3 < t5
+
+    def test_kill_policy_inflates_makespan(self):
+        spec = sleep_like_sort(n_maps=384)
+        moon_like = estimate_makespan(spec, 60, 0.5).total
+        hadoop_like = estimate_makespan(spec, 60, 0.5, kill_after=600.0).total
+        assert hadoop_like > moon_like
+
+    def test_sort_dominated_by_io_wordcount_by_maps(self):
+        """sort moves ~24 GB of intermediate data; word count's shuffle
+        is tiny (Table II's contrast)."""
+        sort_est = estimate_makespan(sort_spec(), 60, 0.3)
+        wc_est = estimate_makespan(wordcount_spec(), 60, 0.3)
+        assert sort_est.shuffle_time > wc_est.shuffle_time
+        assert wc_est.map_time > wc_est.shuffle_time
+
+    def test_breakdown_sums(self):
+        est = estimate_makespan(sort_spec(), 60, 0.3)
+        assert est.total == pytest.approx(
+            est.map_time + est.shuffle_time + est.reduce_time
+        )
+
+    def test_more_nodes_faster(self):
+        spec = sort_spec()
+        small = estimate_makespan(spec, 30, 0.3).total
+        large = estimate_makespan(spec, 120, 0.3).total
+        assert large < small
+
+    def test_needs_a_node(self):
+        with pytest.raises(ConfigError):
+            estimate_makespan(sort_spec(), 0, 0.3)
+
+    def test_sanity_against_simulated_sleep_run(self):
+        """The analytical estimate should land within a factor ~3 of
+        the simulator for the benign sleep workload at low volatility
+        (it ignores replication, stragglers, heartbeat latencies)."""
+        from repro.core import moon_system
+        from repro.config import SystemConfig, ClusterConfig, TraceConfig
+        from repro.config import moon_scheduler_config
+
+        spec = sleep_like_sort(n_maps=96)
+        cfg = SystemConfig(
+            cluster=ClusterConfig(n_volatile=20, n_dedicated=2),
+            trace=TraceConfig(unavailability_rate=0.1),
+            scheduler=moon_scheduler_config(),
+            seed=5,
+        )
+        result = moon_system(cfg).run_job(spec)
+        assert result.succeeded
+        est = estimate_makespan(spec, 20, 0.1).total
+        assert est / 3 < result.elapsed < est * 3

@@ -1,0 +1,133 @@
+"""Tests for the two-state Markov availability model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import TwoStateModel, k_of_n_down_pmf, prob_at_least_k_down
+from repro.config import TraceConfig
+from repro.errors import TraceError
+from repro.traces import generate_trace
+
+
+class TestTwoStateModel:
+    def test_mean_uptime_from_rate(self):
+        """p = down/(up+down): at p=0.4, down=409 -> up=613.5."""
+        m = TwoStateModel(0.4, 409.0)
+        assert m.mean_uptime == pytest.approx(409.0 * 0.6 / 0.4)
+
+    def test_zero_p_never_fails(self):
+        m = TwoStateModel(0.0, 409.0)
+        assert m.mean_uptime == float("inf")
+        assert m.failure_rate == 0.0
+        assert m.prob_survives(1e9) == 1.0
+        assert m.availability_at(100.0) == 1.0
+
+    def test_transient_availability_converges_to_steady_state(self):
+        m = TwoStateModel(0.4, 409.0)
+        assert m.availability_at(0.0, up_at_zero=True) == pytest.approx(1.0)
+        assert m.availability_at(0.0, up_at_zero=False) == pytest.approx(0.0)
+        late = m.availability_at(1e6)
+        assert late == pytest.approx(0.6, abs=1e-9)
+
+    def test_transient_monotone_from_each_side(self):
+        m = TwoStateModel(0.3, 400.0)
+        ts = np.linspace(0, 5000, 50)
+        from_up = [m.availability_at(t, True) for t in ts]
+        from_down = [m.availability_at(t, False) for t in ts]
+        assert all(a >= b - 1e-12 for a, b in zip(from_up, from_up[1:]))
+        assert all(a <= b + 1e-12 for a, b in zip(from_down, from_down[1:]))
+
+    def test_survival_decreases_with_duration(self):
+        m = TwoStateModel(0.4, 409.0)
+        assert m.prob_survives(60.0) > m.prob_survives(600.0)
+
+    def test_long_tasks_rarely_survive(self):
+        """The paper's motivation for dedicated placement of long tasks:
+        a one-hour task at p=0.4 almost never runs uninterrupted."""
+        m = TwoStateModel(0.4, 409.0)
+        assert m.prob_survives(3600.0) < 0.01
+
+    def test_expected_interruptions_linear(self):
+        m = TwoStateModel(0.4, 409.0)
+        one = m.expected_interruptions(100.0)
+        assert m.expected_interruptions(200.0) == pytest.approx(2 * one)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            TwoStateModel(1.0, 409.0)
+        with pytest.raises(TraceError):
+            TwoStateModel(0.4, 0.0)
+        with pytest.raises(TraceError):
+            TwoStateModel(0.4, 409.0).availability_at(-1.0)
+        with pytest.raises(TraceError):
+            TwoStateModel(0.4, 409.0).prob_survives(-1.0)
+
+
+class TestKOfN:
+    def test_pmf_sums_to_one(self):
+        pmf = k_of_n_down_pmf(60, 0.4)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert len(pmf) == 61
+
+    def test_mode_near_np(self):
+        pmf = k_of_n_down_pmf(60, 0.4)
+        assert abs(int(pmf.argmax()) - 24) <= 1
+
+    def test_at_least_zero_is_certain(self):
+        assert prob_at_least_k_down(60, 0, 0.4) == 1.0
+
+    def test_ninety_percent_burst_is_astronomical_under_independence(self):
+        """Fig. 1 shows ~90% simultaneous unavailability; under the
+        independent model that is a < 1e-12 event for 60 nodes at
+        p=0.4 — the quantitative case for the correlated generator."""
+        assert prob_at_least_k_down(60, 54, 0.4) < 1e-12
+
+    def test_tail_monotone_in_k(self):
+        probs = [prob_at_least_k_down(60, k, 0.4) for k in range(0, 61, 5)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            k_of_n_down_pmf(-1, 0.4)
+        with pytest.raises(TraceError):
+            k_of_n_down_pmf(5, 1.5)
+        with pytest.raises(TraceError):
+            prob_at_least_k_down(5, -1, 0.4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_pmf_valid(self, n, p):
+        pmf = k_of_n_down_pmf(n, p)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (pmf >= 0).all()
+
+
+class TestModelVsTraces:
+    def test_steady_state_matches_generated_traces(self):
+        """The generator hits the configured rate exactly; the Markov
+        steady state is that same number — cross-check the two."""
+        cfg = TraceConfig(unavailability_rate=0.4)
+        rng = np.random.default_rng(3)
+        rates = [generate_trace(cfg, rng).unavailability_rate() for _ in range(20)]
+        model = TwoStateModel(0.4, cfg.mean_outage)
+        steady_unavail = 1.0 - model.availability_at(1e9)
+        assert np.mean(rates) == pytest.approx(steady_unavail, abs=0.01)
+
+    def test_interruption_count_matches_trace_outage_count(self):
+        """Expected interruptions over the whole window ~= number of
+        outages the generator actually places."""
+        cfg = TraceConfig(unavailability_rate=0.4)
+        rng = np.random.default_rng(9)
+        model = TwoStateModel(0.4, cfg.mean_outage)
+        # Uptime during the trace is (1-p)*duration; interruptions occur
+        # at failure_rate over uptime, which is exactly n_outages.
+        expected = model.failure_rate * (1 - 0.4) * cfg.duration
+        counts = [len(generate_trace(cfg, rng)) for _ in range(30)]
+        assert np.mean(counts) == pytest.approx(expected, rel=0.15)

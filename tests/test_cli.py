@@ -1,0 +1,129 @@
+"""CLI tests — parser wiring and the fast commands end-to-end.
+
+The figure commands re-run whole experiment grids, so they are
+exercised by the benchmark suite; here we cover everything that runs
+in milliseconds-to-seconds plus the parser surface of the rest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if hasattr(a, "choices") and a.choices
+        )
+        assert set(sub.choices) >= {
+            "fig1", "fig4", "fig6", "fig7", "table1", "table2",
+            "ablations", "run", "trace", "availability", "estimate",
+        }
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "sort"
+        assert args.scheduler == "moon"
+        assert args.rate == 0.3
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheduler", "yarn"])
+
+    def test_trace_needs_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+
+class TestFastCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "24GB" in out and "384" in out
+        assert "word count" in out and "20" in out
+
+    def test_availability_reproduces_paper_numbers(self, capsys):
+        assert main(["availability"]) == 0
+        out = capsys.readouterr().out
+        assert "{0,11}" in out  # Section I: eleven volatile replicas
+        assert "{1," in out  # Section III: hybrid anchor
+
+    def test_availability_custom_p(self, capsys):
+        assert main(["availability", "--p", "0.1", "--goal", "0.999"]) == 0
+        out = capsys.readouterr().out
+        assert "volatile-only" in out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "--rate", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "map" in out and "shuffle" in out and "total" in out
+
+    def test_estimate_with_expiry(self, capsys):
+        assert main(["estimate", "--rate", "0.5",
+                     "--expiry-minutes", "10"]) == 0
+        assert "total" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_generate_and_stats_csv(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        assert main([
+            "trace", "generate", str(out), "--nodes", "8",
+            "--rate", "0.3", "--seed", "1",
+        ]) == 0
+        assert out.exists()
+        assert main(["trace", "stats", str(out)]) == 0
+        assert "mean unavail 0.300" in capsys.readouterr().out
+
+    def test_generate_json_correlated(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main([
+            "trace", "generate", str(out), "--nodes", "8",
+            "--rate", "0.4", "--correlated",
+        ]) == 0
+        assert main(["trace", "stats", str(out), "--histogram"]) == 0
+        assert "outage lengths" in capsys.readouterr().out
+
+    def test_generate_each_distribution(self, tmp_path):
+        for dist in ("lognormal", "exponential"):
+            out = tmp_path / f"{dist}.csv"
+            assert main([
+                "trace", "generate", str(out), "--nodes", "4",
+                "--distribution", dist,
+            ]) == 0
+
+
+class TestRunCommand:
+    def test_small_moon_run(self, capsys):
+        rc = main([
+            "run", "--workload", "sleep-sort", "--maps", "48",
+            "--volatile", "12", "--dedicated", "2", "--rate", "0.2",
+            "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "succeeded" in out
+
+    def test_small_hadoop_run(self, capsys):
+        rc = main([
+            "run", "--workload", "sleep-sort", "--maps", "48",
+            "--scheduler", "hadoop", "--expiry-minutes", "1",
+            "--volatile", "12", "--dedicated", "2", "--rate", "0.2",
+            "--seed", "3",
+        ])
+        assert rc == 0
+        assert "succeeded" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Configuration validation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    DfsConfig,
+    NodeSpec,
+    SchedulerConfig,
+    ShuffleConfig,
+    SystemConfig,
+    TraceConfig,
+    hadoop_scheduler_config,
+    moon_scheduler_config,
+)
+from repro.errors import ConfigError
+
+
+class TestDefaultsMatchPaper:
+    def test_cluster_is_60_plus_6(self):
+        cfg = ClusterConfig()
+        assert cfg.n_volatile == 60 and cfg.n_dedicated == 6
+        assert cfg.n_nodes == 66
+
+    def test_node_has_2_map_2_reduce_slots(self):
+        spec = NodeSpec()
+        assert spec.map_slots == 2 and spec.reduce_slots == 2
+
+    def test_trace_mean_outage_409s(self):
+        assert TraceConfig().mean_outage == 409.0
+        assert TraceConfig().duration == 8 * 3600.0
+
+    def test_moon_intervals(self):
+        cfg = moon_scheduler_config()
+        assert cfg.suspension_interval == 60.0
+        assert cfg.tracker_expiry_interval == 1800.0
+        assert cfg.kind == "moon"
+
+    def test_hadoop_default_expiry_10min(self):
+        cfg = hadoop_scheduler_config()
+        assert cfg.tracker_expiry_interval == 600.0
+        assert cfg.kind == "hadoop"
+        assert cfg.hybrid_aware is False
+
+    def test_moon_two_phase_defaults(self):
+        cfg = SchedulerConfig()
+        assert cfg.homestretch_threshold_pct == 20.0
+        assert cfg.homestretch_replicas == 2
+        assert cfg.speculative_cap_fraction == 0.20
+
+    def test_dfs_defaults(self):
+        cfg = DfsConfig()
+        assert cfg.default_reliable_rf == (1, 3)
+        assert cfg.availability_goal == 0.9
+        assert cfg.node_hibernate_interval < cfg.node_expiry_interval
+
+    def test_system_config_validates(self):
+        SystemConfig().validate()
+
+
+class TestValidation:
+    def test_bad_node_spec(self):
+        with pytest.raises(ConfigError):
+            NodeSpec(cpu_scale=0).validate()
+        with pytest.raises(ConfigError):
+            NodeSpec(disk_mbps=-1).validate()
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(n_volatile=0, n_dedicated=0).validate()
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceConfig(unavailability_rate=1.0).validate()
+        with pytest.raises(ConfigError):
+            TraceConfig(unavailability_rate=-0.1).validate()
+
+    def test_dfs_hibernate_must_be_short(self):
+        with pytest.raises(ConfigError):
+            DfsConfig(
+                node_hibernate_interval=600.0, node_expiry_interval=600.0
+            ).validate()
+
+    def test_dfs_zero_replica_rf_rejected(self):
+        with pytest.raises(ConfigError):
+            DfsConfig(default_reliable_rf=(0, 0)).validate()
+
+    def test_moon_suspension_lt_expiry(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(
+                kind="moon",
+                suspension_interval=600.0,
+                tracker_expiry_interval=600.0,
+            ).validate()
+
+    def test_unknown_scheduler_kind(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(kind="fifo").validate()
+
+    def test_unknown_network_model(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(network_model="quantum").validate()
+
+    def test_shuffle_validation(self):
+        with pytest.raises(ConfigError):
+            ShuffleConfig(parallel_copies=0).validate()
+
+    def test_with_replaces_fields(self):
+        cfg = SystemConfig().with_(seed=7)
+        assert cfg.seed == 7
+        assert cfg.cluster.n_volatile == 60

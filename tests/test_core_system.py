@@ -1,0 +1,108 @@
+"""Tests for the top-level system assembly (S10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    hadoop_scheduler_config,
+    moon_scheduler_config,
+)
+from repro.core import MoonSystem, hadoop_system, moon_system
+from repro.errors import ConfigError
+from repro.workloads import sleep_spec
+
+
+def small_cfg(rate=0.0, scheduler=None, seed=3, n_volatile=8, n_dedicated=2):
+    return SystemConfig(
+        cluster=ClusterConfig(n_volatile=n_volatile, n_dedicated=n_dedicated),
+        trace=TraceConfig(unavailability_rate=rate),
+        scheduler=scheduler or moon_scheduler_config(),
+        seed=seed,
+    )
+
+
+class TestMoonSystem:
+    def test_runs_a_job_end_to_end(self):
+        system = moon_system(small_cfg())
+        res = system.run_job(sleep_spec(3.0, 2.0, n_maps=8, n_reduces=2))
+        assert res.succeeded
+        assert res.elapsed > 0
+        assert res.metrics.profile.avg_map_time >= 3.0
+
+    def test_cluster_matches_config(self):
+        system = moon_system(small_cfg())
+        assert len(system.cluster.dedicated) == 2
+        assert len(system.cluster.volatile) == 8
+
+    def test_run_jobs_concurrently(self):
+        system = moon_system(small_cfg())
+        specs = [
+            sleep_spec(2.0, 1.0, n_maps=4, n_reduces=1),
+            sleep_spec(2.0, 1.0, n_maps=4, n_reduces=1),
+        ]
+        results = system.run_jobs(specs)
+        assert all(r.succeeded for r in results)
+
+    def test_deterministic_given_seed(self):
+        r1 = moon_system(small_cfg(rate=0.3, seed=9)).run_job(
+            sleep_spec(5.0, 3.0, n_maps=12, n_reduces=3)
+        )
+        r2 = moon_system(small_cfg(rate=0.3, seed=9)).run_job(
+            sleep_spec(5.0, 3.0, n_maps=12, n_reduces=3)
+        )
+        assert r1.elapsed == r2.elapsed
+        assert r1.metrics.duplicated_tasks == r2.metrics.duplicated_tasks
+
+    def test_seed_changes_outcome(self):
+        # Long enough (~15 simulated minutes) that the seed-dependent
+        # outage pattern must intersect the job's execution: with a
+        # 409 s mean outage, 8 volatile nodes see their first outages
+        # within the first few hundred seconds.
+        spec = sleep_spec(120.0, 30.0, n_maps=80, n_reduces=3)
+        r1 = moon_system(small_cfg(rate=0.4, seed=1)).run_job(spec)
+        r2 = moon_system(small_cfg(rate=0.4, seed=2)).run_job(spec)
+        assert r1.elapsed != r2.elapsed
+
+
+class TestHadoopBaseline:
+    def test_all_nodes_presented_as_volatile(self):
+        system = hadoop_system(small_cfg(scheduler=hadoop_scheduler_config()))
+        assert len(system.cluster.dedicated) == 0
+        assert len(system.cluster.volatile) == 10
+
+    def test_reliable_machines_keep_their_availability(self):
+        """The first n_dedicated nodes carry no trace (they are the same
+        well-maintained boxes), Hadoop just can't tell (VI-C)."""
+        system = hadoop_system(
+            small_cfg(rate=0.4, scheduler=hadoop_scheduler_config())
+        )
+        traceless = [n for n in system.cluster.nodes if n.trace is None]
+        assert len(traceless) == 2
+
+    def test_same_seed_gives_same_traces_as_moon(self):
+        """Fair comparison: node i's outage schedule is identical under
+        both systems (the paper replays the same trace files)."""
+        moon = moon_system(small_cfg(rate=0.4, seed=5))
+        hadoop = hadoop_system(
+            small_cfg(rate=0.4, seed=5, scheduler=hadoop_scheduler_config())
+        )
+        moon_traces = [n.trace.intervals for n in moon.cluster.volatile]
+        hadoop_traces = [
+            n.trace.intervals for n in hadoop.cluster.nodes if n.trace
+        ]
+        assert moon_traces == hadoop_traces
+
+    def test_moon_scheduler_rejected(self):
+        with pytest.raises(ConfigError):
+            hadoop_system(small_cfg(scheduler=moon_scheduler_config()))
+
+    def test_hadoop_baseline_runs(self):
+        system = hadoop_system(
+            small_cfg(rate=0.1, scheduler=hadoop_scheduler_config())
+        )
+        res = system.run_job(sleep_spec(3.0, 2.0, n_maps=8, n_reduces=2))
+        assert res.succeeded

@@ -1,0 +1,105 @@
+"""Tests for the analytical availability model (paper's arithmetic)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfs import (
+    block_availability,
+    hybrid_equivalent,
+    replication_cost_mb,
+    required_volatile_replicas,
+)
+from repro.errors import DfsError
+
+
+class TestPaperNumbers:
+    def test_eleven_replicas_at_p04_for_four_nines(self):
+        """Paper I: 'when machine unavailability rate is 0.4, eleven
+        replicas are needed to achieve 99.99% availability'."""
+        assert required_volatile_replicas(0.9999, 0.4) == 11
+        assert block_availability(0.4, 11) > 0.9999
+        assert block_availability(0.4, 10) < 0.9999
+
+    def test_hybrid_one_dedicated_three_volatile(self):
+        """Paper III: with a dedicated copy (p_d ~ 0.001), 99.99% needs
+        only one dedicated + three volatile copies."""
+        assert hybrid_equivalent(0.9999, 0.4, 0.001) <= 3
+        assert block_availability(0.4, 3, p_dedicated=0.001, d=1) > 0.9999
+
+    def test_hadoop_vo_baseline_six_replicas(self):
+        """Paper VI-C: six uniform replicas give ~99.5% at p=0.4."""
+        a = block_availability(0.4, 6)
+        assert a == pytest.approx(0.9959, abs=0.001)
+
+    def test_adaptive_v_prime_examples(self):
+        """IV-A rule at the paper's 0.9 goal."""
+        assert required_volatile_replicas(0.9, 0.5) == 4  # 1-0.5^4 = 0.9375
+        assert required_volatile_replicas(0.9, 0.3) == 2
+        # At exactly p=0.1, 1 - 0.1^1 = 0.9 is NOT > 0.9: need 2.
+        assert required_volatile_replicas(0.9, 0.1) == 2
+
+    def test_p_zero_needs_single_copy(self):
+        assert required_volatile_replicas(0.9, 0.0) == 1
+
+    def test_clamped_to_max(self):
+        assert required_volatile_replicas(0.999999, 0.9, max_replicas=8) == 8
+
+
+class TestValidation:
+    def test_bad_p_rejected(self):
+        with pytest.raises(DfsError):
+            block_availability(1.0, 3)
+        with pytest.raises(DfsError):
+            required_volatile_replicas(0.9, -0.1)
+
+    def test_bad_goal_rejected(self):
+        with pytest.raises(DfsError):
+            required_volatile_replicas(1.0, 0.4)
+        with pytest.raises(DfsError):
+            hybrid_equivalent(0.0, 0.4, 0.001)
+
+    def test_zero_replicas_unavailable(self):
+        assert block_availability(0.4, 0) == 0.0
+
+    def test_replication_cost(self):
+        assert replication_cost_mb(64.0, 3) == 128.0
+        assert replication_cost_mb(64.0, 1) == 0.0
+        with pytest.raises(DfsError):
+            replication_cost_mb(64.0, 0)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        p=st.floats(min_value=0.01, max_value=0.95),
+        v=st.integers(min_value=1, max_value=20),
+    )
+    def test_property_more_replicas_never_hurt(self, p, v):
+        assert block_availability(p, v + 1) >= block_availability(p, v)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        goal=st.floats(min_value=0.5, max_value=0.9999),
+        p=st.floats(min_value=0.01, max_value=0.9),
+    )
+    def test_property_v_prime_meets_goal_minimally(self, goal, p):
+        # Lift the default cap: minimality only holds uncapped (e.g.
+        # p=0.875 at four nines needs 69 > 64 replicas).
+        v = required_volatile_replicas(goal, p, max_replicas=10_000)
+        assert block_availability(p, v) > goal
+        if v > 1:
+            assert block_availability(p, v - 1) <= goal
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        p=st.floats(min_value=0.05, max_value=0.9),
+        pd=st.floats(min_value=0.0001, max_value=0.05),
+    )
+    def test_property_dedicated_copy_reduces_needed_volatile(self, p, pd):
+        goal = 0.999
+        pure = required_volatile_replicas(goal, p)
+        hybrid = hybrid_equivalent(goal, p, pd)
+        assert hybrid <= pure

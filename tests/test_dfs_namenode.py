@@ -1,0 +1,228 @@
+"""Tests for the NameNode: namespace, node states, replication queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    AvailabilityMonitor,
+    Cluster,
+    Node,
+    NodeKind,
+    connect_network,
+)
+from repro.config import DfsConfig, NodeSpec
+from repro.dfs import FileKind, NameNode, NodeState, ReplicationFactor
+from repro.errors import FileAlreadyExists, FileNotFound
+from repro.net import FifoNetwork
+from repro.simulation import Simulation
+from repro.traces import AvailabilityTrace
+
+from helpers import build
+
+RF11 = ReplicationFactor(1, 1)
+RF13 = ReplicationFactor(1, 3)
+RF02 = ReplicationFactor(0, 2)
+
+
+class TestNamespace:
+    def test_create_file_splits_into_blocks(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/in", FileKind.RELIABLE, RF13, 200.0, block_size_mb=64.0)
+        assert [b.size_mb for b in f.blocks] == [64.0, 64.0, 64.0, 8.0]
+        assert f.size_mb == pytest.approx(200.0)
+
+    def test_zero_size_file_has_one_empty_block(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/empty", FileKind.OPPORTUNISTIC, RF11, 0.0)
+        assert len(f.blocks) == 1
+        assert f.blocks[0].size_mb == 0.0
+
+    def test_duplicate_path_rejected(self, sim):
+        _, _, nn = build(sim)
+        nn.create_file("/x", FileKind.RELIABLE, RF11, 1.0)
+        with pytest.raises(FileAlreadyExists):
+            nn.create_file("/x", FileKind.RELIABLE, RF11, 1.0)
+
+    def test_missing_file_raises(self, sim):
+        _, _, nn = build(sim)
+        with pytest.raises(FileNotFound):
+            nn.file("/nope")
+
+    def test_delete_releases_storage(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/x", FileKind.RELIABLE, RF11, 64.0)
+        nn.register_replica(f.blocks[0], 0)
+        assert nn.info(0).used_mb == 64.0
+        nn.delete_file("/x")
+        assert nn.info(0).used_mb == 0.0
+        assert not nn.exists("/x")
+
+    def test_convert_to_reliable_enqueues_dedicated_deficit(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/out", FileKind.OPPORTUNISTIC, RF11, 64.0)
+        nn.register_replica(f.blocks[0], 3)  # volatile only
+        nn.convert_to_reliable("/out")
+        assert f.kind is FileKind.RELIABLE
+        assert nn.replication_queue_length() == 1
+
+
+class TestReplicaBookkeeping:
+    def test_register_tracks_dedicated_subset(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/x", FileKind.RELIABLE, RF13, 64.0)
+        b = f.blocks[0]
+        nn.register_replica(b, 0)  # dedicated
+        nn.register_replica(b, 3)  # volatile
+        assert b.dedicated_replicas == {0}
+        assert b.volatile_replicas == {3}
+
+    def test_double_register_is_idempotent(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/x", FileKind.RELIABLE, RF11, 64.0)
+        nn.register_replica(f.blocks[0], 0)
+        nn.register_replica(f.blocks[0], 0)
+        assert nn.info(0).used_mb == 64.0
+
+    def test_read_targets_volatile_first_for_volatile_reader(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/x", FileKind.RELIABLE, RF13, 64.0)
+        b = f.blocks[0]
+        for nid in (0, 3, 4):
+            nn.register_replica(b, nid)
+        order = nn.read_targets(b, reader_node=5)
+        assert set(order[:2]) == {3, 4}  # volatile replicas first
+        assert order[2] == 0  # dedicated last (IV-B)
+
+    def test_read_targets_local_first(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/x", FileKind.RELIABLE, RF13, 64.0)
+        b = f.blocks[0]
+        for nid in (0, 3, 4):
+            nn.register_replica(b, nid)
+        assert nn.read_targets(b, reader_node=4)[0] == 4
+
+    def test_read_targets_dedicated_first_for_dedicated_reader(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/x", FileKind.RELIABLE, RF13, 64.0)
+        b = f.blocks[0]
+        for nid in (0, 3):
+            nn.register_replica(b, nid)
+        assert nn.read_targets(b, reader_node=1)[0] == 0
+
+    def test_read_targets_skip_hibernated(self, sim):
+        traces = {3: [(10.0, 500.0)]}
+        cluster, _, nn = build(sim, traces=traces)
+        f = nn.create_file("/x", FileKind.RELIABLE, RF13, 64.0)
+        b = f.blocks[0]
+        nn.register_replica(b, 3)
+        nn.register_replica(b, 0)
+        sim.run(until=100.0)  # past hibernate (60 s), before expiry
+        assert nn.node_state(3) is NodeState.HIBERNATED
+        assert nn.read_targets(b, reader_node=4) == [0]
+
+
+class TestNodeStateMachine:
+    def test_hibernate_then_expire_then_rejoin(self, sim):
+        traces = {3: [(0.0, 700.0)]}
+        cluster, _, nn = build(sim, traces=traces)
+        sim.run(until=100.0)
+        assert nn.node_state(3) is NodeState.HIBERNATED
+        sim.run(until=650.0)
+        assert nn.node_state(3) is NodeState.DEAD
+        sim.run(until=701.0)
+        assert nn.node_state(3) is NodeState.ALIVE
+
+    def test_hibernation_requeues_only_unanchored_opportunistic(self, sim):
+        traces = {3: [(10.0, 500.0)]}
+        _, _, nn = build(sim, traces=traces)
+        # Opportunistic with dedicated anchor.
+        fa = nn.create_file("/anchored", FileKind.OPPORTUNISTIC, RF11, 64.0)
+        nn.register_replica(fa.blocks[0], 0)
+        nn.register_replica(fa.blocks[0], 3)
+        # Opportunistic without anchor; one of its two copies hibernates.
+        fu = nn.create_file("/bare", FileKind.OPPORTUNISTIC, RF02, 64.0)
+        nn.register_replica(fu.blocks[0], 3)
+        nn.register_replica(fu.blocks[0], 4)
+        # Reliable file on the dying node (also anchored) - not requeued
+        # at hibernation (only at expiry).
+        fr = nn.create_file("/rel", FileKind.RELIABLE, RF11, 64.0)
+        nn.register_replica(fr.blocks[0], 0)
+        nn.register_replica(fr.blocks[0], 3)
+
+        sim.run(until=75.0)  # hibernate trips at ~73 s
+        assert nn.node_state(3) is NodeState.HIBERNATED
+        sim.run(until=120.0)
+        # Only /bare is re-replicated (a third copy on a live volatile).
+        assert len(fu.blocks[0].replicas) == 3
+        assert fa.blocks[0].replicas == {0, 3}  # untouched: anchored
+        assert fr.blocks[0].replicas == {0, 3}  # untouched: reliable rule
+
+    def test_expiry_drops_replicas_and_requeues(self, sim):
+        traces = {3: [(0.0, 5000.0)]}
+        _, _, nn = build(sim, traces=traces)
+        f = nn.create_file("/x", FileKind.RELIABLE, RF11, 64.0)
+        nn.register_replica(f.blocks[0], 0)
+        nn.register_replica(f.blocks[0], 3)
+        sim.run(until=650.0)
+        assert nn.node_state(3) is NodeState.DEAD
+        assert 3 not in f.blocks[0].replicas
+        sim.run(until=700.0)
+        # Re-replicated onto some other volatile node.
+        assert len(f.blocks[0].volatile_replicas) == 1
+
+    def test_rejoin_overreplication_counts_thrash(self, sim):
+        traces = {3: [(0.0, 5000.0)]}
+        _, _, nn = build(sim, traces=traces)
+        f = nn.create_file("/x", FileKind.RELIABLE, RF11, 64.0)
+        nn.register_replica(f.blocks[0], 0)
+        nn.register_replica(f.blocks[0], 3)
+        sim.run(until=5100.0)
+        # Node 3 rejoined; meanwhile its block went elsewhere.
+        assert nn.counters["replication_thrash"] >= 1
+        assert 3 in f.blocks[0].replicas
+
+    def test_lost_block_counted(self, sim):
+        traces = {3: [(0.0, 5000.0)]}
+        _, _, nn = build(sim, traces=traces)
+        f = nn.create_file("/only", FileKind.OPPORTUNISTIC, RF11, 64.0)
+        nn.register_replica(f.blocks[0], 3)
+        sim.run(until=700.0)
+        assert nn.counters["blocks_lost"] == 1
+
+
+class TestReplicationQueue:
+    def test_reliable_served_before_opportunistic(self, sim):
+        _, net, nn = build(sim, cfg=DfsConfig(max_replications_per_scan=1,
+                                              replication_check_interval=10.0))
+        fo = nn.create_file("/opp", FileKind.OPPORTUNISTIC, RF02, 64.0)
+        nn.register_replica(fo.blocks[0], 3)
+        fr = nn.create_file("/rel", FileKind.RELIABLE, RF02, 64.0)
+        nn.register_replica(fr.blocks[0], 4)
+        nn.note_write_shortfall(fo.blocks[0], declined=False)
+        nn.note_write_shortfall(fr.blocks[0], declined=False)
+        # One replication per scan: reliable must win the first scan.
+        sim.run(until=13.0)
+        assert len(fr.blocks[0].replicas) == 2
+        assert len(fo.blocks[0].replicas) == 1
+        sim.run(until=30.0)
+        assert len(fo.blocks[0].replicas) == 2
+
+    def test_p_estimate_tracks_downtime(self, sim):
+        traces = {3: [(0.0, 50000.0)], 4: [(0.0, 50000.0)]}
+        _, _, nn = build(sim, n_volatile=4, traces=traces)
+        sim.run(until=500.0)
+        # 2 of 4 volatile nodes down the whole window.
+        assert nn.estimated_p() == pytest.approx(0.5, abs=0.05)
+
+    def test_want_dedicated_filled_after_unthrottle(self, sim):
+        """Opportunistic block that was declined its dedicated copy gets
+        one once a dedicated node has room again."""
+        _, net, nn = build(sim)
+        f = nn.create_file("/i", FileKind.OPPORTUNISTIC, RF11, 8.0)
+        nn.register_replica(f.blocks[0], 3)
+        nn.note_write_shortfall(f.blocks[0], declined=True)
+        sim.run(until=60.0)
+        # Dedicated nodes are idle (never throttled): the queue path
+        # fills the dedicated copy on its own.
+        assert f.blocks[0].has_dedicated_replica()

@@ -1,0 +1,126 @@
+"""Tests for Algorithm 1 (sliding-window I/O throttling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DfsConfig
+from repro.dfs import THROTTLED, UNTHROTTLED, ThrottleDetector, ThrottleService
+from repro.net import FifoNetwork
+from repro.simulation import Simulation
+
+
+class TestDetectorStateMachine:
+    def make(self, window=4, threshold=0.2):
+        return ThrottleDetector(window, threshold)
+
+    def fill(self, det, values):
+        for v in values:
+            det.observe(v)
+
+    def test_starts_unthrottled(self):
+        assert self.make().state == UNTHROTTLED
+
+    def test_no_decision_before_window_fills(self):
+        det = self.make(window=4)
+        self.fill(det, [100, 100, 100])  # only 3 samples
+        assert det.observe(101) == UNTHROTTLED  # first full-window check
+
+    def test_small_rise_means_saturated(self):
+        """bw rising but within (1+Tb): plateau -> throttled."""
+        det = self.make(window=4, threshold=0.2)
+        self.fill(det, [100, 100, 100, 100])
+        assert det.observe(105) == THROTTLED  # 100 < 105 < 120
+
+    def test_large_rise_is_healthy_rampup(self):
+        det = self.make(window=4, threshold=0.2)
+        self.fill(det, [100, 100, 100, 100])
+        assert det.observe(150) == UNTHROTTLED  # 150 >= 120: still growing
+
+    def test_release_requires_margin_drop(self):
+        det = self.make(window=4, threshold=0.2)
+        self.fill(det, [100, 100, 100, 100, 105])  # now throttled
+        assert det.throttled
+        # avg is now ~101.25; small dip stays throttled (hysteresis)...
+        assert det.observe(100) == THROTTLED
+        # ...but a big drop below (1-Tb)*avg releases.
+        avg = (100 + 100 + 100 + 105) / 4  # window after the dip shifts
+        assert det.observe(avg * 0.5) == UNTHROTTLED
+
+    def test_oscillation_does_not_flap(self):
+        """Alternating samples around the mean must not toggle state."""
+        det = self.make(window=4, threshold=0.3)
+        self.fill(det, [100, 100, 100, 100])
+        states = [det.observe(v) for v in [102, 98, 102, 98, 102]]
+        # It may throttle once (plateau detection) but never unthrottle
+        # on the small dips.
+        assert UNTHROTTLED not in states[1:] or THROTTLED not in states
+
+    def test_transitions_counter(self):
+        det = self.make(window=2, threshold=0.2)
+        self.fill(det, [100, 100])
+        det.observe(105)  # -> throttled
+        det.observe(10)  # -> unthrottled
+        assert det.transitions == 2
+
+    def test_flat_positive_plateau_is_saturation(self):
+        """Deterministic-sim deviation: exactly-equal positive samples
+        mean a queue draining at capacity -> throttled."""
+        det = self.make(window=2)
+        self.fill(det, [100, 100])
+        assert det.observe(100.0) == THROTTLED
+
+    def test_flat_zero_plateau_stays_unthrottled(self):
+        det = self.make(window=2)
+        self.fill(det, [0.0, 0.0])
+        assert det.observe(0.0) == UNTHROTTLED
+
+
+class TestThrottleService:
+    def _setup(self, sim):
+        cfg = DfsConfig(throttle_window=3, throttle_sample_interval=1.0,
+                        throttle_threshold=0.2)
+        net = FifoNetwork(sim, disk_fraction=0.0)
+        for i in range(4):
+            net.register_node(i, disk_mbps=50.0, nic_mbps=10.0)
+        released = []
+        svc = ThrottleService(
+            sim, net, [0, 1], cfg, on_unthrottled=released.append
+        )
+        return cfg, net, svc, released
+
+    def test_sampling_derives_bandwidth_from_counters(self, sim):
+        cfg, net, svc, _ = self._setup(sim)
+        # Saturate node 0's NIC-in at 10 MB/s with a constant stream.
+        for k in range(40):
+            net.transfer(2, 0, 10.0)
+        sim.run(until=20.0)
+        assert svc.is_throttled(0) is True
+        assert svc.is_throttled(1) is False
+        assert svc.all_throttled() is False
+
+    def test_all_throttled_when_every_dedicated_saturated(self, sim):
+        cfg, net, svc, _ = self._setup(sim)
+        for k in range(40):
+            net.transfer(2, 0, 10.0)  # source 2 feeds dedicated node 0
+            net.transfer(3, 1, 10.0)  # source 3 feeds dedicated node 1
+        sim.run(until=20.0)
+        assert svc.all_throttled() is True
+        assert svc.unthrottled_nodes() == []
+
+    def test_release_fires_callback(self, sim):
+        cfg, net, svc, released = self._setup(sim)
+        for k in range(15):
+            net.transfer(2, 0, 10.0)  # 15 s of saturation, then idle
+        sim.run(until=40.0)
+        assert svc.is_throttled(0) is False
+        assert 0 in released
+
+    def test_idle_node_never_throttles(self, sim):
+        cfg, net, svc, _ = self._setup(sim)
+        sim.run(until=30.0)
+        assert not svc.is_throttled(0) and not svc.is_throttled(1)
+
+    def test_unknown_node_reported_unthrottled(self, sim):
+        cfg, net, svc, _ = self._setup(sim)
+        assert svc.is_throttled(99) is False

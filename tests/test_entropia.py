@@ -1,0 +1,83 @@
+"""Tests for the Entropia/SDSC-style Figure-1 trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import (
+    EntropiaConfig,
+    compute_stats,
+    generate_entropia_day,
+    generate_week,
+    sample_day_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def day_traces():
+    cfg = EntropiaConfig(n_nodes=30)
+    return generate_entropia_day(cfg, np.random.default_rng(42), day=0)
+
+
+class TestEntropiaDay:
+    def test_day_window_is_8_hours(self, day_traces):
+        assert day_traces[0].duration == pytest.approx(8 * 3600.0)
+
+    def test_traces_are_valid_and_nontrivial(self, day_traces):
+        assert len(day_traces) == 30
+        assert all(len(t) > 0 for t in day_traces)
+
+    def test_mean_unavailability_near_entropia_level(self, day_traces):
+        """Paper I: 'individual node unavailability rates average around
+        0.4' for the SDSC trace."""
+        s = compute_stats(day_traces)
+        assert 0.25 <= s.mean_unavailability <= 0.65
+
+    def test_profile_grid_is_10_minutes(self, day_traces):
+        prof = sample_day_profile(day_traces, day=0)
+        assert len(prof.times) == 48  # 8h / 10min
+        assert np.all(np.diff(prof.times) == pytest.approx(600.0))
+
+    def test_profile_within_paper_band(self, day_traces):
+        """Fig. 1's y-axis spans 25..95%; our curves must live in a
+        similar band (never everyone up, never everyone down)."""
+        prof = sample_day_profile(day_traces, day=0)
+        assert prof.pct_unavailable.min() >= 5.0
+        assert prof.pct_unavailable.max() <= 98.0
+        assert 25.0 <= prof.pct_unavailable.mean() <= 75.0
+
+    def test_summary_format(self, day_traces):
+        prof = sample_day_profile(day_traces, day=2)
+        text = prof.summary()
+        assert text.startswith("DAY3:") and "%" in text
+
+
+class TestWeek:
+    def test_week_has_seven_days(self):
+        cfg = EntropiaConfig(n_nodes=12, n_days=7)
+        profiles = generate_week(cfg, np.random.default_rng(7))
+        assert len(profiles) == 7
+        assert [p.day for p in profiles] == list(range(7))
+
+    def test_days_differ(self):
+        cfg = EntropiaConfig(n_nodes=12, n_days=2)
+        profiles = generate_week(cfg, np.random.default_rng(9))
+        assert not np.allclose(
+            profiles[0].pct_unavailable, profiles[1].pct_unavailable
+        )
+
+
+class TestValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(TraceError):
+            EntropiaConfig(n_nodes=0).validate()
+        with pytest.raises(TraceError):
+            EntropiaConfig(base_rate=1.2).validate()
+        with pytest.raises(TraceError):
+            EntropiaConfig(day_start_hour=18, day_end_hour=9).validate()
+
+    def test_sample_requires_traces(self):
+        with pytest.raises(TraceError):
+            sample_day_profile([], day=0)

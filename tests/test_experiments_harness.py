@@ -1,0 +1,95 @@
+"""Tests for the shared experiment harness (memoisation, policies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    RATES,
+    SCHED_POLICIES,
+    hadoop_policy,
+    late_policy,
+    mean_counter,
+    mean_elapsed,
+    moon_policy,
+)
+from repro.experiments.harness import run_cell
+from repro.experiments.scale import Scale
+from repro.workloads import sleep_spec
+
+TINY = Scale(
+    n_volatile=8,
+    n_dedicated=2,
+    sort_maps=16,
+    wc_maps=16,
+    data_factor=0.25,
+    seeds=(1,),
+    time_limit=4 * 3600.0,
+)
+
+
+def tiny_spec():
+    return sleep_spec(5.0, 3.0, n_maps=16, n_reduces=2)
+
+
+class TestPolicies:
+    def test_paper_legend_complete(self):
+        assert list(SCHED_POLICIES) == [
+            "Hadoop10Min", "Hadoop5Min", "Hadoop1Min", "MOON", "MOON-Hybrid",
+        ]
+
+    def test_rates_are_paper_rates(self):
+        assert RATES == (0.1, 0.3, 0.5)
+
+    def test_hadoop_policy_minutes(self):
+        p = hadoop_policy(5)
+        assert p.kind == "hadoop"
+        assert p.tracker_expiry_interval == 300.0
+        assert not p.hybrid_aware
+
+    def test_moon_policy_intervals(self):
+        p = moon_policy(True)
+        assert p.kind == "moon"
+        assert p.suspension_interval == 60.0
+        assert p.tracker_expiry_interval == 1800.0
+        assert p.hybrid_aware
+
+    def test_late_policy(self):
+        assert late_policy().kind == "late"
+
+
+class TestRunCell:
+    def test_memoised_across_calls(self):
+        r1 = run_cell(TINY, tiny_spec(), 0.2, moon_policy(True))
+        r2 = run_cell(TINY, tiny_spec(), 0.2, moon_policy(True))
+        assert r1 is r2  # same structural key -> cached list object
+
+    def test_different_rate_not_shared(self):
+        r1 = run_cell(TINY, tiny_spec(), 0.2, moon_policy(True))
+        r3 = run_cell(TINY, tiny_spec(), 0.0, moon_policy(True))
+        assert r1 is not r3
+
+    def test_results_per_seed(self):
+        rs = run_cell(TINY, tiny_spec(), 0.0, moon_policy(True))
+        assert len(rs) == len(TINY.seeds)
+        assert all(r.succeeded for r in rs)
+
+
+class TestAggregation:
+    def test_mean_elapsed_skips_dnf(self):
+        class R:
+            def __init__(self, e, ok):
+                self.elapsed, self.succeeded = e, ok
+
+        assert mean_elapsed([R(10.0, True), R(None, False)]) == 10.0
+        assert mean_elapsed([R(None, False)]) is None
+
+    def test_mean_counter(self):
+        class M:
+            duplicated_tasks = 4
+
+        class R:
+            metrics = M()
+
+        assert mean_counter([R(), R()], "duplicated_tasks") == 4.0
+        assert mean_counter([], "duplicated_tasks") == 0.0

@@ -1,0 +1,53 @@
+"""Tests for the simulator-vs-analytical cross-validation driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.validate import (
+    ValidationPoint,
+    report,
+    run_validation,
+    within_band,
+)
+
+
+class TestValidationPoint:
+    def test_ratio(self):
+        p = ValidationPoint("w", 0.1, simulated=200.0, estimated=100.0)
+        assert p.ratio == 2.0
+
+    def test_dnf_ratio_none(self):
+        p = ValidationPoint("w", 0.1, simulated=None, estimated=100.0)
+        assert p.ratio is None
+
+
+class TestWithinBand:
+    def test_accepts_band(self):
+        pts = [ValidationPoint("w", 0.1, 150.0, 100.0)]
+        assert within_band(pts)
+
+    def test_rejects_blowup(self):
+        pts = [ValidationPoint("w", 0.1, 1000.0, 100.0)]
+        assert not within_band(pts)
+
+    def test_rejects_empty(self):
+        assert not within_band([])
+        assert not within_band(
+            [ValidationPoint("w", 0.1, None, 100.0)]
+        )
+
+
+class TestEndToEnd:
+    def test_grid_agrees_within_band(self):
+        """The headline cross-check: the full simulator and the
+        closed-form model agree within a small factor across rates."""
+        points = run_validation(rates=(0.0, 0.2), n_volatile=12, seed=3)
+        assert len(points) == 4
+        assert within_band(points)
+
+    def test_report_renders(self):
+        points = run_validation(rates=(0.0,), n_volatile=8, seed=3)
+        text = report(points)
+        assert "sim/est" in text
+        assert "sleep[sort]" in text

@@ -1,0 +1,139 @@
+"""End-to-end data-lifecycle integration tests.
+
+These cross-check the full stack — staging, intermediate files, output
+commit — against the paper's data-management contract (Section IV):
+input and committed output are *reliable* (≥ 1 dedicated replica),
+intermediate data is transient and cleaned up, and output only becomes
+visible when fully replicated.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.dfs import FileKind, ReplicationFactor
+from repro.workloads import sort_spec
+
+
+def cfg(rate=0.0, seed=7, n_volatile=12, n_dedicated=2):
+    return SystemConfig(
+        cluster=ClusterConfig(n_volatile=n_volatile, n_dedicated=n_dedicated),
+        trace=TraceConfig(unavailability_rate=rate),
+        scheduler=moon_scheduler_config(hybrid_aware=True),
+        seed=seed,
+    )
+
+
+def small_sort(**overrides):
+    spec = sort_spec(n_maps=12, block_mb=8.0, **overrides).with_(n_reduces=4)
+    spec.validate()
+    return spec
+
+
+class TestDataLifecycle:
+    def test_outputs_committed_reliable_with_dedicated_copy(self):
+        system = moon_system(cfg())
+        result = system.run_job(small_sort())
+        assert result.succeeded
+        outputs = [
+            f for f in system.namenode.files() if "/output" in f.path
+        ]
+        assert len(outputs) == 4  # one per reduce
+        for f in outputs:
+            # IV-A: output converts opportunistic -> reliable at commit,
+            # and reliable files always hold >= 1 dedicated copy.
+            assert f.kind is FileKind.RELIABLE
+            for block in f.blocks:
+                assert len(block.dedicated_replicas) >= f.rf.dedicated
+                assert len(block.replicas) >= f.rf.dedicated + f.rf.volatile
+
+    def test_intermediate_files_cleaned_after_job(self):
+        system = moon_system(cfg())
+        result = system.run_job(small_sort())
+        assert result.succeeded
+        leftovers = [
+            f.path for f in system.namenode.files() if "/intermediate" in f.path
+        ]
+        assert leftovers == []
+
+    def test_input_staged_at_requested_factor(self):
+        system = moon_system(cfg())
+        spec = small_sort(input_rf=ReplicationFactor(1, 3))
+        job = system.submit(spec)
+        f = system.namenode.file(job.input_path())
+        assert f.kind is FileKind.RELIABLE
+        for block in f.blocks:
+            assert len(block.dedicated_replicas) == 1
+            assert len(block.volatile_replicas) == 3
+
+    def test_stable_run_speculates_only_in_homestretch(self):
+        """At zero volatility nothing freezes and nothing lags; the
+        only duplicates MOON may issue are the *proactive* homestretch
+        copies of the final tasks (paper V-B replicates them regardless
+        of progress), bounded by the reduce count."""
+        system = moon_system(cfg(rate=0.0))
+        result = system.run_job(small_sort())
+        assert result.succeeded
+        assert result.metrics.map_reexecutions == 0
+        assert result.metrics.duplicated_tasks <= 12 + 4
+        assert result.metrics.profile.killed_maps == 0
+
+    def test_volatile_run_completes_with_bounded_duplicates(self):
+        system = moon_system(cfg(rate=0.4, seed=3))
+        result = system.run_job(small_sort())
+        assert result.succeeded
+        # Job-level speculative cap: duplicates stay in the same order
+        # of magnitude as the task count, never runaway.
+        n_tasks = 12 + 4
+        assert result.metrics.duplicated_tasks <= 4 * n_tasks
+
+    def test_elapsed_monotone_in_volatility(self):
+        spec = small_sort()
+        t0 = moon_system(cfg(rate=0.0)).run_job(spec).elapsed
+        t5 = moon_system(cfg(rate=0.5, seed=11)).run_job(spec).elapsed
+        assert t5 > t0
+
+    def test_profile_times_positive_on_success(self):
+        result = moon_system(cfg()).run_job(small_sort())
+        p = result.profile
+        assert p.avg_map_time > 0
+        assert p.avg_shuffle_time > 0
+        assert p.avg_reduce_time > 0
+
+    def test_no_live_attempts_after_success(self):
+        """Job completion kills outstanding attempts — including maps
+        re-executed for a transiently-lost output that no reduce ended
+        up needing (regression found by the system fuzzer)."""
+        system = moon_system(cfg(rate=0.4, seed=3))
+        result = system.run_job(small_sort())
+        assert result.succeeded
+        job = system.jobtracker.jobs[0]
+        assert all(not t.live_attempts() for t in job.tasks)
+
+
+class TestReplicationQueueConvergence:
+    def test_underreplicated_blocks_healed_after_run(self):
+        """Blocks written short of their factor (e.g. during outages)
+        are healed by the NameNode's replication queue."""
+        system = moon_system(cfg(rate=0.3, seed=13))
+        result = system.run_job(small_sort())
+        assert result.succeeded
+        # Drive the periodic services a while past job completion.
+        system.sim.run(until=system.sim.now + 600.0)
+        deficits = [
+            (f.path, b.index)
+            for f in system.namenode.files()
+            for b in f.blocks
+            if system.namenode._block_deficit(b)
+        ]
+        # Whatever remains must only be blocks whose nodes are all
+        # currently judged down; with rate 0.3 the queue should have
+        # drained essentially everything.
+        assert len(deficits) <= 2

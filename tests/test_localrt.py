@@ -1,0 +1,182 @@
+"""Tests for the functional MapReduce engine (S12)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LocalRuntimeError
+from repro.localrt import (
+    FaultPlan,
+    LocalRunner,
+    MapReduceJob,
+    default_partitioner,
+    group_by_key,
+    partition,
+    run_mapreduce,
+    split_records,
+    split_text,
+)
+
+TEXT = """the moon shines over the volunteer grid
+the grid computes while owners sleep
+moon over hadoop hadoop over moon"""
+
+
+def wc_map(_k, line):
+    for word in line.split():
+        yield (word, 1)
+
+
+def wc_reduce(word, counts):
+    yield (word, sum(counts))
+
+
+class TestIo:
+    def test_split_records_covers_everything_once(self):
+        records = [(i, i * i) for i in range(10)]
+        splits = split_records(records, 3)
+        assert [len(s) for s in splits] == [4, 3, 3]
+        flat = [r for s in splits for r in s]
+        assert flat == records
+
+    def test_split_more_ways_than_records(self):
+        splits = split_records([(0, "x")], 4)
+        assert sum(len(s) for s in splits) == 1
+        assert len(splits) == 4
+
+    def test_split_text_lines(self):
+        splits = split_text(TEXT, 2)
+        assert sum(len(s) for s in splits) == 3
+
+    def test_partition_respects_partitioner(self):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        parts = partition(pairs, 2, default_partitioner)
+        # Same key always lands in the same partition.
+        part_of_a = [i for i, p in enumerate(parts) if ("a", 1) in p]
+        assert ("a", 3) in parts[part_of_a[0]]
+
+    def test_partition_bad_index_rejected(self):
+        with pytest.raises(LocalRuntimeError):
+            partition([("a", 1)], 2, lambda k, n: 7)
+
+    def test_group_by_key(self):
+        g = group_by_key([("x", 1), ("y", 2), ("x", 3)])
+        assert g == {"x": [1, 3], "y": [2]}
+
+
+class TestWordCount:
+    def test_matches_counter(self):
+        records = [(i, line) for i, line in enumerate(TEXT.splitlines())]
+        out = run_mapreduce(wc_map, wc_reduce, records, n_reduces=3)
+        expected = Counter(TEXT.split())
+        assert out.as_dict() == dict(expected)
+
+    def test_single_reduce(self):
+        records = [(0, "a b a")]
+        out = run_mapreduce(wc_map, wc_reduce, records, n_reduces=1)
+        assert out.as_dict() == {"a": 2, "b": 1}
+
+    def test_combiner_preserves_result(self):
+        records = [(i, line) for i, line in enumerate(TEXT.splitlines())]
+        with_combiner = run_mapreduce(
+            wc_map, wc_reduce, records, n_reduces=2, combiner=wc_reduce
+        )
+        without = run_mapreduce(wc_map, wc_reduce, records, n_reduces=2)
+        assert with_combiner.as_dict() == without.as_dict()
+
+    def test_threaded_equals_sequential(self):
+        records = [(i, line) for i, line in enumerate(TEXT.splitlines() * 10)]
+        seq = run_mapreduce(wc_map, wc_reduce, records, n_reduces=3)
+        par = run_mapreduce(
+            wc_map, wc_reduce, records, n_reduces=3, max_workers=4
+        )
+        assert seq.pairs == par.pairs
+
+
+class TestFaults:
+    def test_faulty_run_still_correct(self):
+        records = [(i, line) for i, line in enumerate(TEXT.splitlines() * 5)]
+        out = run_mapreduce(
+            wc_map,
+            wc_reduce,
+            records,
+            n_reduces=2,
+            faults=FaultPlan(map_failure_rate=0.3, reduce_failure_rate=0.3,
+                             seed=7),
+        )
+        expected = {k: v * 5 for k, v in Counter(TEXT.split()).items()}
+        assert out.as_dict() == expected
+        assert out.map_failures + out.reduce_failures > 0
+        assert out.map_attempts > 8  # retries happened
+
+    def test_hopeless_faults_exhaust_attempt_budget(self):
+        records = [(0, "a")]
+        with pytest.raises(LocalRuntimeError):
+            run_mapreduce(
+                wc_map,
+                wc_reduce,
+                records,
+                faults=FaultPlan(map_failure_rate=0.999999, seed=1),
+            )
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(LocalRuntimeError):
+            FaultPlan(map_failure_rate=1.5)
+
+
+class TestValidation:
+    def test_bad_job_rejected(self):
+        job = MapReduceJob(map_fn=wc_map, reduce_fn=wc_reduce, n_reduces=0)
+        with pytest.raises(LocalRuntimeError):
+            LocalRunner().run(job, [(0, "x")])
+
+    def test_non_callable_rejected(self):
+        job = MapReduceJob(map_fn=None, reduce_fn=wc_reduce)
+        with pytest.raises(LocalRuntimeError):
+            LocalRunner().run(job, [(0, "x")])
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        words=st.lists(
+            st.text(alphabet="abcde", min_size=1, max_size=3),
+            min_size=0,
+            max_size=60,
+        ),
+        n_reduces=st.integers(min_value=1, max_value=5),
+        n_maps=st.integers(min_value=1, max_value=6),
+    )
+    def test_property_wordcount_equals_counter(self, words, n_reduces, n_maps):
+        text = " ".join(words)
+        records = [(0, text)] if text else []
+        if not records:
+            return
+        out = run_mapreduce(
+            wc_map, wc_reduce, records, n_reduces=n_reduces, n_maps=n_maps
+        )
+        assert out.as_dict() == dict(Counter(words))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=-100, max_value=100),
+                        min_size=1, max_size=50)
+    )
+    def test_property_sum_by_parity(self, values):
+        records = [(i, v) for i, v in enumerate(values)]
+
+        def m(_k, v):
+            yield (v % 2, v)
+
+        def r(k, vs):
+            yield (k, sum(vs))
+
+        out = run_mapreduce(m, r, records, n_reduces=2)
+        expected = {}
+        for v in values:
+            expected[v % 2] = expected.get(v % 2, 0) + v
+        assert out.as_dict() == expected

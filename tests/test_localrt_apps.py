@@ -1,0 +1,183 @@
+"""Tests for the localrt application library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LocalRuntimeError
+from repro.localrt import (
+    FaultPlan,
+    grep_count,
+    histogram,
+    inverted_index,
+    join,
+    kmeans,
+    kmeans_iteration,
+    kmer_count,
+    word_count,
+)
+
+DOCS = [
+    "the quick brown fox",
+    "the lazy dog",
+    "the quick dog jumps",
+]
+
+
+class TestWordCount:
+    def test_counts(self):
+        out = word_count(DOCS)
+        d = out.as_dict()
+        assert d["the"] == 3
+        assert d["quick"] == 2
+        assert d["fox"] == 1
+
+    def test_case_insensitive(self):
+        assert word_count(["Dog dog DOG"]).as_dict() == {"dog": 3}
+
+    def test_combiner_used(self):
+        """With a combiner, each map emits at most one pair per word."""
+        out = word_count(["a a a a a a"])
+        assert out.as_dict() == {"a": 6}
+
+    def test_survives_faults(self):
+        out = word_count(DOCS, faults=FaultPlan(map_failure_rate=0.3, seed=1))
+        assert out.as_dict()["the"] == 3
+        assert out.map_failures > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.text(alphabet="ab ", max_size=20), max_size=8))
+    def test_property_total_count_equals_total_words(self, docs):
+        import re
+
+        out = word_count(docs) if docs else None
+        expected = sum(
+            len(re.findall(r"[A-Za-z0-9']+", d.lower())) for d in docs
+        )
+        got = sum(out.as_dict().values()) if out else 0
+        assert got == expected
+
+
+class TestGrep:
+    def test_per_document_counts(self):
+        out = grep_count(DOCS, r"dog")
+        assert out.as_dict() == {1: 1, 2: 1}
+
+    def test_regex(self):
+        out = grep_count(["aaa", "aba"], r"a+")
+        assert out.as_dict() == {0: 1, 1: 2}
+
+    def test_no_match_no_pairs(self):
+        assert grep_count(DOCS, r"zebra").pairs == []
+
+
+class TestInvertedIndex:
+    def test_postings_sorted_and_unique(self):
+        out = inverted_index(DOCS)
+        d = out.as_dict()
+        assert d["the"] == [0, 1, 2]
+        assert d["dog"] == [1, 2]
+        assert d["fox"] == [0]
+
+    def test_word_once_per_doc(self):
+        d = inverted_index(["dog dog dog"]).as_dict()
+        assert d["dog"] == [0]
+
+
+class TestJoin:
+    def test_inner_join(self):
+        left = [(1, "a"), (2, "b")]
+        right = [(2, "x"), (3, "y")]
+        out = join(left, right)
+        assert out.pairs == [(2, ("b", "x"))]
+
+    def test_cross_product_per_key(self):
+        left = [(1, "a"), (1, "b")]
+        right = [(1, "x"), (1, "y")]
+        out = join(left, right)
+        assert sorted(v for _k, v in out.pairs) == [
+            ("a", "x"), ("a", "y"), ("b", "x"), ("b", "y"),
+        ]
+
+    def test_empty_side(self):
+        assert join([], [(1, "x")]).pairs == []
+
+
+class TestKmeans:
+    def test_single_iteration_moves_centroids_to_means(self):
+        points = [(0.0, 0.0), (0.0, 2.0), (10.0, 0.0), (10.0, 2.0)]
+        out = kmeans_iteration(points, [(0.0, 1.0), (10.0, 1.0)])
+        got = dict(out.pairs)
+        assert got[0] == pytest.approx((0.0, 1.0))
+        assert got[1] == pytest.approx((10.0, 1.0))
+
+    def test_empty_cluster_keeps_centroid(self):
+        points = [(0.0, 0.0), (1.0, 0.0)]
+        out = kmeans_iteration(points, [(0.5, 0.0), (100.0, 0.0)])
+        got = dict(out.pairs)
+        assert got[1] == pytest.approx((100.0, 0.0))
+
+    def test_converges_on_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal((0, 0), 0.3, size=(30, 2))
+        b = rng.normal((8, 8), 0.3, size=(30, 2))
+        pts = [tuple(p) for p in np.vstack([a, b])]
+        centroids, iters = kmeans(pts, k=2, iterations=20, seed=1)
+        assert iters < 20  # early convergence
+        ordered = sorted(centroids)
+        assert ordered[0] == pytest.approx((0, 0), abs=0.3)
+        assert ordered[1] == pytest.approx((8, 8), abs=0.3)
+
+    def test_validation(self):
+        with pytest.raises(LocalRuntimeError):
+            kmeans([(0.0, 0.0)], k=2)
+        with pytest.raises(LocalRuntimeError):
+            kmeans([(0.0,)], k=0)
+        with pytest.raises(LocalRuntimeError):
+            kmeans_iteration([(0.0,)], [])
+
+
+class TestKmerCount:
+    def test_threemers(self):
+        out = kmer_count(["ACGTACGT"], k=3)
+        d = out.as_dict()
+        assert d["ACG"] == 2
+        assert d["CGT"] == 2
+        assert d["GTA"] == 1
+
+    def test_upper_cased(self):
+        assert kmer_count(["acgt"], k=4).as_dict() == {"ACGT": 1}
+
+    def test_sequence_shorter_than_k(self):
+        assert kmer_count(["AC"], k=3).pairs == []
+
+    def test_bad_k(self):
+        with pytest.raises(LocalRuntimeError):
+            kmer_count(["ACGT"], k=0)
+
+    def test_total_kmers(self):
+        seqs = ["ACGTACGT", "TTTT"]
+        out = kmer_count(seqs, k=3)
+        assert sum(out.as_dict().values()) == sum(
+            len(s) - 2 for s in seqs
+        )
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self):
+        values = list(np.linspace(0, 10, 101))
+        out = histogram(values, bins=5)
+        assert sum(out.as_dict().values()) == 101
+
+    def test_explicit_range(self):
+        out = histogram([5.0], bins=10, lo=0.0, hi=10.0)
+        assert out.as_dict() == {5: 1}
+
+    def test_validation(self):
+        with pytest.raises(LocalRuntimeError):
+            histogram([], bins=3)
+        with pytest.raises(LocalRuntimeError):
+            histogram([1.0], bins=0)

@@ -1,0 +1,172 @@
+"""MapReduce runtime tests on a stable (failure-free) cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.dfs import ReplicationFactor
+from repro.mapreduce import JobState, TaskState, TaskType
+from repro.workloads import JobSpec, sleep_spec
+
+from helpers import build_mr
+
+
+def calm_cfg(**kw):
+    """MOON scheduler with homestretch replication disabled, so basic
+    runtime tests see no (faithful, but noisy) tail duplication."""
+    defaults = dict(kind="moon", homestretch_threshold_pct=0.0)
+    defaults.update(kw)
+    return SchedulerConfig(**defaults)
+
+
+def tiny_job(n_maps=4, n_reduces=2, **kw) -> JobSpec:
+    defaults = dict(
+        name="tiny",
+        n_maps=n_maps,
+        n_reduces=n_reduces,
+        map_input_mb=8.0,
+        map_output_mb=8.0,
+        reduce_output_mb=4.0,
+        map_cpu_seconds=5.0,
+        reduce_cpu_seconds=2.0,
+        sort_seconds_per_mb=0.01,
+        input_rf=ReplicationFactor(1, 2),
+        intermediate_rf=ReplicationFactor(1, 1),
+        output_rf=ReplicationFactor(1, 2),
+    )
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+class TestHappyPath:
+    def test_job_completes(self, sim):
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg())
+        job = jt.submit(tiny_job())
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        assert job.elapsed is not None and job.elapsed > 0
+
+    def test_all_tasks_succeed_exactly_once(self, sim):
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg())
+        job = jt.submit(tiny_job())
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        for t in job.tasks:
+            assert t.state is TaskState.SUCCEEDED
+            assert sum(1 for a in t.attempts if a.state.value == "succeeded") == 1
+        assert job.counters["duplicated_tasks"] == 0
+
+    def test_input_staged_with_one_block_per_map(self, sim):
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg())
+        job = jt.submit(tiny_job(n_maps=6))
+        f = nn.file(job.input_path())
+        assert len(f.blocks) == 6
+        assert all(t.input_block is not None for t in job.maps)
+
+    def test_output_committed_reliable_at_full_factor(self, sim):
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg())
+        job = jt.submit(tiny_job())
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        for t in job.reduces:
+            f = nn.file(t.output_file.path)
+            assert f.is_reliable
+            for b in f.blocks:
+                assert len(b.dedicated_replicas) >= 1
+                assert len(b.volatile_replicas) >= 2
+
+    def test_intermediate_cleaned_after_job(self, sim):
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg())
+        job = jt.submit(tiny_job())
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        leftovers = [
+            f.path for f in nn.files() if "/intermediate/" in f.path
+        ]
+        assert leftovers == []
+
+    def test_map_only_job(self, sim):
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg())
+        job = jt.submit(tiny_job(n_reduces=0))
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        assert job.n_reduces == 0
+
+    def test_zero_output_reduces(self, sim):
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg())
+        job = jt.submit(sleep_spec(2.0, 1.0, n_maps=4, n_reduces=2))
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+
+    def test_reduces_resolved_from_slots(self, sim):
+        _, _, nn, jt = build_mr(sim, n_volatile=6)
+        # 8 nodes x 2 reduce slots = 16; 0.5 per slot -> 8 reduces.
+        job = jt.submit(tiny_job(n_reduces=None, reduces_per_slot=0.5))
+        assert job.n_reduces == 8
+
+    def test_slowstart_holds_reduces_back(self, sim):
+        cfg = calm_cfg(reduce_slowstart_fraction=1.0)
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=cfg, n_volatile=8)
+        job = jt.submit(tiny_job(n_maps=8, n_reduces=2))
+        sim.run(until=5.0)  # maps take ~5.5 s compute + I/O
+        assert job.maps_completed() < len(job.maps)
+        assert all(not t.attempts for t in job.reduces)
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+
+    def test_concurrent_jobs_by_priority(self, sim):
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg(), n_volatile=4)
+        hi = jt.submit(tiny_job(n_maps=8, name="hi"), priority=10)
+        lo = jt.submit(tiny_job(n_maps=8, name="lo"), priority=0)
+        sim.run(until=3600.0, stop_when=lambda: hi.finished and lo.finished)
+        assert hi.state is JobState.SUCCEEDED
+        assert lo.state is JobState.SUCCEEDED
+        assert hi.finished_at <= lo.finished_at
+
+    def test_determinism_same_seed(self):
+        from repro.simulation import Simulation
+
+        def run(seed):
+            s = Simulation(seed=seed)
+            _, _, _, jt = build_mr(s, scheduler_cfg=calm_cfg())
+            job = jt.submit(tiny_job())
+            s.run(until=3600.0, stop_when=lambda: job.finished)
+            return job.elapsed
+
+        assert run(5) == run(5)
+
+
+class TestLocality:
+    def test_maps_prefer_local_input(self, sim):
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg(), n_volatile=8)
+        job = jt.submit(tiny_job(n_maps=8, n_reduces=1))
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        local = 0
+        for t in job.maps:
+            a = next(x for x in t.attempts if x.state.value == "succeeded")
+            if a.node_id in t.input_block.replicas:
+                local += 1
+        # Most maps should have run data-local on an idle cluster.
+        assert local >= len(job.maps) // 2
+
+
+class TestProfileMetrics:
+    def test_profile_has_phase_times(self, sim):
+        from repro.metrics import ExecutionProfile
+
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg())
+        job = jt.submit(tiny_job())
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        prof = ExecutionProfile.from_job(job, "test")
+        assert prof.avg_map_time > 5.0  # compute + I/O
+        assert prof.avg_shuffle_time > 0.0
+        assert prof.avg_reduce_time > 0.0
+        assert prof.killed_maps == 0 and prof.killed_reduces == 0
+
+    def test_run_metrics_snapshot(self, sim):
+        from repro.metrics import RunMetrics
+
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=calm_cfg())
+        job = jt.submit(tiny_job())
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        m = RunMetrics.from_job(job, nn, "moon")
+        assert m.succeeded and m.elapsed == job.elapsed
+        assert m.namenode_counters["replicas_written"] > 0

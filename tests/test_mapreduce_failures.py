@@ -1,0 +1,201 @@
+"""MapReduce behaviour under node volatility: the paper's core regime."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SchedulerConfig, ShuffleConfig, hadoop_scheduler_config
+from repro.dfs import ReplicationFactor
+from repro.mapreduce import AttemptState, JobState, TaskState
+
+from helpers import build_mr
+from test_mapreduce_basic import tiny_job
+
+
+class TestVmPauseSemantics:
+    def test_suspended_attempt_freezes_and_resumes(self, sim):
+        """An attempt on a suspended node makes no progress, survives,
+        and completes after the node returns (VM-pause, III).  A single
+        one-node cluster isolates pause/resume from any rescue path."""
+        traces = {0: [(2.0, 50.0)]}
+        cfg = SchedulerConfig(kind="moon", suspension_interval=60.0,
+                              tracker_expiry_interval=1800.0,
+                              homestretch_threshold_pct=0.0)
+        cluster, _, nn, jt = build_mr(
+            sim, scheduler_cfg=cfg, n_volatile=1, n_dedicated=0, traces=traces
+        )
+        job = jt.submit(tiny_job(
+            n_maps=1, n_reduces=0, map_cpu_seconds=10.0,
+            input_rf=ReplicationFactor(0, 1),
+            intermediate_rf=ReplicationFactor(0, 1),
+            output_rf=ReplicationFactor(0, 1),
+        ))
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        # ~2 s of work before the outage, 48 s frozen, then the rest:
+        # the single attempt finished well after the node returned.
+        t = job.maps[0]
+        assert len(t.attempts) == 1
+        assert t.attempts[0].finished_at > 50.0
+
+    def test_moon_flags_inactive_after_suspension_interval(self, sim):
+        traces = {0: [(2.0, 500.0)]}
+        cfg = SchedulerConfig(kind="moon", suspension_interval=30.0,
+                              tracker_expiry_interval=1800.0,
+                              homestretch_threshold_pct=0.0)
+        cluster, _, nn, jt = build_mr(
+            sim, scheduler_cfg=cfg, n_volatile=1, n_dedicated=0, traces=traces
+        )
+        job = jt.submit(tiny_job(
+            n_maps=1, n_reduces=0, map_cpu_seconds=60.0,
+            input_rf=ReplicationFactor(0, 1),
+            intermediate_rf=ReplicationFactor(0, 1),
+            output_rf=ReplicationFactor(0, 1),
+        ))
+        sim.run(until=40.0)
+        a = job.maps[0].attempts[0]
+        assert a.state is AttemptState.INACTIVE
+        assert job.maps[0].is_frozen()
+        sim.run(until=520.0)
+        assert a.state in (AttemptState.RUNNING, AttemptState.KILLED,
+                           AttemptState.SUCCEEDED)
+
+    def test_hadoop_kills_on_expiry_and_reschedules(self, sim):
+        # Single node: the map must run on it, get killed at expiry,
+        # and be rescheduled when the tracker rejoins.
+        traces = {0: [(2.0, 5000.0)]}
+        cfg = hadoop_scheduler_config(tracker_expiry_interval=60.0)
+        cluster, _, nn, jt = build_mr(
+            sim, scheduler_cfg=cfg, n_volatile=1, n_dedicated=0, traces=traces
+        )
+        job = jt.submit(
+            tiny_job(n_maps=1, n_reduces=0, map_cpu_seconds=30.0,
+                     input_rf=ReplicationFactor(0, 1),
+                     intermediate_rf=ReplicationFactor(0, 1),
+                     output_rf=ReplicationFactor(0, 1))
+        )
+        sim.run(until=8 * 3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        killed = [
+            a for t in job.maps for a in t.attempts
+            if a.state is AttemptState.KILLED
+        ]
+        assert len(killed) >= 1  # the copy on the dead node was killed
+        assert job.counters["killed_map_attempts"] >= 1
+
+    def test_premature_kill_wastes_work(self, sim):
+        """Short expiry kills a task that would have resumed — the
+        Hadoop1Min trade-off the paper describes (V-A)."""
+        traces = {1: [(10.0, 100.0)]}
+        cfg = hadoop_scheduler_config(tracker_expiry_interval=60.0)
+        cluster, _, nn, jt = build_mr(
+            sim, scheduler_cfg=cfg, n_volatile=2, n_dedicated=0, traces=traces
+        )
+        job = jt.submit(
+            tiny_job(n_maps=4, n_reduces=0, map_cpu_seconds=300.0,
+                     input_rf=ReplicationFactor(0, 2),
+                     intermediate_rf=ReplicationFactor(0, 1),
+                     output_rf=ReplicationFactor(0, 1))
+        )
+        sim.run(until=8 * 3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        assert job.counters["killed_map_attempts"] >= 1
+
+
+class TestFetchFailures:
+    def _lossy_setup(self, sim, scheduler_cfg, n_volatile=6):
+        """Node 2 hosts intermediate data then disappears forever
+        just after the maps finish (~4.6 s) and before the shuffle."""
+        traces = {2: [(6.0, 90000.0)]}
+        return build_mr(
+            sim,
+            scheduler_cfg=scheduler_cfg,
+            shuffle_cfg=ShuffleConfig(moon_fetch_failures=2,
+                                      fetch_retry_interval=5.0),
+            n_volatile=n_volatile,
+            n_dedicated=0,
+            traces=traces,
+        )
+
+    def _lossy_job(self, **kw):
+        # Intermediate lives only on the producing node (VO-V1 style).
+        return tiny_job(
+            n_maps=6,
+            n_reduces=2,
+            map_cpu_seconds=3.0,
+            input_rf=ReplicationFactor(0, 3),
+            intermediate_rf=ReplicationFactor(0, 1),
+            output_rf=ReplicationFactor(0, 2),
+            # Hold reduces until all maps are done so the shuffle starts
+            # after node 2 (holding some outputs) disappears.
+            **kw,
+        )
+
+    def test_moon_reexecutes_lost_map_quickly(self, sim):
+        cfg = SchedulerConfig(kind="moon", suspension_interval=30.0,
+                              tracker_expiry_interval=1800.0,
+                              reduce_slowstart_fraction=1.0)
+        cluster, _, nn, jt = self._lossy_setup(sim, cfg)
+        job = jt.submit(self._lossy_job())
+        sim.run(until=8 * 3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        assert job.counters["map_reexecutions"] >= 1
+        assert job.counters["fetch_failures"] >= 1
+
+    def test_hadoop_majority_rule_also_recovers(self, sim):
+        cfg = hadoop_scheduler_config(tracker_expiry_interval=600.0)
+        cfg = SchedulerConfig(
+            kind="hadoop",
+            tracker_expiry_interval=600.0,
+            hybrid_aware=False,
+            reduce_slowstart_fraction=1.0,
+        )
+        cluster, _, nn, jt = self._lossy_setup(sim, cfg)
+        job = jt.submit(self._lossy_job())
+        sim.run(until=8 * 3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        assert job.counters["map_reexecutions"] >= 1
+
+    def test_moon_faster_than_hadoop_on_intermediate_loss(self):
+        """VI-B: the 50% rule reacts too slowly; MOON's file-system
+        query path recovers sooner."""
+        from repro.simulation import Simulation
+
+        def run(kind):
+            s = Simulation(seed=11)
+            cfg = SchedulerConfig(
+                kind=kind,
+                suspension_interval=30.0 if kind == "moon" else 60.0,
+                tracker_expiry_interval=1800.0,
+                reduce_slowstart_fraction=1.0,
+            )
+            cluster, _, nn, jt = self._lossy_setup(s, cfg)
+            job = jt.submit(self._lossy_job())
+            s.run(until=8 * 3600.0, stop_when=lambda: job.finished)
+            assert job.state is JobState.SUCCEEDED
+            return job.elapsed
+
+        assert run("moon") <= run("hadoop")
+
+
+class TestJobFailure:
+    def test_job_fails_after_max_input_failures(self, sim):
+        """Footnote 1: a map rescheduled 4 times fails the job."""
+        # Hadoop scheduler so the always-up ex-dedicated machines run
+        # normal tasks; both input-hosting volatile nodes are down, so
+        # reads exhaust the 4-attempt budget.
+        cfg = SchedulerConfig(kind="hadoop", max_task_attempts=4,
+                              tracker_expiry_interval=600.0,
+                              hybrid_aware=False)
+        traces = {2: [(0.0, 90000.0)], 3: [(0.0, 90000.0)]}
+        cluster, net, nn, jt = build_mr(
+            sim, scheduler_cfg=cfg, n_volatile=2, n_dedicated=2,
+            traces=traces,
+        )
+        job = jt.submit(tiny_job(
+            n_maps=2, n_reduces=1,
+            input_rf=ReplicationFactor(0, 2),
+        ))
+        sim.run(until=4 * 3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.FAILED
+        assert "input unavailable" in job.failure_reason

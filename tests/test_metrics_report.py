@@ -1,0 +1,55 @@
+"""Tests for the figure-shaped text report helpers."""
+
+from __future__ import annotations
+
+from repro.metrics import comparison_rows, series_table
+
+
+class TestSeriesTable:
+    def test_shape(self):
+        out = series_table(
+            "FIG X", "rate", [0.1, 0.5],
+            {"MOON": [1.0, 2.0], "Hadoop": [3.0, 4.0]},
+        )
+        lines = out.splitlines()
+        assert lines[0] == "FIG X"
+        assert set(lines[1]) == {"="}
+        assert "rate" in lines[2]
+        assert any("MOON" in l for l in lines)
+        assert out.endswith("(values in s)")
+
+    def test_dnf_rendered_as_dashes(self):
+        out = series_table("T", "x", [1], {"p": [None]})
+        assert "--" in out
+
+    def test_custom_format_and_unit(self):
+        out = series_table(
+            "T", "x", [1], {"p": [42.0]}, unit="tasks", fmt="{:10.0f}"
+        )
+        assert "42" in out and "42.0" not in out
+        assert "(values in tasks)" in out
+
+    def test_no_unit_suffix(self):
+        out = series_table("T", "x", [1], {"p": [1.0]}, unit="")
+        assert "values in" not in out
+
+    def test_column_alignment(self):
+        out = series_table(
+            "T", "x", [0.1, 0.3, 0.5],
+            {"a": [1.0, 22.0, 333.0], "bbbb": [4444.0, 5.0, 6.0]},
+        )
+        rows = [l for l in out.splitlines() if l.startswith(("a", "bbbb"))]
+        assert len({len(r) for r in rows}) == 1
+
+
+class TestComparisonRows:
+    def test_paper_vs_measured(self):
+        rows = comparison_rows(
+            {"speedup": 3.0}, {"speedup": 2.5}, "fig7 sort D6"
+        )
+        assert rows[0].startswith("fig7")
+        assert "paper=3" in rows[1] and "measured=2.5" in rows[1]
+
+    def test_missing_measurement(self):
+        rows = comparison_rows({"x": 1.0}, {}, "w")
+        assert "measured=--" in rows[1]

@@ -1,0 +1,135 @@
+"""Tests for the max-min fair-share network model (ablation model)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import FairShareNetwork
+from repro.simulation import Simulation
+
+
+@pytest.fixture
+def net(sim):
+    n = FairShareNetwork(sim, disk_fraction=0.0)
+    for i in range(4):
+        n.register_node(i, disk_mbps=50.0, nic_mbps=100.0)
+    return n
+
+
+class TestFairSharing:
+    def test_single_flow_gets_full_capacity(self, sim, net):
+        times = []
+        net.transfer(0, 1, 100.0, on_complete=lambda t: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(1.0)]
+
+    def test_two_flows_share_common_destination(self, sim, net):
+        """Both into node 1's NIC-in (100 MB/s): each gets 50 MB/s."""
+        times = []
+        net.transfer(0, 1, 100.0, on_complete=lambda t: times.append(sim.now))
+        net.transfer(2, 1, 100.0, on_complete=lambda t: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_released_bandwidth_speeds_up_survivor(self, sim, net):
+        """Short flow finishes; long flow then runs at full rate.
+
+        50 MB together (t=1.0 at 50 MB/s each), then the remaining
+        150 MB at 100 MB/s -> total 2.5 s."""
+        times = {}
+        net.transfer(0, 1, 50.0, on_complete=lambda t: times.__setitem__("a", sim.now))
+        net.transfer(2, 1, 200.0, on_complete=lambda t: times.__setitem__("b", sim.now))
+        sim.run()
+        assert times["a"] == pytest.approx(1.0)
+        assert times["b"] == pytest.approx(2.5)
+
+    def test_disjoint_flows_do_not_interact(self, sim, net):
+        times = []
+        net.transfer(0, 1, 100.0, on_complete=lambda t: times.append(sim.now))
+        net.transfer(2, 3, 100.0, on_complete=lambda t: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_flow_rate_query(self, sim, net):
+        t1 = net.transfer(0, 1, 1000.0)
+        assert net.flow_rate(t1) == pytest.approx(100.0)
+        t2 = net.transfer(2, 1, 1000.0)
+        assert net.flow_rate(t1) == pytest.approx(50.0)
+        assert net.flow_rate(t2) == pytest.approx(50.0)
+
+    def test_zero_byte_flow_completes(self, sim, net):
+        done = []
+        net.transfer(0, 1, 0.0, on_complete=lambda t: done.append(1))
+        sim.run()
+        assert done == [1]
+
+
+class TestFailures:
+    def test_node_down_aborts_touching_flows_only(self, sim, net):
+        outcomes = []
+        net.transfer(0, 1, 500.0, on_fail=lambda t: outcomes.append("fail-a"))
+        net.transfer(2, 3, 500.0, on_complete=lambda t: outcomes.append("done-b"))
+        sim.call_at(1.0, net.node_down, 1)
+        sim.run()
+        assert sorted(outcomes) == ["done-b", "fail-a"]
+
+    def test_submission_to_down_node_fails(self, sim, net):
+        net.node_down(3)
+        outcomes = []
+        net.transfer(0, 3, 10.0, on_fail=lambda t: outcomes.append("fail"))
+        sim.run()
+        assert outcomes == ["fail"]
+
+    def test_abort_rescales_remaining_flows(self, sim, net):
+        """After a competing flow dies, the survivor speeds up."""
+        times = {}
+        net.transfer(0, 1, 200.0, on_complete=lambda t: times.__setitem__("s", sim.now))
+        net.transfer(2, 1, 500.0)  # competitor
+        sim.call_at(1.0, net.node_down, 2)
+        sim.run()
+        # 1 s at 50 MB/s (50 MB done) + 150 MB at 100 MB/s = 2.5 s.
+        assert times["s"] == pytest.approx(2.5)
+
+
+class TestConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1.0, max_value=500.0), min_size=1, max_size=12
+        )
+    )
+    def test_property_per_channel_rates_never_exceed_capacity(self, sizes):
+        """Max-min allocation respects every channel capacity."""
+        sim = Simulation(seed=0)
+        net = FairShareNetwork(sim, disk_fraction=0.0)
+        for i in range(3):
+            net.register_node(i, disk_mbps=50.0, nic_mbps=100.0)
+        flows = [net.transfer(i % 2, 2, mb) for i, mb in enumerate(sizes)]
+        total_into_2 = sum(net.flow_rate(t) for t in flows)
+        assert total_into_2 <= 100.0 + 1e-6
+        for src in (0, 1):
+            out = sum(net.flow_rate(t) for t in flows if t.src == src)
+            assert out <= 100.0 + 1e-6
+        sim.run()
+        assert all(t.state == "done" for t in flows)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1.0, max_value=200.0), min_size=1, max_size=10
+        )
+    )
+    def test_property_completion_conserves_bytes(self, sizes):
+        """Every submitted byte is eventually delivered exactly once."""
+        sim = Simulation(seed=0)
+        net = FairShareNetwork(sim, disk_fraction=0.0)
+        net.register_node(0, disk_mbps=50.0, nic_mbps=80.0)
+        net.register_node(1, disk_mbps=50.0, nic_mbps=80.0)
+        delivered = []
+        for mb in sizes:
+            net.transfer(0, 1, mb, on_complete=lambda t: delivered.append(t.size_mb))
+        sim.run()
+        assert sum(delivered) == pytest.approx(sum(sizes))
+        assert net.mb_served[1] == pytest.approx(sum(sizes))

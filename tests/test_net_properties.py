@@ -1,0 +1,135 @@
+"""Cross-model property tests for the two transfer models.
+
+Both the FIFO-queue and max-min fair-share models must agree on
+physics: byte conservation, capacity limits, and identical results for
+uncontended serial transfers.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import FairShareNetwork, FifoNetwork
+from repro.simulation import Simulation
+
+
+def build(model_cls, n_nodes=4, disk=60.0, nic=80.0):
+    sim = Simulation(seed=0)
+    net = model_cls(sim)
+    for i in range(n_nodes):
+        net.register_node(i, disk, nic)
+    return sim, net
+
+
+MODELS = [FifoNetwork, FairShareNetwork]
+
+
+class TestSingleTransferAgreement:
+    @pytest.mark.parametrize("model_cls", MODELS)
+    def test_uncontended_transfer_time(self, model_cls):
+        """One 80 MB copy over a 80 MB/s NIC with 60 MB/s disks: the
+        disk is the bottleneck in store-and-forward, ~1.33 s."""
+        sim, net = build(model_cls)
+        done = []
+        net.transfer(0, 1, 80.0, on_complete=lambda t: done.append(sim.now))
+        sim.run()
+        assert done
+        assert done[0] == pytest.approx(80.0 / 60.0, rel=1e-6)
+
+    @pytest.mark.parametrize("model_cls", MODELS)
+    def test_disk_io_time(self, model_cls):
+        sim, net = build(model_cls)
+        done = []
+        net.disk_io(2, 30.0, on_complete=lambda t: done.append(sim.now))
+        sim.run()
+        assert done[0] == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("model_cls", MODELS)
+    def test_transfer_to_down_node_fails(self, model_cls):
+        sim, net = build(model_cls)
+        net.node_down(1)
+        failed = []
+        net.transfer(0, 1, 10.0, on_fail=lambda t: failed.append(t))
+        sim.run()
+        assert len(failed) == 1
+
+    @pytest.mark.parametrize("model_cls", MODELS)
+    def test_mid_flight_abort(self, model_cls):
+        sim, net = build(model_cls)
+        outcome = []
+        net.transfer(
+            0, 1, 800.0,
+            on_complete=lambda t: outcome.append("done"),
+            on_fail=lambda t: outcome.append("fail"),
+        )
+        sim.call_after(1.0, lambda: net.node_down(1))
+        sim.run()
+        assert outcome == ["fail"]
+
+
+class TestConservation:
+    @pytest.mark.parametrize("model_cls", MODELS)
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=0.1, max_value=200.0), min_size=1, max_size=12
+        )
+    )
+    def test_property_bytes_served_conserved(self, model_cls, sizes):
+        """Every completed transfer credits exactly its size to both
+        endpoints' served counters."""
+        sim, net = build(model_cls)
+        done = []
+        for i, mb in enumerate(sizes):
+            net.transfer(
+                i % 2, 2 + (i % 2), mb,
+                on_complete=lambda t: done.append(t.size_mb),
+            )
+        sim.run()
+        assert len(done) == len(sizes)
+        total = sum(net.mb_served.values())
+        assert total == pytest.approx(2 * sum(sizes))
+
+    @pytest.mark.parametrize("model_cls", MODELS)
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=10),
+        mb=st.floats(min_value=1.0, max_value=50.0),
+    )
+    def test_property_capacity_respected(self, model_cls, n, mb):
+        """n equal transfers into one sink cannot finish faster than
+        the sink's bottleneck channel allows."""
+        sim, net = build(model_cls, n_nodes=n + 1)
+        finish = []
+        for src in range(1, n + 1):
+            net.transfer(
+                src, 0, mb, on_complete=lambda t: finish.append(sim.now)
+            )
+        sim.run()
+        bottleneck = min(60.0, 80.0)  # disk is the slower channel
+        lower_bound = n * mb / bottleneck
+        assert max(finish) >= lower_bound - 1e-6
+
+    @pytest.mark.parametrize("model_cls", MODELS)
+    def test_no_transfers_no_bytes(self, model_cls):
+        sim, net = build(model_cls)
+        sim.run()
+        assert sum(net.mb_served.values()) == 0.0
+
+
+class TestOrderingDifferences:
+    def test_fifo_serialises_fairshare_shares(self):
+        """The models legitimately differ under contention: FIFO
+        finishes the first transfer at its solo time, fair-share delays
+        it (bandwidth split) — the XTRA-A ablation's mechanism."""
+        first_done = {}
+        for cls in MODELS:
+            sim, net = build(cls)
+            times = []
+            net.transfer(0, 1, 60.0, on_complete=lambda t: times.append(sim.now))
+            net.transfer(2, 1, 60.0, on_complete=lambda t: times.append(sim.now))
+            sim.run()
+            first_done[cls.__name__] = min(times)
+        assert first_done["FairShareNetwork"] > first_done["FifoNetwork"]

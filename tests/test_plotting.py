@@ -1,0 +1,160 @@
+"""Tests for the ASCII chart renderers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plotting import bar_chart, histogram, line_chart, sparkline, table
+from repro.plotting.ascii import MISSING, PlotError
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        out = bar_chart(
+            ["0.1", "0.3"],
+            {"Hadoop": [100, 200], "MOON": [80, 120]},
+            title="Fig",
+            unit="s",
+        )
+        assert out.startswith("Fig")
+        assert "0.1:" in out and "0.3:" in out
+        assert out.count("Hadoop") == 2
+        assert "200 s" in out
+
+    def test_missing_value_rendered_as_dash(self):
+        out = bar_chart(["a"], {"x": [None]})
+        assert MISSING in out
+
+    def test_longest_bar_is_max(self):
+        out = bar_chart(["g"], {"a": [10], "b": [40]}, width=20)
+        a_line = next(l for l in out.splitlines() if l.lstrip().startswith("a"))
+        b_line = next(l for l in out.splitlines() if l.lstrip().startswith("b"))
+        assert b_line.count("#") == 20
+        assert a_line.count("#") == 5
+
+    def test_zero_values(self):
+        out = bar_chart(["g"], {"a": [0], "b": [0]})
+        assert "0" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(PlotError):
+            bar_chart(["a", "b"], {"x": [1]})
+
+    def test_no_groups(self):
+        with pytest.raises(PlotError):
+            bar_chart([], {})
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        out = line_chart(
+            [0, 1, 2, 3], {"d1": [1, 2, 3, 4]}, height=8, width=30
+        )
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 8
+
+    def test_legend_lists_series(self):
+        out = line_chart([0, 1], {"day1": [1, 2], "day2": [2, 1]})
+        assert "day1" in out and "day2" in out
+
+    def test_constant_series_ok(self):
+        out = line_chart([0, 1], {"c": [5, 5]})
+        assert "5" in out
+
+    def test_too_small(self):
+        with pytest.raises(PlotError):
+            line_chart([0], {"a": [1]}, height=1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(PlotError):
+            line_chart([0, 1], {"a": [1]})
+
+    def test_empty_x(self):
+        with pytest.raises(PlotError):
+            line_chart([], {})
+
+
+class TestTable:
+    def test_alignment(self):
+        out = table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+    def test_none_rendered(self):
+        out = table(["x"], [[None]])
+        assert MISSING in out
+
+    def test_title(self):
+        assert table(["h"], [], title="T").startswith("T")
+
+    def test_bad_row(self):
+        with pytest.raises(PlotError):
+            table(["a", "b"], [["only-one"]])
+
+    def test_no_headers(self):
+        with pytest.raises(PlotError):
+            table([], [])
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_extremes(self):
+        s = sparkline([0, 100])
+        assert s[0] == " " and s[-1] == "█"
+
+    def test_empty(self):
+        with pytest.raises(PlotError):
+            sparkline([])
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        out = histogram([1, 1, 2, 3, 10], bins=3)
+        totals = [int(l.rsplit(" ", 1)[1]) for l in out.splitlines()]
+        assert sum(totals) == 5
+
+    def test_single_value(self):
+        out = histogram([7.0], bins=2)
+        assert "1" in out
+
+    def test_bad_bins(self):
+        with pytest.raises(PlotError):
+            histogram([1.0], bins=0)
+
+    def test_empty(self):
+        with pytest.raises(PlotError):
+            histogram([])
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_property_sparkline_never_crashes(self, values):
+        assert len(sparkline(values)) == len(values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_groups=st.integers(min_value=1, max_value=5),
+        n_series=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_bar_chart_line_count(self, n_groups, n_series):
+        groups = [f"g{i}" for i in range(n_groups)]
+        series = {
+            f"s{j}": [float(j + i) for i in range(n_groups)]
+            for j in range(n_series)
+        }
+        out = bar_chart(groups, series)
+        assert len(out.splitlines()) == n_groups * (1 + n_series)

@@ -1,0 +1,114 @@
+"""Tests for the default Hadoop speculative policy + LATE baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SchedulerConfig, hadoop_scheduler_config
+from repro.dfs import ReplicationFactor
+from repro.mapreduce import JobState
+
+from helpers import build_mr
+from test_mapreduce_basic import tiny_job
+
+
+def volatile_only_job(**kw):
+    defaults = dict(
+        input_rf=ReplicationFactor(0, 2),
+        intermediate_rf=ReplicationFactor(0, 1),
+        output_rf=ReplicationFactor(0, 2),
+    )
+    defaults.update(kw)
+    return tiny_job(**defaults)
+
+
+class TestHadoopPolicy:
+    def test_no_speculation_while_pending_work_exists(self, sim):
+        """II-C: backups are issued only once all tasks are scheduled."""
+        cfg = hadoop_scheduler_config()
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=cfg, n_volatile=2,
+                                n_dedicated=0)
+        job = jt.submit(volatile_only_job(n_maps=12, n_reduces=0,
+                                          map_cpu_seconds=90.0))
+        sim.run(until=70.0)
+        # 4 slots, 12 maps: pending work remains, so zero speculation
+        # even though early tasks have run > 1 minute.
+        assert job.counters["speculative_launched"] == 0
+
+    def test_straggler_needs_progress_gap(self, sim):
+        """Equal progress everywhere -> no stragglers -> no backups."""
+        cfg = hadoop_scheduler_config()
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=cfg, n_volatile=4,
+                                n_dedicated=0)
+        job = jt.submit(volatile_only_job(n_maps=8, n_reduces=0,
+                                          map_cpu_seconds=120.0))
+        sim.run(until=100.0)
+        assert job.counters["speculative_launched"] == 0
+
+    def test_speculates_on_stalled_task(self, sim):
+        """A node that suspends (undetected) stalls its task; once the
+        progress gap opens, Hadoop launches a backup copy."""
+        traces = {2: [(10.0, 4000.0)]}
+        cfg = hadoop_scheduler_config(tracker_expiry_interval=3000.0)
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=cfg, n_volatile=5,
+                                n_dedicated=0, traces=traces)
+        job = jt.submit(volatile_only_job(n_maps=10, n_reduces=0,
+                                          map_cpu_seconds=60.0))
+        sim.run(until=1000.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        assert job.counters["speculative_launched"] >= 1
+        # Per-task cap: never more than 1 backup (2 attempts) at a time.
+        for t in job.maps:
+            overlap = 0
+            events = []
+            for a in t.attempts:
+                events.append((a.started_at, 1))
+                if a.finished_at is not None:
+                    events.append((a.finished_at, -1))
+            events.sort()
+            live = 0
+            for _, d in events:
+                live += d
+                overlap = max(overlap, live)
+            assert overlap <= 2
+
+    def test_job_finishes_despite_dead_node(self, sim):
+        traces = {2: [(5.0, 90000.0)]}
+        cfg = hadoop_scheduler_config(tracker_expiry_interval=60.0)
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=cfg, n_volatile=4,
+                                n_dedicated=0, traces=traces)
+        job = jt.submit(volatile_only_job(n_maps=8, n_reduces=2))
+        sim.run(until=8 * 3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+
+
+class TestLatePolicy:
+    def _late_cfg(self):
+        return SchedulerConfig(
+            kind="late",
+            tracker_expiry_interval=600.0,
+            hybrid_aware=False,
+        )
+
+    def test_late_completes_stable_job(self, sim):
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=self._late_cfg(),
+                                n_volatile=4, n_dedicated=0)
+        job = jt.submit(volatile_only_job())
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+
+    def test_late_speculates_on_longest_eta(self, sim):
+        traces = {2: [(10.0, 4000.0)]}
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=self._late_cfg(),
+                                n_volatile=5, n_dedicated=0, traces=traces)
+        job = jt.submit(volatile_only_job(n_maps=10, n_reduces=0,
+                                          map_cpu_seconds=60.0))
+        sim.run(until=2000.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        assert job.counters["speculative_launched"] >= 1
+        # The stalled node's task must be among the speculated ones.
+        stalled = [
+            t for t in job.maps
+            if 2 in {a.node_id for a in t.attempts}
+        ]
+        assert any(len(t.attempts) > 1 for t in stalled)

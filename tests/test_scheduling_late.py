@@ -1,0 +1,90 @@
+"""Tests for the LATE baseline scheduler (related work [16])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SchedulerConfig, ShuffleConfig
+from repro.scheduling import make_scheduler
+from repro.scheduling.late import LateScheduler
+from repro.simulation import Simulation
+from repro.workloads import sleep_spec
+
+from helpers import build_mr
+
+
+def late_cfg(**kw):
+    return SchedulerConfig(
+        kind="late", tracker_expiry_interval=600.0, hybrid_aware=False, **kw
+    )
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=0)
+
+
+class TestFactory:
+    def test_make_scheduler_returns_late(self):
+        assert isinstance(make_scheduler(late_cfg()), LateScheduler)
+
+
+class TestLateBehaviour:
+    def test_runs_job_to_completion_stable(self, sim):
+        _, _, _, jt = build_mr(sim, scheduler_cfg=late_cfg())
+        job = jt.submit(sleep_spec(5.0, 3.0, n_maps=8, n_reduces=2))
+        sim.run(until=4000.0, stop_when=lambda: job.finished)
+        assert job.state.value == "succeeded"
+
+    def test_no_speculation_while_pending_work_exists(self, sim):
+        """LATE never speculates while unscheduled tasks remain — the
+        pending queue always wins."""
+        _, _, _, jt = build_mr(sim, scheduler_cfg=late_cfg(),
+                               n_volatile=2, n_dedicated=1)
+        job = jt.submit(sleep_spec(30.0, 3.0, n_maps=12, n_reduces=1))
+        # Mid first wave: 6 of 12 maps are still *pending* (3 nodes x 2
+        # slots), so LATE must not have speculated on anything yet.
+        sim.run(until=20.0)
+        assert job.counters["speculative_launched"] == 0
+        assert any(not t.attempts for t in job.maps)  # work truly pending
+
+    def test_speculates_on_suspended_straggler(self, sim):
+        """A node suspension zeroes a task's progress rate; LATE must
+        eventually give it a speculative copy once all tasks are
+        scheduled."""
+        traces = {3: [(50.0, 2000.0)]}  # node 3 disappears at t=50
+        _, _, _, jt = build_mr(
+            sim, scheduler_cfg=late_cfg(), traces=traces,
+            n_volatile=3, n_dedicated=1,
+        )
+        job = jt.submit(sleep_spec(120.0, 3.0, n_maps=8, n_reduces=1))
+        sim.run(until=1500.0, stop_when=lambda: job.finished)
+        assert job.state.value == "succeeded"
+        assert job.counters["speculative_launched"] >= 1
+
+    def test_respects_job_level_cap(self, sim):
+        cfg = late_cfg(speculative_cap_fraction=0.2)
+        traces = {i: [(30.0, 3000.0)] for i in range(2, 6)}
+        _, _, _, jt = build_mr(
+            sim, scheduler_cfg=cfg, traces=traces,
+            n_volatile=4, n_dedicated=2,
+        )
+        job = jt.submit(sleep_spec(60.0, 3.0, n_maps=10, n_reduces=1))
+        sim.run(until=200.0)
+        cap = max(1, int(0.2 * jt.available_slots()))
+        assert job._spec_active <= cap + 1  # +1 for in-flight launch
+
+
+class TestRateEstimation:
+    def test_zero_rate_means_infinite_time_left(self, sim):
+        """Tasks with no measurable progress rank first (time_left
+        = inf), matching LATE's 'longest time to end' rule."""
+        _, _, _, jt = build_mr(sim, scheduler_cfg=late_cfg(),
+                               n_volatile=2, n_dedicated=0)
+        job = jt.submit(sleep_spec(100.0, 3.0, n_maps=2, n_reduces=1))
+        sim.run(until=5.0)
+        policy = jt.policy
+        running = job.running_tasks(job.maps[0].task_type)
+        if running:
+            rates = [policy._rate(t) for t in running]
+            assert all(r >= 0 for r in rates)

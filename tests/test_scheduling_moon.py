@@ -1,0 +1,172 @@
+"""Tests for the MOON scheduler (paper Section V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.dfs import ReplicationFactor
+from repro.mapreduce import AttemptState, JobState, TaskType
+
+from helpers import build_mr
+from test_mapreduce_basic import tiny_job
+
+
+def moon_cfg(**kw):
+    defaults = dict(
+        kind="moon",
+        suspension_interval=30.0,
+        tracker_expiry_interval=1800.0,
+        hybrid_aware=True,
+    )
+    defaults.update(kw)
+    return SchedulerConfig(**defaults)
+
+
+class TestHybridPlacement:
+    def test_dedicated_nodes_run_only_speculative_copies(self, sim):
+        """V-C: dedicated slots are best-effort speculative hosts."""
+        _, _, nn, jt = build_mr(
+            sim, scheduler_cfg=moon_cfg(), n_volatile=4, n_dedicated=2
+        )
+        job = jt.submit(tiny_job(n_maps=8, n_reduces=2))
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        for t in job.tasks:
+            for a in t.attempts:
+                if a.on_dedicated:
+                    assert a.is_speculative
+
+    def test_non_hybrid_moon_keeps_dedicated_as_pure_data_servers(self, sim):
+        """V-C: without the hybrid extension, dedicated machines run no
+        tasks at all - they only serve data."""
+        _, _, nn, jt = build_mr(
+            sim,
+            scheduler_cfg=moon_cfg(hybrid_aware=False),
+            n_volatile=2,
+            n_dedicated=2,
+        )
+        job = jt.submit(tiny_job(n_maps=6, n_reduces=1))
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        on_dedicated = [
+            a for t in job.tasks for a in t.attempts if a.on_dedicated
+        ]
+        assert on_dedicated == []
+
+    def test_frozen_task_rescued_on_dedicated_node(self, sim):
+        """A task frozen on a suspended volatile node gets a speculative
+        copy on a dedicated node and the job completes long before the
+        outage ends."""
+        traces = {1: [(2.0, 5000.0)]}
+        # Homestretch off so the *frozen* path is what rescues here.
+        _, _, nn, jt = build_mr(
+            sim,
+            scheduler_cfg=moon_cfg(homestretch_threshold_pct=0.0),
+            n_volatile=1,
+            n_dedicated=1,
+            traces=traces,
+        )
+        job = jt.submit(tiny_job(n_maps=1, n_reduces=0, map_cpu_seconds=20.0))
+        # Commit may wait for volatile replication until the node
+        # returns at t=5000; the rescue itself happens within minutes.
+        sim.run(until=8 * 3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        assert job.counters["frozen_speculations"] >= 1
+        rescued = [
+            a for a in job.maps[0].attempts if a.on_dedicated and a.is_speculative
+        ]
+        assert rescued
+        # The dedicated copy finished long before the outage ended.
+        assert min(a.finished_at for a in rescued) < 300.0
+
+
+class TestSpeculativeCap:
+    def test_cap_limits_concurrent_speculation(self, sim):
+        """V-A: speculative instances stay below cap x available slots."""
+        traces = {i: [(5.0, 5000.0)] for i in range(2, 8)}  # 6 of 10 die
+        cfg = moon_cfg(speculative_cap_fraction=0.2)
+        cluster, _, nn, jt = build_mr(
+            sim, scheduler_cfg=cfg, n_volatile=10, n_dedicated=2, traces=traces
+        )
+        job = jt.submit(tiny_job(n_maps=20, n_reduces=4, map_cpu_seconds=60.0))
+        max_seen = 0
+        while sim.now < 600.0 and not job.finished:
+            sim.run(until=sim.now + 5.0, stop_when=lambda: job.finished)
+            cap = 0.2 * jt.available_slots()
+            active = job.speculative_attempts_active()
+            max_seen = max(max_seen, active)
+            assert active <= cap + 1  # +1: one may be mid-launch
+        assert max_seen >= 1  # speculation did happen
+
+
+class TestHomestretch:
+    def test_homestretch_replicates_tail_tasks(self, sim):
+        """V-B: near completion every remaining task gets >= R copies."""
+        cfg = moon_cfg(homestretch_threshold_pct=50.0, homestretch_replicas=2)
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=cfg, n_volatile=8)
+        job = jt.submit(
+            tiny_job(n_maps=4, n_reduces=2, map_cpu_seconds=30.0,
+                     reduce_cpu_seconds=30.0)
+        )
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.state is JobState.SUCCEEDED
+        assert job.counters["homestretch_speculations"] >= 1
+        # Some reduce acquired a second copy without being slow/frozen.
+        assert job.counters["duplicated_tasks"] >= 1
+
+    def test_homestretch_disabled_with_zero_threshold(self, sim):
+        cfg = moon_cfg(homestretch_threshold_pct=0.0)
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=cfg, n_volatile=8)
+        job = jt.submit(tiny_job(n_maps=4, n_reduces=2))
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.counters["homestretch_speculations"] == 0
+
+    def test_task_with_dedicated_copy_skips_homestretch(self, sim):
+        """V-C: a dedicated copy is reliable backup enough."""
+        cfg = moon_cfg(homestretch_threshold_pct=100.0, homestretch_replicas=3)
+        _, _, nn, jt = build_mr(sim, scheduler_cfg=cfg, n_volatile=2,
+                                n_dedicated=2)
+        job = jt.submit(tiny_job(n_maps=2, n_reduces=1, map_cpu_seconds=40.0))
+        sim.run(until=3600.0, stop_when=lambda: job.finished)
+        for t in job.tasks:
+            dedicated = [a for a in t.attempts if a.on_dedicated]
+            if dedicated:
+                first_ded = min(a.started_at for a in dedicated)
+                later_vol = [
+                    a
+                    for a in t.attempts
+                    if not a.on_dedicated and a.started_at > first_ded
+                    and a.is_speculative
+                ]
+                assert not later_vol
+
+
+class TestFrozenVsSlow:
+    def test_frozen_selected_before_slow(self, sim):
+        """V-A: the frozen list is drained before the slow list."""
+        # Node 2 suspends early and for long; node 3 stays up but its
+        # task will merely be slow relative to average.
+        traces = {2: [(5.0, 3000.0)]}
+        cfg = moon_cfg(speculative_cap_fraction=0.05)  # room for ~1 spec
+        cluster, _, nn, jt = build_mr(
+            sim, scheduler_cfg=cfg, n_volatile=4, n_dedicated=1, traces=traces
+        )
+        job = jt.submit(tiny_job(n_maps=8, n_reduces=0, map_cpu_seconds=120.0))
+        sim.run(until=400.0, stop_when=lambda: job.finished)
+        frozen_tasks = [t for t in job.maps if t.is_frozen()]
+        spec_attempts = [
+            a
+            for t in job.maps
+            for a in t.attempts
+            if a.is_speculative
+        ]
+        if spec_attempts:
+            # The earliest speculative copy must target a frozen task.
+            first = min(spec_attempts, key=lambda a: a.started_at)
+            node2_tasks = {
+                t.task_id
+                for t in job.maps
+                if 2 in {a.node_id for a in t.attempts}
+            }
+            assert first.task.task_id in node2_tasks

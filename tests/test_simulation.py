@@ -1,0 +1,247 @@
+"""Unit + property tests for the discrete-event engine (S1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    PRIORITY_NODE_STATE,
+    PRIORITY_TRANSFER,
+    PeriodicTask,
+    Simulation,
+)
+
+
+class TestScheduling:
+    def test_call_after_runs_in_order(self, sim):
+        log = []
+        sim.call_after(2.0, log.append, "b")
+        sim.call_after(1.0, log.append, "a")
+        sim.call_after(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_call_at_absolute_time(self, sim):
+        seen = []
+        sim.call_at(5.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.5]
+
+    def test_same_time_fifo_by_seq(self, sim):
+        log = []
+        for i in range(10):
+            sim.call_at(1.0, log.append, i)
+        sim.run()
+        assert log == list(range(10))
+
+    def test_priority_orders_same_timestamp(self, sim):
+        log = []
+        sim.call_at(1.0, log.append, "transfer", priority=PRIORITY_TRANSFER)
+        sim.call_at(1.0, log.append, "node", priority=PRIORITY_NODE_STATE)
+        sim.run()
+        assert log == ["node", "transfer"]
+
+    def test_cannot_schedule_in_past(self, sim):
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_after(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self, sim):
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.call_after(2.0, second)
+
+        def second():
+            log.append(sim.now)
+
+        sim.call_after(1.0, first)
+        sim.run()
+        assert log == [1.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self, sim):
+        log = []
+        ev = sim.call_after(1.0, log.append, "x")
+        ev.cancel()
+        sim.run()
+        assert log == []
+        assert sim.pending_events() == 0
+
+    def test_double_cancel_is_safe(self, sim):
+        ev = sim.call_after(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending_events() == 0
+
+    def test_cancel_one_of_many(self, sim):
+        log = []
+        keep = sim.call_after(1.0, log.append, "keep")
+        drop = sim.call_after(1.0, log.append, "drop")
+        drop.cancel()
+        sim.run()
+        assert log == ["keep"]
+        assert keep.active is True
+
+
+class TestRun:
+    def test_run_until_stops_clock_at_limit(self, sim):
+        sim.call_after(10.0, lambda: None)
+        t = sim.run(until=4.0)
+        assert t == 4.0
+        assert sim.pending_events() == 1
+
+    def test_run_until_resumable(self, sim):
+        log = []
+        sim.call_after(10.0, log.append, "late")
+        sim.run(until=4.0)
+        sim.run()
+        assert log == ["late"]
+
+    def test_stop_when_predicate(self, sim):
+        log = []
+        for i in range(10):
+            sim.call_after(float(i + 1), log.append, i)
+        sim.run(stop_when=lambda: len(log) >= 3)
+        assert log == [0, 1, 2]
+
+    def test_max_events(self, sim):
+        log = []
+        for i in range(10):
+            sim.call_after(float(i + 1), log.append, i)
+        sim.run(max_events=5)
+        assert len(log) == 5
+
+    def test_run_not_reentrant(self, sim):
+        def evil():
+            sim.run()
+
+        sim.call_after(1.0, evil)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_step(self, sim):
+        log = []
+        sim.call_after(1.0, log.append, 1)
+        assert sim.step() is True
+        assert log == [1]
+        assert sim.step() is False
+
+    def test_executed_events_counter(self, sim):
+        for i in range(7):
+            sim.call_after(1.0, lambda: None)
+        sim.run()
+        assert sim.executed_events == 7
+
+
+class TestPeriodicTask:
+    def test_fires_on_interval(self, sim):
+        ticks = []
+        PeriodicTask(sim, 5.0, lambda: ticks.append(sim.now))
+        sim.run(until=22.0)
+        assert ticks == [5.0, 10.0, 15.0, 20.0]
+
+    def test_stop_halts(self, sim):
+        ticks = []
+        task = PeriodicTask(sim, 5.0, lambda: ticks.append(sim.now))
+        sim.call_at(12.0, task.stop)
+        sim.run(until=100.0)
+        assert ticks == [5.0, 10.0]
+
+    def test_stop_from_within_callback(self, sim):
+        ticks = []
+        task = None
+
+        def cb():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task = PeriodicTask(sim, 1.0, cb)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_start_after_override(self, sim):
+        ticks = []
+        PeriodicTask(sim, 5.0, lambda: ticks.append(sim.now), start_after=0.5)
+        sim.run(until=11.0)
+        assert ticks == [0.5, 5.5, 10.5]
+
+    def test_bad_interval_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicTask(sim, 0.0, lambda: None)
+
+
+class TestRngStreams:
+    def test_named_streams_are_independent(self):
+        a = Simulation(seed=7)
+        b = Simulation(seed=7)
+        # Consuming from one stream must not perturb another.
+        a.rng("x").random(100)
+        ax = a.rng("y").random(5)
+        bx = b.rng("y").random(5)
+        assert ax.tolist() == bx.tolist()
+
+    def test_same_seed_same_draws(self):
+        assert (
+            Simulation(seed=3).rng("t").random(8).tolist()
+            == Simulation(seed=3).rng("t").random(8).tolist()
+        )
+
+    def test_different_seeds_differ(self):
+        assert (
+            Simulation(seed=3).rng("t").random(8).tolist()
+            != Simulation(seed=4).rng("t").random(8).tolist()
+        )
+
+    def test_indexed_streams_differ(self, sim):
+        assert (
+            sim.rng_indexed("trace", 0).random(4).tolist()
+            != sim.rng_indexed("trace", 1).random(4).tolist()
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_property_events_fire_in_nondecreasing_time_order(delays):
+    """However events are scheduled, execution times never go backwards."""
+    sim = Simulation(seed=0)
+    fired = []
+    for d in delays:
+        sim.call_after(d, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_property_cancelled_subset_never_fires(data):
+    sim = Simulation(seed=0)
+    n = data.draw(st.integers(min_value=1, max_value=30))
+    events = [sim.call_after(float(i), lambda i=i: fired.append(i)) for i in range(n)]
+    fired: list = []
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+    )
+    for i in to_cancel:
+        events[i].cancel()
+    sim.run()
+    assert set(fired) == set(range(n)) - to_cancel

@@ -1,0 +1,140 @@
+"""Tests for daemon-event semantics in the discrete-event engine.
+
+Daemon events model self-re-arming infrastructure (heartbeats,
+periodic scans): they must never keep a horizonless ``run()`` alive,
+while foreground events (real work) must always drain first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import PeriodicTask, Simulation
+from repro.simulation.event import EventQueue
+
+
+class TestDaemonEvents:
+    def test_horizonless_run_ignores_daemons(self):
+        sim = Simulation()
+        ticks = []
+        PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        end = sim.run()  # would never return if daemons kept it alive
+        assert end == 0.0
+        assert ticks == []
+
+    def test_daemons_fire_while_foreground_pending(self):
+        sim = Simulation()
+        ticks = []
+        PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        done = []
+        sim.call_after(3.5, lambda: done.append(sim.now))
+        sim.run()
+        # The periodic daemon ran at 1, 2, 3 on the way to t=3.5.
+        assert ticks == [1.0, 2.0, 3.0]
+        assert done == [3.5]
+
+    def test_explicit_until_runs_daemons(self):
+        sim = Simulation()
+        ticks = []
+        PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run(until=5.0)
+        assert len(ticks) == 5
+
+    def test_foreground_spawned_by_daemon_keeps_run_alive(self):
+        """A daemon tick that schedules real work (e.g. a replication
+        scan issuing a transfer) extends a horizonless run until that
+        work completes."""
+        sim = Simulation()
+        spawned = []
+
+        def tick():
+            if sim.now == 1.0:  # first tick spawns a foreground event
+                sim.call_after(0.5, lambda: spawned.append(sim.now))
+
+        PeriodicTask(sim, 1.0, tick)
+        sim.call_after(1.0, lambda: None)  # keeps sim alive to t=1
+        sim.run()
+        assert spawned == [1.5]
+
+    def test_non_daemon_periodic_task(self):
+        sim = Simulation()
+        ticks = []
+        task = PeriodicTask(
+            sim, 1.0, lambda: ticks.append(sim.now), daemon=False
+        )
+        sim.run(max_events=3)
+        assert ticks == [1.0, 2.0, 3.0]
+        task.stop()
+        sim.run()
+        assert len(ticks) == 3
+
+    def test_foreground_count(self):
+        sim = Simulation()
+        assert sim.pending_foreground_events() == 0
+        sim.call_after(1.0, lambda: None)
+        sim.call_after(2.0, lambda: None, daemon=True)
+        assert sim.pending_foreground_events() == 1
+        assert sim.pending_events() == 2
+
+
+class TestEventCancellation:
+    def test_cancel_removes_from_counts(self):
+        q = EventQueue()
+        e = q.push(1.0, 0, lambda: None, ())
+        assert q.foreground == 1
+        e.cancel()
+        assert q.foreground == 0
+        assert len(q) == 0
+
+    def test_cancel_after_pop_is_noop(self):
+        """Cancelling an event that already fired must not corrupt the
+        live counters (the lazy-deletion bookkeeping bug class)."""
+        q = EventQueue()
+        e1 = q.push(1.0, 0, lambda: None, ())
+        q.push(2.0, 0, lambda: None, ())
+        popped = q.pop()
+        assert popped is e1
+        e1.cancel()  # already out of the queue
+        assert len(q) == 1
+        assert q.foreground == 1
+
+    def test_double_cancel_is_noop(self):
+        q = EventQueue()
+        e = q.push(1.0, 0, lambda: None, ())
+        e.cancel()
+        e.cancel()
+        assert len(q) == 0
+        assert q.foreground == 0
+
+    def test_daemon_cancel_tracked_separately(self):
+        q = EventQueue()
+        d = q.push(1.0, 0, lambda: None, (), daemon=True)
+        f = q.push(2.0, 0, lambda: None, ())
+        assert (len(q), q.foreground) == (2, 1)
+        d.cancel()
+        assert (len(q), q.foreground) == (1, 1)
+        f.cancel()
+        assert (len(q), q.foreground) == (0, 0)
+
+
+class TestSystemIdleDrain:
+    def test_namenode_services_do_not_hang_horizonless_run(self):
+        """The regression that motivated daemon events: a NameNode's
+        periodic services (replication scan, p-estimation, throttle
+        sampling) must not keep ``sim.run()`` spinning forever."""
+        from repro.cluster import AvailabilityMonitor, Cluster, Node, NodeKind
+        from repro.config import DfsConfig, NodeSpec
+        from repro.dfs import NameNode
+        from repro.net import FifoNetwork
+
+        sim = Simulation(seed=0)
+        nodes = [Node(0, NodeKind.DEDICATED, NodeSpec()),
+                 Node(1, NodeKind.VOLATILE, NodeSpec())]
+        cluster = Cluster(nodes)
+        AvailabilityMonitor(sim, cluster)
+        net = FifoNetwork(sim)
+        for n in nodes:
+            net.register_node(n.node_id, 60.0, 80.0)
+        NameNode(sim, cluster, net, DfsConfig())
+        end = sim.run()  # must terminate promptly
+        assert end < 60.0

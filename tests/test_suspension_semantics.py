@@ -1,0 +1,123 @@
+"""Tests for MOON's suspension judgement (paper V-A).
+
+The defining behavioural difference from Hadoop: after
+SuspensionInterval without heartbeats, a tracker's attempts become
+*inactive* — flagged for frozen-task handling but **not killed**, in
+the hope the node resumes.  Kills happen only at the (much longer)
+TrackerExpiryInterval.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.mapreduce.task import AttemptState
+from repro.simulation import Simulation
+from repro.workloads import sleep_spec
+
+from helpers import build_mr
+
+
+def moon_cfg(**kw):
+    args = dict(
+        kind="moon",
+        suspension_interval=60.0,
+        tracker_expiry_interval=1800.0,
+    )
+    args.update(kw)
+    return SchedulerConfig(**args)
+
+
+@pytest.fixture
+def sim():
+    return Simulation(seed=0)
+
+
+class TestSuspensionJudgement:
+    def test_attempts_flagged_inactive_not_killed(self, sim):
+        traces = {3: [(10.0, 500.0)]}
+        cluster, _, _, jt = build_mr(
+            sim, scheduler_cfg=moon_cfg(), traces=traces,
+            n_volatile=3, n_dedicated=1,
+        )
+        job = jt.submit(sleep_spec(300.0, 5.0, n_maps=6, n_reduces=1))
+        sim.run(until=120.0)  # past SuspensionInterval, before expiry
+        on3 = [
+            a for t in job.maps for a in t.attempts if a.node_id == 3
+        ]
+        assert on3, "node 3 should have been assigned work"
+        assert all(a.state is AttemptState.INACTIVE for a in on3)
+
+    def test_inactive_attempt_resumes_and_completes(self, sim):
+        """The paper's hope realised: an outage shorter than the
+        SuspensionInterval never even raises suspicion — the attempt
+        pauses physically, resumes, and completes with no work wasted
+        and no speculation."""
+        traces = {3: [(10.0, 40.0)]}  # 30 s blip < 60 s interval
+        _, _, _, jt = build_mr(
+            sim, scheduler_cfg=moon_cfg(), traces=traces,
+            n_volatile=3, n_dedicated=1,
+        )
+        job = jt.submit(sleep_spec(60.0, 5.0, n_maps=6, n_reduces=1))
+        sim.run(until=3000.0, stop_when=lambda: job.finished)
+        assert job.state.value == "succeeded"
+        succeeded_on_3 = [
+            a
+            for t in job.maps
+            for a in t.attempts
+            if a.node_id == 3 and a.state is AttemptState.SUCCEEDED
+        ]
+        assert succeeded_on_3, "resumed attempts should complete"
+        # No frozen-task rescues were ever needed (the blip was below
+        # the suspicion threshold); any speculation is homestretch-only.
+        assert job.counters["frozen_speculations"] == 0
+
+    def test_recovery_clears_inactive_flag(self, sim):
+        # hybrid_aware off so the dedicated node cannot host rescue
+        # copies — the suspended tasks must stay frozen until resume.
+        traces = {3: [(10.0, 100.0)]}
+        _, _, _, jt = build_mr(
+            sim, scheduler_cfg=moon_cfg(hybrid_aware=False), traces=traces,
+            n_volatile=3, n_dedicated=1,
+        )
+        job = jt.submit(sleep_spec(400.0, 5.0, n_maps=8, n_reduces=1))
+        sim.run(until=90.0)
+        frozen_mid_outage = [t for t in job.maps if t.is_frozen()]
+        assert frozen_mid_outage
+        sim.run(until=200.0)  # node back since t=100, heartbeats again
+        assert not any(t.is_frozen() for t in frozen_mid_outage
+                       if not t.complete)
+
+    def test_expiry_finally_kills(self, sim):
+        cfg = moon_cfg(tracker_expiry_interval=300.0)
+        traces = {3: [(10.0, 5000.0)]}
+        _, _, _, jt = build_mr(
+            sim, scheduler_cfg=cfg, traces=traces,
+            n_volatile=3, n_dedicated=1,
+        )
+        job = jt.submit(sleep_spec(600.0, 5.0, n_maps=6, n_reduces=1))
+        sim.run(until=400.0)  # past the 300 s expiry
+        on3 = [a for t in job.maps for a in t.attempts if a.node_id == 3]
+        assert on3
+        assert all(a.state is AttemptState.KILLED for a in on3)
+
+
+class TestCapacityAccounting:
+    def test_available_slots_includes_suspended_trackers(self, sim):
+        """Suspended trackers' slots stay in the speculative budget's
+        denominator; only *dead* trackers drop out (V-A discussion in
+        DESIGN.md)."""
+        traces = {3: [(10.0, 5000.0)]}
+        _, _, _, jt = build_mr(
+            sim, scheduler_cfg=moon_cfg(tracker_expiry_interval=600.0),
+            traces=traces, n_volatile=3, n_dedicated=1,
+        )
+        jt.submit(sleep_spec(300.0, 5.0, n_maps=6, n_reduces=1))
+        total = sum(t.total_slots() for t in jt.trackers.values())
+        sim.run(until=120.0)  # node 3 suspected, not dead
+        assert jt.trackers[3].suspected
+        assert jt.available_slots() == total
+        sim.run(until=700.0)  # node 3 now expired
+        assert jt.trackers[3].dead
+        assert jt.available_slots() == total - jt.trackers[3].total_slots()

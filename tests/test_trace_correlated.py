@@ -1,0 +1,157 @@
+"""Tests for the correlated ("lab session") outage generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TraceConfig
+from repro.errors import TraceError
+from repro.traces import (
+    CorrelatedConfig,
+    empirical_rate,
+    generate_correlated_traces,
+    merge_intervals,
+    peak_simultaneous_down,
+)
+
+
+def make(rate=0.4, weight=0.5, n_groups=4, **kw):
+    return CorrelatedConfig(
+        base=TraceConfig(unavailability_rate=rate),
+        n_groups=n_groups,
+        correlation_weight=weight,
+        **kw,
+    )
+
+
+class TestMergeIntervals:
+    def test_disjoint_preserved(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlapping_merged(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_touching_merged(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1)]) == [(0, 1), (5, 6)]
+
+    def test_nested_absorbed(self):
+        assert merge_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0.01, max_value=20),
+            ),
+            max_size=20,
+        )
+    )
+    def test_property_output_disjoint_and_covering(self, raw):
+        pairs = [(s, s + d) for s, d in raw]
+        merged = merge_intervals(pairs)
+        # Disjoint and sorted.
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2
+        # Total measure never shrinks below any single input interval
+        # and never exceeds the sum of inputs.
+        total = sum(e - s for s, e in merged)
+        assert total <= sum(e - s for s, e in pairs) + 1e-9
+        for s, e in pairs:
+            assert any(ms <= s and e <= me for ms, me in merged)
+
+
+class TestGeneration:
+    def test_rate_near_target(self):
+        traces = generate_correlated_traces(
+            make(rate=0.4), 40, np.random.default_rng(1)
+        )
+        assert empirical_rate(traces) == pytest.approx(0.4, abs=0.08)
+
+    def test_zero_rate_all_available(self):
+        traces = generate_correlated_traces(
+            make(rate=0.0), 10, np.random.default_rng(1)
+        )
+        assert all(t.unavailability_rate() == 0.0 for t in traces)
+
+    def test_no_nodes(self):
+        assert generate_correlated_traces(make(), 0, np.random.default_rng(1)) == []
+
+    def test_full_correlation_produces_deep_bursts(self):
+        """With all downtime in group sessions, simultaneous-down peaks
+        should far exceed what independent outages produce (Fig. 1's
+        up-to-90% bursts)."""
+        rng = np.random.default_rng(3)
+        corr = generate_correlated_traces(
+            make(rate=0.4, weight=1.0, n_groups=1), 30, rng
+        )
+        indep = generate_correlated_traces(
+            make(rate=0.4, weight=0.0), 30, np.random.default_rng(3)
+        )
+        assert peak_simultaneous_down(corr) > peak_simultaneous_down(indep)
+        assert peak_simultaneous_down(corr) >= 0.7
+
+    def test_weight_zero_equals_independent_model(self):
+        """correlation_weight=0 must reduce to the base generator's
+        exact-rate behaviour."""
+        traces = generate_correlated_traces(
+            make(rate=0.3, weight=0.0), 10, np.random.default_rng(5)
+        )
+        for t in traces:
+            assert t.unavailability_rate() == pytest.approx(0.3, abs=1e-6)
+
+    def test_group_members_share_sessions(self):
+        """Within one group at full participation, outage intervals
+        coincide across members."""
+        cfg = CorrelatedConfig(
+            base=TraceConfig(unavailability_rate=0.3),
+            n_groups=1,
+            correlation_weight=1.0,
+            participation=1.0,
+        )
+        traces = generate_correlated_traces(cfg, 5, np.random.default_rng(7))
+        first = [(iv.start, iv.end) for iv in traces[0]]
+        for t in traces[1:]:
+            assert [(iv.start, iv.end) for iv in t] == first
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            make(n_groups=0).validate()
+        with pytest.raises(TraceError):
+            make(weight=1.5).validate()
+        with pytest.raises(TraceError):
+            CorrelatedConfig(participation=0.0).validate()
+        with pytest.raises(TraceError):
+            generate_correlated_traces(make(), -1, np.random.default_rng(0))
+
+
+class TestPeakSimultaneousDown:
+    def test_empty(self):
+        assert peak_simultaneous_down([]) == 0.0
+
+    def test_all_up(self):
+        from repro.traces import AvailabilityTrace
+
+        ts = [AvailabilityTrace.always_available(1000.0)] * 3
+        assert peak_simultaneous_down(ts) == 0.0
+
+    def test_one_common_outage(self):
+        from repro.traces import AvailabilityTrace
+
+        ts = [
+            AvailabilityTrace([(100.0, 500.0)], 1000.0),
+            AvailabilityTrace([(100.0, 500.0)], 1000.0),
+            AvailabilityTrace([], 1000.0),
+        ]
+        assert peak_simultaneous_down(ts, sample_interval=50.0) == pytest.approx(
+            2.0 / 3.0
+        )

@@ -1,0 +1,127 @@
+"""Tests for pluggable outage-length distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TraceConfig
+from repro.errors import ConfigError, TraceError
+from repro.traces import (
+    DISTRIBUTIONS,
+    distribution_names,
+    generate_trace,
+    make_distribution,
+)
+
+
+RNG = lambda: np.random.default_rng(7)  # noqa: E731
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        assert set(distribution_names()) == {
+            "normal", "lognormal", "weibull", "exponential", "pareto",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TraceError, match="unknown distribution"):
+            make_distribution("zipf", 400.0, 100.0)
+
+    def test_names_match_classes(self):
+        for name, cls in DISTRIBUTIONS.items():
+            assert cls.name == name
+
+
+class TestCalibration:
+    """Every family must honour the configured mean (its one contract)."""
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_sample_mean_near_target(self, name):
+        dist = make_distribution(name, 409.0, 100.0)
+        draws = dist.sample(RNG(), 20_000)
+        # Pareto's heavy tail converges slowly; 10% tolerance for all.
+        assert draws.mean() == pytest.approx(409.0, rel=0.10)
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_minimum_enforced(self, name):
+        dist = make_distribution(name, 409.0, 300.0, minimum=50.0)
+        draws = dist.sample(RNG(), 5_000)
+        assert (draws >= 50.0).all()
+
+    def test_normal_matches_sigma(self):
+        dist = make_distribution("normal", 409.0, 100.0)
+        draws = dist.sample(RNG(), 20_000)
+        assert draws.std() == pytest.approx(100.0, rel=0.05)
+
+    def test_lognormal_matches_sigma(self):
+        dist = make_distribution("lognormal", 409.0, 100.0)
+        draws = dist.sample(RNG(), 50_000)
+        assert draws.std() == pytest.approx(100.0, rel=0.10)
+
+    def test_weibull_matches_sigma(self):
+        dist = make_distribution("weibull", 409.0, 100.0)
+        draws = dist.sample(RNG(), 50_000)
+        assert draws.std() == pytest.approx(100.0, rel=0.10)
+
+    def test_exponential_ignores_sigma(self):
+        dist = make_distribution("exponential", 409.0, 5.0)
+        draws = dist.sample(RNG(), 50_000)
+        assert draws.std() == pytest.approx(409.0, rel=0.10)  # CV = 1
+
+    def test_zero_sigma_degenerates(self):
+        for name in ("normal", "lognormal", "weibull"):
+            dist = make_distribution(name, 409.0, 0.0)
+            draws = dist.sample(RNG(), 100)
+            assert np.allclose(draws, 409.0)
+
+    def test_empty_sample(self):
+        dist = make_distribution("normal", 409.0, 100.0)
+        assert dist.sample(RNG(), 0).size == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(TraceError):
+            make_distribution("normal", 409.0, 100.0).sample(RNG(), -1)
+
+
+class TestValidation:
+    def test_bad_mean(self):
+        with pytest.raises(TraceError):
+            make_distribution("normal", 0.0, 1.0)
+
+    def test_bad_sigma(self):
+        with pytest.raises(TraceError):
+            make_distribution("normal", 400.0, -1.0)
+
+    def test_bad_minimum(self):
+        with pytest.raises(TraceError):
+            make_distribution("normal", 400.0, 10.0, minimum=500.0)
+
+
+class TestTraceConfigIntegration:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_generate_trace_with_each_family(self, name):
+        cfg = TraceConfig(unavailability_rate=0.3, distribution=name)
+        trace = generate_trace(cfg, RNG())
+        # The generator rescales lengths, so the rate is exact.
+        assert trace.unavailability_rate() == pytest.approx(0.3, abs=1e-6)
+
+    def test_unknown_distribution_rejected_by_config(self):
+        with pytest.raises(ConfigError):
+            TraceConfig(distribution="cauchy").validate()
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        mean=st.floats(min_value=60.0, max_value=2000.0),
+        cv=st.floats(min_value=0.05, max_value=0.8),
+        name=st.sampled_from(sorted(DISTRIBUTIONS)),
+    )
+    def test_property_draws_positive(self, mean, cv, name):
+        dist = make_distribution(name, mean, mean * cv, minimum=1.0)
+        draws = dist.sample(np.random.default_rng(0), 200)
+        assert (draws >= 1.0).all()
+        assert np.isfinite(draws).all()

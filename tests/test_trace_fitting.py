@@ -1,0 +1,94 @@
+"""Tests for outage-length distribution fitting (ref [15] methodology)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import fit_outages, fit_report, make_distribution
+
+RNG = lambda s=0: np.random.default_rng(s)  # noqa: E731
+
+
+def sample(name, n=4000, mean=409.0, sigma=200.0, seed=1):
+    dist = make_distribution(name, mean, sigma, minimum=1.0)
+    return dist.sample(RNG(seed), n)
+
+
+class TestRecovery:
+    """Each family's own samples should rank it at (or near) the top."""
+
+    # Normal is sampled at lower CV: truncation-at-minimum distorts a
+    # wide normal's left tail enough for Weibull to edge it on AIC.
+    @pytest.mark.parametrize(
+        "name,sigma",
+        [("normal", 100.0), ("lognormal", 200.0), ("weibull", 200.0)],
+    )
+    def test_generator_family_recovered(self, name, sigma):
+        results = fit_outages(sample(name, sigma=sigma))
+        best_aic = results[0].aic
+        mine = next(r for r in results if r.name == name)
+        assert mine.aic <= best_aic + 10.0
+        assert results[0].name in ("normal", "lognormal", "weibull")
+
+    def test_exponential_recovered(self):
+        data = RNG(3).exponential(409.0, size=4000)
+        results = fit_outages(data)
+        mine = next(r for r in results if r.name == "exponential")
+        # Weibull with k~1 nests the exponential; allow a tie.
+        assert mine.aic <= results[0].aic + 10.0
+
+    def test_fitted_moments_close(self):
+        data = sample("lognormal", mean=409.0, sigma=300.0)
+        results = fit_outages(data)
+        ln = next(r for r in results if r.name == "lognormal")
+        assert ln.mean == pytest.approx(data.mean(), rel=0.15)
+
+
+class TestRanking:
+    def test_sorted_by_aic(self):
+        results = fit_outages(sample("normal"))
+        aics = [r.aic for r in results]
+        assert aics == sorted(aics)
+
+    def test_aic_penalises_parameters(self):
+        r = fit_outages(sample("normal"))[0]
+        assert r.aic == pytest.approx(2 * r.n_params - 2 * r.log_likelihood)
+
+    def test_all_registered_families_attempted(self):
+        names = {r.name for r in fit_outages(sample("normal"))}
+        assert {"normal", "lognormal", "exponential", "pareto"} <= names
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(TraceError):
+            fit_outages([1.0, 2.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(TraceError):
+            fit_outages([1.0, -2.0, 3.0])
+
+
+class TestReport:
+    def test_report_renders(self):
+        text = fit_report(fit_outages(sample("weibull")))
+        assert "AIC" in text
+        assert "weibull" in text
+
+    def test_calibration_roundtrip(self):
+        """The docstring workflow: fit -> TraceConfig -> generate."""
+        from repro.config import TraceConfig
+        from repro.traces import generate_trace
+
+        best = fit_outages(sample("lognormal"))[0]
+        cfg = TraceConfig(
+            unavailability_rate=0.4,
+            distribution=best.name,
+            mean_outage=best.mean,
+            outage_sigma=best.sigma,
+            min_outage=1.0,
+        )
+        tr = generate_trace(cfg, RNG(9))
+        assert tr.unavailability_rate() == pytest.approx(0.4, abs=1e-6)

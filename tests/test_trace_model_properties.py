@@ -1,0 +1,124 @@
+"""Property tests for the AvailabilityTrace data model invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TraceConfig
+from repro.errors import TraceError
+from repro.traces import AvailabilityTrace, generate_trace
+
+
+@st.composite
+def traces(draw):
+    """Random valid traces: sorted non-overlapping intervals."""
+    duration = draw(st.floats(min_value=100.0, max_value=10_000.0))
+    n = draw(st.integers(min_value=0, max_value=10))
+    points = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=duration - 1e-6),
+                min_size=2 * n,
+                max_size=2 * n,
+                unique=True,
+            )
+        )
+    )
+    intervals = [
+        (points[2 * i], points[2 * i + 1]) for i in range(n)
+        if points[2 * i + 1] > points[2 * i]
+    ]
+    return AvailabilityTrace(intervals, duration)
+
+
+class TestTransitionConsistency:
+    @settings(max_examples=80, deadline=None)
+    @given(tr=traces(), t=st.floats(min_value=0.0, max_value=9_999.0))
+    def test_property_next_transition_flips_state(self, tr, t):
+        """Walking to the next transition always flips availability,
+        and the reported post-state matches is_available just after."""
+        if t >= tr.duration:
+            return
+        state = tr.is_available(t)
+        nxt = tr.next_transition(t)
+        if nxt is None:
+            assert state  # stays up forever
+            return
+        time, avail_after = nxt
+        assert time > t
+        assert avail_after != state or time >= tr.duration
+        # The state at the transition instant itself is the post-state
+        # (intervals are half-open [start, end)).
+        if time < tr.duration:
+            assert tr.is_available(time) == avail_after
+
+    @settings(max_examples=60, deadline=None)
+    @given(tr=traces())
+    def test_property_walk_covers_all_intervals(self, tr):
+        """Following next_transition from 0 visits every boundary."""
+        t, hops = 0.0, 0
+        seen_down = 0
+        state = tr.is_available(0.0)
+        while hops < 100:
+            nxt = tr.next_transition(t)
+            if nxt is None:
+                break
+            t, avail = nxt
+            if not avail:
+                pass
+            if avail:
+                seen_down += 1  # we just left a down interval
+            hops += 1
+        assert seen_down == len(tr)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tr=traces())
+    def test_property_rate_in_unit_interval(self, tr):
+        assert 0.0 <= tr.unavailability_rate() <= 1.0
+        assert tr.unavailable_seconds() == pytest.approx(
+            sum(iv.length for iv in tr)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(tr=traces(), offset=st.floats(min_value=0.0, max_value=5_000.0))
+    def test_property_shift_preserves_downtime(self, tr, offset):
+        """Cyclic shifting re-arranges outages but conserves total
+        downtime (up to boundary-merge rounding)."""
+        shifted = tr.shifted(offset)
+        assert shifted.duration == tr.duration
+        assert shifted.unavailable_seconds() == pytest.approx(
+            tr.unavailable_seconds(), abs=1e-6
+        )
+
+
+class TestGeneratedTraceInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.05, max_value=0.7),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_generator_hits_rate_exactly(self, rate, seed):
+        cfg = TraceConfig(unavailability_rate=rate)
+        tr = generate_trace(cfg, np.random.default_rng(seed))
+        assert tr.unavailability_rate() == pytest.approx(rate, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_property_outages_respect_minimum_shape(self, seed):
+        """Outage lengths stay positive and intervals stay disjoint
+        after the generator's exact-rate rescaling."""
+        cfg = TraceConfig(unavailability_rate=0.4)
+        tr = generate_trace(cfg, np.random.default_rng(seed))
+        prev_end = -1.0
+        for iv in tr:
+            assert iv.length > 0
+            assert iv.start >= prev_end
+            prev_end = iv.end
+
+    def test_negative_time_rejected(self):
+        tr = AvailabilityTrace([(1.0, 2.0)], 10.0)
+        with pytest.raises(TraceError):
+            tr.is_available(-1.0)

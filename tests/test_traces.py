@@ -1,0 +1,172 @@
+"""Tests for availability traces (S2): model invariants + the paper's
+synthetic generation method."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TraceConfig
+from repro.errors import TraceError
+from repro.traces import (
+    AvailabilityTrace,
+    compute_stats,
+    empirical_rate,
+    generate_cluster_traces,
+    generate_trace,
+    measured_unavailability,
+)
+
+
+class TestTraceModel:
+    def test_empty_trace_always_available(self):
+        tr = AvailabilityTrace.always_available(100.0)
+        assert tr.is_available(0.0) and tr.is_available(99.9)
+        assert tr.unavailability_rate() == 0.0
+        assert tr.next_transition(0.0) is None
+
+    def test_half_open_interval_semantics(self):
+        tr = AvailabilityTrace([(10.0, 20.0)], 100.0)
+        assert tr.is_available(9.999)
+        assert not tr.is_available(10.0)
+        assert not tr.is_available(19.999)
+        assert tr.is_available(20.0)
+
+    def test_next_transition_from_up_and_down(self):
+        tr = AvailabilityTrace([(10.0, 20.0), (50.0, 60.0)], 100.0)
+        assert tr.next_transition(0.0) == (10.0, False)
+        assert tr.next_transition(15.0) == (20.0, True)
+        assert tr.next_transition(20.0) == (50.0, False)
+        assert tr.next_transition(60.0) is None
+
+    def test_overlap_rejected(self):
+        with pytest.raises(TraceError):
+            AvailabilityTrace([(0.0, 10.0), (5.0, 15.0)], 100.0)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(TraceError):
+            AvailabilityTrace([(90.0, 110.0)], 100.0)
+        with pytest.raises(TraceError):
+            AvailabilityTrace([(-5.0, 5.0)], 100.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(TraceError):
+            AvailabilityTrace([(10.0, 10.0)], 100.0)
+
+    def test_unavailability_rate(self):
+        tr = AvailabilityTrace([(0.0, 25.0), (50.0, 75.0)], 100.0)
+        assert tr.unavailability_rate() == pytest.approx(0.5)
+
+    def test_outage_lengths(self):
+        tr = AvailabilityTrace([(0.0, 10.0), (20.0, 50.0)], 100.0)
+        assert tr.outage_lengths().tolist() == [10.0, 30.0]
+
+    def test_shifted_preserves_total_downtime(self):
+        tr = AvailabilityTrace([(10.0, 30.0), (80.0, 95.0)], 100.0)
+        sh = tr.shifted(40.0)
+        assert sh.unavailable_seconds() == pytest.approx(tr.unavailable_seconds())
+
+    def test_shifted_wraps_across_end(self):
+        tr = AvailabilityTrace([(90.0, 99.0)], 100.0)
+        sh = tr.shifted(5.0)
+        # [95, 104) wraps to [95, 100) + [0, 4).
+        assert not sh.is_available(96.0)
+        assert not sh.is_available(2.0)
+        assert sh.is_available(10.0)
+
+
+class TestGenerator:
+    def _cfg(self, rate, duration=8 * 3600.0):
+        return TraceConfig(unavailability_rate=rate, duration=duration)
+
+    def test_zero_rate_gives_empty_trace(self):
+        tr = generate_trace(self._cfg(0.0), np.random.default_rng(0))
+        assert len(tr) == 0
+
+    @pytest.mark.parametrize("rate", [0.1, 0.3, 0.5])
+    def test_rate_matches_target(self, rate):
+        """Paper VI: 'the percentage of unavailable time is equal to a
+        given node unavailability rate'."""
+        tr = generate_trace(self._cfg(rate), np.random.default_rng(1))
+        assert tr.unavailability_rate() == pytest.approx(rate, rel=0.05)
+
+    def test_mean_outage_near_409s(self):
+        cfg = self._cfg(0.4)
+        lengths = np.concatenate(
+            [
+                generate_trace(cfg, np.random.default_rng(s)).outage_lengths()
+                for s in range(10)
+            ]
+        )
+        assert lengths.mean() == pytest.approx(409.0, rel=0.15)
+
+    def test_min_outage_respected_before_rescale(self):
+        cfg = TraceConfig(
+            unavailability_rate=0.3, min_outage=60.0, outage_sigma=500.0
+        )
+        tr = generate_trace(cfg, np.random.default_rng(2))
+        # Rescaling can shrink lengths a little; allow a modest margin.
+        assert tr.outage_lengths().min() > 20.0
+
+    def test_cluster_traces_are_distinct(self):
+        cfg = self._cfg(0.4)
+        rng_factory = lambda i: np.random.default_rng(100 + i)
+        traces = generate_cluster_traces(cfg, 8, rng_factory)
+        assert len(traces) == 8
+        starts = {t.intervals[0].start for t in traces}
+        assert len(starts) > 1
+        assert empirical_rate(traces) == pytest.approx(0.4, rel=0.05)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.05, max_value=0.7),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_generated_trace_is_valid_and_on_target(self, rate, seed):
+        cfg = TraceConfig(unavailability_rate=rate)
+        tr = generate_trace(cfg, np.random.default_rng(seed))
+        # Constructor enforces sortedness/no overlap; rate within 10%.
+        assert tr.unavailability_rate() == pytest.approx(rate, rel=0.10)
+        # All intervals inside the window.
+        for iv in tr:
+            assert 0.0 <= iv.start < iv.end <= cfg.duration
+
+
+class TestStats:
+    def test_compute_stats_basics(self):
+        traces = [
+            AvailabilityTrace([(0.0, 50.0)], 100.0),
+            AvailabilityTrace([(50.0, 100.0)], 100.0),
+        ]
+        s = compute_stats(traces, sample_interval=10.0)
+        assert s.n_nodes == 2
+        assert s.mean_unavailability == pytest.approx(0.5)
+        # At any instant exactly one node is down.
+        assert s.max_simultaneous_down_fraction == pytest.approx(0.5)
+        assert s.min_simultaneous_down_fraction == pytest.approx(0.5)
+
+    def test_stats_requires_common_duration(self):
+        with pytest.raises(TraceError):
+            compute_stats(
+                [
+                    AvailabilityTrace([], 100.0),
+                    AvailabilityTrace([], 200.0),
+                ]
+            )
+
+    def test_measured_unavailability_window(self):
+        traces = [AvailabilityTrace([(0.0, 10.0)], 100.0)]
+        assert measured_unavailability(traces, 0.0, 20.0) == pytest.approx(0.5)
+        assert measured_unavailability(traces, 50.0, 100.0) == 0.0
+
+    def test_measured_unavailability_is_p_estimate(self):
+        """The NameNode's p estimate over interval I should approach the
+        configured rate for many nodes."""
+        cfg = TraceConfig(unavailability_rate=0.4)
+        traces = [
+            generate_trace(cfg, np.random.default_rng(i)) for i in range(30)
+        ]
+        p = measured_unavailability(traces, 0.0, cfg.duration)
+        assert p == pytest.approx(0.4, abs=0.03)

@@ -1,0 +1,99 @@
+"""Tests for workload specs (Table I + extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ConfigError
+from repro.dfs import ReplicationFactor
+from repro.workloads import (
+    JobSpec,
+    grep_spec,
+    random_spec,
+    scaled,
+    sleep_like_sort,
+    sleep_like_wordcount,
+    sleep_spec,
+    sort_spec,
+    wordcount_spec,
+)
+
+
+class TestTable1Configurations:
+    def test_sort_matches_table_1(self):
+        s = sort_spec()
+        assert s.n_maps == 384
+        assert s.input_mb == pytest.approx(24 * 1024)  # 24 GB
+        assert s.n_reduces is None and s.reduces_per_slot == 0.9
+        assert s.map_output_mb == s.map_input_mb  # selectivity 1
+
+    def test_wordcount_matches_table_1(self):
+        w = wordcount_spec()
+        assert w.n_maps == 320
+        assert w.input_mb == pytest.approx(20 * 1024)  # 20 GB
+        assert w.n_reduces == 20
+        assert w.map_output_mb < w.map_input_mb  # tiny intermediate
+
+    def test_sort_resolves_reduces_from_slots(self):
+        s = sort_spec()
+        assert s.resolve_reduces(132) == int(0.9 * 132)
+
+    def test_explicit_reduces_wins(self):
+        w = wordcount_spec()
+        assert w.resolve_reduces(1000) == 20
+
+    def test_sort_output_is_passthrough(self):
+        s = sort_spec()
+        n_red = 100
+        total_out = s.resolve_reduce_output_mb(n_red) * n_red
+        assert total_out == pytest.approx(s.input_mb)
+
+    def test_sleep_produces_negligible_data(self):
+        s = sleep_spec(21.0, 90.0, n_maps=10, n_reduces=2)
+        assert s.map_output_mb < 1.0
+        assert s.intermediate_reliable is True  # paper VI-A setup
+        assert s.intermediate_rf == ReplicationFactor(1, 1)
+
+    def test_sleep_presets_use_table2_times(self):
+        assert sleep_like_sort().map_cpu_seconds == 21.0
+        assert sleep_like_wordcount().map_cpu_seconds == 100.0
+
+    def test_grep_single_reduce(self):
+        g = grep_spec()
+        assert g.n_reduces == 1
+        assert g.map_output_mb < 1.0
+
+
+class TestSpecMechanics:
+    def test_partition_mb(self):
+        s = sort_spec()
+        assert s.partition_mb(64) == pytest.approx(1.0)
+        assert s.partition_mb(0) == 0.0
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            JobSpec(name="x", n_maps=0, n_reduces=1).validate()
+        with pytest.raises(ConfigError):
+            JobSpec(name="x", n_maps=1, n_reduces=None).validate()
+        with pytest.raises(ConfigError):
+            JobSpec(name="x", n_maps=1, n_reduces=1, map_cpu_seconds=-1).validate()
+
+    def test_scaled_shrinks_data_but_not_compute(self):
+        """Scaling cuts data volume only: task durations must stay in
+        the paper's regime relative to the outage process (DESIGN.md 5)."""
+        s = scaled(sort_spec(), 0.25)
+        assert s.map_input_mb == pytest.approx(16.0)
+        assert s.map_output_mb == pytest.approx(16.0)
+        assert s.map_cpu_seconds == sort_spec().map_cpu_seconds
+        assert s.reduce_cpu_seconds == sort_spec().reduce_cpu_seconds
+        s.validate()
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            scaled(sort_spec(), 0.0)
+
+    def test_random_specs_are_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            random_spec(rng).validate()
