@@ -32,6 +32,31 @@ def scale():
     return current_scale()
 
 
+#: Module boundaries where releasing the harness memo is known safe:
+#: after each self-contained experiment family, and after the two
+#: *consumers* of shared grids (Fig. 5 re-aggregates Fig. 4's runs,
+#: Table II re-aggregates Fig. 6's — which alphabetically sits several
+#: modules earlier, so the grid must survive until test_table2).
+#: A module not listed here keeps the cache — fail-safe: an unknown new
+#: module can never force a multi-minute re-run of a producer grid,
+#: and memory stays bounded by the harness LRU (CACHE_MAX_ENTRIES).
+_CLEAR_CACHE_AFTER = {
+    "test_ablation_twophase",  # last of the run_cell-using ablations
+    "test_fig5_duplicates",  # consumed Fig. 4's grid
+    "test_table2_profile",  # consumed Fig. 6's grid (via fig7 et al.)
+}
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _bounded_harness_cache(request):
+    """Release the experiment memo between figure modules."""
+    yield
+    if request.module.__name__ in _CLEAR_CACHE_AFTER:
+        from repro.experiments import harness
+
+        harness.clear_cache()
+
+
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

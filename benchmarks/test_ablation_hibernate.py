@@ -18,6 +18,10 @@ Measured: job time, replication traffic, thrash events, read timeouts.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.config import (
     ClusterConfig,
     DfsConfig,

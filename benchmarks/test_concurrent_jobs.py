@@ -12,6 +12,10 @@ should overlap one job's shuffle with another's maps.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.config import (
     ClusterConfig,
     SystemConfig,

@@ -10,6 +10,10 @@ replication (VO-3) against the hybrid anchor (HA, {1,1}).
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.cluster import Cluster, Node, NodeKind

@@ -3,6 +3,10 @@
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments import fig4
 
 from conftest import run_once, save_report

@@ -6,6 +6,10 @@ the aggregation; the assertions are the paper's Fig. 5 claims.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments import fig4
 from repro.metrics import series_table
 

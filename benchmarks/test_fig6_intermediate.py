@@ -3,6 +3,10 @@ HA-V1..V3) on sort and word count at rates 0.1/0.3/0.5."""
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments import fig6
 
 from conftest import run_once, save_report

@@ -3,6 +3,10 @@ Hadoop-VO (six uniform replicas, all machines volatile)."""
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments import fig7
 
 from conftest import run_once, save_report

@@ -14,6 +14,10 @@ heterogeneous one.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.cluster import Cluster, Node, NodeKind

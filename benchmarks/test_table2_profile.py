@@ -3,6 +3,10 @@ VO-V1, VO-V3, VO-V5 and HA-V1 (reuses the Fig. 6 runs)."""
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments import fig6
 
 from conftest import run_once, save_report

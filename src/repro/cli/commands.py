@@ -15,6 +15,7 @@ from ..config import (
     SchedulerConfig,
     SystemConfig,
     TraceConfig,
+    moon_scheduler_config,
 )
 from ..core import hadoop_system, moon_system
 from ..experiments import ablations, current_scale, fig1, fig4, fig6, fig7
@@ -163,6 +164,95 @@ def cmd_run(args) -> int:
     print(result.summary())
     print(result.profile.row())
     return 0 if result.succeeded else 1
+
+
+# ======================================================================
+# serve
+# ======================================================================
+def _serve_arrivals(args, system):
+    """Build the arrival stream for one serve run (seed-deterministic)."""
+    from ..service import (
+        bursty_arrivals,
+        default_catalog,
+        diurnal_arrivals,
+        poisson_arrivals,
+        sleep_catalog,
+    )
+
+    catalog = (
+        sleep_catalog() if args.catalog == "sleep"
+        else default_catalog(block_mb=args.block_mb)
+    )
+    tenants = tuple(f"tenant-{i + 1}" for i in range(args.tenants))
+    rng = system.sim.rng("service/arrivals")
+    horizon = args.hours * 3600.0
+    if args.pattern == "poisson":
+        return poisson_arrivals(
+            rng, args.jobs_per_hour, horizon, catalog, tenants
+        )
+    if args.pattern == "bursty":
+        # Six-job bursts whose epoch rate preserves the requested mean
+        # arrival rate exactly.
+        return bursty_arrivals(
+            rng,
+            bursts_per_hour=args.jobs_per_hour / 6.0,
+            burst_size_mean=6.0,
+            horizon=horizon,
+            catalog=catalog,
+            tenants=tenants,
+        )
+    return diurnal_arrivals(
+        rng, args.jobs_per_hour, horizon, catalog, tenants
+    )
+
+
+def cmd_serve(args) -> int:
+    """Serve a continuous job stream and report SLO metrics."""
+    from ..plotting import table
+    from ..service import QUEUE_POLICIES, ServiceConfig
+
+    policies = (
+        list(QUEUE_POLICIES) if args.policy == "all" else [args.policy]
+    )
+    summaries = []
+    for policy in policies:
+        # A fresh system per policy: same seed -> same traces and the
+        # same arrival draws, so policies compete on identical streams.
+        cfg = SystemConfig(
+            cluster=ClusterConfig(
+                n_volatile=args.volatile, n_dedicated=args.dedicated
+            ),
+            trace=TraceConfig(unavailability_rate=args.rate),
+            scheduler=moon_scheduler_config(),
+            seed=args.seed,
+        )
+        system = moon_system(cfg)
+        arrivals = _serve_arrivals(args, system)
+        service_cfg = ServiceConfig(
+            policy=policy,
+            max_in_flight=args.max_in_flight,
+            max_queue_depth=args.queue_depth,
+            tenant_quota=args.tenant_quota,
+            horizon=args.hours * 3600.0,
+        )
+        report = system.run_service(
+            arrivals, service_cfg, pattern=args.pattern
+        )
+        system.jobtracker.stop()
+        system.namenode.stop()
+        print(report.render())
+        print()
+        summaries.append([policy] + report.summary_row())
+    if len(summaries) > 1:
+        print(
+            table(
+                ["policy", "done", "p50 s", "p95 s", "p99 s",
+                 "miss", "good/h", "fairness"],
+                summaries,
+                title=f"queue-policy comparison - {args.pattern} arrivals",
+            )
+        )
+    return 0
 
 
 # ======================================================================

@@ -70,6 +70,72 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--expiry-minutes", type=float, default=None,
                        help="TrackerExpiryInterval override (minutes)")
 
+    # --- serve ----------------------------------------------------------
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve a continuous multi-tenant job stream (SLO report)",
+        description=(
+            "Run MOON as a long-lived service: jobs arrive over a "
+            "simulated horizon (Poisson, bursty or diurnal), pass "
+            "admission control and a queue policy, and are tracked "
+            "against per-class response-time SLOs.  The report gives "
+            "queue wait, p50/p95/p99 response time, deadline-miss "
+            "rate, goodput and tenant fairness."
+        ),
+        epilog=(
+            "example: compare all four queue policies under bursty "
+            "traffic on a volatile 30+3 cluster:\n"
+            "  repro serve --pattern bursty --policy all "
+            "--jobs-per-hour 18 --hours 2 \\\n"
+            "      --catalog sleep --max-in-flight 2 --volatile 30 "
+            "--dedicated 3 --rate 0.3\n"
+            "EDF should post the lowest deadline-miss rate; FIFO the "
+            "highest."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve_p.add_argument(
+        "--pattern",
+        choices=["poisson", "bursty", "diurnal"],
+        default="poisson",
+        help="arrival process shape",
+    )
+    # Single source of truth for the policy names; imported here (not
+    # module-level) so only parser construction depends on the package.
+    from ..service.queue import QUEUE_POLICIES
+
+    serve_p.add_argument(
+        "--policy",
+        choices=list(QUEUE_POLICIES) + ["all"],
+        default="fifo",
+        help="queue ordering policy ('all' compares every policy)",
+    )
+    serve_p.add_argument("--jobs-per-hour", type=float, default=12.0,
+                         help="mean arrival rate (peak rate for diurnal)")
+    serve_p.add_argument("--hours", type=float, default=2.0,
+                         help="admission horizon in simulated hours")
+    serve_p.add_argument("--tenants", type=int, default=3,
+                         help="number of tenants sharing the service")
+    serve_p.add_argument(
+        "--catalog",
+        choices=["mixed", "sleep"],
+        default="mixed",
+        help="workload mix: real data jobs, or data-free sleep jobs",
+    )
+    serve_p.add_argument("--block-mb", type=float, default=4.0,
+                         help="block size of the mixed catalog's jobs")
+    serve_p.add_argument("--max-in-flight", type=int, default=4,
+                         help="jobs concurrently admitted to the cluster")
+    serve_p.add_argument("--queue-depth", type=int, default=64,
+                         help="queue bound; arrivals beyond it are rejected")
+    serve_p.add_argument("--tenant-quota", type=int, default=None,
+                         help="max in-flight jobs per tenant")
+    serve_p.add_argument("--rate", type=float, default=0.3,
+                         help="volatile-node unavailability rate")
+    serve_p.add_argument("--volatile", type=int, default=30)
+    serve_p.add_argument("--dedicated", type=int, default=3)
+    serve_p.add_argument("--seed", type=int, default=42)
+
     # --- trace ----------------------------------------------------------
     trace_p = sub.add_parser(
         "trace", help="generate or inspect availability traces"
@@ -133,6 +199,7 @@ _DISPATCH = {
     "table2": commands.cmd_table2,
     "ablations": commands.cmd_ablations,
     "run": commands.cmd_run,
+    "serve": commands.cmd_serve,
     "trace": commands.cmd_trace,
     "availability": commands.cmd_availability,
     "estimate": commands.cmd_estimate,

@@ -80,14 +80,75 @@ class MoonSystem:
         return JobResult.from_run(self, job)
 
     def run_jobs(
-        self, specs: List[JobSpec], time_limit: float = 8 * 3600.0
+        self,
+        specs: List[JobSpec],
+        time_limit: float = 8 * 3600.0,
+        priorities: Optional[List[int]] = None,
+        arrival_offsets: Optional[List[float]] = None,
     ) -> List[JobResult]:
-        """Concurrent multi-job execution (paper VIII future work)."""
-        jobs = [self.submit(s) for s in specs]
-        self.sim.run(
-            until=time_limit, stop_when=lambda: all(j.finished for j in jobs)
+        """Concurrent multi-job execution (paper VIII future work).
+
+        ``priorities`` mirrors :meth:`run_job`'s knob per job (higher
+        runs first at assignment time); ``arrival_offsets`` staggers
+        submissions by seconds relative to now, so batch and service
+        paths share arrival semantics.
+        """
+        n = len(specs)
+        priorities = priorities if priorities is not None else [0] * n
+        arrival_offsets = (
+            arrival_offsets if arrival_offsets is not None else [0.0] * n
         )
+        if len(priorities) != n or len(arrival_offsets) != n:
+            raise ConfigError(
+                "priorities and arrival_offsets must match specs in length"
+            )
+        if any(off < 0 for off in arrival_offsets):
+            raise ConfigError("arrival_offsets must be non-negative")
+        # A positive offset past the time limit would leave a submission
+        # event armed after this run returns, firing mid-way through a
+        # later run on the same system — reject it up front instead.
+        # (Zero offsets submit immediately and arm nothing.)
+        if any(
+            off > 0 and self.sim.now + off > time_limit
+            for off in arrival_offsets
+        ):
+            raise ConfigError("arrival_offsets must fall within time_limit")
+        jobs: List[Optional[Job]] = [None] * n
+
+        def submit_one(i: int) -> None:
+            jobs[i] = self.submit(specs[i], priorities[i])
+
+        for i, offset in enumerate(arrival_offsets):
+            if offset == 0.0:
+                submit_one(i)
+            else:
+                self.sim.call_after(offset, submit_one, i)
+        self.sim.run(
+            until=time_limit,
+            stop_when=lambda: all(j is not None and j.finished for j in jobs),
+        )
+        # Every offset lies within the limit, so every job is submitted
+        # by the time the run stops (a job may still be unfinished, and
+        # reports elapsed=None like any other DNF).
         return [JobResult.from_run(self, j) for j in jobs]
+
+    def run_service(
+        self,
+        arrivals,
+        service_config=None,
+        pattern: str = "replay",
+    ):
+        """Serve a job-arrival stream through the service layer (S11).
+
+        Returns the :class:`~repro.service.ServiceReport` with queue
+        waits, p50/p95/p99 response times, goodput, deadline-miss rate
+        and per-tenant fairness.
+        """
+        from ..service import MoonService
+
+        return MoonService(
+            self, service_config, arrivals, pattern=pattern
+        ).run()
 
 
 def moon_system(config: SystemConfig) -> MoonSystem:

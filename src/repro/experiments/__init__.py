@@ -4,6 +4,7 @@ from . import ablations, fig1, fig4, fig6, fig7, validate
 from .harness import (
     RATES,
     SCHED_POLICIES,
+    clear_cache,
     hadoop_policy,
     late_policy,
     mean_counter,
@@ -21,6 +22,7 @@ __all__ = [
     "fig7",
     "ablations",
     "run_cell",
+    "clear_cache",
     "mean_elapsed",
     "mean_counter",
     "moon_policy",

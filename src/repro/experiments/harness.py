@@ -1,7 +1,9 @@
 """Shared experiment runner with per-process result caching.
 
 Figures share runs (Fig. 5 reuses Fig. 4's, Table II reuses Fig. 6's),
-so results are memoised on a structural key.  Every cell is averaged
+so results are memoised on a structural key (a bounded LRU —
+:data:`CACHE_MAX_ENTRIES` — with :func:`clear_cache` for explicit
+release between benchmark modules).  Every cell is averaged
 over the scale's seeds; a job that does not finish within the 8-hour
 trace window is recorded as ``None`` (the paper reports exactly this
 for plain Hadoop without intermediate replication).
@@ -9,6 +11,7 @@ for plain Hadoop without intermediate replication).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -19,7 +22,21 @@ from ..dfs import ReplicationFactor
 from ..workloads import JobSpec
 from .scale import Scale, system_config
 
-_cache: Dict[tuple, List[JobResult]] = {}
+#: LRU bound on memoised cells: full-scale runs hold hundreds of
+#: JobResults (each with task-level profiles), so an unbounded memo
+#: grows without limit across a long pytest session.
+CACHE_MAX_ENTRIES = 128
+
+_cache: "OrderedDict[tuple, List[JobResult]]" = OrderedDict()
+
+
+def clear_cache() -> None:
+    """Drop every memoised cell (called between benchmark modules)."""
+    _cache.clear()
+
+
+def cache_size() -> int:
+    return len(_cache)
 
 
 def _key(spec: JobSpec, rate, sched: SchedulerConfig, seed, hadoop_mode,
@@ -50,6 +67,7 @@ def run_cell(
     key = _key(spec, rate, scheduler, scale.seeds, hadoop_mode,
                n_dedicated, network_model)
     if key in _cache:
+        _cache.move_to_end(key)
         return _cache[key]
     results: List[JobResult] = []
     for seed in scale.seeds:
@@ -62,6 +80,8 @@ def run_cell(
         system.jobtracker.stop()
         system.namenode.stop()
     _cache[key] = results
+    while len(_cache) > CACHE_MAX_ENTRIES:
+        _cache.popitem(last=False)
     return results
 
 

@@ -1,8 +1,9 @@
-"""Plain-text tables in the shape of the paper's figures."""
+"""Plain-text tables in the shape of the paper's figures, plus the
+latency-distribution arithmetic shared by the service layer."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def series_table(
@@ -27,6 +28,34 @@ def series_table(
     if unit:
         lines.append(f"(values in {unit})")
     return "\n".join(lines)
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """The q-th percentile by linear interpolation; None when empty.
+
+    Implemented directly (sorted copy + interpolation) rather than via
+    numpy so the result is a plain float with a stable repr — service
+    reports must be byte-identical across repeated seeded runs.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    if not values:
+        return None
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def latency_quantiles(
+    values: Sequence[float], qs: Tuple[float, ...] = (50.0, 95.0, 99.0)
+) -> Dict[str, Optional[float]]:
+    """`{"p50": ..., "p95": ..., "p99": ...}` for a latency sample."""
+    return {f"p{q:g}": percentile(values, q) for q in qs}
 
 
 def comparison_rows(

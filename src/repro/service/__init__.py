@@ -1,0 +1,65 @@
+"""Service layer (S11): continuous job-stream serving on MOON.
+
+The paper's Section VIII names "the scheduling and QoS issues of
+concurrent MapReduce jobs on opportunistic environments" as open
+future work.  This package supplies that layer: arrival streams
+(:mod:`~repro.service.arrivals`), a bounded multi-tenant job queue
+with pluggable ordering (:mod:`~repro.service.queue`), the service
+loop itself (:mod:`~repro.service.service`) and SLO accounting
+(:mod:`~repro.service.slo`).
+"""
+
+from .arrivals import (
+    DEFAULT_TENANTS,
+    JobArrival,
+    WorkloadClass,
+    bursty_arrivals,
+    default_catalog,
+    diurnal_arrivals,
+    poisson_arrivals,
+    replay_arrivals,
+    sleep_catalog,
+)
+from .queue import (
+    QUEUE_POLICIES,
+    JobQueue,
+    QueueContext,
+    QueuedJob,
+    make_cost_estimator,
+    make_queue_policy,
+)
+from .service import MoonService, ServiceConfig
+from .slo import (
+    JobRecord,
+    ServedState,
+    ServiceReport,
+    TenantSlo,
+    build_report,
+    jain_fairness,
+)
+
+__all__ = [
+    "JobArrival",
+    "WorkloadClass",
+    "DEFAULT_TENANTS",
+    "default_catalog",
+    "sleep_catalog",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "replay_arrivals",
+    "QUEUE_POLICIES",
+    "JobQueue",
+    "QueueContext",
+    "QueuedJob",
+    "make_queue_policy",
+    "make_cost_estimator",
+    "MoonService",
+    "ServiceConfig",
+    "JobRecord",
+    "ServedState",
+    "TenantSlo",
+    "ServiceReport",
+    "build_report",
+    "jain_fairness",
+]

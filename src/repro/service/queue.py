@@ -1,0 +1,259 @@
+"""Job queue with admission control and pluggable ordering policies.
+
+Task-level scheduling (Section V of the paper) fills slots *within* a
+job; under sustained multi-job traffic the queue decides *which* job
+gets those slots next — and that job-level policy dominates response
+time (Lee & Lin's hybrid job-driven scheduling; OS4M's global balance
+across concurrent jobs).  Four orderings are provided:
+
+* **fifo** — arrival order (the Hadoop default);
+* **sjf** — shortest job first, sized with the analytical cost model
+  (:func:`repro.analysis.estimate_makespan`);
+* **fair** — weighted fair share across tenants by admitted service;
+* **edf** — earliest deadline first (jobs without a deadline last).
+
+Admission control is two-layered: a bounded queue rejects work outright
+when the backlog exceeds ``max_queue_depth``, and per-tenant in-flight
+quotas stop one tenant from monopolising the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..analysis import estimate_makespan
+from ..errors import ConfigError
+from ..workloads import JobSpec
+from .arrivals import JobArrival
+
+QUEUE_POLICIES = ("fifo", "sjf", "fair", "edf")
+
+
+@dataclass
+class QueuedJob:
+    """One admitted-to-queue arrival awaiting cluster admission."""
+
+    arrival: JobArrival
+    enqueued_at: float
+    #: Analytical makespan estimate (seconds) used by sjf/fair.
+    cost_estimate: float
+    #: Monotone admission sequence number — the universal tie-breaker,
+    #: so every policy yields a total, deterministic order.
+    seq: int
+
+    @property
+    def tenant(self) -> str:
+        return self.arrival.tenant
+
+    @property
+    def deadline(self) -> Optional[float]:
+        return self.arrival.deadline
+
+
+def make_cost_estimator(
+    n_volatile: int, unavailability_rate: float
+) -> Callable[[JobSpec], float]:
+    """Per-spec analytical cost in seconds, memoised on the frozen spec.
+
+    The estimate deliberately reuses the validation-layer model rather
+    than inventing a second one: SJF only needs a consistent relative
+    ordering, which the wave model provides.
+    """
+    if n_volatile < 1:
+        raise ConfigError("need at least one volatile node")
+    cache: Dict[JobSpec, float] = {}
+
+    def estimate(spec: JobSpec) -> float:
+        cost = cache.get(spec)
+        if cost is None:
+            cost = estimate_makespan(
+                spec, n_volatile, unavailability_rate
+            ).total
+            cache[spec] = cost
+        return cost
+
+    return estimate
+
+
+# ======================================================================
+# Ordering policies
+# ======================================================================
+class OrderingPolicy:
+    """Chooses the next queued job; stateless unless noted."""
+
+    name = "base"
+
+    def select(
+        self, pending: List[QueuedJob], ctx: "QueueContext"
+    ) -> QueuedJob:
+        raise NotImplementedError
+
+    def admitted(self, qjob: QueuedJob) -> None:
+        """Hook: called when ``qjob`` is handed to the cluster."""
+
+
+class FifoPolicy(OrderingPolicy):
+    name = "fifo"
+
+    def select(self, pending, ctx):
+        return min(pending, key=lambda q: q.seq)
+
+
+class SjfPolicy(OrderingPolicy):
+    """Shortest job first by analytical cost estimate."""
+
+    name = "sjf"
+
+    def select(self, pending, ctx):
+        return min(pending, key=lambda q: (q.cost_estimate, q.seq))
+
+
+class EdfPolicy(OrderingPolicy):
+    """Earliest deadline first; deadline-free jobs run last, FIFO."""
+
+    name = "edf"
+
+    def select(self, pending, ctx):
+        return min(
+            pending,
+            key=lambda q: (
+                q.deadline if q.deadline is not None else float("inf"),
+                q.seq,
+            ),
+        )
+
+
+class FairSharePolicy(OrderingPolicy):
+    """Weighted fair share: serve the tenant furthest below its share.
+
+    Usage is the sum of admitted cost estimates normalised by the
+    tenant's weight (default 1.0), so a tenant that has consumed less
+    weighted service is always preferred — OS4M's global balance, at
+    job granularity.
+    """
+
+    name = "fair"
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None) -> None:
+        self.weights = dict(weights or {})
+        for tenant, w in self.weights.items():
+            if w <= 0:
+                raise ConfigError(f"tenant weight must be positive: {tenant}")
+        self._usage: Dict[str, float] = {}
+
+    def _normalised_usage(self, tenant: str) -> float:
+        return self._usage.get(tenant, 0.0) / self.weights.get(tenant, 1.0)
+
+    def select(self, pending, ctx):
+        return min(
+            pending,
+            key=lambda q: (self._normalised_usage(q.tenant), q.seq),
+        )
+
+    def admitted(self, qjob: QueuedJob) -> None:
+        self._usage[qjob.tenant] = (
+            self._usage.get(qjob.tenant, 0.0) + qjob.cost_estimate
+        )
+
+
+def make_queue_policy(
+    name: str, tenant_weights: Optional[Dict[str, float]] = None
+) -> OrderingPolicy:
+    """Policy factory mirroring :func:`repro.scheduling.make_scheduler`."""
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "sjf":
+        return SjfPolicy()
+    if name == "edf":
+        return EdfPolicy()
+    if name == "fair":
+        return FairSharePolicy(tenant_weights)
+    raise ConfigError(f"unknown queue policy: {name!r}")
+
+
+# ======================================================================
+# The queue itself
+# ======================================================================
+@dataclass
+class QueueContext:
+    """Cluster-side state the ordering policies may consult."""
+
+    in_flight_by_tenant: Dict[str, int] = field(default_factory=dict)
+
+
+class JobQueue:
+    """Bounded job queue with per-tenant quotas.
+
+    ``offer`` either enqueues an arrival (returning the
+    :class:`QueuedJob`) or rejects it (returning ``None``) when the
+    backlog is at ``max_queue_depth``.  ``select`` pops the policy's
+    next choice among tenants still under their in-flight quota.
+    """
+
+    def __init__(
+        self,
+        policy: OrderingPolicy,
+        max_queue_depth: Optional[int] = None,
+        tenant_quota: Optional[int] = None,
+        estimator: Optional[Callable[[JobSpec], float]] = None,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ConfigError("max_queue_depth must be >= 1")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ConfigError("tenant_quota must be >= 1")
+        if estimator is None and policy.name in ("sjf", "fair"):
+            # Without costs, both policies silently collapse to FIFO.
+            raise ConfigError(
+                f"the {policy.name!r} policy needs a cost estimator "
+                "(see make_cost_estimator)"
+            )
+        self.policy = policy
+        self.max_queue_depth = max_queue_depth
+        self.tenant_quota = tenant_quota
+        self._estimator = estimator or (lambda spec: 0.0)
+        self._pending: List[QueuedJob] = []
+        self._seq = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> List[QueuedJob]:
+        return list(self._pending)
+
+    def offer(self, arrival: JobArrival, now: float) -> Optional[QueuedJob]:
+        """Admit to the queue, or reject when the backlog is full."""
+        if (
+            self.max_queue_depth is not None
+            and len(self._pending) >= self.max_queue_depth
+        ):
+            self.rejected += 1
+            return None
+        qjob = QueuedJob(
+            arrival=arrival,
+            enqueued_at=now,
+            cost_estimate=self._estimator(arrival.spec),
+            seq=self._seq,
+        )
+        self._seq += 1
+        self._pending.append(qjob)
+        return qjob
+
+    def select(self, ctx: Optional[QueueContext] = None) -> Optional[QueuedJob]:
+        """Pop the next job per policy, honouring tenant quotas."""
+        ctx = ctx or QueueContext()
+        eligible = self._pending
+        if self.tenant_quota is not None:
+            eligible = [
+                q
+                for q in self._pending
+                if ctx.in_flight_by_tenant.get(q.tenant, 0) < self.tenant_quota
+            ]
+        if not eligible:
+            return None
+        qjob = self.policy.select(eligible, ctx)
+        self._pending.remove(qjob)
+        self.policy.admitted(qjob)
+        return qjob

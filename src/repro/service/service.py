@@ -1,0 +1,214 @@
+"""The service loop: MOON as a long-running job-serving front-end.
+
+:class:`MoonService` layers continuous operation over a fully wired
+:class:`~repro.core.MoonSystem`: it schedules arrival events on the
+simulation clock, applies admission control at the front door, admits
+queued jobs into the JobTracker as in-flight slots free up, and keeps
+per-job SLO records the whole way.  The underlying task-level machinery
+(hybrid scheduling, replication, suspension handling) is untouched —
+this is the job-stream layer the paper's Section VIII leaves open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import HOUR
+from ..errors import ConfigError
+from ..mapreduce.job import Job
+from ..simulation import PRIORITY_PERIODIC, PeriodicTask
+from .arrivals import JobArrival
+from .queue import (
+    QUEUE_POLICIES,
+    JobQueue,
+    QueueContext,
+    make_cost_estimator,
+    make_queue_policy,
+)
+from .slo import JobRecord, ServedState, ServiceReport, build_report
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving front-end (not of the cluster beneath it)."""
+
+    #: Queue ordering: "fifo" | "sjf" | "fair" | "edf".
+    policy: str = "fifo"
+    #: Jobs concurrently admitted into the JobTracker.
+    max_in_flight: int = 4
+    #: Queue backlog bound; arrivals beyond it are rejected (None = no
+    #: bound, i.e. admission control by quota only).
+    max_queue_depth: Optional[int] = 64
+    #: Max in-flight jobs per tenant (None = no per-tenant quota).
+    tenant_quota: Optional[int] = None
+    #: Fair-share weights by tenant name (missing tenants weigh 1.0).
+    tenant_weights: Optional[Dict[str, float]] = None
+    #: Admission horizon: arrivals after this are dropped unserved.
+    horizon: float = 4 * HOUR
+    #: Extra simulated time after the horizon to drain the backlog.
+    drain_limit: float = 4 * HOUR
+    #: Seconds between service bookkeeping sweeps (completion detection
+    #: granularity for *slot reuse*; response times use exact job ends).
+    check_interval: float = 5.0
+
+    def validate(self) -> None:
+        if self.policy not in QUEUE_POLICIES:
+            raise ConfigError(f"unknown queue policy: {self.policy!r}")
+        if self.max_in_flight < 1:
+            raise ConfigError("max_in_flight must be >= 1")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigError("max_queue_depth must be >= 1")
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ConfigError("tenant_quota must be >= 1")
+        if self.horizon <= 0:
+            raise ConfigError("horizon must be positive")
+        if self.drain_limit < 0:
+            raise ConfigError("drain_limit must be non-negative")
+        if self.check_interval <= 0:
+            raise ConfigError("check_interval must be positive")
+
+
+class MoonService:
+    """Continuous job-stream serving on one MOON deployment."""
+
+    def __init__(
+        self,
+        system,
+        config: Optional[ServiceConfig] = None,
+        arrivals: Sequence[JobArrival] = (),
+        pattern: str = "replay",
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        self.system = system
+        self.sim = system.sim
+        self.pattern = pattern
+        cfg = self.config
+        self.queue = JobQueue(
+            make_queue_policy(cfg.policy, cfg.tenant_weights),
+            max_queue_depth=cfg.max_queue_depth,
+            tenant_quota=cfg.tenant_quota,
+            estimator=make_cost_estimator(
+                system.config.cluster.n_volatile or 1,
+                system.config.trace.unavailability_rate,
+            ),
+        )
+        self.records: List[JobRecord] = []
+        self._in_flight: List[Tuple[JobRecord, Job]] = []
+        self._pending_arrivals = 0
+        self._record_by_qjob: Dict[int, JobRecord] = {}
+
+        # Validate the whole stream before arming any event: a bad
+        # arrival must not leave earlier events scheduled against a
+        # half-initialized service on the caller's simulation.
+        ordered = sorted(arrivals, key=lambda a: a.arrival_time)
+        for arrival in ordered:
+            arrival.validate()
+            if (
+                arrival.arrival_time <= cfg.horizon
+                and arrival.arrival_time < self.sim.now
+            ):
+                raise ConfigError(
+                    "arrival scheduled in the simulation's past: "
+                    f"{arrival.arrival_time:.1f} < {self.sim.now:.1f}"
+                )
+        for arrival in ordered:
+            record = JobRecord(seq=len(self.records), arrival=arrival)
+            self.records.append(record)
+            if arrival.arrival_time > cfg.horizon:
+                record.state = ServedState.DROPPED
+                continue
+            self._pending_arrivals += 1
+            self.sim.call_at(
+                arrival.arrival_time,
+                self._on_arrival,
+                record,
+                priority=PRIORITY_PERIODIC,
+            )
+
+        self._sweeper = PeriodicTask(
+            self.sim, cfg.check_interval, self._sweep, daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, record: JobRecord) -> None:
+        self._pending_arrivals -= 1
+        qjob = self.queue.offer(record.arrival, self.sim.now)
+        if qjob is None:
+            record.state = ServedState.REJECTED
+            return
+        self._record_by_qjob[qjob.seq] = record
+        self._pump()
+
+    def _pump(self) -> None:
+        """Admit queued jobs while in-flight slots are free."""
+        while len(self._in_flight) < self.config.max_in_flight:
+            ctx = QueueContext(in_flight_by_tenant=self._tenant_counts())
+            qjob = self.queue.select(ctx)
+            if qjob is None:
+                return
+            record = self._record_by_qjob.pop(qjob.seq)
+            record.admitted_at = self.sim.now
+            job = self.system.submit(
+                qjob.arrival.spec, priority=qjob.arrival.priority
+            )
+            self._in_flight.append((record, job))
+
+    def _sweep(self) -> None:
+        """Reap finished jobs, then refill the cluster from the queue."""
+        still: List[Tuple[JobRecord, Job]] = []
+        for record, job in self._in_flight:
+            if job.finished:
+                self._finalize(record, job)
+            else:
+                still.append((record, job))
+        self._in_flight = still
+        self._pump()
+
+    def _finalize(self, record: JobRecord, job: Job) -> None:
+        record.finished_at = job.finished_at
+        record.state = (
+            ServedState.SUCCEEDED if job.state.value == "succeeded"
+            else ServedState.FAILED
+        )
+
+    def _tenant_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record, _job in self._in_flight:
+            counts[record.tenant] = counts.get(record.tenant, 0) + 1
+        return counts
+
+    def _drained(self) -> bool:
+        return (
+            self._pending_arrivals == 0
+            and len(self.queue) == 0
+            and not any(not job.finished for _r, job in self._in_flight)
+        )
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self) -> ServiceReport:
+        """Serve the stream to drain (or the drain limit) and report."""
+        cfg = self.config
+        limit = cfg.horizon + cfg.drain_limit
+        self.sim.run(until=limit, stop_when=self._drained)
+        # Final reap: completions between the last sweep and the stop.
+        for record, job in self._in_flight:
+            if job.finished:
+                self._finalize(record, job)
+            else:
+                record.state = ServedState.UNFINISHED
+        self._in_flight = []
+        self._sweeper.stop()
+        return build_report(
+            self.records,
+            policy=cfg.policy,
+            pattern=self.pattern,
+            seed=self.system.config.seed,
+            horizon=cfg.horizon,
+            end_time=self.sim.now,
+        )

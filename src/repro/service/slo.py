@@ -1,0 +1,332 @@
+"""SLO accounting: per-job latency records rolled into a ServiceReport.
+
+Response time is arrival-to-completion (queue wait included), the
+metric a serving front-end is judged on.  Goodput counts only jobs
+completed within their deadline — finishing late is throughput, not
+goodput.  Tenant fairness is Jain's index over per-tenant *served*
+simulation seconds, so one starved tenant drags the index visibly
+below 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import HOUR
+from ..metrics.report import latency_quantiles
+from ..plotting import table
+from .arrivals import JobArrival
+
+
+class ServedState(enum.Enum):
+    """Terminal state of one arrival, from the service's perspective."""
+
+    #: Admitted and finished successfully.
+    SUCCEEDED = "succeeded"
+    #: Admitted but the job failed inside the cluster.
+    FAILED = "failed"
+    #: Rejected at the front door (queue saturated).
+    REJECTED = "rejected"
+    #: Arrived after the admission horizon; never queued.
+    DROPPED = "dropped"
+    #: Still queued when the service stopped.
+    QUEUED = "queued"
+    #: Admitted but still running when the service stopped.
+    UNFINISHED = "unfinished"
+
+
+#: States that occupied cluster resources.
+_ADMITTED = (ServedState.SUCCEEDED, ServedState.FAILED, ServedState.UNFINISHED)
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle of one arrival through the service."""
+
+    seq: int
+    arrival: JobArrival
+    state: ServedState = ServedState.QUEUED
+    admitted_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def tenant(self) -> str:
+        return self.arrival.tenant
+
+    @property
+    def workload(self) -> str:
+        return self.arrival.spec.name
+
+    @property
+    def deadline(self) -> Optional[float]:
+        return self.arrival.deadline
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        if self.admitted_at is None:
+            return None
+        return self.admitted_at - self.arrival.arrival_time
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Arrival to completion; None until the job finishes."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.arrival.arrival_time
+
+    @property
+    def missed_deadline(self) -> bool:
+        """Whether this job missed its SLO.
+
+        Uniform rule, evaluated once the service has stopped: a
+        deadline job misses unless it *succeeded by its deadline*.
+        Rejected, dropped, failed, still-queued and still-running jobs
+        all count — the paper-VIII QoS view that a drop (or a strand)
+        *is* a miss for the user, applied symmetrically so a policy
+        cannot lower its miss rate by parking work in the queue.
+        """
+        if self.deadline is None:
+            return False
+        if self.state is ServedState.SUCCEEDED:
+            return self.finished_at > self.deadline
+        return True
+
+
+@dataclass(frozen=True)
+class TenantSlo:
+    """Aggregates for one tenant (or the whole service when
+    ``tenant == "(all)"``)."""
+
+    tenant: str
+    arrived: int
+    admitted: int
+    completed: int
+    failed: int
+    rejected: int
+    dropped: int
+    unserved: int
+    deadline_eligible: int
+    deadline_misses: int
+    mean_queue_wait: Optional[float]
+    p50_response: Optional[float]
+    p95_response: Optional[float]
+    p99_response: Optional[float]
+    throughput_per_hour: float
+    goodput_per_hour: float
+    served_seconds: float
+
+    @property
+    def miss_rate(self) -> Optional[float]:
+        if self.deadline_eligible == 0:
+            return None
+        return self.deadline_misses / self.deadline_eligible
+
+
+def _tenant_slo(
+    tenant: str,
+    records: Sequence[JobRecord],
+    duration: float,
+) -> TenantSlo:
+    completed = [r for r in records if r.state is ServedState.SUCCEEDED]
+    responses = [r.response_time for r in completed]
+    waits = [
+        r.queue_wait for r in records if r.queue_wait is not None
+    ]
+    eligible = [r for r in records if r.deadline is not None]
+    misses = sum(1 for r in eligible if r.missed_deadline)
+    good = sum(
+        1
+        for r in completed
+        if r.deadline is None or r.finished_at <= r.deadline
+    )
+    hours = max(duration, 1e-9) / HOUR
+    quantiles = latency_quantiles(responses)
+    served = sum(
+        r.finished_at - r.admitted_at
+        for r in completed
+        if r.admitted_at is not None
+    )
+    return TenantSlo(
+        tenant=tenant,
+        arrived=len(records),
+        admitted=sum(1 for r in records if r.state in _ADMITTED),
+        completed=len(completed),
+        failed=sum(1 for r in records if r.state is ServedState.FAILED),
+        rejected=sum(1 for r in records if r.state is ServedState.REJECTED),
+        dropped=sum(1 for r in records if r.state is ServedState.DROPPED),
+        unserved=sum(
+            1
+            for r in records
+            if r.state in (ServedState.QUEUED, ServedState.UNFINISHED)
+        ),
+        deadline_eligible=len(eligible),
+        deadline_misses=misses,
+        mean_queue_wait=(sum(waits) / len(waits)) if waits else None,
+        p50_response=quantiles["p50"],
+        p95_response=quantiles["p95"],
+        p99_response=quantiles["p99"],
+        throughput_per_hour=len(completed) / hours,
+        goodput_per_hour=good / hours,
+        served_seconds=served,
+    )
+
+
+def jain_fairness(shares: Sequence[float]) -> Optional[float]:
+    """Jain's fairness index: 1.0 = perfectly even, 1/n = one winner."""
+    if not shares:
+        return None
+    total = sum(shares)
+    if total <= 0:
+        return None
+    square_sum = sum(s * s for s in shares)
+    return (total * total) / (len(shares) * square_sum)
+
+
+def _fmt_s(v: Optional[float], decimals: int = 1) -> Optional[str]:
+    return None if v is None else f"{v:.{decimals}f}"
+
+
+def _fmt_pct(v: Optional[float]) -> Optional[str]:
+    return None if v is None else f"{100.0 * v:.1f}%"
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Everything one service run reports — deterministic given a seed."""
+
+    policy: str
+    pattern: str
+    seed: int
+    horizon: float
+    end_time: float
+    overall: TenantSlo
+    tenants: List[TenantSlo]
+    fairness: Optional[float]
+    records: List[JobRecord] = field(repr=False, default_factory=list)
+
+    # ------------------------------------------------------------------
+    def tenant(self, name: str) -> TenantSlo:
+        for t in self.tenants:
+            if t.tenant == name:
+                return t
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        """Flat summary for programmatic comparison across runs."""
+        def row(t: TenantSlo) -> dict:
+            return {
+                "arrived": t.arrived,
+                "completed": t.completed,
+                "rejected": t.rejected,
+                "deadline_misses": t.deadline_misses,
+                "miss_rate": t.miss_rate,
+                "p50": t.p50_response,
+                "p95": t.p95_response,
+                "p99": t.p99_response,
+                "throughput_per_hour": t.throughput_per_hour,
+                "goodput_per_hour": t.goodput_per_hour,
+            }
+
+        return {
+            "policy": self.policy,
+            "pattern": self.pattern,
+            "seed": self.seed,
+            "overall": row(self.overall),
+            "tenants": {t.tenant: row(t) for t in self.tenants},
+            "fairness": self.fairness,
+        }
+
+    def summary_row(self) -> list:
+        """Formatted overall cells ``[done, p50, p95, p99, miss,
+        good/h, fairness]`` — the shape shared by the CLI comparison
+        table and the benchmark report."""
+        o = self.overall
+        return [
+            o.completed,
+            _fmt_s(o.p50_response, 0),
+            _fmt_s(o.p95_response, 0),
+            _fmt_s(o.p99_response, 0),
+            _fmt_pct(o.miss_rate),
+            f"{o.goodput_per_hour:.2f}",
+            None if self.fairness is None else f"{self.fairness:.3f}",
+        ]
+
+    def render(self) -> str:
+        """The service run as one aligned text table."""
+        rows = []
+        for t in self.tenants + [self.overall]:
+            rows.append(
+                [
+                    t.tenant,
+                    t.arrived,
+                    t.completed,
+                    t.rejected + t.dropped,
+                    t.unserved,
+                    _fmt_s(t.mean_queue_wait),
+                    _fmt_s(t.p50_response),
+                    _fmt_s(t.p95_response),
+                    _fmt_s(t.p99_response),
+                    _fmt_pct(t.miss_rate),
+                    f"{t.goodput_per_hour:.2f}",
+                ]
+            )
+        unserved = self.overall.unserved
+        status = (
+            "drained" if unserved == 0
+            else f"stopped, {unserved} unserved"
+        )
+        title = (
+            f"service report - pattern={self.pattern} policy={self.policy} "
+            f"seed={self.seed} horizon={self.horizon / HOUR:.1f}h "
+            f"({status} at {self.end_time:.0f}s)"
+        )
+        body = table(
+            [
+                "tenant", "arrived", "done", "rej", "unserved",
+                "wait s", "p50 s", "p95 s", "p99 s", "miss", "good/h",
+            ],
+            rows,
+            title=title,
+        )
+        fair = (
+            f"tenant fairness (Jain, served seconds): {self.fairness:.3f}"
+            if self.fairness is not None
+            else "tenant fairness (Jain, served seconds): --"
+        )
+        return body + "\n" + fair
+
+
+def build_report(
+    records: Sequence[JobRecord],
+    policy: str,
+    pattern: str,
+    seed: int,
+    horizon: float,
+    end_time: float,
+) -> ServiceReport:
+    """Roll per-job records into the service-level report."""
+    by_tenant: Dict[str, List[JobRecord]] = {}
+    for r in records:
+        by_tenant.setdefault(r.tenant, []).append(r)
+    duration = max(end_time, horizon)
+    tenants = [
+        _tenant_slo(name, rs, duration)
+        for name, rs in sorted(by_tenant.items())
+    ]
+    overall = _tenant_slo("(all)", list(records), duration)
+    fairness = jain_fairness(
+        [t.served_seconds for t in tenants]
+    ) if len(tenants) > 1 else (1.0 if tenants else None)
+    return ServiceReport(
+        policy=policy,
+        pattern=pattern,
+        seed=seed,
+        horizon=horizon,
+        end_time=end_time,
+        overall=overall,
+        tenants=tenants,
+        fairness=fairness,
+        records=list(records),
+    )

@@ -21,7 +21,8 @@ class TestParser:
         )
         assert set(sub.choices) >= {
             "fig1", "fig4", "fig6", "fig7", "table1", "table2",
-            "ablations", "run", "trace", "availability", "estimate",
+            "ablations", "run", "serve", "trace", "availability",
+            "estimate",
         }
 
     def test_requires_command(self):
@@ -47,6 +48,16 @@ class TestParser:
     def test_trace_needs_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.pattern == "poisson"
+        assert args.policy == "fifo"
+        assert args.max_in_flight == 4
+
+    def test_serve_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "lifo"])
 
 
 class TestFastCommands:
@@ -105,6 +116,22 @@ class TestTraceCommands:
                 "trace", "generate", str(out), "--nodes", "4",
                 "--distribution", dist,
             ]) == 0
+
+
+class TestServeCommand:
+    def test_small_serve_run(self, capsys):
+        rc = main([
+            "serve", "--pattern", "poisson", "--policy", "edf",
+            "--catalog", "sleep", "--jobs-per-hour", "6",
+            "--hours", "0.5", "--volatile", "8", "--dedicated", "2",
+            "--rate", "0.1", "--max-in-flight", "2", "--seed", "4",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "service report" in out
+        assert "policy=edf" in out
+        assert "(all)" in out
+        assert "fairness" in out
 
 
 class TestRunCommand:

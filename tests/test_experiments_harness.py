@@ -13,6 +13,7 @@ from repro.experiments import (
     mean_elapsed,
     moon_policy,
 )
+from repro.experiments import harness
 from repro.experiments.harness import run_cell
 from repro.experiments.scale import Scale
 from repro.workloads import sleep_spec
@@ -73,6 +74,27 @@ class TestRunCell:
         rs = run_cell(TINY, tiny_spec(), 0.0, moon_policy(True))
         assert len(rs) == len(TINY.seeds)
         assert all(r.succeeded for r in rs)
+
+    def test_clear_cache_forgets_results(self):
+        r1 = run_cell(TINY, tiny_spec(), 0.2, moon_policy(True))
+        assert harness.cache_size() >= 1
+        harness.clear_cache()
+        assert harness.cache_size() == 0
+        r2 = run_cell(TINY, tiny_spec(), 0.2, moon_policy(True))
+        assert r1 is not r2  # re-run, not the cached object
+
+    def test_cache_is_bounded_lru(self, monkeypatch):
+        harness.clear_cache()
+        monkeypatch.setattr(harness, "CACHE_MAX_ENTRIES", 2)
+        run_cell(TINY, tiny_spec(), 0.0, moon_policy(True))
+        first = run_cell(TINY, tiny_spec(), 0.1, moon_policy(True))
+        # Touch the first-inserted entry so it becomes most-recent...
+        run_cell(TINY, tiny_spec(), 0.0, moon_policy(True))
+        # ...then overflow: the *least recently used* (0.1) is evicted.
+        run_cell(TINY, tiny_spec(), 0.2, moon_policy(True))
+        assert harness.cache_size() == 2
+        assert run_cell(TINY, tiny_spec(), 0.1, moon_policy(True)) is not first
+        harness.clear_cache()
 
 
 class TestAggregation:

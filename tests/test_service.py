@@ -1,0 +1,299 @@
+"""Service-loop and SLO-accounting tests (S11), including the edge
+cases: empty stream, post-horizon arrival, queue saturation, deadline
+misses, and seeded determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.errors import ConfigError
+from repro.metrics.report import latency_quantiles, percentile
+from repro.service import (
+    MoonService,
+    ServedState,
+    ServiceConfig,
+    bursty_arrivals,
+    jain_fairness,
+    replay_arrivals,
+    sleep_catalog,
+)
+from repro.workloads import sleep_spec
+
+HOUR = 3600.0
+
+
+def make_system(seed=3, rate=0.0, n_volatile=8, n_dedicated=2):
+    return moon_system(
+        SystemConfig(
+            cluster=ClusterConfig(
+                n_volatile=n_volatile, n_dedicated=n_dedicated
+            ),
+            trace=TraceConfig(unavailability_rate=rate),
+            scheduler=moon_scheduler_config(),
+            seed=seed,
+        )
+    )
+
+
+def quick_spec(map_seconds=5.0, name="sleep"):
+    return sleep_spec(map_seconds, 2.0, n_maps=4, n_reduces=1).with_(
+        name=name
+    )
+
+
+def serve(system, entries, **cfg_kwargs):
+    cfg_kwargs.setdefault("horizon", 1 * HOUR)
+    report = system.run_service(
+        replay_arrivals(entries), ServiceConfig(**cfg_kwargs)
+    )
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return report
+
+
+class TestServiceLoop:
+    def test_serves_a_small_stream(self):
+        system = make_system()
+        report = serve(
+            system,
+            [
+                (0.0, "a", quick_spec(), 1800.0),
+                (30.0, "b", quick_spec(), 1800.0),
+            ],
+        )
+        assert report.overall.arrived == 2
+        assert report.overall.completed == 2
+        assert report.overall.deadline_misses == 0
+        for r in report.records:
+            assert r.state is ServedState.SUCCEEDED
+            assert r.response_time > 0
+            assert r.queue_wait >= 0
+
+    def test_empty_stream_reports_zeros(self):
+        system = make_system()
+        report = serve(system, [])
+        assert report.overall.arrived == 0
+        assert report.overall.completed == 0
+        assert report.overall.miss_rate is None
+        assert report.overall.p50_response is None
+        assert report.fairness is None
+        assert "(all)" in report.render()
+
+    def test_arrival_after_horizon_is_dropped_unserved(self):
+        system = make_system()
+        report = serve(
+            system,
+            [
+                (0.0, "a", quick_spec(), None),
+                (2 * HOUR, "a", quick_spec(), None),  # beyond horizon
+            ],
+            horizon=1 * HOUR,
+        )
+        states = sorted(r.state.value for r in report.records)
+        assert states == ["dropped", "succeeded"]
+        assert report.overall.dropped == 1
+        assert report.overall.completed == 1
+
+    def test_queue_saturation_rejects_at_admission(self):
+        system = make_system()
+        # Three simultaneous arrivals, one slot in flight, depth 1:
+        # the third finds the queue full and is rejected.
+        report = serve(
+            system,
+            [(0.0, "a", quick_spec(), None)] * 3,
+            max_in_flight=1,
+            max_queue_depth=1,
+        )
+        assert report.overall.rejected == 1
+        assert report.overall.completed == 2
+
+    def test_rejected_job_with_deadline_counts_as_miss(self):
+        system = make_system()
+        # Loose 2h SLOs: the run drains long before any deadline, but
+        # the rejected job can never finish, so it misses outright.
+        report = serve(
+            system,
+            [(0.0, "a", quick_spec(), 2 * HOUR)] * 3,
+            max_in_flight=1,
+            max_queue_depth=1,
+        )
+        assert report.overall.rejected == 1
+        assert report.overall.deadline_misses == 1
+        assert report.overall.miss_rate == pytest.approx(1 / 3)
+
+    def test_deadline_miss_when_job_outlives_its_deadline(self):
+        system = make_system()
+        # A 1-second SLO that no real job can meet.
+        report = serve(system, [(0.0, "a", quick_spec(), 1.0)])
+        (record,) = report.records
+        assert record.state is ServedState.SUCCEEDED
+        assert record.finished_at > record.deadline
+        assert report.overall.deadline_misses == 1
+        assert report.overall.miss_rate == 1.0
+        # Goodput excludes the late job; throughput does not.
+        assert report.overall.goodput_per_hour == 0.0
+        assert report.overall.throughput_per_hour > 0.0
+
+    def test_unfinished_job_past_deadline_counts_as_miss(self):
+        system = make_system()
+        # A job far longer than horizon + drain: still running at stop.
+        entries = [(0.0, "a", quick_spec(map_seconds=4000.0), 60.0)]
+        report = serve(
+            system, entries, horizon=600.0, drain_limit=0.0
+        )
+        (record,) = report.records
+        assert record.state is ServedState.UNFINISHED
+        assert report.overall.deadline_misses == 1
+        assert report.overall.unserved == 1
+
+    def test_stranded_queued_job_counts_as_miss(self):
+        system = make_system()
+        # A blocking long job plus a queued short one with a loose SLO:
+        # the service stops before the second is admitted.  Symmetric
+        # accounting: stranded-in-queue is a miss just like rejected.
+        entries = [
+            (0.0, "a", quick_spec(map_seconds=4000.0), None),
+            (1.0, "a", quick_spec(), 2 * HOUR),
+        ]
+        report = serve(
+            system, entries, max_in_flight=1, horizon=600.0,
+            drain_limit=0.0,
+        )
+        queued = [r for r in report.records if r.state is ServedState.QUEUED]
+        assert len(queued) == 1
+        assert report.overall.deadline_misses == 1
+        assert "unserved" in report.render().splitlines()[0]
+
+    def test_tenant_quota_limits_concurrency(self):
+        system = make_system()
+        entries = [(0.0, "a", quick_spec(), None)] * 3 + [
+            (1.0, "b", quick_spec(), None)
+        ]
+        report = serve(
+            system, entries, max_in_flight=4, tenant_quota=1
+        )
+        assert report.overall.completed == 4
+        # With quota 1, tenant-a's second job waited for its first.
+        a_records = sorted(
+            (r for r in report.records if r.tenant == "a"),
+            key=lambda r: r.admitted_at,
+        )
+        assert a_records[1].admitted_at >= a_records[0].finished_at
+
+    def test_same_seed_identical_report(self):
+        def one_run():
+            system = make_system(seed=11, rate=0.3)
+            arrivals = bursty_arrivals(
+                system.sim.rng("service/arrivals"),
+                bursts_per_hour=2.0,
+                burst_size_mean=5.0,
+                horizon=1 * HOUR,
+                catalog=sleep_catalog(),
+            )
+            report = system.run_service(
+                arrivals,
+                ServiceConfig(policy="edf", max_in_flight=2, horizon=HOUR),
+                pattern="bursty",
+            )
+            system.jobtracker.stop()
+            system.namenode.stop()
+            return report
+
+        r1, r2 = one_run(), one_run()
+        assert r1.render() == r2.render()
+        assert r1.to_dict() == r2.to_dict()
+
+    def test_arrival_in_the_past_rejected(self):
+        system = make_system()
+        system.sim.run(until=100.0)
+        with pytest.raises(ConfigError):
+            MoonService(
+                system,
+                ServiceConfig(),
+                replay_arrivals([(50.0, "a", quick_spec(), None)]),
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ServiceConfig(policy="lifo").validate()
+        with pytest.raises(ConfigError):
+            ServiceConfig(max_in_flight=0).validate()
+        with pytest.raises(ConfigError):
+            ServiceConfig(horizon=0.0).validate()
+        with pytest.raises(ConfigError):
+            ServiceConfig(check_interval=0.0).validate()
+
+
+class TestSloMath:
+    def test_percentile_interpolates(self):
+        vals = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(vals, 0) == 10.0
+        assert percentile(vals, 100) == 40.0
+        assert percentile(vals, 50) == 25.0
+        assert percentile([], 50) is None
+        assert percentile([7.0], 99) == 7.0
+        with pytest.raises(ValueError):
+            percentile(vals, 101)
+
+    def test_latency_quantiles_shape(self):
+        q = latency_quantiles([1.0, 2.0, 3.0])
+        assert set(q) == {"p50", "p95", "p99"}
+        assert q["p50"] == 2.0
+
+    def test_jain_fairness(self):
+        assert jain_fairness([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert jain_fairness([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+        assert jain_fairness([]) is None
+        assert jain_fairness([0.0]) is None
+
+
+class TestRunJobsSemantics:
+    """Satellite: run_jobs grows run_job's priority + arrival knobs."""
+
+    def test_priorities_respected(self):
+        system = make_system(n_volatile=4, n_dedicated=1)
+        batch = sleep_spec(30.0, 10.0, n_maps=40, n_reduces=2).with_(
+            name="batch"
+        )
+        urgent = sleep_spec(5.0, 2.0, n_maps=8, n_reduces=1).with_(
+            name="urgent"
+        )
+        results = system.run_jobs([batch, urgent], priorities=[0, 10])
+        assert all(r.succeeded for r in results)
+        assert results[1].elapsed < results[0].elapsed
+
+    def test_arrival_offsets_stagger_submission(self):
+        system = make_system()
+        spec = quick_spec()
+        results = system.run_jobs(
+            [spec, spec], arrival_offsets=[0.0, 600.0]
+        )
+        assert all(r.succeeded for r in results)
+        # The second job could not finish before it was even submitted.
+        jobs = system.jobtracker.jobs
+        assert jobs[1].submitted_at == 600.0
+
+    def test_mismatched_lengths_rejected(self):
+        system = make_system()
+        with pytest.raises(ConfigError):
+            system.run_jobs([quick_spec()], priorities=[1, 2])
+        with pytest.raises(ConfigError):
+            system.run_jobs([quick_spec()], arrival_offsets=[-1.0])
+        with pytest.raises(ConfigError):
+            # An offset beyond the run would leave a stale submit event.
+            system.run_jobs(
+                [quick_spec()], time_limit=100.0, arrival_offsets=[200.0]
+            )
+
+    def test_default_behaviour_unchanged(self):
+        system = make_system()
+        results = system.run_jobs([quick_spec(), quick_spec()])
+        assert len(results) == 2
+        assert all(r.succeeded for r in results)

@@ -1,0 +1,132 @@
+"""Tests for the service layer's arrival-stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import (
+    JobArrival,
+    WorkloadClass,
+    bursty_arrivals,
+    default_catalog,
+    diurnal_arrivals,
+    poisson_arrivals,
+    replay_arrivals,
+    sleep_catalog,
+)
+from repro.workloads import sleep_spec
+
+HOUR = 3600.0
+
+
+def rng(seed=7):
+    return np.random.default_rng(seed)
+
+
+def _times(arrivals):
+    return [a.arrival_time for a in arrivals]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "gen",
+        [
+            lambda r: poisson_arrivals(r, 20.0, 2 * HOUR),
+            lambda r: bursty_arrivals(r, 3.0, 5.0, 2 * HOUR),
+            lambda r: diurnal_arrivals(r, 20.0, 2 * HOUR),
+        ],
+        ids=["poisson", "bursty", "diurnal"],
+    )
+    def test_sorted_within_horizon_and_deterministic(self, gen):
+        a1, a2 = gen(rng()), gen(rng())
+        assert a1, "stream should not be empty at this rate"
+        assert _times(a1) == sorted(_times(a1))
+        assert all(0 <= t < 2 * HOUR for t in _times(a1))
+        assert a1 == a2  # same seed -> identical stream
+        assert gen(rng(8)) != a1  # different seed -> different stream
+
+    def test_deadlines_follow_the_class_slo(self):
+        arrivals = poisson_arrivals(
+            rng(), 30.0, HOUR, catalog=sleep_catalog()
+        )
+        slos = {c.spec.name: c.slo_seconds for c in sleep_catalog()}
+        for a in arrivals:
+            assert a.deadline == pytest.approx(
+                a.arrival_time + slos[a.spec.name]
+            )
+
+    def test_tenant_weights_bias_the_mix(self):
+        arrivals = poisson_arrivals(
+            rng(),
+            60.0,
+            4 * HOUR,
+            tenants=("big", "small"),
+            tenant_weights={"big": 9.0, "small": 1.0},
+        )
+        big = sum(1 for a in arrivals if a.tenant == "big")
+        assert big > 0.7 * len(arrivals)
+
+    def test_bursts_cluster_in_time(self):
+        arrivals = bursty_arrivals(
+            rng(), 2.0, 8.0, 4 * HOUR, within_burst_gap=2.0
+        )
+        gaps = np.diff(_times(arrivals))
+        # Most gaps are tiny (within a burst); a few are long (between).
+        assert np.median(gaps) < 30.0
+        assert gaps.max() > 300.0
+
+    def test_diurnal_rate_dips_at_the_period_edges(self):
+        period = 4 * HOUR
+        arrivals = diurnal_arrivals(
+            rng(), 60.0, period, trough_fraction=0.05, period=period
+        )
+        times = np.array(_times(arrivals))
+        edge = np.sum((times < period / 8) | (times > 7 * period / 8))
+        middle = np.sum(
+            (times > 3 * period / 8) & (times < 5 * period / 8)
+        )
+        assert middle > 2 * edge
+
+    def test_replay_is_verbatim_and_sorted(self):
+        spec = sleep_spec(5.0, 2.0, n_maps=2, n_reduces=1)
+        arrivals = replay_arrivals(
+            [(60.0, "b", spec, 600.0), (10.0, "a", spec, None)]
+        )
+        assert _times(arrivals) == [10.0, 60.0]
+        assert arrivals[0].deadline is None
+        assert arrivals[1].deadline == 660.0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            poisson_arrivals(rng(), 0.0, HOUR)
+        with pytest.raises(ConfigError):
+            bursty_arrivals(rng(), 1.0, 0.5, HOUR)
+        with pytest.raises(ConfigError):
+            diurnal_arrivals(rng(), 10.0, HOUR, trough_fraction=0.0)
+        with pytest.raises(ConfigError):
+            poisson_arrivals(rng(), 10.0, HOUR, tenants=())
+        with pytest.raises(ConfigError):
+            poisson_arrivals(rng(), 10.0, HOUR, catalog=[])
+
+
+class TestDataclasses:
+    def test_arrival_validation(self):
+        spec = sleep_spec(5.0, 2.0, n_maps=2, n_reduces=1)
+        JobArrival(10.0, "t", spec, 20.0).validate()
+        with pytest.raises(ConfigError):
+            JobArrival(10.0, "t", spec, 5.0).validate()
+        with pytest.raises(ConfigError):
+            JobArrival(-1.0, "t", spec).validate()
+
+    def test_workload_class_validation(self):
+        spec = sleep_spec(5.0, 2.0, n_maps=2, n_reduces=1)
+        with pytest.raises(ConfigError):
+            WorkloadClass(spec, slo_seconds=0.0).validate()
+        with pytest.raises(ConfigError):
+            WorkloadClass(spec, slo_seconds=60.0, weight=0.0).validate()
+
+    def test_default_catalog_is_valid(self):
+        for cls in default_catalog() + sleep_catalog():
+            cls.validate()
