@@ -1,0 +1,7 @@
+"""Perf-regression harness assets: committed baseline + harness tests.
+
+The scenario and timing code lives in ``repro.perf`` (importable by
+the ``repro perf`` CLI); this package holds the committed baseline
+(``baseline.json``, re-pinned via ``repro perf --update-baseline``)
+and the pytest coverage of the harness itself.
+"""

@@ -351,3 +351,20 @@ def cmd_estimate(args) -> int:
         )
     )
     return 0
+
+
+# ======================================================================
+# perf
+# ======================================================================
+def cmd_perf(args) -> int:
+    """Time macro-scenarios; write BENCH_PR2.json; gate regressions."""
+    from ..perf import run_perf
+
+    return run_perf(
+        names=args.scenario or None,
+        repeat=args.repeat,
+        check=args.check,
+        update_baseline=args.update_baseline,
+        output=args.output,
+        baseline_path=args.baseline,
+    )

@@ -186,6 +186,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-check the simulator against the analytical models",
     )
 
+    # --- perf -------------------------------------------------------------
+    from ..perf import SCENARIOS
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="time macro-scenarios against the committed perf baseline",
+        description=(
+            "Run named end-to-end scenarios (figure-pipeline slices, "
+            "the 2k-job service stream, a fair-share network stress), "
+            "write BENCH_PR2.json at the repo root, and with --check "
+            "fail if any scenario runs >20% slower than the baseline "
+            "committed in benchmarks/perf/baseline.json."
+        ),
+    )
+    perf_p.add_argument(
+        "--scenario",
+        action="append",
+        choices=list(SCENARIOS),
+        help="scenario to run (repeatable; default: all)",
+    )
+    perf_p.add_argument("--repeat", type=int, default=1,
+                        help="timing repeats per scenario (fastest wins)")
+    perf_p.add_argument("--check", action="store_true",
+                        help="exit 1 on >20%% regression vs the baseline")
+    perf_p.add_argument("--update-baseline", action="store_true",
+                        help="re-pin benchmarks/perf/baseline.json")
+    perf_p.add_argument("--output", default=None,
+                        help="report path (default: <repo>/BENCH_PR2.json)")
+    perf_p.add_argument("--baseline", default=None,
+                        help="baseline path override")
+
     return parser
 
 
@@ -204,6 +235,7 @@ _DISPATCH = {
     "availability": commands.cmd_availability,
     "estimate": commands.cmd_estimate,
     "validate": commands.cmd_validate,
+    "perf": commands.cmd_perf,
 }
 
 

@@ -110,17 +110,24 @@ class NameNode:
             sim, config.p_estimate_interval, self._refresh_p_estimate
         )
 
-        # Replication queue: (priority, seq, block_id).
+        # Replication queue: (priority, seq, block_id).  The membership
+        # indexes are insertion-ordered dicts, never unordered sets —
+        # scan order feeds the event queue, so it must be identical
+        # across processes (ROADMAP: cross-process golden stability).
         self._repl_queue: List[Tuple[int, int, int]] = []
-        self._queued: set = set()
+        self._queued: Dict[int, None] = {}
         self._seq = itertools.count()
         self._repl_task = PeriodicTask(
             sim, config.replication_check_interval, self._replication_scan
         )
         #: Opportunistic blocks awaiting a dedicated replica.
-        self._want_dedicated: set = set()
-        #: file path -> list of (target_check, callback) commit watchers.
+        self._want_dedicated: Dict[int, None] = {}
+        #: file path -> list of commit watchers awaiting full factor.
         self._watchers: Dict[str, List[Callable[[], None]]] = {}
+        #: file path -> block_ids still below factor (dirty-set view of
+        #: the watched files, so replica registrations re-check one
+        #: block instead of rescanning the whole file).
+        self._watch_pending: Dict[str, Dict[int, None]] = {}
 
     # ==================================================================
     # Views used by the placement policy and clients
@@ -201,9 +208,10 @@ class NameNode:
             block.replicas.clear()
             block.dedicated_replicas.clear()
             self._blocks.pop(block.block_id, None)
-            self._want_dedicated.discard(block.block_id)
+            self._want_dedicated.pop(block.block_id, None)
         del self._files[path]
         self._watchers.pop(path, None)
+        self._watch_pending.pop(path, None)
 
     def convert_to_reliable(self, path: str) -> None:
         """Opportunistic -> reliable (output commit, Section IV-A); any
@@ -214,7 +222,7 @@ class NameNode:
         file.kind = FileKind.RELIABLE
         file.adjusted_volatile = None
         for block in file.blocks:
-            self._want_dedicated.discard(block.block_id)
+            self._want_dedicated.pop(block.block_id, None)
             if self._block_deficit(block):
                 self._enqueue(block)
 
@@ -231,9 +239,9 @@ class NameNode:
         info.add_block(block)
         if info.is_dedicated:
             block.dedicated_replicas.add(node_id)
-            self._want_dedicated.discard(block.block_id)
+            self._want_dedicated.pop(block.block_id, None)
         self.counters["replicas_written"] += 1
-        self._notify_watchers(block.file)
+        self._watched_block_changed(block)
 
     def drop_replica(self, block: BlockInfo, node_id: int) -> None:
         block.replicas.discard(node_id)
@@ -247,12 +255,15 @@ class NameNode:
         local: List[int] = []
         volatile: List[int] = []
         dedicated: List[int] = []
+        states = self._states
+        infos = self._infos
+        alive = NodeState.ALIVE
         for nid in block.replicas:
-            if not self.node_is_servable(nid):
+            if states[nid] is not alive:
                 continue
             if nid == reader_node:
                 local.append(nid)
-            elif self.is_dedicated(nid):
+            elif infos[nid].is_dedicated:
                 dedicated.append(nid)
             else:
                 volatile.append(nid)
@@ -301,22 +312,45 @@ class NameNode:
         """Invoke ``callback`` once every block of ``path`` meets its
         replication factor (used for output commit)."""
         file = self.file(path)
-        if self._file_fully_replicated(file):
+        pending = {
+            b.block_id: None for b in file.blocks if self._block_deficit(b)
+        }
+        if not pending:
             self.sim.call_after(0.0, callback)
             return
         self._watchers.setdefault(path, []).append(callback)
+        self._watch_pending[path] = pending
         for block in file.blocks:
-            if self._block_deficit(block):
+            if block.block_id in pending:
                 self._enqueue(block)
 
-    def _file_fully_replicated(self, file: FileInfo) -> bool:
-        return all(not self._block_deficit(b) for b in file.blocks)
-
-    def _notify_watchers(self, file: FileInfo) -> None:
-        watchers = self._watchers.get(file.path)
-        if not watchers or not self._file_fully_replicated(file):
+    def _watched_block_changed(self, block: BlockInfo) -> None:
+        """Replica-set change on one block: re-check only that block
+        against its file's pending set; the full-file rescan happens
+        once, when the set drains (and re-fills it if a block regressed
+        while the watch was open)."""
+        pending = self._watch_pending.get(block.file.path)
+        if pending is None:
             return
-        del self._watchers[file.path]
+        if block.block_id in pending and not self._block_deficit(block):
+            del pending[block.block_id]
+        if not pending:
+            self._fire_watchers(block.file)
+
+    def _fire_watchers(self, file: FileInfo) -> None:
+        pending = self._watch_pending.get(file.path)
+        if pending is not None:
+            # Exactness guard: a block may have slipped back below
+            # factor (expiry, hibernation) since it left the set.
+            for b in file.blocks:
+                if self._block_deficit(b):
+                    pending[b.block_id] = None
+            if pending:
+                return
+            del self._watch_pending[file.path]
+        watchers = self._watchers.pop(file.path, None)
+        if not watchers:
+            return
         for cb in watchers:
             self.sim.call_after(0.0, cb)
 
@@ -339,8 +373,19 @@ class NameNode:
                 self._enqueue(block)
 
     def _on_wake(self, node: Node) -> None:
-        if self._states[node.node_id] is NodeState.HIBERNATED:
-            self._states[node.node_id] = NodeState.ALIVE
+        if self._states[node.node_id] is not NodeState.HIBERNATED:
+            return
+        self._states[node.node_id] = NodeState.ALIVE
+        # Becoming servable again can clear a watched block's deficit
+        # without any replica registration: re-check this node's blocks.
+        if self._watch_pending:
+            for block_id in list(self._infos[node.node_id].blocks):
+                block = self._blocks.get(block_id)
+                if (
+                    block is not None
+                    and block.file.path in self._watch_pending
+                ):
+                    self._watched_block_changed(block)
 
     def _on_expiry(self, node: Node) -> None:
         self._states[node.node_id] = NodeState.DEAD
@@ -349,7 +394,7 @@ class NameNode:
         for block_id in list(info.blocks):
             block = self._blocks.get(block_id)
             if block is None:
-                info.blocks.discard(block_id)
+                info.blocks.pop(block_id, None)
                 continue
             block.replicas.discard(node.node_id)
             block.dedicated_replicas.discard(node.node_id)
@@ -367,7 +412,7 @@ class NameNode:
         for block_id in list(info.blocks):
             block = self._blocks.get(block_id)
             if block is None:
-                info.blocks.discard(block_id)
+                info.blocks.pop(block_id, None)
                 continue
             was_needed = self._block_deficit(block)
             block.replicas.add(node.node_id)
@@ -376,7 +421,7 @@ class NameNode:
             if not was_needed:
                 # The system replicated elsewhere meanwhile: thrashing.
                 self.counters["replication_thrash"] += 1
-            self._notify_watchers(block.file)
+            self._watched_block_changed(block)
 
     # ==================================================================
     # p estimation
@@ -417,7 +462,14 @@ class NameNode:
         return self.effective_volatile_count(block) < file.volatile_target()
 
     def _enqueue(self, block: BlockInfo) -> None:
-        if block.block_id in self._queued or block.block_id not in self._blocks:
+        if block.block_id not in self._blocks:
+            return
+        # A watched file's block going (back) into deficit must re-join
+        # its pending set, or the commit could fire early.
+        pending = self._watch_pending.get(block.file.path)
+        if pending is not None and self._block_deficit(block):
+            pending[block.block_id] = None
+        if block.block_id in self._queued:
             return
         prio = (
             PRIO_RELIABLE
@@ -425,12 +477,12 @@ class NameNode:
             else PRIO_OPPORTUNISTIC
         )
         heapq.heappush(self._repl_queue, (prio, next(self._seq), block.block_id))
-        self._queued.add(block.block_id)
+        self._queued[block.block_id] = None
 
     def note_write_shortfall(self, block: BlockInfo, declined: bool) -> None:
         """Client tells us a block finished its pipeline below target."""
         if declined and not block.has_dedicated_replica():
-            self._want_dedicated.add(block.block_id)
+            self._want_dedicated[block.block_id] = None
             self._enqueue(block)
         if self._block_deficit(block):
             self._enqueue(block)
@@ -442,7 +494,7 @@ class NameNode:
         for block_id in list(self._want_dedicated):
             block = self._blocks.get(block_id)
             if block is None:
-                self._want_dedicated.discard(block_id)
+                self._want_dedicated.pop(block_id, None)
                 continue
             self._enqueue(block)
 
@@ -451,7 +503,7 @@ class NameNode:
         deferred: List[Tuple[int, int, int]] = []
         while self._repl_queue and budget > 0:
             prio, seq, block_id = heapq.heappop(self._repl_queue)
-            self._queued.discard(block_id)
+            self._queued.pop(block_id, None)
             block = self._blocks.get(block_id)
             if block is None or not self._block_deficit(block):
                 if block is not None and block.block_id in self._want_dedicated:
@@ -469,11 +521,11 @@ class NameNode:
         for item in deferred:
             if item[2] not in self._queued:
                 heapq.heappush(self._repl_queue, item)
-                self._queued.add(item[2])
+                self._queued[item[2]] = None
 
     def _try_dedicated_fill(self, block: BlockInfo) -> None:
         if block.has_dedicated_replica():
-            self._want_dedicated.discard(block.block_id)
+            self._want_dedicated.pop(block.block_id, None)
             return
         targets = self.placement._pick_dedicated(
             1, block.replicas, require_unthrottled=True, size=block.size_mb

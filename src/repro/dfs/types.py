@@ -140,7 +140,14 @@ class FileInfo:
 
 
 class DataNodeInfo:
-    """Per-node storage accounting kept by the NameNode."""
+    """Per-node storage accounting kept by the NameNode.
+
+    ``blocks`` is an insertion-ordered dict of block ids, not a set:
+    the NameNode's node-state sweeps iterate it and the order feeds
+    the replication queue.  An int set would iterate in *value* order,
+    tying behaviour to the global block-id counter (and therefore to
+    whatever else ran earlier in the process).
+    """
 
     __slots__ = ("node_id", "is_dedicated", "capacity_mb", "used_mb", "blocks")
 
@@ -149,17 +156,17 @@ class DataNodeInfo:
         self.is_dedicated = is_dedicated
         self.capacity_mb = capacity_mb
         self.used_mb = 0.0
-        self.blocks: Set[int] = set()
+        self.blocks: Dict[int, None] = {}
 
     def has_room(self, size_mb: float) -> bool:
         return self.used_mb + size_mb <= self.capacity_mb
 
     def add_block(self, block: BlockInfo) -> None:
         if block.block_id not in self.blocks:
-            self.blocks.add(block.block_id)
+            self.blocks[block.block_id] = None
             self.used_mb += block.size_mb
 
     def drop_block(self, block: BlockInfo) -> None:
         if block.block_id in self.blocks:
-            self.blocks.discard(block.block_id)
+            del self.blocks[block.block_id]
             self.used_mb = max(0.0, self.used_mb - block.size_mb)

@@ -21,6 +21,7 @@ Reduce phases: shuffle -> sort -> compute -> write output
 
 from __future__ import annotations
 
+import heapq
 from typing import Optional
 
 from ..dfs import FileKind
@@ -277,6 +278,11 @@ class ReduceRunner(AttemptRunner):
         self._retry_events: dict = {}  # map index -> Event
         self._retry_counts: dict = {}  # map index -> consecutive failures
         self.shuffled_mb = 0.0
+        # Fetch candidates as a lazy min-heap of map indices, so each
+        # pump touches only ready maps instead of rescanning the whole
+        # map list (O(maps) per completion -> O(maps^2) per reduce).
+        self._ready_heap: list = []
+        self._ready_stale = True
 
     # ------------------------------------------------------------------
     def _enter_phase(self) -> None:
@@ -309,6 +315,7 @@ class ReduceRunner(AttemptRunner):
         if self._compute is not None:
             self._compute.resume()
         elif self.phase == 0:
+            self._ready_stale = True  # cancelled fetches must re-enter
             self._shuffle_pump()
         else:
             self._enter_phase()
@@ -328,25 +335,47 @@ class ReduceRunner(AttemptRunner):
         ev = self._retry_events.pop(map_index, None)
         if ev is not None:
             ev.cancel()
+        if not self._ready_stale:
+            heapq.heappush(self._ready_heap, map_index)
         if not self.done and not self.paused and self.phase == 0:
             self._shuffle_pump()
+
+    def _rebuild_ready(self) -> None:
+        """Full rescan of the map list (start of phase 0 and resume)."""
+        self._ready_stale = False
+        self._ready_heap = [
+            m.index
+            for m in self.attempt.task.job.maps
+            if m.index not in self.fetched
+            and m.index not in self._inflight
+            and m.index not in self._retry_events
+            and m.complete
+            and m.output_file is not None
+        ]
+        heapq.heapify(self._ready_heap)
 
     def _shuffle_pump(self) -> None:
         if self.done or self.paused or self.phase != 0:
             return
+        if self._ready_stale:
+            self._rebuild_ready()
         job = self.attempt.task.job
+        maps = job.maps
         parallel = self.rt.shuffle_cfg.parallel_copies
-        for m in job.maps:
-            if len(self._inflight) >= parallel:
-                break
-            i = m.index
+        heap = self._ready_heap
+        while heap and len(self._inflight) < parallel:
+            i = heapq.heappop(heap)
+            # Entries can go stale (fetched meanwhile, duplicate push,
+            # map re-executed): drop them — a later completion
+            # notification re-enqueues whatever becomes ready again.
             if (
                 i in self.fetched
                 or i in self._inflight
                 or i in self._retry_events
-                or not m.complete
-                or m.output_file is None
             ):
+                continue
+            m = maps[i]
+            if not m.complete or m.output_file is None:
                 continue
             self._start_fetch(m)
         self._check_shuffle_done()
@@ -396,6 +425,8 @@ class ReduceRunner(AttemptRunner):
 
     def _retry_fetch(self, index: int) -> None:
         self._retry_events.pop(index, None)
+        if not self._ready_stale:
+            heapq.heappush(self._ready_heap, index)
         if not self.done and not self.paused and self.phase == 0:
             self._shuffle_pump()
 

@@ -31,6 +31,10 @@ class Job:
         self.priority = priority
         self.job_id = f"job{next(Job._ids)}"
         self.state = JobState.PENDING
+        #: live PENDING-task counts, maintained by Task.state (the
+        #: scheduler's has-pending probe runs once per free slot).
+        self._pending_maps = 0
+        self._pending_reduces = 0
         self.maps: List[Task] = [
             Task(self, TaskType.MAP, i) for i in range(spec.n_maps)
         ]
@@ -52,7 +56,22 @@ class Job:
 
     @property
     def finished(self) -> bool:
-        return self.state in (JobState.SUCCEEDED, JobState.FAILED)
+        state = self.state
+        return state is JobState.SUCCEEDED or state is JobState.FAILED
+
+    def note_pending(self, task: Task, delta: int) -> None:
+        """Task.state transition hook (see ``pending_count``)."""
+        if task.is_map:
+            self._pending_maps += delta
+        else:
+            self._pending_reduces += delta
+
+    def pending_count(self, task_type: TaskType) -> int:
+        return (
+            self._pending_maps
+            if task_type is TaskType.MAP
+            else self._pending_reduces
+        )
 
     @property
     def elapsed(self) -> Optional[float]:

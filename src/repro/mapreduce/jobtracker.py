@@ -67,7 +67,18 @@ class JobTracker:
         self.trackers: Dict[int, TaskTracker] = {
             n.node_id: TaskTracker(n) for n in cluster.nodes
         }
+        # Tracker membership is fixed for the system's lifetime, so the
+        # assignment walk order (volatile first, then by node id) is
+        # computed once instead of re-sorted every heartbeat tick.
+        self._assignment_order_cache: List[TaskTracker] = sorted(
+            self.trackers.values(),
+            key=lambda t: (t.node.is_dedicated, t.node_id),
+        )
         self.jobs: List[Job] = []
+        # Unfinished jobs only, priority-ordered: the heartbeat tick
+        # walks this, so a long-lived service (thousands of completed
+        # jobs in ``self.jobs``) never rescans its whole history.
+        self._active_jobs: List[Job] = []
         self._schedule_seq = 0
 
         policy.bind(self)
@@ -120,7 +131,9 @@ class JobTracker:
         job.reduces = [Task(job, TaskType.REDUCE, i) for i in range(n_reduces)]
 
         self.jobs.append(job)
-        self.jobs.sort(key=lambda j: -j.priority)
+        self._active_jobs.append(job)
+        # Stable sort: priority-major, submission-order-minor.
+        self._active_jobs.sort(key=lambda j: -j.priority)
         self._tick()  # give it a first assignment round immediately
         return job
 
@@ -148,7 +161,7 @@ class JobTracker:
         return sum(t.reduce_slots for t in self.trackers.values())
 
     def running_jobs(self) -> List[Job]:
-        return [j for j in self.jobs if not j.finished]
+        return [j for j in self._active_jobs if not j.finished]
 
     def next_schedule_order(self) -> int:
         self._schedule_seq += 1
@@ -158,10 +171,15 @@ class JobTracker:
     # Heartbeat tick: progress refresh + assignment
     # ==================================================================
     def _tick(self) -> None:
+        # Dirty-set refresh: only trackers that actually host attempts
+        # are touched (idle trackers dominate on big, quiet clusters).
         for tracker in self.trackers.values():
-            for attempt in tracker.running_attempts():
-                if attempt.runner is not None:
-                    attempt.runner.update_progress()
+            if not tracker.attempts:
+                continue
+            for attempt in tracker.attempts:
+                runner = attempt.runner
+                if runner is not None and not attempt.finished:
+                    runner.update_progress()
         jobs = self.running_jobs()
         if not jobs:
             return
@@ -181,10 +199,7 @@ class JobTracker:
     def _assignment_order(self) -> List[TaskTracker]:
         # Volatile trackers first so dedicated slots stay free for the
         # hybrid policy's speculative placement (V-C).
-        return sorted(
-            self.trackers.values(),
-            key=lambda t: (t.node.is_dedicated, t.node_id),
-        )
+        return self._assignment_order_cache
 
     def _assign_one(self, tracker, task_type, jobs) -> bool:
         for job in jobs:
@@ -474,6 +489,10 @@ class JobTracker:
         self._cleanup_job(job)
 
     def _cleanup_job(self, job: Job) -> None:
+        try:
+            self._active_jobs.remove(job)
+        except ValueError:  # pragma: no cover - defensive
+            pass
         # Intermediate data is transient: drop it at job end.
         for task in job.maps:
             if task.output_file is not None:

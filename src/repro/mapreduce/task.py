@@ -82,10 +82,11 @@ class TaskAttempt:
 
     @property
     def finished(self) -> bool:
-        return self.state in (
-            AttemptState.SUCCEEDED,
-            AttemptState.FAILED,
-            AttemptState.KILLED,
+        state = self.state
+        return (
+            state is AttemptState.SUCCEEDED
+            or state is AttemptState.FAILED
+            or state is AttemptState.KILLED
         )
 
     def runtime(self, now: float) -> float:
@@ -104,8 +105,9 @@ class Task:
     __slots__ = (
         "job",
         "task_type",
+        "is_map",
         "index",
-        "state",
+        "_state",
         "attempts",
         "input_block",
         "output_file",
@@ -119,8 +121,10 @@ class Task:
     def __init__(self, job, task_type: TaskType, index: int) -> None:
         self.job = job
         self.task_type = task_type
+        self.is_map = task_type is TaskType.MAP
         self.index = index
-        self.state = TaskState.PENDING
+        self._state = TaskState.PENDING
+        job.note_pending(self, +1)
         self.attempts: List[TaskAttempt] = []
         #: map input (set at staging time).
         self.input_block: Optional["BlockInfo"] = None
@@ -135,17 +139,30 @@ class Task:
 
     # ------------------------------------------------------------------
     @property
+    def state(self) -> TaskState:
+        return self._state
+
+    @state.setter
+    def state(self, new: TaskState) -> None:
+        """Transitions keep the job's O(1) pending counters exact (the
+        scheduler probes 'any pending work?' once per free slot)."""
+        old = self._state
+        if old is new:
+            return
+        self._state = new
+        if old is TaskState.PENDING:
+            self.job.note_pending(self, -1)
+        elif new is TaskState.PENDING:
+            self.job.note_pending(self, +1)
+
+    @property
     def task_id(self) -> str:
-        prefix = "m" if self.task_type is TaskType.MAP else "r"
+        prefix = "m" if self.is_map else "r"
         return f"{self.job.job_id}-{prefix}{self.index}"
 
     @property
-    def is_map(self) -> bool:
-        return self.task_type is TaskType.MAP
-
-    @property
     def complete(self) -> bool:
-        return self.state is TaskState.SUCCEEDED
+        return self._state is TaskState.SUCCEEDED
 
     def active_attempts(self) -> List[TaskAttempt]:
         return [a for a in self.attempts if a.active]

@@ -2,20 +2,29 @@
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Dict, List
 
 from ..cluster import Node
 from .task import AttemptState, TaskAttempt, TaskType
 
 
 class TaskTracker:
-    """The worker-side agent (paper II-C): M map + R reduce slots."""
+    """The worker-side agent (paper II-C): M map + R reduce slots.
+
+    Attempts are kept in an insertion-ordered dict (never an unordered
+    set): suspension/kill sweeps iterate it, and their order feeds the
+    event queue — id-hashed set iteration would make runs differ
+    across processes.  Per-type occupancy is counted on add/release so
+    the scheduler's free-slot checks are O(1) instead of scanning.
+    """
 
     def __init__(self, node: Node) -> None:
         self.node = node
         self.map_slots = node.spec.map_slots
         self.reduce_slots = node.spec.reduce_slots
-        self.attempts: Set[TaskAttempt] = set()
+        self.attempts: Dict[TaskAttempt, None] = {}
+        self._occupied_maps = 0
+        self._occupied_reduces = 0
         #: MOON judgement after SuspensionInterval of silence (V-A).
         self.suspected = False
         #: JobTracker judgement after TrackerExpiryInterval of silence.
@@ -32,25 +41,36 @@ class TaskTracker:
         return self.node.available and not self.dead and not self.suspected
 
     def occupied(self, task_type: TaskType) -> int:
-        return sum(
-            1
-            for a in self.attempts
-            if a.task.task_type is task_type and not a.finished
+        return (
+            self._occupied_maps
+            if task_type is TaskType.MAP
+            else self._occupied_reduces
         )
 
     def free_slots(self, task_type: TaskType) -> int:
-        cap = self.map_slots if task_type is TaskType.MAP else self.reduce_slots
-        return max(0, cap - self.occupied(task_type))
+        if task_type is TaskType.MAP:
+            return max(0, self.map_slots - self._occupied_maps)
+        return max(0, self.reduce_slots - self._occupied_reduces)
 
     def total_slots(self) -> int:
         return self.map_slots + self.reduce_slots
 
     # ------------------------------------------------------------------
     def add(self, attempt: TaskAttempt) -> None:
-        self.attempts.add(attempt)
+        if attempt not in self.attempts:
+            self.attempts[attempt] = None
+            if attempt.task.is_map:
+                self._occupied_maps += 1
+            else:
+                self._occupied_reduces += 1
 
     def release(self, attempt: TaskAttempt) -> None:
-        self.attempts.discard(attempt)
+        if attempt in self.attempts:
+            del self.attempts[attempt]
+            if attempt.task.is_map:
+                self._occupied_maps -= 1
+            else:
+                self._occupied_reduces -= 1
 
     def running_attempts(self) -> List[TaskAttempt]:
         return [a for a in self.attempts if not a.finished]

@@ -13,7 +13,7 @@ which Algorithm 1 then observes as a bandwidth plateau).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional
 
 from ..errors import NetworkError
 from ..simulation import PRIORITY_TRANSFER, Simulation
@@ -51,7 +51,10 @@ class FifoNetwork(NetworkModel):
             raise NetworkError("disk_fraction must be in [0, 1]")
         self._disk_fraction = disk_fraction
         self._channels: Dict[int, Dict[str, _Channel]] = {}
-        self._inflight: Set[Transfer] = set()
+        # Insertion-ordered on purpose: abort sweeps iterate this, and
+        # their order feeds the event queue — an id-hashed set would
+        # vary across processes and break golden stability.
+        self._inflight: Dict[Transfer, None] = {}
 
     # ------------------------------------------------------------------
     def register_node(self, node_id: int, disk_mbps: float, nic_mbps: float) -> None:
@@ -120,13 +123,13 @@ class FifoNetwork(NetworkModel):
             raise NetworkError("negative transfer size")
 
     def _commit(self, t: Transfer, done_time: float) -> None:
-        self._inflight.add(t)
+        self._inflight[t] = None
         t._event = self.sim.call_at(
             done_time, self._complete, t, priority=PRIORITY_TRANSFER
         )
 
     def _complete(self, t: Transfer) -> None:
-        self._inflight.discard(t)
+        self._inflight.pop(t, None)
         self._finish(t)
 
     def _schedule_failure(self, t: Transfer) -> None:
@@ -136,5 +139,5 @@ class FifoNetwork(NetworkModel):
     def _abort_transfers(self, node_id: int) -> None:
         doomed = [t for t in self._inflight if t.involves(node_id)]
         for t in doomed:
-            self._inflight.discard(t)
+            self._inflight.pop(t, None)
             self._fail(t)

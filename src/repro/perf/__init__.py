@@ -1,0 +1,26 @@
+"""Perf-regression harness: timed macro-scenarios + baseline checks.
+
+``repro perf`` times named end-to-end scenarios (figure-pipeline
+slices, a 2k-job service stream, a fair-share network stress), writes
+``BENCH_PR2.json`` at the repo root and fails when a scenario runs
+>20% slower than the committed baseline in
+``benchmarks/perf/baseline.json``.
+"""
+
+from .runner import (
+    REGRESSION_THRESHOLD_PCT,
+    load_baseline,
+    run_perf,
+    time_scenario,
+)
+from .scenarios import PERF_SCALE, SCENARIOS, Scenario
+
+__all__ = [
+    "PERF_SCALE",
+    "REGRESSION_THRESHOLD_PCT",
+    "SCENARIOS",
+    "Scenario",
+    "load_baseline",
+    "run_perf",
+    "time_scenario",
+]

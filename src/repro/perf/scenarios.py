@@ -1,0 +1,214 @@
+"""Named macro-scenarios for the perf-regression harness.
+
+Each scenario is an end-to-end slice of a paper pipeline (or of the
+service layer) sized to run in seconds, built fresh on every call so
+wall-clock timings never hit the experiment memo cache.  Scenarios pin
+the reduced scale explicitly — timings must stay comparable across
+machines and across ``REPRO_FULL_SCALE`` settings.
+
+The work counters a scenario returns (simulated events, completed
+jobs) double as a behaviour checksum: the same code must report the
+same counts on every run.  The runner records a per-scenario
+``events_match_baseline`` flag (and prints a notice on drift) so a
+count change vs the committed baseline reads as "the simulation's
+behaviour changed", not just its speed — expected only when a
+behaviour-changing PR re-pins the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import ClusterConfig, SchedulerConfig, SystemConfig, TraceConfig
+from ..core import hadoop_system, moon_system
+from ..dfs import ReplicationFactor
+from ..experiments.harness import hadoop_policy, moon_policy
+from ..experiments.scale import Scale, sort_at
+from ..workloads import JobSpec
+
+#: The scale every scenario runs at (the benchmarks' reduced scale,
+#: pinned here so env overrides cannot skew baseline comparisons).
+PERF_SCALE = Scale(
+    n_volatile=60,
+    n_dedicated=6,
+    sort_maps=384,
+    wc_maps=320,
+    data_factor=0.5,
+    seeds=(42,),
+    time_limit=4 * 3600.0,
+)
+
+
+def _rf(d: int, v: int) -> ReplicationFactor:
+    return ReplicationFactor(d, v)
+
+
+def _cell_config(
+    rate: float,
+    scheduler: SchedulerConfig,
+    n_dedicated: Optional[int] = None,
+    network_model: str = "fifo",
+) -> SystemConfig:
+    return SystemConfig(
+        cluster=ClusterConfig(
+            n_volatile=PERF_SCALE.n_volatile,
+            n_dedicated=(
+                PERF_SCALE.n_dedicated if n_dedicated is None else n_dedicated
+            ),
+        ),
+        trace=TraceConfig(unavailability_rate=rate),
+        scheduler=scheduler,
+        seed=PERF_SCALE.seeds[0],
+        network_model=network_model,
+    )
+
+
+def _run_cells(
+    cells: List[Tuple[JobSpec, float, SchedulerConfig, bool, Optional[int], str]]
+) -> Dict[str, float]:
+    """Run (spec, rate, sched, hadoop_mode, n_dedicated, net) cells."""
+    events = 0
+    jobs_done = 0
+    sim_seconds = 0.0
+    for spec, rate, sched, hadoop_mode, n_ded, net in cells:
+        cfg = _cell_config(rate, sched, n_dedicated=n_ded, network_model=net)
+        system = hadoop_system(cfg) if hadoop_mode else moon_system(cfg)
+        result = system.run_job(spec, time_limit=PERF_SCALE.time_limit)
+        system.jobtracker.stop()
+        system.namenode.stop()
+        events += system.sim.executed_events
+        sim_seconds += system.sim.now
+        if result.succeeded:
+            jobs_done += 1
+    return {
+        "events": float(events),
+        "jobs_done": float(jobs_done),
+        "sim_seconds": sim_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario bodies
+# ----------------------------------------------------------------------
+def _fig6_slice() -> Dict[str, float]:
+    """Fig. 6 pipeline slice: sort under HA-V1 and VO-V1 at rate 0.5.
+
+    The two intermediate-replication extremes exercise the shuffle
+    pump, write pipelines and the replication queue back to back.
+    """
+    def spec(inter: ReplicationFactor) -> JobSpec:
+        return sort_at(PERF_SCALE).with_(
+            intermediate_rf=inter, input_rf=_rf(1, 3), output_rf=_rf(1, 3)
+        )
+
+    return _run_cells(
+        [
+            (spec(_rf(1, 1)), 0.5, moon_policy(True), False, None, "fifo"),
+            (spec(_rf(0, 1)), 0.5, moon_policy(True), False, None, "fifo"),
+        ]
+    )
+
+
+def _fig7_slice() -> Dict[str, float]:
+    """Fig. 7 pipeline slice: Hadoop-VO vs MOON-Hybrid D6 at rate 0.5.
+
+    The Hadoop-VO cell (six uniform replicas) floods the DFS layers;
+    the MOON cell covers hybrid scheduling plus hibernation handling.
+    """
+    base = sort_at(PERF_SCALE)
+    hadoop_spec = base.with_(
+        input_rf=_rf(0, 6), output_rf=_rf(0, 6), intermediate_rf=_rf(0, 3)
+    )
+    moon_spec = base.with_(
+        input_rf=_rf(1, 3), output_rf=_rf(1, 3), intermediate_rf=_rf(1, 1)
+    )
+    return _run_cells(
+        [
+            (hadoop_spec, 0.5, hadoop_policy(1), True, None, "fifo"),
+            (moon_spec, 0.5, moon_policy(True), False, 6, "fifo"),
+        ]
+    )
+
+
+def _service_2k() -> Dict[str, float]:
+    """2k-job service stream: Poisson arrivals on the sleep catalog.
+
+    ~2000 arrivals over an 8-hour horizon through admission control,
+    the EDF queue and the full task machinery underneath.
+    """
+    from ..service import ServiceConfig, poisson_arrivals, sleep_catalog
+
+    cfg = SystemConfig(
+        cluster=ClusterConfig(n_volatile=30, n_dedicated=3),
+        trace=TraceConfig(unavailability_rate=0.3),
+        scheduler=moon_policy(True),
+        seed=PERF_SCALE.seeds[0],
+    )
+    system = moon_system(cfg)
+    arrivals = poisson_arrivals(
+        system.sim.rng("service/arrivals"),
+        rate_per_hour=250.0,
+        horizon=8 * 3600.0,
+        catalog=sleep_catalog(),
+    )
+    report = system.run_service(
+        arrivals,
+        ServiceConfig(
+            policy="edf",
+            max_in_flight=16,
+            max_queue_depth=256,
+            horizon=8 * 3600.0,
+            drain_limit=4 * 3600.0,
+        ),
+        pattern="poisson",
+    )
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return {
+        "events": float(system.sim.executed_events),
+        "jobs_done": float(report.overall.completed),
+        "sim_seconds": system.sim.now,
+        "arrivals": float(len(arrivals)),
+    }
+
+
+def _fairshare_sort() -> Dict[str, float]:
+    """Max-min fair-share network under a data-heavy sort at rate 0.3.
+
+    Dominated by water-filling recomputation on every flow start and
+    finish — the target of the incremental allocator.
+    """
+    spec = sort_at(PERF_SCALE).with_(
+        n_maps=192,
+        input_rf=_rf(1, 3),
+        output_rf=_rf(1, 3),
+        intermediate_rf=_rf(1, 1),
+    )
+    return _run_cells(
+        [(spec, 0.3, moon_policy(True), False, None, "fairshare")]
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named macro-scenario of the perf harness."""
+
+    name: str
+    description: str
+    run: Callable[[], Dict[str, float]]
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario("fig6", "Fig. 6 slice: sort HA-V1 + VO-V1 at rate 0.5",
+                 _fig6_slice),
+        Scenario("fig7", "Fig. 7 slice: Hadoop-VO + MOON-Hybrid D6 at 0.5",
+                 _fig7_slice),
+        Scenario("service2k", "2k-job Poisson service stream (EDF queue)",
+                 _service_2k),
+        Scenario("fairshare", "192-map sort on the fair-share network",
+                 _fairshare_sort),
+    )
+}

@@ -49,11 +49,21 @@ class SchedulerPolicy(ABC):
     # Shared building blocks
     # ------------------------------------------------------------------
     def reduces_eligible(self, job: Job) -> bool:
-        """Slow-start rule: reduces wait for the first maps."""
-        if not job.maps:
-            return True
-        frac = job.maps_completed() / len(job.maps)
-        return frac >= self.cfg.reduce_slowstart_fraction
+        """Slow-start rule: reduces wait for the first maps.
+
+        Memoised per tick: completions only happen on events between
+        ticks, and this is asked once per free slot on every tracker.
+        """
+        key = ("red_elig", job.job_id)
+        cached = self._memo.get(key)
+        if cached is None:
+            if not job.maps:
+                cached = True
+            else:
+                frac = job.maps_completed() / len(job.maps)
+                cached = frac >= self.cfg.reduce_slowstart_fraction
+            self._memo[key] = cached
+        return cached
 
     def _pending_sorted(self, job: Job, task_type: TaskType) -> List[Task]:
         key = ("pending", job.job_id, task_type)
@@ -72,6 +82,8 @@ class SchedulerPolicy(ABC):
     ) -> Optional[Task]:
         """Non-running task selection: recently-failed tasks first
         (II-C), then input-local maps, then the rest in index order."""
+        if job.pending_count(task_type) == 0:
+            return None
         if task_type is TaskType.REDUCE and not self.reduces_eligible(job):
             return None
         best: Optional[Task] = None
@@ -93,10 +105,7 @@ class SchedulerPolicy(ABC):
         return best
 
     def has_pending(self, job: Job, task_type: TaskType) -> bool:
-        return any(
-            t.state is TaskState.PENDING
-            for t in self._pending_sorted(job, task_type)
-        )
+        return job.pending_count(task_type) > 0
 
     def hadoop_stragglers(self, job: Job, task_type: TaskType) -> List[Task]:
         """Hadoop's straggler rule (paper V): running > 1 minute and

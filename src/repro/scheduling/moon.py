@@ -54,25 +54,44 @@ class MoonScheduler(SchedulerPolicy):
         if not self.under_job_cap(job):
             return None
 
-        frozen = self._frozen_list(job, task_type, tracker)
-        if frozen:
+        frozen, slow, home = self._spec_candidates(job, task_type)
+        # The ordered candidate lists are computed once per tick; only
+        # the conditions a same-tick launch can change (a new copy, a
+        # per-task cap, co-location) are re-checked per slot.
+        for t in frozen:
             # Frozen tasks get a copy regardless of the per-task cap.
-            task = frozen[0]
-            job.counters["frozen_speculations"] += 1
-            return (task, True)
-
-        slow = self._slow_list(job, task_type, tracker)
-        if slow:
-            return (slow[0], True)
-
-        home = self._homestretch_candidates(job, task_type, tracker)
-        if home:
-            job.counters["homestretch_speculations"] += 1
-            return (home[0], True)
+            if (
+                t.is_frozen()
+                and not t.has_dedicated_attempt()
+                and self.can_host(t, tracker)
+            ):
+                job.counters["frozen_speculations"] += 1
+                return (t, True)
+        # Two passes keep V-C live: tasks that gained a dedicated copy
+        # earlier this same tick must drop behind those with none.
+        for backed in (False, True):
+            for t in slow:
+                if (
+                    t.has_dedicated_attempt() is backed
+                    and not t.is_frozen()
+                    and self.under_per_task_cap(t)
+                    and self.can_host(t, tracker)
+                ):
+                    return (t, True)
+        want = self.cfg.homestretch_replicas
+        for t in home:
+            if (
+                not t.complete
+                and len(t.active_attempts()) < want
+                and not t.has_dedicated_attempt()
+                and self.can_host(t, tracker)
+            ):
+                job.counters["homestretch_speculations"] += 1
+                return (t, True)
         return None
 
     # ------------------------------------------------------------------
-    def _order(self, tasks: List[Task], tracker: TaskTracker) -> List[Task]:
+    def _order(self, tasks: List[Task]) -> List[Task]:
         """Progress-ascending; tasks holding a dedicated copy last
         (they already enjoy reliable backup, V-C)."""
         return sorted(
@@ -80,39 +99,37 @@ class MoonScheduler(SchedulerPolicy):
             key=lambda t: (t.has_dedicated_attempt(), t.best_progress(), t.index),
         )
 
-    def _frozen_list(
-        self, job: Job, task_type: TaskType, tracker: TaskTracker
-    ) -> List[Task]:
-        key = ("frozen", job.job_id, task_type)
+    def _spec_candidates(
+        self, job: Job, task_type: TaskType
+    ) -> Tuple[List[Task], List[Task], List[Task]]:
+        """(frozen, slow, homestretch) ordered lists, memoised per tick
+        — no events fire mid-tick, so progress and judgement state are
+        constant and per-slot rebuild+sort would be pure waste."""
+        key = ("spec", job.job_id, task_type)
         cached = self._memo.get(key)
-        if cached is None:
-            cached = [
-                t for t in job.running_tasks(task_type) if t.is_frozen()
-            ]
-            self._memo[key] = cached
-        frozen = [
-            t
-            for t in cached
-            if t.is_frozen()  # re-check: a copy may have launched
-            and self.can_host(t, tracker)
-            and not t.has_dedicated_attempt()
-        ]
-        return self._order(frozen, tracker)
-
-    def _slow_list(
-        self, job: Job, task_type: TaskType, tracker: TaskTracker
-    ) -> List[Task]:
-        slow = [
-            t
-            for t in self.hadoop_stragglers(job, task_type)
-            if not t.is_frozen()
-            and self.under_per_task_cap(t)
-            and self.can_host(t, tracker)
-        ]
-        return self._order(slow, tracker)
+        if cached is not None:
+            return cached
+        frozen = self._order(
+            [t for t in job.running_tasks(task_type) if t.is_frozen()]
+        )
+        # Progress-only order for the slow list: its dedicated-backed
+        # split is applied *live* at pick time (two-pass), because a
+        # backup launched earlier in the tick changes it.
+        slow = sorted(
+            (
+                t
+                for t in self.hadoop_stragglers(job, task_type)
+                if not t.is_frozen() and self.under_per_task_cap(t)
+            ),
+            key=lambda t: (t.best_progress(), t.index),
+        )
+        home = self._order(self._homestretch_candidates(job, task_type))
+        cached = (frozen, slow, home)
+        self._memo[key] = cached
+        return cached
 
     def _homestretch_candidates(
-        self, job: Job, task_type: TaskType, tracker: TaskTracker
+        self, job: Job, task_type: TaskType
     ) -> List[Task]:
         key = ("homestretch", job.job_id)
         remaining = self._memo.get(key)
@@ -125,14 +142,12 @@ class MoonScheduler(SchedulerPolicy):
         if not remaining or len(remaining) >= threshold:
             return []
         want = self.cfg.homestretch_replicas
-        candidates = [
+        return [
             t
             for t in remaining
             if t.task_type is task_type
             and t.attempts  # scheduled at least once
             and not t.complete
             and len(t.active_attempts()) < want
-            and self.can_host(t, tracker)
             and not t.has_dedicated_attempt()  # V-C exemption
         ]
-        return self._order(candidates, tracker)

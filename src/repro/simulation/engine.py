@@ -62,7 +62,14 @@ class Simulation:
         return self._executed
 
     def rng(self, name: str) -> np.random.Generator:
-        """Named deterministic random stream."""
+        """Named deterministic random stream.
+
+        The returned generator handle is stable for the lifetime of the
+        simulation — hot callers (heartbeat judgements, transfer
+        completions, the NameNode's read shuffles) should resolve their
+        stream once and keep the handle instead of paying a registry
+        lookup per event.
+        """
         return self._rng.stream(name)
 
     def rng_indexed(self, name: str, index: int) -> np.random.Generator:
@@ -133,19 +140,25 @@ class Simulation:
             raise SimulationError("run() is not reentrant")
         self._running = True
         fired = 0
+        # The dispatch loop runs hundreds of thousands of times per
+        # experiment: bind the queue internals once instead of paying
+        # attribute/property chains per event.
+        queue = self._queue
+        peek = queue.peek_time
+        pop = queue.pop
         try:
-            while self._queue:
-                if until is None and self._queue.foreground == 0:
+            while queue._live:
+                if until is None and queue._live_foreground == 0:
                     break
                 if stop_when is not None and stop_when():
                     break
-                next_time = self._queue.peek_time()
+                next_time = peek()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
                     self._now = until
                     break
-                event = self._queue.pop()
+                event = pop()
                 self._now = event.time
                 if self.trace_hook is not None:
                     self.trace_hook(self._now, event)

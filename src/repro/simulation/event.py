@@ -13,6 +13,18 @@ Events come in two flavours, mirroring thread semantics:
   replication scans, throttle sampling).  A simulation whose queue
   holds only daemon events is *idle* and a horizonless ``run()``
   terminates.
+
+Performance notes (this is the innermost loop of every experiment):
+
+* heap entries are ``(time, priority, seq, event)`` tuples, so sift
+  comparisons stay in C (tuple-vs-tuple on floats/ints) and never call
+  back into Python — ``seq`` is unique, so the :class:`Event` payload
+  itself is never compared;
+* cancellation is *lazy*: a cancelled event stays in the heap (marked
+  dead) and is skipped on pop, with a compaction pass once dead
+  entries outnumber live ones, so cancel is O(1) and the heap cannot
+  grow without bound under heavy cancel traffic (retry storms,
+  speculative-copy kills).
 """
 
 from __future__ import annotations
@@ -22,6 +34,10 @@ import itertools
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+
+#: Compaction is skipped below this many dead entries — rebuilding a
+#: tiny heap costs more than skipping a few stale pops.
+COMPACT_MIN_DEAD = 256
 
 
 class Event:
@@ -61,18 +77,11 @@ class Event:
         if not self.cancelled:
             self.cancelled = True
             if self._in_queue:
-                self._queue._note_removed(self)
+                self._queue._note_cancelled(self)
 
     @property
     def active(self) -> bool:
         return not self.cancelled
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "active"
@@ -89,10 +98,13 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        #: Heap of ``(time, priority, seq, Event)`` — see module notes.
+        self._heap: list = []
         self._counter = itertools.count()
         self._live = 0
         self._live_foreground = 0
+        #: Cancelled entries still sitting in the heap.
+        self._dead = 0
 
     def __len__(self) -> int:
         return self._live
@@ -111,6 +123,18 @@ class EventQueue:
             self._live_foreground -= 1
         event._in_queue = False
 
+    def _note_cancelled(self, event: Event) -> None:
+        self._note_removed(event)
+        self._dead += 1
+        if self._dead > COMPACT_MIN_DEAD and self._dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead entries and re-heapify (amortised O(1) per cancel)."""
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
     def push(
         self,
         time: float,
@@ -119,8 +143,9 @@ class EventQueue:
         args: tuple,
         daemon: bool = False,
     ) -> Event:
-        event = Event(time, priority, next(self._counter), fn, args, self, daemon)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, priority, seq, fn, args, self, daemon)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         if not daemon:
             self._live_foreground += 1
@@ -128,9 +153,11 @@ class EventQueue:
 
     def pop(self) -> Event:
         """Pop the earliest non-cancelled event."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._note_removed(event)
             return event
@@ -138,6 +165,8 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._dead -= 1
+        return heap[0][0] if heap else None

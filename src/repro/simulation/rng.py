@@ -32,13 +32,17 @@ class RngRegistry:
 
         The stream seed mixes the root seed with a CRC32 of the name, so
         the mapping is stable across processes and Python versions.
+        The handle itself is stable for the registry's lifetime —
+        callers on hot paths (the NameNode's read shuffle, placement)
+        resolve once and keep it rather than paying a lookup per event.
         """
-        gen = self._streams.get(name)
-        if gen is None:
+        try:
+            return self._streams[name]
+        except KeyError:
             key = zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
             gen = np.random.default_rng([self._root_seed, key])
             self._streams[name] = gen
-        return gen
+            return gen
 
     def spawn(self, name: str, index: int) -> np.random.Generator:
         """Indexed child stream, e.g. one per node: ``spawn("trace", 7)``."""

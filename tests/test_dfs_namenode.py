@@ -226,3 +226,70 @@ class TestReplicationQueue:
         # Dedicated nodes are idle (never throttled): the queue path
         # fills the dedicated copy on its own.
         assert f.blocks[0].has_dedicated_replica()
+
+
+class TestCommitWatchers:
+    """when_fully_replicated + the per-block pending bookkeeping."""
+
+    def test_fires_once_block_reaches_factor(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/out", FileKind.RELIABLE, ReplicationFactor(0, 2), 64.0)
+        nn.register_replica(f.blocks[0], 3)
+        fired = []
+        nn.when_fully_replicated("/out", lambda: fired.append(sim.now))
+        sim.run(until=1.0)
+        assert fired == []  # one volatile copy of two
+        nn.register_replica(f.blocks[0], 4)
+        sim.run(until=2.0)
+        assert len(fired) == 1
+
+    def test_already_satisfied_fires_immediately(self, sim):
+        _, _, nn = build(sim)
+        f = nn.create_file("/out", FileKind.RELIABLE, ReplicationFactor(0, 1), 64.0)
+        nn.register_replica(f.blocks[0], 3)
+        fired = []
+        nn.when_fully_replicated("/out", lambda: fired.append(True))
+        sim.run(until=1.0)
+        assert fired == [True]
+
+    def test_wake_resolving_deficit_fires_without_registration(self, sim):
+        """A watched block whose deficit exists only because its holder
+        hibernated must commit when the node wakes — no new replica is
+        ever registered on that block."""
+        traces = {3: [(10.0, 120.0)]}
+        cluster, _, nn = build(sim, traces=traces)
+        f = nn.create_file("/out", FileKind.RELIABLE, ReplicationFactor(0, 1), 64.0)
+        nn.register_replica(f.blocks[0], 3)
+        sim.run(until=100.0)  # node 3 judged hibernated (60 s threshold)
+        assert nn.node_state(3) is NodeState.HIBERNATED
+        fired = []
+        nn.when_fully_replicated("/out", lambda: fired.append(sim.now))
+        sim.run(until=115.0)
+        assert fired == []  # still down; sole copy unreachable
+        sim.run(until=200.0)  # node resumes at 120, judged alive again
+        assert nn.node_state(3) is NodeState.ALIVE
+        assert len(fired) == 1
+
+    def test_regressing_block_rejoins_pending_set(self, sim):
+        """A block that slips back below factor after leaving the
+        pending set must block the commit again (exactness guard)."""
+        traces = {3: [(10.0, 1000.0)]}
+        cluster, _, nn = build(sim, traces=traces)
+        f = nn.create_file(
+            "/out", FileKind.RELIABLE, ReplicationFactor(0, 1), 128.0,
+            block_size_mb=64.0,
+        )
+        b0, b1 = f.blocks
+        nn.register_replica(b0, 3)  # will expire with node 3
+        fired = []
+        nn.when_fully_replicated("/out", lambda: fired.append(sim.now))
+        # b0 satisfied, b1 pending; node 3 dies at ~610 s, dropping
+        # b0's only replica -> b0 must re-enter the pending set.
+        sim.run(until=700.0)
+        assert nn.node_state(3) is NodeState.DEAD
+        nn.register_replica(b1, 4)
+        sim.run(until=710.0)
+        assert fired == []  # b0 regressed; commit must still be held
+        nn.register_replica(b0, 5)
+        sim.run(until=720.0)
+        assert len(fired) == 1

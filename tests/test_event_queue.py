@@ -1,0 +1,207 @@
+"""EventQueue internals: cancel semantics, daemon/foreground
+accounting, and PeriodicTask.stop() racing its own tick.
+
+These pin the queue's contract ahead of dispatch-path optimizations:
+lazy deletion must never skew the live counts the engine's idle
+detection reads, and a stopped periodic task must never fire again —
+even when the stop lands at the exact timestamp of the next tick.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import PeriodicTask, Simulation
+from repro.simulation.event import EventQueue
+
+
+@pytest.fixture
+def queue():
+    return EventQueue()
+
+
+class TestCancelSemantics:
+    def test_pop_skips_cancelled_head(self, queue):
+        first = queue.push(1.0, 0, lambda: None, ())
+        second = queue.push(2.0, 0, lambda: None, ())
+        first.cancel()
+        assert queue.pop() is second
+
+    def test_peek_time_skips_cancelled_head(self, queue):
+        first = queue.push(1.0, 0, lambda: None, ())
+        queue.push(5.0, 0, lambda: None, ())
+        first.cancel()
+        assert queue.peek_time() == 5.0
+
+    def test_peek_time_empty_after_all_cancelled(self, queue):
+        ev = queue.push(1.0, 0, lambda: None, ())
+        ev.cancel()
+        assert queue.peek_time() is None
+
+    def test_pop_empty_raises(self, queue):
+        with pytest.raises(SimulationError):
+            queue.pop()
+
+    def test_pop_all_cancelled_raises(self, queue):
+        for t in (1.0, 2.0, 3.0):
+            queue.push(t, 0, lambda: None, ()).cancel()
+        with pytest.raises(SimulationError):
+            queue.pop()
+
+    def test_cancel_after_pop_does_not_corrupt_counts(self, queue):
+        ev = queue.push(1.0, 0, lambda: None, ())
+        queue.push(2.0, 0, lambda: None, ())
+        assert queue.pop() is ev
+        ev.cancel()  # fired already: must not decrement live counts
+        assert len(queue) == 1
+        assert queue.foreground == 1
+
+    def test_double_cancel_counts_once(self, queue):
+        ev = queue.push(1.0, 0, lambda: None, ())
+        queue.push(2.0, 0, lambda: None, ())
+        ev.cancel()
+        ev.cancel()
+        assert len(queue) == 1
+        assert queue.foreground == 1
+
+    def test_active_flag(self, queue):
+        ev = queue.push(1.0, 0, lambda: None, ())
+        assert ev.active
+        ev.cancel()
+        assert not ev.active
+
+    def test_many_interleaved_cancels_preserve_order(self, queue):
+        events = [queue.push(float(i), 0, lambda: None, (i,)) for i in range(50)]
+        for ev in events[::2]:
+            ev.cancel()
+        popped = []
+        while queue:
+            popped.append(queue.pop().args[0])
+        assert popped == list(range(1, 50, 2))
+
+
+class TestDaemonForegroundAccounting:
+    def test_mixed_counts(self, queue):
+        queue.push(1.0, 0, lambda: None, ())
+        queue.push(2.0, 0, lambda: None, (), daemon=True)
+        queue.push(3.0, 0, lambda: None, ())
+        assert len(queue) == 3
+        assert queue.foreground == 2
+
+    def test_cancel_daemon_keeps_foreground_count(self, queue):
+        queue.push(1.0, 0, lambda: None, ())
+        daemon = queue.push(2.0, 0, lambda: None, (), daemon=True)
+        daemon.cancel()
+        assert len(queue) == 1
+        assert queue.foreground == 1
+
+    def test_cancel_foreground_keeps_daemon_count(self, queue):
+        fg = queue.push(1.0, 0, lambda: None, ())
+        queue.push(2.0, 0, lambda: None, (), daemon=True)
+        fg.cancel()
+        assert len(queue) == 1
+        assert queue.foreground == 0
+
+    def test_pop_decrements_matching_class(self, queue):
+        queue.push(1.0, 0, lambda: None, (), daemon=True)
+        queue.push(2.0, 0, lambda: None, ())
+        queue.pop()
+        assert queue.foreground == 1
+        queue.pop()
+        assert queue.foreground == 0
+        assert len(queue) == 0
+
+    def test_drain_and_refill_counts_stay_exact(self, queue):
+        for round_ in range(3):
+            for i in range(10):
+                queue.push(float(i), 0, lambda: None, (), daemon=(i % 2 == 0))
+            assert len(queue) == 10
+            assert queue.foreground == 5
+            while queue:
+                queue.pop()
+            assert queue.foreground == 0
+
+
+class TestPeriodicTaskStopRace:
+    def test_stop_at_tick_timestamp_prevents_fire(self):
+        """stop() scheduled at the exact time of the next tick, at a
+        lower priority value, runs first and must suppress the tick."""
+        sim = Simulation()
+        fired = []
+        task = PeriodicTask(sim, 10.0, lambda: fired.append(sim.now))
+        # Runs at t=10 with priority -1 < the task's 20: before _tick.
+        sim.call_at(10.0, task.stop, priority=-1)
+        sim.run(until=50.0)
+        assert fired == []
+
+    def test_stop_after_same_time_tick_still_halts(self):
+        """stop() at the tick's timestamp but *after* it in priority:
+        the tick fires once, then the re-armed event must die."""
+        sim = Simulation()
+        fired = []
+        task = PeriodicTask(sim, 10.0, lambda: fired.append(sim.now))
+        sim.call_at(10.0, task.stop, priority=99)
+        sim.run(until=50.0)
+        assert fired == [10.0]
+
+    def test_stop_inside_own_fn_blocks_rearm(self):
+        sim = Simulation()
+        fired = []
+        holder = {}
+
+        def fn():
+            fired.append(sim.now)
+            holder["task"].stop()
+
+        holder["task"] = PeriodicTask(sim, 5.0, fn)
+        sim.run(until=60.0)
+        assert fired == [5.0]
+        assert sim.pending_events() == 0
+
+    def test_stop_twice_is_idempotent(self):
+        sim = Simulation()
+        task = PeriodicTask(sim, 5.0, lambda: None)
+        task.stop()
+        task.stop()
+        assert sim.pending_events() == 0
+
+    def test_stale_tick_after_stop_is_inert(self):
+        """Even if a stopped task's _tick is invoked directly (stale
+        event delivered through another path), it must neither call fn
+        nor re-arm."""
+        sim = Simulation()
+        fired = []
+        task = PeriodicTask(sim, 5.0, lambda: fired.append(sim.now))
+        task.stop()
+        task._tick()
+        assert fired == []
+        assert sim.pending_events() == 0
+
+    def test_stop_then_new_task_same_sim(self):
+        sim = Simulation()
+        fired = []
+        old = PeriodicTask(sim, 3.0, lambda: fired.append(("old", sim.now)))
+        old.stop()
+        PeriodicTask(sim, 4.0, lambda: fired.append(("new", sim.now)))
+        sim.run(until=8.0)
+        assert fired == [("new", 4.0), ("new", 8.0)]
+
+
+class TestRngHandleStability:
+    """Hot callers memoise stream handles; that only works if rng()
+    returns the *same* generator object for a name, forever."""
+
+    def test_same_handle_every_call(self):
+        sim = Simulation(seed=7)
+        g1 = sim.rng("namenode")
+        g1.random()  # drawing must not invalidate the handle
+        assert sim.rng("namenode") is g1
+        assert sim.rng_indexed("trace", 3) is sim.rng_indexed("trace", 3)
+
+    def test_memoised_handle_sees_the_stream_state(self):
+        sim_a, sim_b = Simulation(seed=9), Simulation(seed=9)
+        handle = sim_a.rng("x")  # resolved once, used many times
+        a = [handle.random() for _ in range(4)]
+        b = [sim_b.rng("x").random() for _ in range(4)]  # re-resolved
+        assert a == b
