@@ -110,7 +110,9 @@ class TestRunner:
 
 class TestRegistry:
     def test_real_registry_names(self):
-        assert set(SCENARIOS) == {"fig6", "fig7", "service2k", "fairshare"}
+        assert set(SCENARIOS) == {
+            "fig6", "fig7", "service2k", "fairshare", "autoscale2k",
+        }
 
     def test_descriptions_present(self):
         for s in SCENARIOS.values():

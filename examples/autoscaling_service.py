@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Autoscaling the dedicated tier: static vs reactive vs predictive.
+
+The paper asks "how many dedicated nodes are enough?" and answers it
+statically (Section VII / Fig. 7).  A served job stream makes the
+question dynamic: bursts need a big tier for minutes, quiet stretches
+need almost none.  This example runs the same bursty two-hour stream
+through the three provisioning policies on identical traces and
+arrivals (same seed) and compares deadline-miss rate against dedicated
+node-hours — the cost the operator actually pays.
+
+Run:  python examples/autoscaling_service.py        (~10 seconds)
+
+Equivalent CLI:  repro serve --autoscale all --pattern bursty
+"""
+
+from dataclasses import replace
+
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.plotting import table
+from repro.service import (
+    AUTOSCALE_POLICIES,
+    AutoscaleConfig,
+    ServiceConfig,
+    bursty_arrivals,
+    render_decisions,
+    sleep_catalog,
+)
+
+HOUR = 3600.0
+
+
+def serve(scale_policy: str):
+    # Fresh system per policy: same seed -> same traces, same arrival
+    # draws, so the controllers compete on identical streams.
+    config = SystemConfig(
+        cluster=ClusterConfig(n_volatile=12, n_dedicated=3),
+        trace=TraceConfig(unavailability_rate=0.3),
+        # Service mode: the dedicated tier is real capacity, not just
+        # a speculative-execution annex (config.py: dedicated_primary).
+        scheduler=replace(moon_scheduler_config(), dedicated_primary=True),
+        seed=42,
+    )
+    system = moon_system(config)
+    arrivals = bursty_arrivals(
+        system.sim.rng("service/arrivals"),
+        bursts_per_hour=2.0,
+        burst_size_mean=12.0,
+        horizon=2 * HOUR,
+        catalog=sleep_catalog(),
+    )
+    report = system.run_service(
+        arrivals,
+        ServiceConfig(
+            policy="edf",
+            max_in_flight=8,
+            max_queue_depth=128,
+            horizon=2 * HOUR,
+            autoscale=AutoscaleConfig(
+                policy=scale_policy, min_dedicated=1, max_dedicated=6
+            ),
+        ),
+        pattern="bursty",
+    )
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return report
+
+
+def main() -> None:
+    reports = {p: serve(p) for p in AUTOSCALE_POLICIES}
+
+    rows = []
+    for policy, report in reports.items():
+        rows.append([policy] + report.cost_row())
+    print(
+        table(
+            ["autoscale", "done", "p50 s", "p95 s", "p99 s", "miss",
+             "good/h", "fairness", "node-h", "tier", "ops"],
+            rows,
+            title="dedicated-tier provisioning - bursty stream, EDF queue",
+        )
+    )
+    print()
+    print(render_decisions(reports["reactive"].scale_events))
+    print()
+
+    static = reports["static"].overall
+    for policy in ("reactive", "predictive"):
+        r = reports[policy]
+        print(
+            f"{policy:>10}: miss {r.overall.miss_rate:.1%} vs static "
+            f"{static.miss_rate:.1%} at {r.node_hours:.2f} node-h vs "
+            f"static {reports['static'].node_hours:.2f}"
+        )
+    print()
+    print(
+        "Reading: both controllers ride the bursts — grow the tier\n"
+        "while the queue builds, shed it in the gaps (graceful drain:\n"
+        "a leaving node finishes its tasks first) — so they beat the\n"
+        "static tier on deadline misses *and* on node-hours.  The\n"
+        "predictive EWMA pre-scales for the next burst; reactive waits\n"
+        "for the pressure signal but never overshoots idle capacity."
+    )
+
+
+if __name__ == "__main__":
+    main()

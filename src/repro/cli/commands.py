@@ -169,6 +169,31 @@ def cmd_run(args) -> int:
 # ======================================================================
 # serve
 # ======================================================================
+#: Serve-flag defaults by mode: the autoscale demonstration needs a
+#: regime where tier *capacity* (not the admission bound) limits the
+#: SLO — a smaller volatile pool, bigger bursts, a wider in-flight
+#: window and the deadline-aware queue.  Flags a user passes always
+#: win; these only fill the blanks.
+_SERVE_DEFAULTS = {
+    #        flag            normal   autoscale
+    "policy": ("fifo", "edf"),
+    "jobs_per_hour": (12.0, 24.0),
+    "burst_size": (6.0, 12.0),
+    "catalog": ("mixed", "sleep"),
+    "volatile": (30, 12),
+    "max_in_flight": (4, 8),
+    "queue_depth": (64, 128),
+}
+
+
+def _resolve_serve_defaults(args) -> None:
+    """Fill unset (None) serve flags for the active mode, in place."""
+    scaled = args.autoscale is not None
+    for flag, (normal, autoscale) in _SERVE_DEFAULTS.items():
+        if getattr(args, flag) is None:
+            setattr(args, flag, autoscale if scaled else normal)
+
+
 def _serve_arrivals(args, system):
     """Build the arrival stream for one serve run (seed-deterministic)."""
     from ..service import (
@@ -191,12 +216,12 @@ def _serve_arrivals(args, system):
             rng, args.jobs_per_hour, horizon, catalog, tenants
         )
     if args.pattern == "bursty":
-        # Six-job bursts whose epoch rate preserves the requested mean
-        # arrival rate exactly.
+        # Bursts of --burst-size jobs whose epoch rate preserves the
+        # requested mean arrival rate exactly.
         return bursty_arrivals(
             rng,
-            bursts_per_hour=args.jobs_per_hour / 6.0,
-            burst_size_mean=6.0,
+            bursts_per_hour=args.jobs_per_hour / args.burst_size,
+            burst_size_mean=args.burst_size,
             horizon=horizon,
             catalog=catalog,
             tenants=tenants,
@@ -206,27 +231,40 @@ def _serve_arrivals(args, system):
     )
 
 
+def _serve_system(args, dedicated_primary: bool = False):
+    """A fresh system per serve cell: same seed -> same traces and the
+    same arrival draws, so policies compete on identical streams."""
+    from dataclasses import replace as _replace
+
+    scheduler = moon_scheduler_config()
+    if dedicated_primary:
+        scheduler = _replace(scheduler, dedicated_primary=True)
+    cfg = SystemConfig(
+        cluster=ClusterConfig(
+            n_volatile=args.volatile, n_dedicated=args.dedicated
+        ),
+        trace=TraceConfig(unavailability_rate=args.rate),
+        scheduler=scheduler,
+        seed=args.seed,
+    )
+    return moon_system(cfg)
+
+
 def cmd_serve(args) -> int:
     """Serve a continuous job stream and report SLO metrics."""
     from ..plotting import table
     from ..service import QUEUE_POLICIES, ServiceConfig
+
+    _resolve_serve_defaults(args)
+    if args.autoscale is not None:
+        return _serve_autoscaled(args)
 
     policies = (
         list(QUEUE_POLICIES) if args.policy == "all" else [args.policy]
     )
     summaries = []
     for policy in policies:
-        # A fresh system per policy: same seed -> same traces and the
-        # same arrival draws, so policies compete on identical streams.
-        cfg = SystemConfig(
-            cluster=ClusterConfig(
-                n_volatile=args.volatile, n_dedicated=args.dedicated
-            ),
-            trace=TraceConfig(unavailability_rate=args.rate),
-            scheduler=moon_scheduler_config(),
-            seed=args.seed,
-        )
-        system = moon_system(cfg)
+        system = _serve_system(args)
         arrivals = _serve_arrivals(args, system)
         service_cfg = ServiceConfig(
             policy=policy,
@@ -250,6 +288,77 @@ def cmd_serve(args) -> int:
                  "miss", "good/h", "fairness"],
                 summaries,
                 title=f"queue-policy comparison - {args.pattern} arrivals",
+            )
+        )
+    return 0
+
+
+def _serve_autoscaled(args) -> int:
+    """Serve the same stream under one or all autoscale policies."""
+    from ..plotting import table
+    from ..service import (
+        AUTOSCALE_POLICIES,
+        AutoscaleConfig,
+        ServiceConfig,
+        render_decisions,
+    )
+
+    if args.policy == "all":
+        print(
+            "--autoscale compares provisioning policies on one queue "
+            "policy; pass a single --policy (e.g. edf), not 'all'"
+        )
+        return 2
+    scale_policies = (
+        list(AUTOSCALE_POLICIES)
+        if args.autoscale == "all"
+        else [args.autoscale]
+    )
+    max_dedicated = (
+        args.max_dedicated
+        if args.max_dedicated is not None
+        else max(2 * args.dedicated, args.min_dedicated + 1)
+    )
+    summaries = []
+    for scale_policy in scale_policies:
+        system = _serve_system(args, dedicated_primary=True)
+        arrivals = _serve_arrivals(args, system)
+        service_cfg = ServiceConfig(
+            policy=args.policy,
+            max_in_flight=args.max_in_flight,
+            max_queue_depth=args.queue_depth,
+            tenant_quota=args.tenant_quota,
+            horizon=args.hours * 3600.0,
+            autoscale=AutoscaleConfig(
+                policy=scale_policy,
+                interval=args.autoscale_interval,
+                min_dedicated=args.min_dedicated,
+                max_dedicated=max_dedicated,
+            ),
+        )
+        report = system.run_service(
+            arrivals, service_cfg, pattern=args.pattern
+        )
+        system.jobtracker.stop()
+        system.namenode.stop()
+        print(report.render())
+        print()
+        if report.scale_events:
+            print(render_decisions(report.scale_events))
+            print()
+        summaries.append([scale_policy] + report.cost_row())
+    if len(summaries) > 1:
+        print(
+            table(
+                ["autoscale", "done", "p50 s", "p95 s", "p99 s", "miss",
+                 "good/h", "fairness", "node-h", "tier", "ops"],
+                summaries,
+                title=(
+                    f"autoscale-policy comparison - {args.pattern} "
+                    f"arrivals, {args.policy} queue "
+                    f"(D{args.dedicated}, bounds "
+                    f"{args.min_dedicated}..{max_dedicated})"
+                ),
             )
         )
     return 0

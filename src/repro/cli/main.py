@@ -83,14 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
             "rate, goodput and tenant fairness."
         ),
         epilog=(
-            "example: compare all four queue policies under bursty "
-            "traffic on a volatile 30+3 cluster:\n"
-            "  repro serve --pattern bursty --policy all "
+            "examples:\n"
+            "  compare all four queue policies under bursty traffic:\n"
+            "    repro serve --pattern bursty --policy all "
             "--jobs-per-hour 18 --hours 2 \\\n"
-            "      --catalog sleep --max-in-flight 2 --volatile 30 "
+            "        --catalog sleep --max-in-flight 2 --volatile 30 "
             "--dedicated 3 --rate 0.3\n"
-            "EDF should post the lowest deadline-miss rate; FIFO the "
-            "highest."
+            "    (EDF should post the lowest deadline-miss rate; FIFO "
+            "the highest)\n"
+            "  compare dedicated-tier provisioning policies on cost "
+            "and SLO:\n"
+            "    repro serve --autoscale all --pattern bursty\n"
+            "    (reactive/predictive should beat the static tier on "
+            "miss rate at\n     equal-or-fewer dedicated node-hours)\n"
+            "Flags marked [mode] default differently under --autoscale "
+            "— see repro.cli.commands._SERVE_DEFAULTS."
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
@@ -102,16 +109,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     # Single source of truth for the policy names; imported here (not
     # module-level) so only parser construction depends on the package.
+    from ..service.autoscale import AUTOSCALE_POLICIES
     from ..service.queue import QUEUE_POLICIES
 
     serve_p.add_argument(
         "--policy",
         choices=list(QUEUE_POLICIES) + ["all"],
-        default="fifo",
-        help="queue ordering policy ('all' compares every policy)",
+        default=None,
+        help="queue ordering policy ('all' compares every policy) "
+             "[mode: fifo / edf]",
     )
-    serve_p.add_argument("--jobs-per-hour", type=float, default=12.0,
-                         help="mean arrival rate (peak rate for diurnal)")
+    serve_p.add_argument("--jobs-per-hour", type=float, default=None,
+                         help="mean arrival rate (peak rate for diurnal) "
+                              "[mode: 12 / 24]")
+    serve_p.add_argument("--burst-size", type=float, default=None,
+                         help="mean jobs per burst (bursty pattern) "
+                              "[mode: 6 / 12]")
     serve_p.add_argument("--hours", type=float, default=2.0,
                          help="admission horizon in simulated hours")
     serve_p.add_argument("--tenants", type=int, default=3,
@@ -119,22 +132,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--catalog",
         choices=["mixed", "sleep"],
-        default="mixed",
-        help="workload mix: real data jobs, or data-free sleep jobs",
+        default=None,
+        help="workload mix: real data jobs, or data-free sleep jobs "
+             "[mode: mixed / sleep]",
     )
     serve_p.add_argument("--block-mb", type=float, default=4.0,
                          help="block size of the mixed catalog's jobs")
-    serve_p.add_argument("--max-in-flight", type=int, default=4,
-                         help="jobs concurrently admitted to the cluster")
-    serve_p.add_argument("--queue-depth", type=int, default=64,
-                         help="queue bound; arrivals beyond it are rejected")
+    serve_p.add_argument("--max-in-flight", type=int, default=None,
+                         help="jobs concurrently admitted to the cluster "
+                              "[mode: 4 / 8]")
+    serve_p.add_argument("--queue-depth", type=int, default=None,
+                         help="queue bound; arrivals beyond it are "
+                              "rejected [mode: 64 / 128]")
     serve_p.add_argument("--tenant-quota", type=int, default=None,
                          help="max in-flight jobs per tenant")
     serve_p.add_argument("--rate", type=float, default=0.3,
                          help="volatile-node unavailability rate")
-    serve_p.add_argument("--volatile", type=int, default=30)
+    serve_p.add_argument("--volatile", type=int, default=None,
+                         help="volatile node count [mode: 30 / 12]")
     serve_p.add_argument("--dedicated", type=int, default=3)
     serve_p.add_argument("--seed", type=int, default=42)
+    serve_p.add_argument(
+        "--autoscale",
+        choices=list(AUTOSCALE_POLICIES) + ["all"],
+        default=None,
+        help="autoscale the dedicated tier with this provisioning "
+             "policy ('all' compares the three on cost and SLO)",
+    )
+    serve_p.add_argument("--min-dedicated", type=int, default=1,
+                         help="autoscale floor for the dedicated tier")
+    serve_p.add_argument("--max-dedicated", type=int, default=None,
+                         help="autoscale ceiling (default: 2x --dedicated)")
+    serve_p.add_argument("--autoscale-interval", type=float, default=30.0,
+                         help="seconds between autoscale control rounds")
 
     # --- trace ----------------------------------------------------------
     trace_p = sub.add_parser(

@@ -1,4 +1,19 @@
-"""Cluster substrate (S4): nodes, availability replay, failure detection."""
+"""Cluster substrate (S4): nodes, availability replay, failure
+detection, and dynamic dedicated-tier membership.
+
+Owns the physical layer of the reproduction: :class:`Node` (volatile
+volunteer PCs vs dedicated anchors, paper Section III),
+:class:`Cluster` (membership maps + listener fan-out),
+:class:`AvailabilityMonitor` (replays each node's outage trace as
+suspend/resume events — the paper's per-node monitoring process,
+Section VI), and :class:`FailureDetector` (heartbeat judgements
+computed analytically instead of simulating every 3-second beat).
+The provision / graceful-drain / decommission API that the service
+layer's autoscaler drives lives on :class:`Cluster`.
+
+Reproduces the machinery behind Figs. 1 and 4 (node volatility and
+its detection); see docs/ARCHITECTURE.md#cluster for the layer map.
+"""
 
 from .cluster import Cluster, build_cluster, connect_network
 from .detector import FailureDetector

@@ -26,7 +26,9 @@ class Node:
     as a priority event at t=0, so every observer sees the transition.
     """
 
-    __slots__ = ("node_id", "kind", "spec", "trace", "available", "name")
+    __slots__ = (
+        "node_id", "kind", "spec", "trace", "available", "name", "draining"
+    )
 
     def __init__(
         self,
@@ -40,6 +42,9 @@ class Node:
         self.spec = spec
         self.trace = trace
         self.available = True
+        #: Graceful decommission in progress: the node finishes running
+        #: work but accepts no new tasks or replicas (service autoscale).
+        self.draining = False
         self.name = f"{kind.value}-{node_id}"
 
     @property

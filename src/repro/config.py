@@ -200,6 +200,13 @@ class SchedulerConfig:
     #: Whether the scheduler may place tasks on dedicated nodes
     #: (MOON-Hybrid of the paper's Section V-C).
     hybrid_aware: bool = True
+    #: Service-mode extension beyond the paper: dedicated nodes also run
+    #: *primary* (non-speculative) tasks once every volatile slot has
+    #: been offered work.  The paper's V-C reserves dedicated CPUs for
+    #: speculative copies; a served job stream wants the whole tier's
+    #: capacity, and the autoscaler sizes that tier.  Default False
+    #: keeps every paper experiment byte-identical.
+    dedicated_primary: bool = False
     #: A map attempt is retried at most this many times before the job
     #: fails (Hadoop footnote 1).
     max_task_attempts: int = 4

@@ -1,4 +1,17 @@
-"""System assembly (S10): MOON and Hadoop-baseline deployments."""
+"""System assembly (S10): MOON and Hadoop-baseline deployments.
+
+Owns the wiring of the whole stack from one
+:class:`~repro.config.SystemConfig` — simulation, cluster with traces,
+transfer model, MOON-DFS, JobTracker with a scheduling policy — plus
+the run entry points (``run_job``, ``run_jobs``, ``run_service``) and
+the cross-layer listener ordering (the network's decommission hook
+registers last, so replica maps are consistent before transfers
+abort).  :func:`hadoop_system` builds the paper's baseline: the same
+machines, all presented as volatile (Section VI-C).
+
+Every experiment (Figs. 4-7, Tables I-II) instantiates systems through
+this layer; see docs/ARCHITECTURE.md#system-assembly.
+"""
 
 from .results import JobResult
 from .system import MoonSystem, hadoop_system, moon_system

@@ -66,6 +66,15 @@ class MoonSystem:
             heartbeat_interval=config.cluster.heartbeat_interval,
         )
         self.dfs = DfsClient(self.namenode)
+        # Decommission wiring, deliberately registered *after* the
+        # NameNode's and JobTracker's own listeners: by the time the
+        # network aborts a departing node's in-flight transfers, its
+        # replicas are already gone from the replica maps, so failure
+        # callbacks (fetch failures, pipeline retries) observe a
+        # consistent file system.
+        self.cluster.on_decommission(
+            lambda node: self.network.unregister_node(node.node_id)
+        )
 
     # ------------------------------------------------------------------
     def submit(self, spec: JobSpec, priority: int = 0) -> Job:

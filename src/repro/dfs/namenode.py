@@ -98,6 +98,19 @@ class NameNode:
             "expiry", config.node_expiry_interval, self._on_expiry, self._on_rejoin
         )
 
+        # Dedicated-tier autoscaling: a provisioned node becomes a
+        # DataNode immediately; a decommissioned one's replicas are
+        # dropped and re-replicated.  Registered before the network's
+        # decommission wiring (see repro.core.MoonSystem) so replica
+        # maps are consistent by the time in-flight transfers abort.
+        cluster.on_provision(self._on_provision)
+        cluster.on_drain_begin(self._on_drain_begin)
+        cluster.on_decommission(self._on_decommission)
+        #: Nodes mid-drain: they still serve reads, but their replicas
+        #: no longer count toward replication factors, so their data is
+        #: copied off proactively (HDFS-style decommissioning).
+        self._draining_ids: Dict[int, None] = {}
+
         # p estimation over the past interval I (volatile nodes only).
         self._down_integral = 0.0
         self._down_count = 0
@@ -277,9 +290,14 @@ class NameNode:
         return local + volatile + dedicated
 
     def live_dedicated_replicas(self, block: BlockInfo) -> set:
-        """Dedicated replicas on nodes currently judged ALIVE."""
+        """Dedicated replicas on nodes currently judged ALIVE.
+
+        Draining nodes are excluded: their copies still serve reads but
+        are about to disappear, so they must not satisfy a factor."""
         return {
-            n for n in block.dedicated_replicas if self.node_is_servable(n)
+            n
+            for n in block.dedicated_replicas
+            if self.node_is_servable(n) and n not in self._draining_ids
         }
 
     def effective_volatile_count(self, block: BlockInfo) -> int:
@@ -404,6 +422,73 @@ class NameNode:
         # The data remains on the node's disk (info.blocks kept) so a
         # rejoin can re-register it via block report.
 
+    def _on_provision(self, node: Node) -> None:
+        """A new (dedicated) DataNode joins: empty disk, ALIVE, and —
+        when dedicated — throttle-watched and placement-eligible."""
+        self._infos[node.node_id] = DataNodeInfo(
+            node.node_id, node.is_dedicated, node.spec.storage_gb * 1024.0
+        )
+        self._states[node.node_id] = NodeState.ALIVE
+        self.counters["provisions"] += 1
+        if node.is_dedicated:
+            self.throttle.add_node(node.node_id)
+            # Opportunistic blocks that were denied a dedicated anchor
+            # can have one now.
+            self._dedicated_unthrottled(node.node_id)
+
+    def holds_sole_replicas(self, node_id: int) -> bool:
+        """Does this node hold the *only* replica of any live block?
+        Used as the drain-completion gate: decommissioning such a node
+        would lose data, so the drain waits for the proactive copy-off
+        (queued at drain-begin) to land a second copy first."""
+        info = self._infos.get(node_id)
+        if info is None:
+            return False
+        for block_id in info.blocks:
+            block = self._blocks.get(block_id)
+            if block is not None and block.replicas == {node_id}:
+                return True
+        return False
+
+    def _on_drain_begin(self, node: Node) -> None:
+        """Start copying the draining node's data off while it can
+        still act as a source: mark its replicas non-counting and queue
+        every block it holds for a deficit check.  Blocks whose only
+        dedicated anchor is the draining node get no *volatile* deficit
+        from that (e.g. opportunistic ``{1,0}`` intermediates), so they
+        additionally join the dedicated-fill queue — the drain cannot
+        complete while the node holds a sole replica."""
+        self._draining_ids[node.node_id] = None
+        info = self._infos[node.node_id]
+        for block_id in list(info.blocks):
+            block = self._blocks.get(block_id)
+            if block is None:
+                continue
+            if not self.live_dedicated_replicas(block):
+                self._want_dedicated[block.block_id] = None
+            self._enqueue(block)
+
+    def _on_decommission(self, node: Node) -> None:
+        """A drained node leaves for good: unlike expiry, its replicas
+        are dropped permanently (the disk goes away with the machine)
+        and every affected block is queued for re-replication."""
+        self.counters["decommissions"] += 1
+        self._draining_ids.pop(node.node_id, None)
+        info = self._infos.pop(node.node_id)
+        self._states.pop(node.node_id)
+        self.throttle.remove_node(node.node_id)
+        for block_id in list(info.blocks):
+            block = self._blocks.get(block_id)
+            if block is None:
+                continue
+            block.replicas.discard(node.node_id)
+            block.dedicated_replicas.discard(node.node_id)
+            if not block.replicas:
+                self.counters["blocks_lost"] += 1
+            self._enqueue(block)
+            # Losing a replica can drop a watched commit block back
+            # below factor; _enqueue re-arms the pending set.
+
     def _on_rejoin(self, node: Node) -> None:
         if self._states[node.node_id] is not NodeState.DEAD:
             return
@@ -524,7 +609,10 @@ class NameNode:
                 self._queued[item[2]] = None
 
     def _try_dedicated_fill(self, block: BlockInfo) -> None:
-        if block.has_dedicated_replica():
+        # live_ rather than has_: a copy on a draining (or hibernated)
+        # dedicated node is about to disappear and does not satisfy
+        # the want.
+        if self.live_dedicated_replicas(block):
             self._want_dedicated.pop(block.block_id, None)
             return
         targets = self.placement._pick_dedicated(

@@ -104,6 +104,21 @@ class ThrottleService:
         self._task.stop()
 
     # ------------------------------------------------------------------
+    def add_node(self, node_id: int) -> None:
+        """Start watching a freshly provisioned dedicated DataNode."""
+        if node_id in self.detectors:
+            return
+        self.detectors[node_id] = ThrottleDetector(
+            self.config.throttle_window, self.config.throttle_threshold
+        )
+        self._last_mb[node_id] = self.network.mb_served.get(node_id, 0.0)
+
+    def remove_node(self, node_id: int) -> None:
+        """Forget a decommissioned node (its id may be reused later)."""
+        self.detectors.pop(node_id, None)
+        self._last_mb.pop(node_id, None)
+
+    # ------------------------------------------------------------------
     def is_throttled(self, node_id: int) -> bool:
         det = self.detectors.get(node_id)
         return det.throttled if det is not None else False

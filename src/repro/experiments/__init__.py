@@ -1,4 +1,16 @@
-"""Experiment drivers (S13): one module per paper table/figure."""
+"""Experiment drivers (S13): one module per paper table/figure.
+
+Owns the reproduction grids: fig1 (availability profile), fig4/fig5
+(scheduling policies and duplicated work), fig6 (intermediate-data
+replication), fig7 (overall MOON vs augmented Hadoop), the tables and
+ablations, plus :mod:`~repro.experiments.validate` (simulator vs
+analytical models) — all on a shared memoised harness with a bounded
+LRU so benchmark modules can share expensive grids, and
+:mod:`~repro.experiments.scale` to switch between CI scale and the
+paper's full Table I sizes (``REPRO_FULL_SCALE=1``).
+
+See docs/ARCHITECTURE.md#experiments for the layer map.
+"""
 
 from . import ablations, fig1, fig4, fig6, fig7, validate
 from .harness import (

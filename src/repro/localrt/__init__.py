@@ -1,4 +1,14 @@
-"""Functional in-process MapReduce engine (S12) + application library."""
+"""Functional in-process MapReduce engine (S12) + application library.
+
+Owns the *semantic* side of MapReduce: a real (non-simulated)
+in-process engine with the classic applications (word count, grep,
+join, histogram, inverted index, k-means, k-mer counting) and
+fault-injection hooks — the functional complement to the performance
+simulator, validating that the programming model the paper assumes
+(Section II) actually computes what it should.
+
+See docs/ARCHITECTURE.md#local-runtime for the layer map.
+"""
 
 from .api import JobOutput, MapReduceJob, default_partitioner
 from .apps import (

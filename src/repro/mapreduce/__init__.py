@@ -1,4 +1,17 @@
-"""MapReduce runtime (S6): JobTracker, TaskTrackers, tasks, shuffle."""
+"""MapReduce runtime (S6): JobTracker, TaskTrackers, tasks, shuffle.
+
+Owns task execution end to end: pull-style assignment on heartbeat
+ticks (paper II-C), pausable map/reduce phase machines with the
+VM-pause semantics of Section III, the O(ready) shuffle pump with
+fetch-failure handling (Section VI-B's re-execution fast path), both
+failure-handling generations (Hadoop kill-at-expiry vs MOON's
+suspended/dead judgement, Section V-A), and the graceful-drain watch
+that completes dedicated-node decommissions.
+
+This is the layer behind the job-time comparisons of Figs. 4-7 and
+the execution profiles of Table II; see
+docs/ARCHITECTURE.md#mapreduce-runtime.
+"""
 
 from .execution import MapRunner, ReduceRunner, make_runner
 from .job import Job, JobState

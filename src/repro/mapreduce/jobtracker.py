@@ -67,13 +67,14 @@ class JobTracker:
         self.trackers: Dict[int, TaskTracker] = {
             n.node_id: TaskTracker(n) for n in cluster.nodes
         }
-        # Tracker membership is fixed for the system's lifetime, so the
-        # assignment walk order (volatile first, then by node id) is
-        # computed once instead of re-sorted every heartbeat tick.
-        self._assignment_order_cache: List[TaskTracker] = sorted(
-            self.trackers.values(),
-            key=lambda t: (t.node.is_dedicated, t.node_id),
-        )
+        # Tracker membership only changes on explicit provision or
+        # decommission events (service autoscaling), so the assignment
+        # walk order (volatile first, then by node id) is computed once
+        # per membership change instead of re-sorted every heartbeat.
+        self._assignment_order_cache: List[TaskTracker] = []
+        self._rebuild_assignment_order()
+        #: Trackers mid-drain, watched by the heartbeat tick.
+        self._draining_trackers: Dict[int, TaskTracker] = {}
         self.jobs: List[Job] = []
         # Unfinished jobs only, priority-ordered: the heartbeat tick
         # walks this, so a long-lived service (thousands of completed
@@ -86,6 +87,12 @@ class JobTracker:
         # Physical pause/resume of runners (VM-pause semantics).
         cluster.on_suspend(self._physical_suspend)
         cluster.on_resume(self._physical_resume)
+
+        # Dedicated-tier autoscaling: tracker membership follows the
+        # cluster's; this JobTracker owns drain completion.
+        cluster.on_provision(self._node_provisioned)
+        cluster.on_drain_begin(self._node_drain_begin)
+        cluster.on_decommission(self._node_decommissioned)
 
         # Heartbeat judgements.
         self._detector = FailureDetector(
@@ -151,14 +158,21 @@ class JobTracker:
         when it is most needed, inverting the paper's Fig. 4 results.
         """
         return sum(
-            t.total_slots() for t in self.trackers.values() if not t.dead
+            t.total_slots()
+            for t in self.trackers.values()
+            if not t.dead and not t.draining
         )
 
     def _available_reduce_slots(self) -> int:
         """Table I's 'AvailSlots': total cluster reduce-slot capacity
         (not the instantaneous live subset), so the reduce count is
-        deterministic across traces."""
-        return sum(t.reduce_slots for t in self.trackers.values())
+        deterministic across traces.  Draining trackers are about to
+        leave and do not count."""
+        return sum(
+            t.reduce_slots
+            for t in self.trackers.values()
+            if not t.draining
+        )
 
     def running_jobs(self) -> List[Job]:
         return [j for j in self._active_jobs if not j.finished]
@@ -171,6 +185,20 @@ class JobTracker:
     # Heartbeat tick: progress refresh + assignment
     # ==================================================================
     def _tick(self) -> None:
+        # Drain watch: a decommissioning tracker leaves the cluster at
+        # this tick (deterministic, and safely outside any cluster-
+        # notification fan-out) once (a) it has no unfinished attempts
+        # and (b) it no longer holds the only replica of any block —
+        # the proactive copy-off queued at drain-begin must land a
+        # second copy before the disk disappears with the machine.
+        if self._draining_trackers:
+            for node_id in list(self._draining_trackers):
+                tracker = self._draining_trackers[node_id]
+                if any(not a.finished for a in tracker.attempts):
+                    continue
+                if self.namenode.holds_sole_replicas(node_id):
+                    continue
+                self.cluster.finish_decommission(node_id)
         # Dirty-set refresh: only trackers that actually host attempts
         # are touched (idle trackers dominate on big, quiet clusters).
         for tracker in self.trackers.values():
@@ -409,6 +437,37 @@ class JobTracker:
 
     def _tracker_rejoined(self, node: Node) -> None:
         self.trackers[node.node_id].dead = False
+
+    # ==================================================================
+    # Dedicated-tier membership (service autoscaling)
+    # ==================================================================
+    def _rebuild_assignment_order(self) -> None:
+        # Volatile trackers first so dedicated slots stay free for the
+        # hybrid policy's speculative placement (V-C).
+        self._assignment_order_cache = sorted(
+            self.trackers.values(),
+            key=lambda t: (t.node.is_dedicated, t.node_id),
+        )
+
+    def _node_provisioned(self, node: Node) -> None:
+        self.trackers[node.node_id] = TaskTracker(node)
+        self._rebuild_assignment_order()
+
+    def _node_drain_begin(self, node: Node) -> None:
+        tracker = self.trackers[node.node_id]
+        tracker.draining = True
+        self._draining_trackers[node.node_id] = tracker
+
+    def _node_decommissioned(self, node: Node) -> None:
+        tracker = self.trackers[node.node_id]
+        # The drain watch only completes idle trackers, but guard the
+        # direct finish_decommission path too: nothing may keep running
+        # on a node that no longer exists.
+        for attempt in list(tracker.running_attempts()):
+            self.kill_attempt(attempt, "node decommissioned")
+        del self.trackers[node.node_id]
+        self._draining_trackers.pop(node.node_id, None)
+        self._rebuild_assignment_order()
 
     # ==================================================================
     # Physical suspend/resume (VM-pause)

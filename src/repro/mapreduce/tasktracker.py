@@ -29,6 +29,9 @@ class TaskTracker:
         self.suspected = False
         #: JobTracker judgement after TrackerExpiryInterval of silence.
         self.dead = False
+        #: Graceful decommission: run existing attempts to completion
+        #: but accept no new work (service autoscaling).
+        self.draining = False
 
     # ------------------------------------------------------------------
     @property
@@ -38,7 +41,12 @@ class TaskTracker:
     @property
     def usable(self) -> bool:
         """Can receive new work right now."""
-        return self.node.available and not self.dead and not self.suspected
+        return (
+            self.node.available
+            and not self.dead
+            and not self.suspected
+            and not self.draining
+        )
 
     def occupied(self, task_type: TaskType) -> int:
         return (
@@ -54,6 +62,9 @@ class TaskTracker:
 
     def total_slots(self) -> int:
         return self.map_slots + self.reduce_slots
+
+    def busy_slots(self) -> int:
+        return self._occupied_maps + self._occupied_reduces
 
     # ------------------------------------------------------------------
     def add(self, attempt: TaskAttempt) -> None:

@@ -1,4 +1,13 @@
-"""Run metrics (S9): Table-II profiles + figure-shaped reports."""
+"""Run metrics (S9): Table-II profiles + figure-shaped reports.
+
+Owns the measurement vocabulary: :class:`ExecutionProfile` breaks one
+run into the paper's Table II columns (map / shuffle / reduce time,
+duplicated work, data volumes), and the deterministic
+:func:`percentile` / :func:`latency_quantiles` helpers underpin the
+service layer's SLO accounting (p50/p95/p99 response times).
+
+See docs/ARCHITECTURE.md#metrics for the layer map.
+"""
 
 from .profile import ExecutionProfile, RunMetrics
 from .report import comparison_rows, series_table

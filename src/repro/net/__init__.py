@@ -1,4 +1,17 @@
-"""Network + disk transfer models (S3)."""
+"""Network + disk transfer models (S3).
+
+Owns every byte that moves: per-node disk/NIC-in/NIC-out capacities,
+the default FIFO store-and-forward model (:class:`FifoNetwork`, O(1)
+per transfer) and the max-min fair-share alternative
+(:class:`FairShareNetwork`, incremental water-filling) used by the
+network ablation.  Node availability hooks abort in-flight transfers
+on suspension — the VM-pause semantics of paper Section III — and the
+register/unregister surface tracks dynamic cluster membership.
+
+The saturation behaviour at the few dedicated DataNodes that MOON's
+Algorithm 1 observes (paper Section IV-A, Fig. 3) emerges here; see
+docs/ARCHITECTURE.md#network--disk.
+"""
 
 from .base import DISK, NIC_IN, NIC_OUT, NetworkModel, Transfer
 from .fairshare import FairShareNetwork

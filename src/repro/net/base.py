@@ -122,6 +122,15 @@ class NetworkModel(ABC):
         self._ports[node_id] = NodePorts(disk_mbps, nic_mbps)
         self.mb_served[node_id] = 0.0
 
+    def unregister_node(self, node_id: int) -> None:
+        """Remove a decommissioned node: abort whatever still touches it
+        and free its id for reuse by a later provision."""
+        if node_id not in self._ports:
+            raise NetworkError(f"unknown node {node_id}")
+        self._abort_transfers(node_id)
+        del self._ports[node_id]
+        self.mb_served.pop(node_id, None)
+
     def ports(self, node_id: int) -> NodePorts:
         try:
             return self._ports[node_id]

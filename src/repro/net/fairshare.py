@@ -133,6 +133,15 @@ class FairShareNetwork(NetworkModel):
         return 0.0
 
     # ------------------------------------------------------------------
+    def unregister_node(self, node_id: int) -> None:
+        super().unregister_node(node_id)  # aborts the node's flows
+        # Drop cached channel capacities: a later provision may reuse
+        # the id with a different NodeSpec.
+        for name in (DISK, NIC_IN, NIC_OUT):
+            self._cap.pop((node_id, name), None)
+            self._users.pop((node_id, name), None)
+
+    # ------------------------------------------------------------------
     def _add_flow(self, flow: _Flow) -> None:
         self._advance()
         if flow.remaining_mb <= 0.0:

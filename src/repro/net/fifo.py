@@ -65,6 +65,10 @@ class FifoNetwork(NetworkModel):
             NIC_OUT: _Channel(nic_mbps),
         }
 
+    def unregister_node(self, node_id: int) -> None:
+        super().unregister_node(node_id)
+        del self._channels[node_id]
+
     # ------------------------------------------------------------------
     def transfer(
         self,

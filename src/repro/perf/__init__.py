@@ -1,10 +1,16 @@
 """Perf-regression harness: timed macro-scenarios + baseline checks.
 
 ``repro perf`` times named end-to-end scenarios (figure-pipeline
-slices, a 2k-job service stream, a fair-share network stress), writes
+slices, 2k-job service streams — ``service2k`` and the autoscaled
+``autoscale2k`` — and a fair-share network stress), writes
 ``BENCH_PR2.json`` at the repo root and fails when a scenario runs
 >20% slower than the committed baseline in
-``benchmarks/perf/baseline.json``.
+``benchmarks/perf/baseline.json``.  Each scenario's simulated-event
+count doubles as a behaviour checksum (drift vs the baseline means
+the simulation changed, not just its speed).
+
+See docs/ARCHITECTURE.md#perf-harness and
+docs/ARCHITECTURE.md#invariants for the golden re-pinning workflow.
 """
 
 from .runner import (

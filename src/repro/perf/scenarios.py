@@ -173,6 +173,64 @@ def _service_2k() -> Dict[str, float]:
     }
 
 
+def _autoscale_2k() -> Dict[str, float]:
+    """2k-job bursty stream with the reactive provisioning controller.
+
+    Exercises the dynamic-membership machinery end to end: control
+    rounds on the sim clock, repeated provision / graceful-drain /
+    decommission cycles (tracker and DataNode registries churn, ids
+    get reused), and the node-hours accounting — on top of the same
+    admission/queue/task stack as ``service2k``.
+    """
+    from dataclasses import replace
+
+    from ..service import (
+        AutoscaleConfig,
+        ServiceConfig,
+        bursty_arrivals,
+        sleep_catalog,
+    )
+
+    cfg = SystemConfig(
+        cluster=ClusterConfig(n_volatile=30, n_dedicated=3),
+        trace=TraceConfig(unavailability_rate=0.3),
+        scheduler=replace(moon_policy(True), dedicated_primary=True),
+        seed=PERF_SCALE.seeds[0],
+    )
+    system = moon_system(cfg)
+    arrivals = bursty_arrivals(
+        system.sim.rng("service/arrivals"),
+        bursts_per_hour=8.0,
+        burst_size_mean=30.0,
+        horizon=8 * 3600.0,
+        catalog=sleep_catalog(),
+    )
+    report = system.run_service(
+        arrivals,
+        ServiceConfig(
+            policy="edf",
+            max_in_flight=16,
+            max_queue_depth=256,
+            horizon=8 * 3600.0,
+            drain_limit=4 * 3600.0,
+            autoscale=AutoscaleConfig(
+                policy="reactive", min_dedicated=1, max_dedicated=12
+            ),
+        ),
+        pattern="bursty",
+    )
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return {
+        "events": float(system.sim.executed_events),
+        "jobs_done": float(report.overall.completed),
+        "sim_seconds": system.sim.now,
+        "arrivals": float(len(arrivals)),
+        "scale_actions": float(len(report.scale_events)),
+        "node_hours": float(report.node_hours),
+    }
+
+
 def _fairshare_sort() -> Dict[str, float]:
     """Max-min fair-share network under a data-heavy sort at rate 0.3.
 
@@ -208,6 +266,9 @@ SCENARIOS: Dict[str, Scenario] = {
                  _fig7_slice),
         Scenario("service2k", "2k-job Poisson service stream (EDF queue)",
                  _service_2k),
+        Scenario("autoscale2k",
+                 "2k-job bursty stream with reactive tier autoscaling",
+                 _autoscale_2k),
         Scenario("fairshare", "192-map sort on the fair-share network",
                  _fairshare_sort),
     )

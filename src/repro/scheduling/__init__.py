@@ -1,4 +1,16 @@
-"""Task scheduling policies (S7)."""
+"""Task scheduling policies (S7).
+
+Owns the per-slot decision "which task of this job runs here, and is
+it speculative?": the shared :class:`SchedulerPolicy` machinery
+(per-tick memoised candidate lists, straggler detection, speculative
+caps) and three concrete policies — stock Hadoop (paper II-C), LATE,
+and MOON's frozen-task/two-phase/hybrid-aware scheduler (paper
+Section V: Figs. 4 and 5 compare them).  The service-mode
+``dedicated_primary`` extension lets dedicated slots run primary
+tasks, making the autoscaled tier real capacity.
+
+See docs/ARCHITECTURE.md#scheduling-policies for the layer map.
+"""
 
 from ..config import SchedulerConfig
 from .base import SchedulerPolicy

@@ -38,6 +38,13 @@ class MoonScheduler(SchedulerPolicy):
                 # advantage of the CPU resources available on the
                 # dedicated computers").
                 return None
+            if self.cfg.dedicated_primary:
+                # Service mode: the tier is real capacity.  Volatile
+                # trackers were walked first, so pending work reaching
+                # a dedicated slot found no volatile home this tick.
+                pending = self.pick_pending(job, tracker, task_type)
+                if pending is not None:
+                    return (pending, False)
             # MOON-Hybrid: best-effort speculative hosting only.
             return self._pick_speculative(job, tracker, task_type)
         pending = self.pick_pending(job, tracker, task_type)

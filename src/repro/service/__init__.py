@@ -5,8 +5,15 @@ concurrent MapReduce jobs on opportunistic environments" as open
 future work.  This package supplies that layer: arrival streams
 (:mod:`~repro.service.arrivals`), a bounded multi-tenant job queue
 with pluggable ordering (:mod:`~repro.service.queue`), the service
-loop itself (:mod:`~repro.service.service`) and SLO accounting
-(:mod:`~repro.service.slo`).
+loop itself (:mod:`~repro.service.service`), SLO accounting
+(:mod:`~repro.service.slo`), and — making the paper's Section VII
+provisioning question dynamic — the dedicated-tier autoscaler
+(:mod:`~repro.service.autoscale`): static/reactive/predictive
+controllers that grow and shrink the dedicated tier against queue
+depth, deadline-miss rate and occupancy, with per-decision audit
+records and node-hours cost accounting.
+
+See docs/ARCHITECTURE.md#service-layer for the layer map.
 """
 
 from .arrivals import (
@@ -19,6 +26,13 @@ from .arrivals import (
     poisson_arrivals,
     replay_arrivals,
     sleep_catalog,
+)
+from .autoscale import (
+    AUTOSCALE_POLICIES,
+    AutoscaleConfig,
+    Autoscaler,
+    ScaleDecision,
+    render_decisions,
 )
 from .queue import (
     QUEUE_POLICIES,
@@ -56,6 +70,11 @@ __all__ = [
     "make_cost_estimator",
     "MoonService",
     "ServiceConfig",
+    "AUTOSCALE_POLICIES",
+    "AutoscaleConfig",
+    "Autoscaler",
+    "ScaleDecision",
+    "render_decisions",
     "JobRecord",
     "ServedState",
     "TenantSlo",

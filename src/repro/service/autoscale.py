@@ -1,0 +1,502 @@
+"""Dedicated-tier autoscaling for the serving front-end.
+
+The paper sizes the dedicated tier statically and asks how many
+dedicated nodes are "enough" (Section VII / Fig. 7); a long-running
+service can answer that question *dynamically*.  The
+:class:`Autoscaler` runs on the simulation clock as a periodic
+controller, observes three signals —
+
+* **queue depth** (:class:`~repro.service.queue.JobQueue` backlog),
+* **recent deadline-miss rate** over a sliding window of finalized
+  arrivals (completions, failures and front-door rejections alike),
+* **dedicated-tier occupancy** (busy slots / total slots on dedicated
+  trackers),
+
+— and grows or shrinks the tier through
+:meth:`~repro.cluster.Cluster.provision_dedicated` /
+:meth:`~repro.cluster.Cluster.decommission_dedicated` (graceful drain:
+a decommissioning node finishes its running tasks, accepts nothing
+new, then leaves every candidate pool).  Three policies ship:
+
+* **static** — the paper's fixed tier; the controller only meters cost,
+* **reactive** — hysteresis bands on queue depth, miss rate and
+  cluster saturation, with separate up/down cooldowns,
+* **predictive** — an EWMA over the arrival rate maps smoothed demand
+  to a target tier size, pre-scaling for the next burst while the
+  current one is still draining.
+
+Every action is recorded as a :class:`ScaleDecision` audit row, and
+the tier's cost is integrated into **dedicated node-hours** (a
+draining node still burns its machine), so policies compare on cost
+*and* SLO in the :class:`~repro.service.slo.ServiceReport`.
+
+Determinism: the controller consumes only simulated state and runs on
+the simulated clock, so a seeded run — decisions, audit log, report —
+is byte-identical across processes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from ..config import NodeSpec
+from ..errors import ConfigError
+from ..plotting import table
+from ..simulation import PRIORITY_PERIODIC, PeriodicTask
+
+AUTOSCALE_POLICIES = ("static", "reactive", "predictive")
+
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Controller knobs; defaults tuned for the bursty serve scenario."""
+
+    #: "static" | "reactive" | "predictive".
+    policy: str = "static"
+    #: Seconds between control rounds.
+    interval: float = 30.0
+    #: Tier bounds.  ``min_dedicated`` must be >= 1 on clusters with no
+    #: volatile capacity (the service would otherwise drain to zero).
+    min_dedicated: int = 1
+    max_dedicated: int = 6
+    #: Reactive bands: scale up when the queue backlog reaches
+    #: ``queue_high``, the cluster saturates, or the windowed miss rate
+    #: reaches ``miss_high`` while backlog persists; scale down only
+    #: when the backlog is at or below ``queue_low`` and occupancy has
+    #: fallen (the hysteresis gap between the bands prevents flapping).
+    queue_high: int = 4
+    queue_low: int = 0
+    miss_high: float = 0.10
+    #: Scale up when the *whole cluster's* busy-slot fraction reaches
+    #: this (a saturated cluster with an empty queue still needs nodes:
+    #: admitted jobs hide backlog from the queue-depth signal).
+    cluster_occupancy_high: float = 0.85
+    #: Dedicated-occupancy ceiling for scale-*down*.  Default 1.0:
+    #: the drain is graceful (a shedding node finishes its running
+    #: tasks first), so waiting for the tier to idle before shedding
+    #: only burns node-hours.
+    occupancy_low: float = 1.0
+    #: Sliding window (seconds) for the recent deadline-miss rate.
+    miss_window: float = 1800.0
+    #: Nodes added / drained per decision.
+    step_up: int = 2
+    step_down: int = 2
+    #: Minimum seconds between consecutive scale-ups / scale-downs.
+    up_cooldown: float = 30.0
+    down_cooldown: float = 90.0
+    #: Predictive controller: EWMA smoothing factor per round, and the
+    #: demand-to-capacity map (arrivals per hour one dedicated node is
+    #: provisioned for).
+    ewma_alpha: float = 0.25
+    jobs_per_node_hour: float = 4.0
+    #: Hardware of provisioned nodes (None = the stock NodeSpec).
+    node_spec: Optional[NodeSpec] = None
+
+    def validate(self) -> None:
+        if self.policy not in AUTOSCALE_POLICIES:
+            raise ConfigError(f"unknown autoscale policy: {self.policy!r}")
+        if self.interval <= 0:
+            raise ConfigError("autoscale interval must be positive")
+        if self.min_dedicated < 0:
+            raise ConfigError("min_dedicated must be non-negative")
+        if self.max_dedicated < max(1, self.min_dedicated):
+            raise ConfigError(
+                "max_dedicated must be >= max(1, min_dedicated)"
+            )
+        if self.queue_low > self.queue_high:
+            raise ConfigError("queue_low must not exceed queue_high")
+        if not 0.0 <= self.miss_high <= 1.0:
+            raise ConfigError("miss_high must be in [0, 1]")
+        if not 0.0 <= self.occupancy_low <= 1.0:
+            raise ConfigError("occupancy_low must be in [0, 1]")
+        if not 0.0 < self.cluster_occupancy_high <= 1.0:
+            raise ConfigError("cluster_occupancy_high must be in (0, 1]")
+        if self.miss_window <= 0:
+            raise ConfigError("miss_window must be positive")
+        if self.step_up < 1 or self.step_down < 1:
+            raise ConfigError("scale steps must be >= 1")
+        if self.up_cooldown < 0 or self.down_cooldown < 0:
+            raise ConfigError("cooldowns must be non-negative")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError("ewma_alpha must be in (0, 1]")
+        if self.jobs_per_node_hour <= 0:
+            raise ConfigError("jobs_per_node_hour must be positive")
+        if self.node_spec is not None:
+            self.node_spec.validate()
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One audit row: what the controller did and what it saw."""
+
+    time: float
+    policy: str
+    #: "up" | "down".
+    action: str
+    #: Nodes requested (positive for both directions).
+    count: int
+    #: *Serving* tier size (active dedicated nodes, draining excluded)
+    #: before the action and targeted after it.  Cost accounting
+    #: (node-hours, ``dedicated_final``) additionally counts draining
+    #: nodes — they still burn the machine until they leave.
+    before: int
+    after: int
+    queue_depth: int
+    miss_rate: Optional[float]
+    occupancy: float
+    #: Smoothed arrival rate per hour (predictive; None otherwise).
+    ewma_rate: Optional[float]
+    reason: str
+
+    def row(self) -> list:
+        return [
+            f"{self.time:.0f}",
+            self.action,
+            f"{self.before}->{self.after}",
+            self.queue_depth,
+            "--" if self.miss_rate is None else f"{self.miss_rate:.2f}",
+            f"{self.occupancy:.2f}",
+            "--" if self.ewma_rate is None else f"{self.ewma_rate:.1f}",
+            self.reason,
+        ]
+
+
+def render_decisions(decisions: List[ScaleDecision]) -> str:
+    """The audit log as one aligned text table."""
+    if not decisions:
+        return "autoscale audit: no scale actions"
+    return table(
+        ["t s", "action", "tier", "queue", "miss", "occ", "ewma/h",
+         "reason"],
+        [d.row() for d in decisions],
+        title=f"autoscale audit - policy={decisions[0].policy}",
+    )
+
+
+class Autoscaler:
+    """The provisioning controller: one per :class:`MoonService` run."""
+
+    def __init__(self, service, config: AutoscaleConfig) -> None:
+        config.validate()
+        self.cfg = config
+        self.service = service
+        self.system = service.system
+        self.sim = service.sim
+        self.cluster = self.system.cluster
+        self.decisions: List[ScaleDecision] = []
+        self.initial_dedicated = len(self.cluster.dedicated)
+
+        volatile_slots = sum(
+            n.spec.map_slots + n.spec.reduce_slots
+            for n in self.cluster.volatile
+        )
+        if volatile_slots == 0 and config.min_dedicated < 1:
+            raise ConfigError(
+                "min_dedicated must be >= 1 on a cluster without volatile "
+                "task slots: draining the whole dedicated tier would leave "
+                "the service serving with zero capacity"
+            )
+
+        # Node-hours integration: dedicated + draining (a draining node
+        # still burns the machine until it actually leaves).
+        self._node_seconds = 0.0
+        self._last_change = self.sim.now
+        self._count = len(self.cluster.dedicated) + len(
+            self.cluster.draining_nodes()
+        )
+        self.cluster.on_provision(self._tier_changed)
+        self.cluster.on_decommission(self._tier_changed)
+
+        # Controller state.
+        self._recent: Deque[Tuple[float, bool]] = deque()
+        self._arrivals_since_round = 0
+        self._ewma_rate: Optional[float] = None
+        self._last_up = -math.inf
+        self._last_down = -math.inf
+        self._task = PeriodicTask(
+            self.sim,
+            config.interval,
+            self._control,
+            priority=PRIORITY_PERIODIC,
+            daemon=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Signals fed by the service loop
+    # ------------------------------------------------------------------
+    def note_arrival(self) -> None:
+        self._arrivals_since_round += 1
+
+    def note_outcome(self, record) -> None:
+        """A record reached a terminal state (finished or rejected)."""
+        if record.deadline is not None:
+            self._recent.append((self.sim.now, record.missed_deadline))
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def recent_miss_rate(self) -> Optional[float]:
+        cutoff = self.sim.now - self.cfg.miss_window
+        recent = self._recent
+        while recent and recent[0][0] < cutoff:
+            recent.popleft()
+        if not recent:
+            return None
+        return sum(1 for _, missed in recent if missed) / len(recent)
+
+    def dedicated_occupancy(self) -> float:
+        """Busy fraction of the (non-draining) dedicated tier's slots."""
+        trackers = self.system.jobtracker.trackers
+        total = 0
+        busy = 0
+        for node in self.cluster.dedicated:
+            tracker = trackers[node.node_id]
+            total += tracker.total_slots()
+            busy += tracker.busy_slots()
+        return busy / total if total else 0.0
+
+    def cluster_occupancy(self) -> float:
+        """Busy fraction of every *usable* tracker's slots — the
+        saturation signal the queue depth hides once jobs are admitted."""
+        total = 0
+        busy = 0
+        for tracker in self.system.jobtracker.trackers.values():
+            if not tracker.usable:
+                continue
+            total += tracker.total_slots()
+            busy += tracker.busy_slots()
+        return busy / total if total else 1.0
+
+    def tier_size(self) -> int:
+        """Dedicated + draining: what the operator is paying for."""
+        return len(self.cluster.dedicated) + len(
+            self.cluster.draining_nodes()
+        )
+
+    def node_hours(self) -> float:
+        """Dedicated node-hours consumed so far (cost axis)."""
+        return (
+            self._node_seconds
+            + self._count * (self.sim.now - self._last_change)
+        ) / HOUR
+
+    def _tier_changed(self, _node) -> None:
+        now = self.sim.now
+        self._node_seconds += self._count * (now - self._last_change)
+        self._last_change = now
+        self._count = self.tier_size()
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def _control(self) -> None:
+        cfg = self.cfg
+        arrived = self._arrivals_since_round
+        self._arrivals_since_round = 0
+        inst_rate = arrived * (HOUR / cfg.interval)
+        if self._ewma_rate is None:
+            self._ewma_rate = inst_rate
+        else:
+            self._ewma_rate += cfg.ewma_alpha * (
+                inst_rate - self._ewma_rate
+            )
+        if cfg.policy == "static":
+            return
+
+        queue_depth = len(self.service.queue)
+        miss = self.recent_miss_rate()
+        occupancy = self.dedicated_occupancy()
+        if cfg.policy == "reactive":
+            self._reactive(queue_depth, miss, occupancy)
+        else:
+            self._predictive(queue_depth, miss, occupancy)
+
+    def _reactive(
+        self, queue_depth: int, miss: Optional[float], occupancy: float
+    ) -> None:
+        cfg = self.cfg
+        saturation = self.cluster_occupancy()
+        # Recent misses justify capacity only while demand persists
+        # (queue or saturated cluster): nodes cannot un-miss the past.
+        missing = (
+            miss is not None
+            and miss >= cfg.miss_high
+            and queue_depth > cfg.queue_low
+        )
+        hot = (
+            queue_depth >= cfg.queue_high
+            or missing
+            or saturation >= cfg.cluster_occupancy_high
+        )
+        # Shedding ignores the (stale) miss window: the drain is
+        # graceful, so a wrong shed costs one provision later, while
+        # holding nodes for a 30-minute-old burst costs node-hours now.
+        cold = (
+            queue_depth <= cfg.queue_low
+            and occupancy <= cfg.occupancy_low
+            and saturation < cfg.cluster_occupancy_high
+        )
+        if hot:
+            reasons = []
+            if queue_depth >= cfg.queue_high:
+                reasons.append(f"queue {queue_depth}>={cfg.queue_high}")
+            if missing:
+                reasons.append(f"miss {miss:.2f}>={cfg.miss_high:.2f}")
+            if saturation >= cfg.cluster_occupancy_high:
+                reasons.append(
+                    f"sat {saturation:.2f}>={cfg.cluster_occupancy_high:.2f}"
+                )
+            self._scale_up(
+                cfg.step_up, queue_depth, miss, occupancy,
+                reason=" & ".join(reasons),
+            )
+        elif cold:
+            self._scale_down(
+                cfg.step_down, queue_depth, miss, occupancy,
+                reason=(
+                    f"idle: queue {queue_depth}<={cfg.queue_low}, "
+                    f"occ {occupancy:.2f}<={cfg.occupancy_low:.2f}"
+                ),
+            )
+
+    def _predictive(
+        self, queue_depth: int, miss: Optional[float], occupancy: float
+    ) -> None:
+        cfg = self.cfg
+        desired = math.ceil(self._ewma_rate / cfg.jobs_per_node_hour)
+        desired = max(cfg.min_dedicated, min(cfg.max_dedicated, desired))
+        # Compare against the nodes that will remain serving (draining
+        # ones are already leaving and must not mask a deficit).
+        current = len(self.cluster.dedicated)
+        if desired > current:
+            self._scale_up(
+                desired - current, queue_depth, miss, occupancy,
+                reason=(
+                    f"ewma {self._ewma_rate:.1f}/h wants {desired} nodes"
+                ),
+            )
+        elif desired < current and queue_depth <= cfg.queue_low:
+            # A decayed arrival rate alone must not shed capacity while
+            # a backlog from the last burst is still queued.
+            self._scale_down(
+                min(cfg.step_down, current - desired),
+                queue_depth, miss, occupancy,
+                reason=(
+                    f"ewma {self._ewma_rate:.1f}/h wants {desired} nodes"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Actuation
+    # ------------------------------------------------------------------
+    def _scale_up(
+        self,
+        count: int,
+        queue_depth: int,
+        miss: Optional[float],
+        occupancy: float,
+        reason: str,
+    ) -> None:
+        cfg = self.cfg
+        now = self.sim.now
+        if now - self._last_up < cfg.up_cooldown:
+            return
+        # The ceiling bounds *cost* (draining nodes still count).
+        count = min(count, cfg.max_dedicated - self.tier_size())
+        if count <= 0:
+            return
+        before = len(self.cluster.dedicated)
+        for _ in range(count):
+            self.cluster.provision_dedicated(cfg.node_spec)
+        self._last_up = now
+        self._record("up", count, before, queue_depth, miss, occupancy,
+                     reason, after=before + count)
+
+    def _scale_down(
+        self,
+        count: int,
+        queue_depth: int,
+        miss: Optional[float],
+        occupancy: float,
+        reason: str,
+    ) -> None:
+        cfg = self.cfg
+        now = self.sim.now
+        # One cooldown guards both flap directions: shedding right
+        # after a scale-up would undo a decision the load just earned.
+        if (
+            now - self._last_down < cfg.down_cooldown
+            or now - self._last_up < cfg.down_cooldown
+        ):
+            return
+        before = len(self.cluster.dedicated)
+        # Clamp against the nodes that will actually remain serving:
+        # draining ones are already on their way out and must not be
+        # counted toward the floor.
+        count = min(count, before - cfg.min_dedicated)
+        if count <= 0:
+            return
+        victims = self._pick_victims(count)
+        if not victims:
+            return
+        for node_id in victims:
+            self.cluster.decommission_dedicated(node_id)
+        self._last_down = now
+        self._record("down", len(victims), before, queue_depth, miss,
+                     occupancy, reason,
+                     after=before - len(victims))
+
+    def _pick_victims(self, count: int) -> List[int]:
+        """Idle-most first, newest id breaking ties — deterministic."""
+        trackers = self.system.jobtracker.trackers
+        candidates = sorted(
+            (
+                (
+                    len(trackers[n.node_id].attempts),
+                    -n.node_id,
+                    n.node_id,
+                )
+                for n in self.cluster.dedicated
+            ),
+        )
+        return [node_id for _, _, node_id in candidates[:count]]
+
+    def _record(
+        self,
+        action: str,
+        count: int,
+        before: int,
+        queue_depth: int,
+        miss: Optional[float],
+        occupancy: float,
+        reason: str,
+        after: int,
+    ) -> None:
+        self.decisions.append(
+            ScaleDecision(
+                time=self.sim.now,
+                policy=self.cfg.policy,
+                action=action,
+                count=count,
+                before=before,
+                after=after,
+                queue_depth=queue_depth,
+                miss_rate=miss,
+                occupancy=occupancy,
+                ewma_rate=(
+                    self._ewma_rate
+                    if self.cfg.policy == "predictive"
+                    else None
+                ),
+                reason=reason,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        self._task.stop()

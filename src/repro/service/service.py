@@ -19,6 +19,7 @@ from ..errors import ConfigError
 from ..mapreduce.job import Job
 from ..simulation import PRIORITY_PERIODIC, PeriodicTask
 from .arrivals import JobArrival
+from .autoscale import Autoscaler, AutoscaleConfig
 from .queue import (
     QUEUE_POLICIES,
     JobQueue,
@@ -51,8 +52,15 @@ class ServiceConfig:
     #: Seconds between service bookkeeping sweeps (completion detection
     #: granularity for *slot reuse*; response times use exact job ends).
     check_interval: float = 5.0
+    #: Dedicated-tier autoscaling controller (None = fixed tier and no
+    #: cost metering, today's behaviour).
+    autoscale: Optional[AutoscaleConfig] = None
 
-    def validate(self) -> None:
+    def validate(self, cluster=None) -> None:
+        """Validate the config, and — when the serving ``cluster`` is
+        supplied — the pairing: a cluster with zero task slots would
+        admit jobs that can never run, then spin the drain loop until
+        the time limit.  Reject it up front with a clear error."""
         if self.policy not in QUEUE_POLICIES:
             raise ConfigError(f"unknown queue policy: {self.policy!r}")
         if self.max_in_flight < 1:
@@ -67,6 +75,19 @@ class ServiceConfig:
             raise ConfigError("drain_limit must be non-negative")
         if self.check_interval <= 0:
             raise ConfigError("check_interval must be positive")
+        if self.autoscale is not None:
+            self.autoscale.validate()
+        if cluster is not None:
+            slots = sum(
+                n.spec.map_slots + n.spec.reduce_slots
+                for n in cluster.nodes
+            )
+            if slots == 0:
+                raise ConfigError(
+                    "zero-capacity cluster: no dedicated or volatile "
+                    "task slots to serve jobs on (the drain loop would "
+                    "hang until the time limit); add nodes or slots"
+                )
 
 
 class MoonService:
@@ -80,11 +101,16 @@ class MoonService:
         pattern: str = "replay",
     ) -> None:
         self.config = config or ServiceConfig()
-        self.config.validate()
+        self.config.validate(system.cluster)
         self.system = system
         self.sim = system.sim
         self.pattern = pattern
         cfg = self.config
+        self.autoscaler: Optional[Autoscaler] = (
+            Autoscaler(self, cfg.autoscale)
+            if cfg.autoscale is not None
+            else None
+        )
         self.queue = JobQueue(
             make_queue_policy(cfg.policy, cfg.tenant_weights),
             max_queue_depth=cfg.max_queue_depth,
@@ -136,9 +162,13 @@ class MoonService:
     # ------------------------------------------------------------------
     def _on_arrival(self, record: JobRecord) -> None:
         self._pending_arrivals -= 1
+        if self.autoscaler is not None:
+            self.autoscaler.note_arrival()
         qjob = self.queue.offer(record.arrival, self.sim.now)
         if qjob is None:
             record.state = ServedState.REJECTED
+            if self.autoscaler is not None:
+                self.autoscaler.note_outcome(record)
             return
         self._record_by_qjob[qjob.seq] = record
         self._pump()
@@ -174,6 +204,8 @@ class MoonService:
             ServedState.SUCCEEDED if job.state.value == "succeeded"
             else ServedState.FAILED
         )
+        if self.autoscaler is not None:
+            self.autoscaler.note_outcome(record)
 
     def _tenant_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -204,6 +236,9 @@ class MoonService:
                 record.state = ServedState.UNFINISHED
         self._in_flight = []
         self._sweeper.stop()
+        scaler = self.autoscaler
+        if scaler is not None:
+            scaler.stop()
         return build_report(
             self.records,
             policy=cfg.policy,
@@ -211,4 +246,12 @@ class MoonService:
             seed=self.system.config.seed,
             horizon=cfg.horizon,
             end_time=self.sim.now,
+            autoscale=(None if scaler is None else scaler.cfg.policy),
+            node_hours=(None if scaler is None else scaler.node_hours()),
+            dedicated_final=(
+                None if scaler is None else scaler.tier_size()
+            ),
+            scale_events=(
+                [] if scaler is None else list(scaler.decisions)
+            ),
         )

@@ -205,6 +205,16 @@ class ServiceReport:
     tenants: List[TenantSlo]
     fairness: Optional[float]
     records: List[JobRecord] = field(repr=False, default_factory=list)
+    #: Autoscale policy name when the run was autoscaled (None = the
+    #: paper's fixed tier; cost fields below are None too).
+    autoscale: Optional[str] = None
+    #: Dedicated node-hours consumed (the cost axis policies compete
+    #: on; includes draining time — a draining node still burns money).
+    node_hours: Optional[float] = None
+    #: Tier size when the run stopped (dedicated + draining).
+    dedicated_final: Optional[int] = None
+    #: Per-decision audit records (see repro.service.autoscale).
+    scale_events: List = field(repr=False, default_factory=list)
 
     # ------------------------------------------------------------------
     def tenant(self, name: str) -> TenantSlo:
@@ -229,7 +239,7 @@ class ServiceReport:
                 "goodput_per_hour": t.goodput_per_hour,
             }
 
-        return {
+        out = {
             "policy": self.policy,
             "pattern": self.pattern,
             "seed": self.seed,
@@ -237,6 +247,14 @@ class ServiceReport:
             "tenants": {t.tenant: row(t) for t in self.tenants},
             "fairness": self.fairness,
         }
+        if self.autoscale is not None:
+            out["autoscale"] = {
+                "policy": self.autoscale,
+                "node_hours": self.node_hours,
+                "dedicated_final": self.dedicated_final,
+                "scale_events": len(self.scale_events),
+            }
+        return out
 
     def summary_row(self) -> list:
         """Formatted overall cells ``[done, p50, p95, p99, miss,
@@ -251,6 +269,15 @@ class ServiceReport:
             _fmt_pct(o.miss_rate),
             f"{o.goodput_per_hour:.2f}",
             None if self.fairness is None else f"{self.fairness:.3f}",
+        ]
+
+    def cost_row(self) -> list:
+        """``summary_row`` plus the autoscale cost cells ``[node-h,
+        tier, scale-ops]`` — the shape of the autoscale comparison."""
+        return self.summary_row() + [
+            None if self.node_hours is None else f"{self.node_hours:.2f}",
+            self.dedicated_final,
+            len(self.scale_events),
         ]
 
     def render(self) -> str:
@@ -295,7 +322,15 @@ class ServiceReport:
             if self.fairness is not None
             else "tenant fairness (Jain, served seconds): --"
         )
-        return body + "\n" + fair
+        out = body + "\n" + fair
+        if self.autoscale is not None:
+            out += (
+                f"\nautoscale={self.autoscale}: "
+                f"{self.node_hours:.2f} dedicated node-hours, "
+                f"final tier {self.dedicated_final}, "
+                f"{len(self.scale_events)} scale actions"
+            )
+        return out
 
 
 def build_report(
@@ -305,6 +340,10 @@ def build_report(
     seed: int,
     horizon: float,
     end_time: float,
+    autoscale: Optional[str] = None,
+    node_hours: Optional[float] = None,
+    dedicated_final: Optional[int] = None,
+    scale_events: Optional[List] = None,
 ) -> ServiceReport:
     """Roll per-job records into the service-level report."""
     by_tenant: Dict[str, List[JobRecord]] = {}
@@ -329,4 +368,8 @@ def build_report(
         tenants=tenants,
         fairness=fairness,
         records=list(records),
+        autoscale=autoscale,
+        node_hours=node_hours,
+        dedicated_final=dedicated_final,
+        scale_events=list(scale_events or []),
     )

@@ -1,4 +1,14 @@
-"""Workloads (S8): the paper's Table-I applications + extensions."""
+"""Workloads (S8): the paper's Table-I applications + extensions.
+
+Owns the static description of jobs: :class:`JobSpec` (per-task data
+volumes, compute costs, replication factors) and the factories for
+the paper's Table I applications (sort, word count), the data-free
+sleep jobs of Section VI-A, and a grep extension used by the service
+catalog.  Durations are calibrated so contention effects emerge from
+the simulated I/O system rather than from constants.
+
+See docs/ARCHITECTURE.md#workloads for the layer map.
+"""
 
 from .base import (
     HADOOP_VO_RF,

@@ -1,0 +1,259 @@
+"""Autoscaler unit tests: config validation, the three policies'
+decision logic, node-hours accounting, audit records, and the
+zero-capacity service rejection."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    NodeSpec,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.errors import ConfigError
+from repro.service import (
+    AutoscaleConfig,
+    MoonService,
+    ServiceConfig,
+    render_decisions,
+    replay_arrivals,
+    sleep_catalog,
+    bursty_arrivals,
+)
+from repro.workloads import sleep_spec
+
+HOUR = 3600.0
+
+
+def make_system(seed=3, rate=0.0, n_volatile=8, n_dedicated=3,
+                dedicated_primary=True):
+    scheduler = moon_scheduler_config()
+    if dedicated_primary:
+        scheduler = replace(scheduler, dedicated_primary=True)
+    return moon_system(
+        SystemConfig(
+            cluster=ClusterConfig(
+                n_volatile=n_volatile, n_dedicated=n_dedicated
+            ),
+            trace=TraceConfig(unavailability_rate=rate),
+            scheduler=scheduler,
+            seed=seed,
+        )
+    )
+
+
+def quick_spec(map_seconds=5.0, name="sleep"):
+    return sleep_spec(map_seconds, 2.0, n_maps=4, n_reduces=1).with_(
+        name=name
+    )
+
+
+def serve(system, entries, autoscale, **cfg_kwargs):
+    cfg_kwargs.setdefault("horizon", 1 * HOUR)
+    report = system.run_service(
+        replay_arrivals(entries),
+        ServiceConfig(autoscale=autoscale, **cfg_kwargs),
+    )
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return report
+
+
+class TestAutoscaleConfig:
+    def test_policy_names_validated(self):
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(policy="magic").validate()
+        for p in ("static", "reactive", "predictive"):
+            AutoscaleConfig(policy=p).validate()
+
+    def test_bounds_validated(self):
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(interval=0.0).validate()
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(min_dedicated=-1).validate()
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(min_dedicated=5, max_dedicated=4).validate()
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(queue_low=9, queue_high=4).validate()
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(miss_high=1.5).validate()
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(step_up=0).validate()
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(ewma_alpha=0.0).validate()
+        with pytest.raises(ConfigError):
+            AutoscaleConfig(jobs_per_node_hour=0.0).validate()
+
+    def test_zero_capacity_cluster_rejected(self):
+        """Satellite fix: a cluster with no task slots must be rejected
+        at service construction, not hang the drain loop."""
+        slotless = NodeSpec(map_slots=0, reduce_slots=0)
+        system = moon_system(
+            SystemConfig(
+                cluster=ClusterConfig(
+                    n_volatile=0,
+                    n_dedicated=2,
+                    dedicated=slotless,
+                ),
+                trace=TraceConfig(unavailability_rate=0.0),
+                scheduler=moon_scheduler_config(),
+                seed=1,
+            )
+        )
+        with pytest.raises(ConfigError, match="zero-capacity"):
+            MoonService(system, ServiceConfig())
+
+    def test_min_dedicated_floor_on_volatile_free_cluster(self):
+        """A cluster whose only capacity is the dedicated tier must not
+        be allowed to autoscale to zero nodes."""
+        system = moon_system(
+            SystemConfig(
+                cluster=ClusterConfig(n_volatile=0, n_dedicated=2),
+                trace=TraceConfig(unavailability_rate=0.0),
+                scheduler=moon_scheduler_config(),
+                seed=1,
+            )
+        )
+        with pytest.raises(ConfigError, match="min_dedicated"):
+            MoonService(
+                system,
+                ServiceConfig(
+                    autoscale=AutoscaleConfig(
+                        policy="reactive", min_dedicated=0
+                    )
+                ),
+            )
+
+
+class TestStaticPolicy:
+    def test_static_never_scales_but_meters_cost(self):
+        system = make_system()
+        report = serve(
+            system,
+            [(0.0, "a", quick_spec(), None)],
+            AutoscaleConfig(policy="static"),
+        )
+        assert report.autoscale == "static"
+        assert report.scale_events == []
+        assert report.dedicated_final == 3
+        # node-hours = 3 nodes x run duration.
+        expected = 3 * report.end_time / HOUR
+        assert report.node_hours == pytest.approx(expected)
+        assert "autoscale=static" in report.render()
+
+    def test_plain_service_reports_no_cost_fields(self):
+        system = make_system()
+        report = serve(system, [(0.0, "a", quick_spec(), None)], None)
+        assert report.autoscale is None
+        assert report.node_hours is None
+        assert "autoscale" not in report.render()
+        assert "autoscale" not in report.to_dict()
+
+
+class TestReactivePolicy:
+    def test_scales_up_under_backlog_and_sheds_when_idle(self):
+        system = make_system(n_volatile=2, n_dedicated=2)
+        # 14 simultaneous long jobs swamp 2+2 nodes: the queue builds.
+        burst = [(0.0, "a", quick_spec(40.0), None)] * 14
+        cfg = AutoscaleConfig(
+            policy="reactive",
+            interval=15.0,
+            min_dedicated=1,
+            max_dedicated=5,
+            down_cooldown=30.0,
+        )
+        report = serve(
+            system, burst, cfg, max_in_flight=8, drain_limit=2 * HOUR
+        )
+        ups = [d for d in report.scale_events if d.action == "up"]
+        downs = [d for d in report.scale_events if d.action == "down"]
+        assert ups, "backlog never triggered a scale-up"
+        assert max(d.after for d in ups) <= 5
+        assert downs, "idle drain never triggered a scale-down"
+        assert report.dedicated_final == 1  # shed to the floor
+        assert report.overall.completed == 14
+
+    def test_audit_rows_render(self):
+        system = make_system(n_volatile=2, n_dedicated=2)
+        burst = [(0.0, "a", quick_spec(40.0), None)] * 14
+        report = serve(
+            system,
+            burst,
+            AutoscaleConfig(policy="reactive", interval=15.0),
+            max_in_flight=8,
+        )
+        text = render_decisions(report.scale_events)
+        assert "autoscale audit - policy=reactive" in text
+        assert "queue" in text
+        assert render_decisions([]) == "autoscale audit: no scale actions"
+
+
+class TestPredictivePolicy:
+    def test_tracks_arrival_rate_up_and_down(self):
+        system = make_system(n_volatile=2, n_dedicated=1)
+        # A dense minute of arrivals, then silence; the straggler at
+        # t=25min keeps the service alive while the EWMA decays.
+        entries = [
+            (float(i), "a", quick_spec(10.0), None) for i in range(20)
+        ] + [(1500.0, "a", quick_spec(10.0), None)]
+        cfg = AutoscaleConfig(
+            policy="predictive",
+            interval=15.0,
+            min_dedicated=1,
+            max_dedicated=6,
+            jobs_per_node_hour=200.0,
+            down_cooldown=30.0,
+        )
+        report = serve(
+            system, entries, cfg, max_in_flight=8, drain_limit=2 * HOUR
+        )
+        ups = [d for d in report.scale_events if d.action == "up"]
+        downs = [d for d in report.scale_events if d.action == "down"]
+        assert ups and all(d.ewma_rate is not None for d in ups)
+        # The EWMA decays after the burst: the tier returns to the floor.
+        assert downs and downs[-1].after == 1
+        assert report.dedicated_final <= 2
+        assert report.overall.completed == 21
+
+
+class TestDeterminism:
+    def test_same_seed_identical_autoscaled_report(self):
+        def one_run():
+            system = make_system(seed=11, rate=0.3, n_volatile=6,
+                                 n_dedicated=2)
+            arrivals = bursty_arrivals(
+                system.sim.rng("service/arrivals"),
+                bursts_per_hour=3.0,
+                burst_size_mean=8.0,
+                horizon=1 * HOUR,
+                catalog=sleep_catalog(),
+            )
+            report = system.run_service(
+                arrivals,
+                ServiceConfig(
+                    policy="edf",
+                    max_in_flight=4,
+                    horizon=HOUR,
+                    autoscale=AutoscaleConfig(
+                        policy="reactive", interval=20.0
+                    ),
+                ),
+                pattern="bursty",
+            )
+            system.jobtracker.stop()
+            system.namenode.stop()
+            return report
+
+        r1, r2 = one_run(), one_run()
+        assert r1.render() == r2.render()
+        assert r1.to_dict() == r2.to_dict()
+        assert render_decisions(r1.scale_events) == render_decisions(
+            r2.scale_events
+        )
+        assert r1.node_hours == r2.node_hours

@@ -50,10 +50,35 @@ class TestParser:
             build_parser().parse_args(["trace"])
 
     def test_serve_defaults(self):
+        # Mode-dependent flags parse as None; cmd_serve resolves them
+        # (fifo/4 normally, edf/8 under --autoscale).
         args = build_parser().parse_args(["serve"])
         assert args.pattern == "poisson"
+        assert args.policy is None
+        assert args.max_in_flight is None
+        assert args.autoscale is None
+
+    def test_serve_default_resolution_by_mode(self):
+        from repro.cli.commands import _resolve_serve_defaults
+
+        args = build_parser().parse_args(["serve"])
+        _resolve_serve_defaults(args)
         assert args.policy == "fifo"
         assert args.max_in_flight == 4
+        assert args.volatile == 30
+
+        args = build_parser().parse_args(["serve", "--autoscale", "all"])
+        _resolve_serve_defaults(args)
+        assert args.policy == "edf"
+        assert args.max_in_flight == 8
+        assert args.volatile == 12
+
+        # Explicit flags always win over mode defaults.
+        args = build_parser().parse_args(
+            ["serve", "--autoscale", "all", "--policy", "sjf"]
+        )
+        _resolve_serve_defaults(args)
+        assert args.policy == "sjf"
 
     def test_serve_bad_policy_rejected(self):
         with pytest.raises(SystemExit):
@@ -119,6 +144,23 @@ class TestTraceCommands:
 
 
 class TestServeCommand:
+    def test_small_autoscaled_serve_run(self, capsys):
+        rc = main([
+            "serve", "--pattern", "bursty", "--autoscale", "reactive",
+            "--jobs-per-hour", "18", "--hours", "0.5", "--volatile", "6",
+            "--dedicated", "2", "--rate", "0.1", "--seed", "4",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "service report" in out
+        assert "autoscale=reactive" in out
+        assert "node-hours" in out
+
+    def test_autoscale_all_rejects_policy_all(self, capsys):
+        rc = main(["serve", "--autoscale", "all", "--policy", "all"])
+        assert rc == 2
+        assert "single --policy" in capsys.readouterr().out
+
     def test_small_serve_run(self, capsys):
         rc = main([
             "serve", "--pattern", "poisson", "--policy", "edf",

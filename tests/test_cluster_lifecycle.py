@@ -1,0 +1,304 @@
+"""Dynamic dedicated-tier membership: provision, graceful drain,
+decommission — including the edge paths the autoscaler leans on
+(drain while a map runs, drain a shuffle source, immediate id reuse).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, Node, NodeKind
+from repro.config import (
+    ClusterConfig,
+    NodeSpec,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.dfs import ReplicationFactor
+from repro.errors import ConfigError, NetworkError
+from repro.workloads import sleep_spec, sort_spec
+
+
+def make_system(
+    seed=3, rate=0.0, n_volatile=4, n_dedicated=2, dedicated_primary=False
+):
+    from dataclasses import replace
+
+    scheduler = moon_scheduler_config()
+    if dedicated_primary:
+        scheduler = replace(scheduler, dedicated_primary=True)
+    return moon_system(
+        SystemConfig(
+            cluster=ClusterConfig(
+                n_volatile=n_volatile, n_dedicated=n_dedicated
+            ),
+            trace=TraceConfig(unavailability_rate=rate),
+            scheduler=scheduler,
+            seed=seed,
+        )
+    )
+
+
+class TestClusterMembership:
+    def test_provision_appends_dedicated_node(self):
+        c = Cluster([Node(0, NodeKind.VOLATILE, NodeSpec())])
+        events = []
+        c.on_provision(lambda n: events.append(n.node_id))
+        node = c.provision_dedicated()
+        assert node.node_id == 1
+        assert node.is_dedicated
+        assert node in c.dedicated and node in c.nodes
+        assert events == [1]
+
+    def test_decommission_requires_dedicated(self):
+        c = Cluster(
+            [
+                Node(0, NodeKind.VOLATILE, NodeSpec()),
+                Node(1, NodeKind.DEDICATED, NodeSpec()),
+            ]
+        )
+        with pytest.raises(ConfigError):
+            c.decommission_dedicated(0)  # volatile
+        with pytest.raises(ConfigError):
+            c.decommission_dedicated(99)  # unknown
+        c.decommission_dedicated(1)
+        with pytest.raises(ConfigError):
+            c.decommission_dedicated(1)  # already draining
+
+    def test_last_node_cannot_be_decommissioned(self):
+        c = Cluster([Node(0, NodeKind.DEDICATED, NodeSpec())])
+        with pytest.raises(ConfigError):
+            c.decommission_dedicated(0)
+
+    def test_drain_then_finish_fires_listener_order(self):
+        c = Cluster(
+            [
+                Node(0, NodeKind.DEDICATED, NodeSpec()),
+                Node(1, NodeKind.DEDICATED, NodeSpec()),
+            ]
+        )
+        log = []
+        c.on_drain_begin(lambda n: log.append(("drain", n.node_id)))
+        c.on_decommission(lambda n: log.append(("gone", n.node_id)))
+        node = c.decommission_dedicated(1)
+        assert node.draining
+        assert node not in c.dedicated  # out of the candidate pools...
+        assert node in c.nodes  # ...but still physically present
+        assert log == [("drain", 1)]
+        c.finish_decommission(1)
+        assert node not in c.nodes
+        assert log == [("drain", 1), ("gone", 1)]
+        with pytest.raises(ConfigError):
+            c.finish_decommission(1)
+
+    def test_retired_ids_reused_lowest_first(self):
+        c = Cluster(
+            [Node(i, NodeKind.DEDICATED, NodeSpec()) for i in range(3)]
+        )
+        for nid in (2, 0):
+            c.decommission_dedicated(nid)
+            c.finish_decommission(nid)
+        assert c.provision_dedicated().node_id == 0
+        assert c.provision_dedicated().node_id == 2
+        assert c.provision_dedicated().node_id == 3  # pool exhausted
+
+
+class TestWiredProvision:
+    """A provisioned node is live across every observer."""
+
+    def test_new_node_visible_everywhere(self):
+        system = make_system()
+        node = system.cluster.provision_dedicated()
+        nid = node.node_id
+        # Network ports registered (transfer-capable).
+        assert system.network.is_up(nid)
+        # NameNode: a fresh, empty, ALIVE DataNode, throttle-watched.
+        assert system.namenode.is_dedicated(nid)
+        assert system.namenode.node_is_servable(nid)
+        assert nid in system.namenode.throttle.detectors
+        # JobTracker: tracker exists and sits in the assignment walk.
+        assert nid in system.jobtracker.trackers
+        assert any(
+            t.node_id == nid
+            for t in system.jobtracker._assignment_order_cache
+        )
+
+    def test_provisioned_node_runs_tasks(self):
+        system = make_system(
+            n_volatile=1, n_dedicated=1, dedicated_primary=True
+        )
+        system.cluster.provision_dedicated()
+        spec = sleep_spec(10.0, 4.0, n_maps=12, n_reduces=1)
+        result = system.run_job(spec, time_limit=3600.0)
+        assert result.succeeded
+        new_id = system.cluster.dedicated[-1].node_id
+        hosted = [
+            a
+            for job in system.jobtracker.jobs
+            for t in job.tasks
+            for a in t.attempts
+            if a.node_id == new_id
+        ]
+        assert hosted, "the provisioned node never hosted an attempt"
+
+
+class TestGracefulDrain:
+    def test_drain_mid_map_finishes_running_work(self):
+        """A draining node completes its running map, takes nothing
+        new, then leaves at a heartbeat tick."""
+        system = make_system(
+            n_volatile=1, n_dedicated=2, dedicated_primary=True
+        )
+        spec = sleep_spec(60.0, 5.0, n_maps=10, n_reduces=1)
+        job = system.submit(spec)
+        # Let the first assignment land map attempts on dedicated slots.
+        system.sim.run(until=5.0)
+        victim = None
+        for node in system.cluster.dedicated:
+            tracker = system.jobtracker.trackers[node.node_id]
+            if tracker.running_attempts():
+                victim = node
+                break
+        assert victim is not None
+        tracker = system.jobtracker.trackers[victim.node_id]
+        running = list(tracker.running_attempts())
+        system.cluster.decommission_dedicated(victim.node_id)
+        assert tracker.draining and not tracker.usable
+        # Still draining while its map runs (map takes 60 s).
+        system.sim.run(until=30.0)
+        assert victim in system.cluster.draining_nodes()
+        for attempt in running:
+            assert not attempt.finished
+        # Run to job completion: the attempts finish normally (not
+        # killed) and the node leaves the cluster afterwards.
+        system.sim.run(until=3600.0, stop_when=lambda: job.finished)
+        assert job.state.value == "succeeded"
+        assert all(a.state.value == "succeeded" for a in running)
+        assert victim.node_id not in system.jobtracker.trackers
+        assert victim not in system.cluster.nodes
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+    def test_drain_mid_shuffle_source_reducers_refetch(self):
+        """Decommissioning the only holder of map output mid-shuffle
+        forces the fetch-failure path: reducers re-fetch after the
+        JobTracker re-executes (or the DFS re-replicates) the maps."""
+        system = make_system(n_volatile=4, n_dedicated=2)
+        # Intermediate data pinned to dedicated nodes only (d=1, v=0):
+        # every shuffle fetch sources from the dedicated tier.
+        spec = sort_spec(n_maps=6, block_mb=8.0).with_(
+            n_reduces=2,
+            reduces_per_slot=0.0,
+            intermediate_rf=ReplicationFactor(1, 0),
+        )
+        job = system.submit(spec)
+
+        def shuffling() -> bool:
+            return any(
+                a.runner is not None
+                and getattr(a.runner, "_inflight", None)
+                for t in job.reduces
+                for a in t.live_attempts()
+            )
+
+        system.sim.run(until=3600.0, stop_when=shuffling)
+        assert shuffling(), "no reduce reached the shuffle phase"
+        # The dedicated node holding map output is a pure data server
+        # here (no running attempts), so the drain completes at the
+        # next tick — with fetches possibly in flight against it.
+        victim = system.cluster.dedicated[0]
+        held = [
+            b
+            for f in system.namenode.files()
+            for b in f.blocks
+            if victim.node_id in b.replicas
+        ]
+        assert held, "victim holds no blocks; scenario is vacuous"
+        system.cluster.decommission_dedicated(victim.node_id)
+        system.sim.run(until=4 * 3600.0, stop_when=lambda: job.finished)
+        assert job.state.value == "succeeded"
+        assert victim.node_id not in system.jobtracker.trackers
+        # The lost shuffle sources were noticed and recovered.
+        recovered = (
+            job.counters["fetch_failures"]
+            + job.counters["map_reexecutions"]
+            + system.namenode.counters["replications_issued"]
+        )
+        assert recovered > 0
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+    def test_scale_down_then_up_reuses_node_id(self):
+        """Immediate re-provision after a drain gets the retired id
+        back with completely fresh per-node state everywhere."""
+        system = make_system(n_volatile=2, n_dedicated=2)
+        victim = system.cluster.dedicated[1]
+        nid = victim.node_id
+        system.cluster.decommission_dedicated(nid)
+        # Idle tracker: the next heartbeat tick completes the drain.
+        system.sim.run(until=10.0)
+        assert nid not in system.jobtracker.trackers
+        with pytest.raises(NetworkError):
+            system.network.ports(nid)
+        node = system.cluster.provision_dedicated()
+        assert node.node_id == nid
+        assert node is not victim  # a genuinely new machine
+        assert not node.draining
+        tracker = system.jobtracker.trackers[nid]
+        assert not tracker.draining and tracker.usable
+        assert not system.namenode.info(nid).blocks
+        assert system.network.is_up(nid)
+        # And it serves: run a job to completion on the rebuilt tier.
+        result = system.run_job(
+            sleep_spec(5.0, 2.0, n_maps=4, n_reduces=1),
+            time_limit=3600.0,
+        )
+        assert result.succeeded
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+    def test_sole_replica_holder_waits_for_copy_off(self):
+        """An idle node holding the only replica of a block must not
+        leave before the copy-off lands — even though its tracker
+        drains instantly, the data gate holds it back."""
+        system = make_system(n_volatile=4, n_dedicated=2)
+        file = system.dfs.stage_input(
+            "/in/solo", 8.0, ReplicationFactor(1, 0), block_size_mb=8.0
+        )
+        (block,) = file.blocks
+        (victim,) = block.dedicated_replicas
+        system.cluster.decommission_dedicated(victim)
+        # Several heartbeat ticks pass before the 10 s replication
+        # scan: the idle tracker alone must not complete the drain.
+        system.sim.run(until=9.0)
+        assert victim in {n.node_id for n in system.cluster.draining_nodes()}
+        # Once the re-replication lands a second copy, the node leaves
+        # — without ever losing the block.
+        system.sim.run(until=120.0)
+        assert victim not in system.jobtracker.trackers
+        assert block.replicas and victim not in block.replicas
+        assert system.namenode.counters["blocks_lost"] == 0
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+    def test_draining_node_stops_counting_toward_factors(self):
+        """Drain-begin queues the node's blocks for proactive copy-off
+        (its replicas stop satisfying replication factors)."""
+        system = make_system(n_volatile=4, n_dedicated=2)
+        file = system.dfs.stage_input(
+            "/in/data", 32.0, ReplicationFactor(1, 1), block_size_mb=8.0
+        )
+        holders = {
+            nid
+            for b in file.blocks
+            for nid in b.dedicated_replicas
+        }
+        assert holders
+        victim = next(iter(sorted(holders)))
+        queued_before = system.namenode.replication_queue_length()
+        system.cluster.decommission_dedicated(victim)
+        assert system.namenode.replication_queue_length() > queued_before
+        system.jobtracker.stop()
+        system.namenode.stop()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Docs health checks, run by the CI docs job.
+
+1. Every markdown link in docs/ARCHITECTURE.md resolves: relative
+   file targets exist, and intra-document ``#anchors`` match a
+   heading's GitHub-style slug.
+2. Every package under ``src/repro/`` (every ``__init__.py``) carries
+   a non-empty module docstring.
+3. docs/ARCHITECTURE.md mentions every package under ``src/repro/``
+   (the "covers every layer" guarantee).
+
+Exit code 0 when clean; 1 with a line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+SRC = REPO / "src" / "repro"
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop
+    everything that is not alphanumeric, dash or underscore."""
+    slug = heading.strip().lower().replace(" ", "-")
+    return re.sub(r"[^a-z0-9\-_]", "", slug)
+
+
+def markdown_anchors(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    return {github_slug(m.group(2)) for m in HEADING_RE.finditer(text)}
+
+
+def check_architecture_links(errors: list) -> None:
+    if not ARCHITECTURE.exists():
+        errors.append(f"missing file: {ARCHITECTURE.relative_to(REPO)}")
+        return
+    text = ARCHITECTURE.read_text(encoding="utf-8")
+    own_anchors = markdown_anchors(ARCHITECTURE)
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external links are not checked offline
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (ARCHITECTURE.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"ARCHITECTURE.md: broken link target {target!r}"
+                )
+                continue
+            # Deep links into other markdown docs: check their headings.
+            if anchor and resolved.suffix == ".md":
+                if anchor not in markdown_anchors(resolved):
+                    errors.append(
+                        f"ARCHITECTURE.md: unknown anchor in {target!r}"
+                    )
+        elif anchor and anchor not in own_anchors:
+            errors.append(
+                f"ARCHITECTURE.md: unknown anchor {('#' + anchor)!r}"
+            )
+
+
+def package_inits() -> list:
+    return sorted(SRC.glob("**/__init__.py"))
+
+
+def check_package_docstrings(errors: list) -> None:
+    for init in package_inits():
+        rel = init.relative_to(REPO)
+        tree = ast.parse(init.read_text(encoding="utf-8"))
+        doc = ast.get_docstring(tree)
+        if not doc or not doc.strip():
+            errors.append(f"{rel}: missing module docstring")
+
+
+def check_architecture_coverage(errors: list) -> None:
+    if not ARCHITECTURE.exists():
+        return
+    text = ARCHITECTURE.read_text(encoding="utf-8")
+    for init in package_inits():
+        pkg = init.parent.relative_to(SRC)
+        if str(pkg) == ".":
+            continue  # repro itself
+        if f"repro/{pkg}/" not in text:
+            errors.append(
+                f"ARCHITECTURE.md: package src/repro/{pkg}/ not covered"
+            )
+
+
+def main() -> int:
+    errors: list = []
+    check_architecture_links(errors)
+    check_package_docstrings(errors)
+    check_architecture_coverage(errors)
+    if errors:
+        for err in errors:
+            print(f"[docs] {err}")
+        print(f"[docs] {len(errors)} problem(s)")
+        return 1
+    n_links = len(LINK_RE.findall(
+        ARCHITECTURE.read_text(encoding="utf-8")
+    ))
+    print(
+        f"[docs] OK: {n_links} links resolve, "
+        f"{len(package_inits())} package docstrings present, "
+        "every package covered by ARCHITECTURE.md"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
