@@ -1,0 +1,148 @@
+"""XTRA-I: workload-trace replay (trace-driven serving studies).
+
+The ROADMAP's "trace-driven arrival replay" item, end to end: the
+bundled Google-cluster-style sample is replayed verbatim under every
+queue policy, and the Hadoop JobHistory-style sample (whose batch
+jobs saturate the small cluster) is synthesized to 3x load — the
+regime where queue ordering decides the deadline-miss rate — and
+replayed the same way.  Asserted claims:
+(a) the `repro replay` CLI output is byte-identical across two
+*independent processes* — the acceptance bar for comparison tables;
+(b) under the 3x trace, EDF beats FIFO on deadline misses, i.e. the
+policy ranking the synthetic-stream benches found carries over to
+replayed traffic; (c) capture -> replay round-trips the report.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.plotting import table
+from repro.service import MoonService, ServiceConfig
+from repro.workload_traces import (
+    SynthesisConfig,
+    load_workload_trace,
+    synthesize,
+    trace_arrivals,
+)
+
+from conftest import run_once, save_report
+
+pytestmark = pytest.mark.slow
+
+HOUR = 3600.0
+REPO = pathlib.Path(__file__).parent.parent
+SAMPLE = REPO / "benchmarks" / "data" / "google_cluster_sample.csv"
+HADOOP_SAMPLE = REPO / "benchmarks" / "data" / "hadoop_jobhistory_sample.json"
+POLICIES = ("fifo", "sjf", "fair", "edf")
+
+
+def _system(seed=42):
+    return moon_system(
+        SystemConfig(
+            cluster=ClusterConfig(n_volatile=12, n_dedicated=2),
+            trace=TraceConfig(unavailability_rate=0.3),
+            scheduler=moon_scheduler_config(),
+            seed=seed,
+        )
+    )
+
+
+def _replay(trace, policy, capture=False):
+    system = _system()
+    service = MoonService(
+        system,
+        ServiceConfig(
+            policy=policy,
+            max_in_flight=2,
+            max_queue_depth=64,
+            horizon=trace.horizon,
+            drain_limit=4 * HOUR,
+            capture=capture,
+            trace_name=trace.name,
+        ),
+        trace_arrivals(trace),
+        pattern=trace.pattern,
+    )
+    report = service.run()
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return report, service.captured_trace
+
+
+def _cli_replay_bytes():
+    """One independent `repro replay --policy all` process's stdout."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "replay", "--trace", str(SAMPLE),
+         "--policy", "all"],
+        capture_output=True,
+        cwd=str(REPO),
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        check=True,
+    )
+    return proc.stdout
+
+
+def test_trace_replay(benchmark, scale):
+    trace = load_workload_trace(SAMPLE)
+    heavy = synthesize(
+        load_workload_trace(HADOOP_SAMPLE),
+        np.random.default_rng(7),
+        SynthesisConfig(load_factor=3.0),
+    )
+
+    def experiment():
+        verbatim = {p: _replay(trace, p)[0] for p in POLICIES}
+        scaled = {p: _replay(heavy, p)[0] for p in POLICIES}
+        # Round trip: capture the EDF replay and serve the capture.
+        base, captured = _replay(trace, "edf", capture=True)
+        again, _ = _replay(captured, "edf")
+        return verbatim, scaled, base, again
+
+    verbatim, scaled, base, again = run_once(benchmark, experiment)
+
+    rows = []
+    for label, reports in (("google 1x", verbatim),
+                           ("hadoop 3x", scaled)):
+        for policy, rep in reports.items():
+            o = rep.overall
+            rows.append(
+                [label, policy, o.arrived, o.rejected + o.dropped]
+                + rep.summary_row()
+            )
+    report_text = table(
+        ["load", "policy", "arrived", "rej", "done",
+         "p50 s", "p95 s", "p99 s", "miss", "good/h", "fairness"],
+        rows,
+        title=("XTRA-I - workload-trace replay: google sample verbatim "
+               "+ hadoop sample synthesized to 3x load"),
+    )
+    save_report("trace_replay", report_text)
+
+    # (c) capture -> replay reproduces the report byte for byte.
+    assert again.render() == base.render()
+
+    # Every verbatim cell served its whole stream.
+    for rep in verbatim.values():
+        assert rep.overall.arrived == len(trace)
+        assert rep.overall.completed == rep.overall.admitted
+
+    # (b) at 3x load the deadline-aware queue wins on misses.
+    fifo, edf = scaled["fifo"].overall, scaled["edf"].overall
+    assert fifo.deadline_misses > 0, "3x trace must create backlog"
+    assert edf.deadline_misses <= fifo.deadline_misses
+
+    # (a) the CLI comparison is byte-identical across two processes.
+    assert _cli_replay_bytes() == _cli_replay_bytes()

@@ -194,6 +194,35 @@ def _resolve_serve_defaults(args) -> None:
             setattr(args, flag, autoscale if scaled else normal)
 
 
+#: Overall summary columns (ServiceReport.summary_row) and the
+#: autoscale cost extension (cost_row), shared by the serve and
+#: replay comparison tables.
+_SUMMARY_COLS = ["done", "p50 s", "p95 s", "p99 s", "miss", "good/h",
+                 "fairness"]
+_COST_COLS = _SUMMARY_COLS + ["node-h", "tier", "ops"]
+
+
+def _reject_autoscale_policy_all(args) -> bool:
+    """Shared serve/replay rule: autoscale compares provisioning
+    policies on *one* queue policy."""
+    if args.autoscale is not None and args.policy == "all":
+        print(
+            "--autoscale compares provisioning policies on one queue "
+            "policy; pass a single --policy (e.g. edf), not 'all'"
+        )
+        return True
+    return False
+
+
+def _max_dedicated(args) -> int:
+    """The autoscale ceiling when --max-dedicated is unset."""
+    return (
+        args.max_dedicated
+        if args.max_dedicated is not None
+        else max(2 * args.dedicated, args.min_dedicated + 1)
+    )
+
+
 def _serve_arrivals(args, system):
     """Build the arrival stream for one serve run (seed-deterministic)."""
     from ..service import (
@@ -256,6 +285,15 @@ def cmd_serve(args) -> int:
     from ..service import QUEUE_POLICIES, ServiceConfig
 
     _resolve_serve_defaults(args)
+    if args.pattern == "replay":
+        # Fail fast (same check MoonService makes as a ConfigError):
+        # serve synthesizes streams; a replay stream needs a trace file.
+        print(
+            "serve generates synthetic streams (poisson|bursty|diurnal) "
+            "and cannot produce 'replay' entries; feed a workload trace "
+            "with `repro replay --trace <file>` instead"
+        )
+        return 2
     if args.autoscale is not None:
         return _serve_autoscaled(args)
 
@@ -284,8 +322,7 @@ def cmd_serve(args) -> int:
     if len(summaries) > 1:
         print(
             table(
-                ["policy", "done", "p50 s", "p95 s", "p99 s",
-                 "miss", "good/h", "fairness"],
+                ["policy"] + _SUMMARY_COLS,
                 summaries,
                 title=f"queue-policy comparison - {args.pattern} arrivals",
             )
@@ -303,22 +340,14 @@ def _serve_autoscaled(args) -> int:
         render_decisions,
     )
 
-    if args.policy == "all":
-        print(
-            "--autoscale compares provisioning policies on one queue "
-            "policy; pass a single --policy (e.g. edf), not 'all'"
-        )
+    if _reject_autoscale_policy_all(args):
         return 2
     scale_policies = (
         list(AUTOSCALE_POLICIES)
         if args.autoscale == "all"
         else [args.autoscale]
     )
-    max_dedicated = (
-        args.max_dedicated
-        if args.max_dedicated is not None
-        else max(2 * args.dedicated, args.min_dedicated + 1)
-    )
+    max_dedicated = _max_dedicated(args)
     summaries = []
     for scale_policy in scale_policies:
         system = _serve_system(args, dedicated_primary=True)
@@ -350,8 +379,7 @@ def _serve_autoscaled(args) -> int:
     if len(summaries) > 1:
         print(
             table(
-                ["autoscale", "done", "p50 s", "p95 s", "p99 s", "miss",
-                 "good/h", "fairness", "node-h", "tier", "ops"],
+                ["autoscale"] + _COST_COLS,
                 summaries,
                 title=(
                     f"autoscale-policy comparison - {args.pattern} "
@@ -361,6 +389,150 @@ def _serve_autoscaled(args) -> int:
                 ),
             )
         )
+    return 0
+
+
+# ======================================================================
+# replay
+# ======================================================================
+def _replay_service_config(args, policy, autoscale_cfg, capture, trace):
+    """One replay cell's ServiceConfig (horizon = the trace's)."""
+    from ..service import ServiceConfig
+
+    return ServiceConfig(
+        policy=policy,
+        max_in_flight=args.max_in_flight,
+        max_queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        horizon=trace.horizon,
+        drain_limit=args.drain_hours * 3600.0,
+        autoscale=autoscale_cfg,
+        capture=capture,
+        trace_name=trace.name,
+    )
+
+
+def cmd_replay(args) -> int:
+    """Replay a workload-trace file through the service layer."""
+    from ..errors import ReproError
+    from ..plotting import table
+    from ..service import (
+        AUTOSCALE_POLICIES,
+        QUEUE_POLICIES,
+        AutoscaleConfig,
+        MoonService,
+        render_decisions,
+    )
+    from ..workload_traces import (
+        CalibrationConfig,
+        SynthesisConfig,
+        load_workload_trace,
+        save_workload_json,
+        synthesize,
+        trace_arrivals,
+    )
+
+    if _reject_autoscale_policy_all(args):
+        return 2
+    try:
+        trace = load_workload_trace(args.trace)
+        if args.scale is not None or args.stretch is not None:
+            trace = synthesize(
+                trace,
+                np.random.default_rng(args.seed),
+                SynthesisConfig(
+                    load_factor=(
+                        1.0 if args.scale is None else args.scale
+                    ),
+                    horizon_factor=(
+                        1.0 if args.stretch is None else args.stretch
+                    ),
+                ),
+            )
+        calibration = CalibrationConfig(
+            max_maps=args.max_maps,
+            max_reduces=args.max_reduces,
+            time_scale=args.time_scale,
+        )
+        # Calibrated once: a bad trace fails before any cell runs, and
+        # the frozen JobArrival list is safely shared across cells.
+        arrivals = trace_arrivals(trace, calibration)
+    except (ReproError, OSError) as exc:
+        print(f"replay: {exc}")
+        return 2
+    print(trace.summary().render())
+    print()
+
+    scale_policies = (
+        list(AUTOSCALE_POLICIES) if args.autoscale == "all"
+        else [args.autoscale] if args.autoscale is not None
+        else [None]
+    )
+    queue_policies = (
+        list(QUEUE_POLICIES) if args.policy == "all" else [args.policy]
+    )
+    max_dedicated = _max_dedicated(args)
+    cells = [
+        (policy, scale_policy)
+        for scale_policy in scale_policies
+        for policy in queue_policies
+    ]
+    summaries = []
+    captured = None
+    for policy, scale_policy in cells:
+        autoscale_cfg = (
+            None if scale_policy is None
+            else AutoscaleConfig(
+                policy=scale_policy,
+                interval=args.autoscale_interval,
+                min_dedicated=args.min_dedicated,
+                max_dedicated=max_dedicated,
+            )
+        )
+        system = _serve_system(args, dedicated_primary=scale_policy is not None)
+        service = MoonService(
+            system,
+            _replay_service_config(
+                args, policy, autoscale_cfg,
+                capture=(args.capture is not None and captured is None),
+                trace=trace,
+            ),
+            arrivals,
+            pattern=trace.pattern,
+        )
+        report = service.run()
+        if service.captured_trace is not None:
+            captured = service.captured_trace
+        system.jobtracker.stop()
+        system.namenode.stop()
+        print(report.render())
+        print()
+        if report.scale_events:
+            print(render_decisions(report.scale_events))
+            print()
+        if scale_policy is not None:
+            summaries.append([scale_policy, policy] + report.cost_row())
+        else:
+            summaries.append([policy] + report.summary_row())
+    if len(summaries) > 1:
+        if scale_policies != [None]:
+            headers = ["autoscale", "policy"] + _COST_COLS
+            title = (
+                f"autoscale-policy comparison - trace {trace.name}, "
+                f"{queue_policies[0]} queue (D{args.dedicated}, bounds "
+                f"{args.min_dedicated}..{max_dedicated})"
+            )
+        else:
+            headers = ["policy"] + _SUMMARY_COLS
+            title = f"queue-policy comparison - replayed trace {trace.name}"
+        print(table(headers, summaries, title=title))
+    if args.capture is not None and captured is not None:
+        try:
+            save_workload_json(args.capture, captured)
+        except OSError as exc:
+            print(f"replay: cannot write capture: {exc}")
+            return 2
+        print(f"captured {len(captured)} arrivals -> {args.capture}")
     return 0
 
 

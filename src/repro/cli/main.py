@@ -10,6 +10,17 @@ from .. import __version__
 from . import commands
 
 
+def _add_autoscale_bounds(parser) -> None:
+    """The autoscale-bounds flags shared verbatim by serve and replay."""
+    parser.add_argument("--min-dedicated", type=int, default=1,
+                        help="autoscale floor for the dedicated tier")
+    parser.add_argument("--max-dedicated", type=int, default=None,
+                        help="autoscale ceiling (default: 2x --dedicated, "
+                             "at least --min-dedicated + 1)")
+    parser.add_argument("--autoscale-interval", type=float, default=30.0,
+                        help="seconds between autoscale control rounds")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the `repro` argument parser (one sub-command per artifact)."""
     parser = argparse.ArgumentParser(
@@ -103,9 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument(
         "--pattern",
-        choices=["poisson", "bursty", "diurnal"],
+        choices=["poisson", "bursty", "diurnal", "replay"],
         default="poisson",
-        help="arrival process shape",
+        help="arrival process shape ('replay' needs a trace file — "
+             "use `repro replay --trace <file>` instead)",
     )
     # Single source of truth for the policy names; imported here (not
     # module-level) so only parser construction depends on the package.
@@ -159,12 +171,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="autoscale the dedicated tier with this provisioning "
              "policy ('all' compares the three on cost and SLO)",
     )
-    serve_p.add_argument("--min-dedicated", type=int, default=1,
-                         help="autoscale floor for the dedicated tier")
-    serve_p.add_argument("--max-dedicated", type=int, default=None,
-                         help="autoscale ceiling (default: 2x --dedicated)")
-    serve_p.add_argument("--autoscale-interval", type=float, default=30.0,
-                         help="seconds between autoscale control rounds")
+    _add_autoscale_bounds(serve_p)
+
+    # --- replay ---------------------------------------------------------
+    replay_p = sub.add_parser(
+        "replay",
+        help="replay a workload-trace file through the service layer",
+        description=(
+            "Serve a recorded job stream instead of a synthetic one: "
+            "load a Google-cluster-style CSV, a Hadoop "
+            "JobHistory-style JSON, or a canonical repro trace; "
+            "calibrate its jobs onto the workload catalogue; "
+            "optionally synthesize a scaled variant; then serve it "
+            "under one or all queue (or autoscale) policies on "
+            "identical streams.  Reports are byte-identical across "
+            "processes for a given trace + seed."
+        ),
+        epilog=(
+            "examples:\n"
+            "  compare all four queue policies on the bundled sample:\n"
+            "    repro replay --trace benchmarks/data/"
+            "google_cluster_sample.csv --policy all\n"
+            "  double the load via the fitted synthesizer:\n"
+            "    repro replay --trace <file> --scale 2 --policy edf\n"
+            "  round-trip: capture the served run back out as a "
+            "canonical trace:\n"
+            "    repro replay --trace <file> --capture served.json"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    replay_p.add_argument("--trace", required=True,
+                          help="trace file (.csv google-style, .json "
+                               "hadoop-style or canonical)")
+    replay_p.add_argument("--scale", type=float, default=None,
+                          help="synthesize a variant at this load factor "
+                               "(fitted inter-arrival law; default: "
+                               "replay verbatim)")
+    replay_p.add_argument("--stretch", type=float, default=None,
+                          help="horizon multiplier for the synthesized "
+                               "variant (implies synthesis)")
+    replay_p.add_argument(
+        "--policy",
+        choices=list(QUEUE_POLICIES) + ["all"],
+        default="fifo",
+        help="queue ordering policy ('all' compares every policy)",
+    )
+    replay_p.add_argument(
+        "--autoscale",
+        choices=list(AUTOSCALE_POLICIES) + ["all"],
+        default=None,
+        help="autoscale the dedicated tier during the replay ('all' "
+             "compares the three provisioning policies)",
+    )
+    replay_p.add_argument("--capture", default=None, metavar="PATH",
+                          help="write the served stream back out as a "
+                               "canonical trace JSON (first cell when "
+                               "comparing policies)")
+    replay_p.add_argument("--max-maps", type=int, default=None,
+                          help="calibration cap on map tasks per job "
+                               "(durations scale up to preserve work)")
+    replay_p.add_argument("--max-reduces", type=int, default=None,
+                          help="calibration cap on reduce tasks per job")
+    replay_p.add_argument("--time-scale", type=float, default=1.0,
+                          help="stretch/compress per-task durations")
+    replay_p.add_argument("--max-in-flight", type=int, default=4,
+                          help="jobs concurrently admitted to the cluster")
+    replay_p.add_argument("--queue-depth", type=int, default=64,
+                          help="queue bound; arrivals beyond it are "
+                               "rejected")
+    replay_p.add_argument("--tenant-quota", type=int, default=None,
+                          help="max in-flight jobs per tenant")
+    replay_p.add_argument("--drain-hours", type=float, default=4.0,
+                          help="extra simulated hours to drain the "
+                               "backlog after the trace horizon")
+    replay_p.add_argument("--rate", type=float, default=0.3,
+                          help="volatile-node unavailability rate")
+    replay_p.add_argument("--volatile", type=int, default=12)
+    replay_p.add_argument("--dedicated", type=int, default=2)
+    replay_p.add_argument("--seed", type=int, default=42)
+    _add_autoscale_bounds(replay_p)
 
     # --- trace ----------------------------------------------------------
     trace_p = sub.add_parser(
@@ -261,6 +346,7 @@ _DISPATCH = {
     "ablations": commands.cmd_ablations,
     "run": commands.cmd_run,
     "serve": commands.cmd_serve,
+    "replay": commands.cmd_replay,
     "trace": commands.cmd_trace,
     "availability": commands.cmd_availability,
     "estimate": commands.cmd_estimate,

@@ -231,6 +231,60 @@ def _autoscale_2k() -> Dict[str, float]:
     }
 
 
+def _replay_2k() -> Dict[str, float]:
+    """2k-job trace replay: the full workload-trace pipeline, timed.
+
+    Synthesizes a ~2000-job stream from the bundled Hadoop-style
+    sample's fitted inter-arrival law (18x load over a 4x horizon),
+    calibrates every job onto the catalogue, and serves the replay
+    through the EDF queue — fit + sample + calibrate + replay end to
+    end, on the same cluster shape as ``service2k``.
+    """
+    import numpy as np
+
+    from ..service import ServiceConfig
+    from ..workload_traces import (
+        SynthesisConfig,
+        sample_hadoop_trace,
+        synthesize,
+        trace_arrivals,
+    )
+
+    trace = synthesize(
+        sample_hadoop_trace(),
+        np.random.default_rng(PERF_SCALE.seeds[0]),
+        SynthesisConfig(load_factor=18.0, horizon_factor=4.0),
+    )
+    arrivals = trace_arrivals(trace)
+    cfg = SystemConfig(
+        cluster=ClusterConfig(n_volatile=30, n_dedicated=3),
+        trace=TraceConfig(unavailability_rate=0.3),
+        scheduler=moon_policy(True),
+        seed=PERF_SCALE.seeds[0],
+    )
+    system = moon_system(cfg)
+    report = system.run_service(
+        arrivals,
+        ServiceConfig(
+            policy="edf",
+            max_in_flight=16,
+            max_queue_depth=256,
+            horizon=trace.horizon,
+            drain_limit=4 * 3600.0,
+            trace_name=trace.name,
+        ),
+        pattern=trace.pattern,
+    )
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return {
+        "events": float(system.sim.executed_events),
+        "jobs_done": float(report.overall.completed),
+        "sim_seconds": system.sim.now,
+        "arrivals": float(len(arrivals)),
+    }
+
+
 def _fairshare_sort() -> Dict[str, float]:
     """Max-min fair-share network under a data-heavy sort at rate 0.3.
 
@@ -269,6 +323,9 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("autoscale2k",
                  "2k-job bursty stream with reactive tier autoscaling",
                  _autoscale_2k),
+        Scenario("replay2k",
+                 "2k-job synthesized trace replay (fit + calibrate + EDF)",
+                 _replay_2k),
         Scenario("fairshare", "192-map sort on the fair-share network",
                  _fairshare_sort),
     )

@@ -291,10 +291,17 @@ def replay_arrivals(
     entries: Sequence[Tuple[float, str, JobSpec, Optional[float]]],
 ) -> List[JobArrival]:
     """Deterministic replay of explicit ``(time, tenant, spec, slo)``
-    tuples — the hook for trace-driven serving studies.
+    tuples — the hook for trace-driven serving studies (fed by
+    :func:`repro.workload_traces.trace_arrivals`).
 
     ``slo`` is relative (seconds after arrival), matching how real
     request logs record latency budgets; ``None`` means no deadline.
+
+    **Ordering contract:** the output is sorted by ``arrival_time``
+    with a *stable* sort, so entries sharing a timestamp keep their
+    input order.  Trace parsers rely on this — a trace replays in
+    exactly its stored order, duplicates included — and
+    ``tests/test_service_arrivals.py`` locks it.
     """
     out: List[JobArrival] = []
     for time, tenant, spec, slo in entries:

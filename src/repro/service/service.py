@@ -55,6 +55,14 @@ class ServiceConfig:
     #: Dedicated-tier autoscaling controller (None = fixed tier and no
     #: cost metering, today's behaviour).
     autoscale: Optional[AutoscaleConfig] = None
+    #: Capture the offered stream back into a
+    #: :class:`~repro.workload_traces.WorkloadTrace` after ``run()``
+    #: (exposed as ``MoonService.captured_trace``; what ``repro replay
+    #: --capture`` exports).
+    capture: bool = False
+    #: Provenance label of the workload trace feeding this run
+    #: (surfaced in the ServiceReport); None for synthetic streams.
+    trace_name: Optional[str] = None
 
     def validate(self, cluster=None) -> None:
         """Validate the config, and — when the serving ``cluster`` is
@@ -88,6 +96,18 @@ class ServiceConfig:
                     "task slots to serve jobs on (the drain loop would "
                     "hang until the time limit); add nodes or slots"
                 )
+            if self.autoscale is not None:
+                volatile_slots = sum(
+                    n.spec.map_slots + n.spec.reduce_slots
+                    for n in cluster.volatile
+                )
+                if volatile_slots == 0 and self.autoscale.min_dedicated < 1:
+                    raise ConfigError(
+                        "min_dedicated must be >= 1 on a cluster "
+                        "without volatile task slots: draining the "
+                        "whole dedicated tier would leave the service "
+                        "serving with zero capacity"
+                    )
 
 
 class MoonService:
@@ -102,9 +122,24 @@ class MoonService:
     ) -> None:
         self.config = config or ServiceConfig()
         self.config.validate(system.cluster)
+        if pattern == "replay" and not arrivals:
+            # Config-validation stage (no event armed yet — the guard
+            # must precede the autoscaler, whose control loop arms on
+            # construction): the default pattern has no generator
+            # behind it, so an empty stream is a wiring mistake, not a
+            # quiet no-op run.
+            raise ConfigError(
+                "pattern='replay' needs explicit arrival entries, but "
+                "none were supplied; build them from a workload trace "
+                "(CLI: `repro replay --trace <file>`; API: "
+                "repro.workload_traces.trace_arrivals) or pick a "
+                "synthetic pattern (poisson/bursty/diurnal)"
+            )
         self.system = system
         self.sim = system.sim
         self.pattern = pattern
+        #: Set after run() when ``config.capture`` is on.
+        self.captured_trace = None
         cfg = self.config
         self.autoscaler: Optional[Autoscaler] = (
             Autoscaler(self, cfg.autoscale)
@@ -239,6 +274,16 @@ class MoonService:
         scaler = self.autoscaler
         if scaler is not None:
             scaler.stop()
+        if cfg.capture and self.records:
+            # Imported here: workload_traces sits beside the service
+            # layer and imports its arrival model.  A run that saw no
+            # arrivals has nothing to capture (an empty trace is
+            # invalid) and leaves captured_trace as None.
+            from ..workload_traces import capture_trace
+
+            self.captured_trace = capture_trace(
+                self, name=cfg.trace_name or "capture"
+            )
         return build_report(
             self.records,
             policy=cfg.policy,
@@ -254,4 +299,5 @@ class MoonService:
             scale_events=(
                 [] if scaler is None else list(scaler.decisions)
             ),
+            trace=cfg.trace_name,
         )

@@ -215,6 +215,9 @@ class ServiceReport:
     dedicated_final: Optional[int] = None
     #: Per-decision audit records (see repro.service.autoscale).
     scale_events: List = field(repr=False, default_factory=list)
+    #: Provenance label of the replayed workload trace (None for
+    #: synthetic arrival streams).
+    trace: Optional[str] = None
 
     # ------------------------------------------------------------------
     def tenant(self, name: str) -> TenantSlo:
@@ -254,6 +257,8 @@ class ServiceReport:
                 "dedicated_final": self.dedicated_final,
                 "scale_events": len(self.scale_events),
             }
+        if self.trace is not None:
+            out["trace"] = self.trace
         return out
 
     def summary_row(self) -> list:
@@ -323,6 +328,8 @@ class ServiceReport:
             else "tenant fairness (Jain, served seconds): --"
         )
         out = body + "\n" + fair
+        if self.trace is not None:
+            out += f"\nreplayed trace: {self.trace}"
         if self.autoscale is not None:
             out += (
                 f"\nautoscale={self.autoscale}: "
@@ -344,6 +351,7 @@ def build_report(
     node_hours: Optional[float] = None,
     dedicated_final: Optional[int] = None,
     scale_events: Optional[List] = None,
+    trace: Optional[str] = None,
 ) -> ServiceReport:
     """Roll per-job records into the service-level report."""
     by_tenant: Dict[str, List[JobRecord]] = {}
@@ -372,4 +380,5 @@ def build_report(
         node_hours=node_hours,
         dedicated_final=dedicated_final,
         scale_events=list(scale_events or []),
+        trace=trace,
     )

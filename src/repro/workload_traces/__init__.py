@@ -1,0 +1,83 @@
+"""Workload traces (S14): real cluster traffic in, replayable streams out.
+
+The service layer's synthetic Poisson/bursty/diurnal generators shape
+a *hypothesis* about demand; this package replays *evidence*.  It owns
+the full trace lifecycle:
+
+* **ingest** — parse Google-cluster-style CSV and Hadoop
+  JobHistory-style JSON job logs (plus the package's own canonical
+  JSON) into the validated :class:`WorkloadTrace` /:class:`TraceJob`
+  model (:mod:`~repro.workload_traces.io`,
+  :mod:`~repro.workload_traces.model`);
+* **calibrate** — map trace jobs onto the simulator's
+  :class:`~repro.workloads.JobSpec` catalogue, scaling task counts and
+  durations into sim cost parameters
+  (:mod:`~repro.workload_traces.calibrate`);
+* **synthesize** — fit inter-arrival and mix distributions (reusing
+  :mod:`repro.traces.fitting`) and emit scaled variants: 2x/10x load,
+  stretched horizons, perturbed tenant mixes
+  (:mod:`~repro.workload_traces.synthesize`);
+* **replay** — :func:`trace_arrivals` feeds
+  :func:`repro.service.replay_arrivals`, driven end to end by the
+  ``repro replay`` CLI verb;
+* **capture** — record any live :class:`~repro.service.MoonService`
+  run back into a trace (:mod:`~repro.workload_traces.capture`), with
+  a byte-exact capture -> replay round-trip guarantee.
+
+Deterministic sample traces live under ``benchmarks/data/``
+(:mod:`~repro.workload_traces.samples`).
+
+See docs/ARCHITECTURE.md#workload-traces for the layer map.
+"""
+
+from .calibrate import (
+    JOB_CLASS_BUILDERS,
+    CalibrationConfig,
+    calibrate_job,
+    known_job_classes,
+    trace_arrivals,
+)
+from .capture import capture_trace
+from .io import (
+    load_google_csv,
+    load_workload_trace,
+    save_google_csv,
+    save_hadoop_json,
+    save_workload_json,
+)
+from .model import TraceJob, TraceSummary, WorkloadTrace, summarize
+from .samples import (
+    GOOGLE_SAMPLE,
+    HADOOP_SAMPLE,
+    sample_google_trace,
+    sample_hadoop_trace,
+    write_samples,
+)
+from .synthesize import SynthesisConfig, TraceFit, fit_trace, synthesize
+
+__all__ = [
+    "TraceJob",
+    "WorkloadTrace",
+    "TraceSummary",
+    "summarize",
+    "load_workload_trace",
+    "load_google_csv",
+    "save_google_csv",
+    "save_hadoop_json",
+    "save_workload_json",
+    "CalibrationConfig",
+    "JOB_CLASS_BUILDERS",
+    "known_job_classes",
+    "calibrate_job",
+    "trace_arrivals",
+    "SynthesisConfig",
+    "TraceFit",
+    "fit_trace",
+    "synthesize",
+    "capture_trace",
+    "GOOGLE_SAMPLE",
+    "HADOOP_SAMPLE",
+    "sample_google_trace",
+    "sample_hadoop_trace",
+    "write_samples",
+]

@@ -1,0 +1,192 @@
+"""Calibrating trace jobs onto the simulator's JobSpec catalogue.
+
+A trace row says *what happened* (16 maps, 64 MB, ~30 s per map); a
+:class:`~repro.workloads.JobSpec` says *what to simulate*.  This module
+bridges the two: each known job class has a builder that feeds the
+trace job's task counts, per-map block size and mean task durations
+into the matching workload factory, so every contention effect still
+emerges from the simulated I/O system rather than from replayed
+wall-clock times.
+
+The mapping is exact for the service catalogue's classes (grep,
+word count, sort, sleep-*): a job captured from a live service run
+calibrates back to a ``JobSpec`` **equal to the original**, which is
+what makes the capture -> replay round trip reproduce a run
+byte for byte.
+
+:class:`CalibrationConfig` optionally rescales foreign traces into sim
+range: ``max_maps`` / ``max_reduces`` cap task counts while scaling
+per-task durations up proportionally (total compute preserved), and
+``time_scale`` stretches or compresses durations uniformly.  The
+defaults are the identity mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import TraceError
+from ..service.arrivals import JobArrival, replay_arrivals
+from ..workloads import (
+    JobSpec,
+    grep_spec,
+    sleep_spec,
+    sort_spec,
+    wordcount_spec,
+)
+from .model import TraceJob, WorkloadTrace
+
+
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """Knobs for mapping trace jobs into simulator range.
+
+    Defaults are the identity mapping — required for the capture ->
+    replay round-trip guarantee.
+    """
+
+    #: Cap on map tasks per job (None = keep trace counts).  Capped
+    #: jobs scale per-map duration up by the same factor, preserving
+    #: total compute.
+    max_maps: Optional[int] = None
+    #: Cap on reduce tasks per job (same duration compensation).
+    max_reduces: Optional[int] = None
+    #: Uniform stretch/compress factor on per-task durations.
+    time_scale: float = 1.0
+
+    def validate(self) -> None:
+        if self.max_maps is not None and self.max_maps < 1:
+            raise TraceError("max_maps must be >= 1")
+        if self.max_reduces is not None and self.max_reduces < 1:
+            raise TraceError("max_reduces must be >= 1")
+        if self.time_scale <= 0:
+            raise TraceError("time_scale must be positive")
+
+
+# ----------------------------------------------------------------------
+# Per-class builders: (job, n_maps, n_reduces, block_mb, map_s, reduce_s)
+# -> JobSpec.  Counts/durations arrive pre-capped and pre-scaled.
+# ----------------------------------------------------------------------
+def _build_grep(job, n_maps, n_reduces, block_mb, map_s, reduce_s) -> JobSpec:
+    return grep_spec(
+        n_maps=n_maps, block_mb=block_mb, map_cpu_seconds=map_s
+    ).with_(n_reduces=max(1, n_reduces), reduce_cpu_seconds=reduce_s)
+
+
+def _build_wordcount(
+    job, n_maps, n_reduces, block_mb, map_s, reduce_s
+) -> JobSpec:
+    return wordcount_spec(
+        n_maps=n_maps,
+        block_mb=block_mb,
+        n_reduces=max(1, n_reduces),
+        map_cpu_seconds=map_s,
+        reduce_cpu_seconds=reduce_s,
+    )
+
+
+def _build_sort(job, n_maps, n_reduces, block_mb, map_s, reduce_s) -> JobSpec:
+    spec = sort_spec(
+        n_maps=n_maps,
+        block_mb=block_mb,
+        map_cpu_seconds=map_s,
+        reduce_cpu_seconds=reduce_s,
+    )
+    if n_reduces > 0:
+        # A fixed reduce count from the trace (a served job must not
+        # size itself from whole-cluster slots); 0 keeps sort's
+        # slot-derived 0.9 x AvailSlots sizing.
+        spec = spec.with_(n_reduces=n_reduces, reduces_per_slot=0.0)
+    return spec
+
+
+def _build_sleep(job, n_maps, n_reduces, block_mb, map_s, reduce_s) -> JobSpec:
+    if n_reduces > 0:
+        spec = sleep_spec(
+            map_seconds=map_s, reduce_seconds=reduce_s,
+            n_maps=n_maps, n_reduces=n_reduces,
+        )
+    else:
+        # 0 = slot-derived, like sleep_like_sort (0.9 x AvailSlots).
+        spec = sleep_spec(
+            map_seconds=map_s, reduce_seconds=reduce_s,
+            n_maps=n_maps, reduces_per_slot=0.9,
+        )
+    return spec.with_(name=job.job_class)
+
+
+#: Builders by job-class name.  Any class whose name starts with
+#: "sleep" falls back to the sleep builder (the catalogue's
+#: sleep-interactive / sleep-batch variants keep their names).
+JOB_CLASS_BUILDERS: Dict[str, Callable[..., JobSpec]] = {
+    "grep": _build_grep,
+    "word count": _build_wordcount,
+    "wordcount": _build_wordcount,
+    "sort": _build_sort,
+    "sleep": _build_sleep,
+}
+
+
+def known_job_classes() -> List[str]:
+    """Sorted class names the calibration layer can build (plus any
+    ``sleep-*`` variant)."""
+    return sorted(JOB_CLASS_BUILDERS)
+
+
+def _builder_for(job_class: str) -> Callable[..., JobSpec]:
+    builder = JOB_CLASS_BUILDERS.get(job_class)
+    if builder is None and job_class.startswith("sleep"):
+        builder = _build_sleep
+    if builder is None:
+        known = ", ".join(known_job_classes())
+        raise TraceError(
+            f"unknown job class {job_class!r} in trace "
+            f"(known: {known}, plus sleep-* variants)"
+        )
+    return builder
+
+
+def calibrate_job(
+    job: TraceJob, config: Optional[CalibrationConfig] = None
+) -> JobSpec:
+    """Map one trace job onto a validated :class:`JobSpec`."""
+    cfg = config or CalibrationConfig()
+    cfg.validate()
+    job.validate()
+    n_maps, map_s = job.n_maps, job.map_seconds * cfg.time_scale
+    block_mb = job.block_mb
+    if cfg.max_maps is not None and n_maps > cfg.max_maps:
+        # Fewer, proportionally longer and larger maps: total compute
+        # and total input are both preserved.
+        map_s *= n_maps / cfg.max_maps
+        block_mb *= n_maps / cfg.max_maps
+        n_maps = cfg.max_maps
+    n_reduces, reduce_s = job.n_reduces, job.reduce_seconds * cfg.time_scale
+    if cfg.max_reduces is not None and n_reduces > cfg.max_reduces:
+        reduce_s *= n_reduces / cfg.max_reduces
+        n_reduces = cfg.max_reduces
+    spec = _builder_for(job.job_class)(
+        job, n_maps, n_reduces, block_mb, map_s, reduce_s
+    )
+    spec.validate()
+    return spec
+
+
+def trace_arrivals(
+    trace: WorkloadTrace, config: Optional[CalibrationConfig] = None
+) -> List[JobArrival]:
+    """Calibrate a whole trace into :class:`JobArrival` entries.
+
+    The bridge to the service layer: feeds
+    :func:`~repro.service.replay_arrivals`, whose stable equal-timestamp
+    ordering means the stream admits in exactly the trace's stored
+    order.
+    """
+    return replay_arrivals(
+        [
+            (job.arrival_time, job.tenant, calibrate_job(job, config),
+             job.slo_seconds)
+            for job in trace.jobs
+        ]
+    )

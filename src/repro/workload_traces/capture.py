@@ -1,0 +1,76 @@
+"""Capturing a live service run back into a workload trace.
+
+The inverse of replay: given a :class:`~repro.service.MoonService`
+whose stream has been served (or merely scheduled), record every
+arrival — including rejected and dropped ones, which are part of the
+offered load — as canonical :class:`~repro.workload_traces.TraceJob`
+rows.  Because the calibration layer maps the catalogue's job classes
+back to specs *equal to the originals*, a captured trace replayed on a
+fresh system with the same seed and cluster reproduces per-job
+response times and the rendered ``ServiceReport`` byte for byte — the
+round-trip guarantee ``tests/test_workload_traces.py`` pins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .model import TraceJob, WorkloadTrace
+
+
+def _relative_slo(arrival: float, deadline: Optional[float]) -> Optional[float]:
+    """The relative SLO whose replay reproduces ``deadline`` exactly.
+
+    Replay recomputes ``deadline = arrival + slo`` in floating point;
+    a naive ``deadline - arrival`` can land one ulp off.  Nudge until
+    the round trip is bit-exact (at most a few ulps away).
+    """
+    if deadline is None:
+        return None
+    slo = deadline - arrival
+    for _ in range(4):
+        got = arrival + slo
+        if got == deadline:
+            return slo
+        slo = math.nextafter(slo, math.inf if got < deadline else -math.inf)
+    return deadline - arrival  # pragma: no cover - ulp nudge suffices
+
+
+def capture_trace(service, name: str = "capture") -> WorkloadTrace:
+    """Record a service's offered stream as a :class:`WorkloadTrace`.
+
+    ``service`` is a :class:`~repro.service.MoonService` (before or
+    after :meth:`run` — capture reads only the arrival records, never
+    outcomes).  The trace keeps the service's arrival-pattern label so
+    a replayed report renders under the same ``pattern=``.
+    """
+    jobs: List[TraceJob] = []
+    for record in service.records:
+        arrival = record.arrival
+        spec = arrival.spec
+        jobs.append(
+            TraceJob(
+                arrival_time=arrival.arrival_time,
+                tenant=arrival.tenant,
+                job_class=spec.name,
+                n_maps=spec.n_maps,
+                n_reduces=spec.n_reduces or 0,
+                # Per-map block, verbatim: no total-input division on
+                # replay, so the rebuilt spec matches bit for bit.
+                block_mb=spec.map_input_mb,
+                map_seconds=spec.map_cpu_seconds,
+                reduce_seconds=spec.reduce_cpu_seconds,
+                slo_seconds=_relative_slo(
+                    arrival.arrival_time, arrival.deadline
+                ),
+            )
+        )
+    # The *admission* horizon, verbatim: arrivals beyond it stay part
+    # of the trace and replay as DROPPED, exactly as they were served.
+    return WorkloadTrace.build(
+        jobs,
+        horizon=service.config.horizon,
+        name=name,
+        pattern=service.pattern,
+    )

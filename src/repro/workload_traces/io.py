@@ -1,0 +1,259 @@
+"""Workload-trace file formats: canonical JSON + two foreign parsers.
+
+Three on-disk shapes, one in-memory model:
+
+* **Canonical JSON** (``repro-workload-trace`` v1) — the package's own
+  format; floats serialised at ``repr`` precision so save -> load is
+  an exact round trip.  What :func:`repro.workload_traces.capture_trace`
+  exports and ``repro replay --capture`` writes.
+* **Google-cluster-style CSV** — one row per job event, microsecond
+  timestamps, byte-denominated input sizes, ``user`` as the tenant and
+  ``logical_job_name`` as the job class; the shape of the job-events
+  table in the Google cluster traces, collapsed to one file.
+* **Hadoop JobHistory-style JSON** — one object per job with the
+  JobHistory field names (``submitTime``/``avgMapTime`` in epoch /
+  duration *milliseconds*, ``totalMaps``, ``hdfsBytesRead``).  Arrival
+  times are normalised to the earliest ``submitTime`` in the file.
+
+:func:`load_workload_trace` sniffs the format from the extension and
+document shape.  All parsers tolerate unsorted rows (the model
+stable-sorts) and raise :class:`~repro.errors.TraceError` with
+``path:line`` (CSV) or ``path + job id`` (JSON) context on malformed
+or semantically invalid input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Union
+
+from ..errors import TraceError
+from .model import TraceJob, WorkloadTrace
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+MB = float(2 ** 20)
+
+CANONICAL_FORMAT = "repro-workload-trace"
+
+_GOOGLE_HEADER = (
+    "timestamp_us,job_id,user,logical_job_name,scheduling_class,"
+    "num_map_tasks,num_reduce_tasks,input_bytes,"
+    "avg_map_time_s,avg_reduce_time_s,relative_slo_s"
+)
+
+#: Fixed epoch base for Hadoop-style exports (2013-07-09T08:00:00Z) so
+#: generated sample files are deterministic and realistically dated.
+HADOOP_EPOCH_MS = 1373356800000
+
+
+def _stem(path: PathLike) -> str:
+    base = os.path.basename(str(path))
+    return os.path.splitext(base)[0] or "trace"
+
+
+# ======================================================================
+# Canonical JSON
+# ======================================================================
+def save_workload_json(path: PathLike, trace: WorkloadTrace) -> None:
+    """Write the canonical JSON document (exact float round trip)."""
+    doc = {
+        "format": CANONICAL_FORMAT,
+        "version": 1,
+        "name": trace.name,
+        "pattern": trace.pattern,
+        "horizon": trace.horizon,
+        "jobs": [
+            {
+                "arrival": j.arrival_time,
+                "tenant": j.tenant,
+                "class": j.job_class,
+                "maps": j.n_maps,
+                "reduces": j.n_reduces,
+                "block_mb": j.block_mb,
+                "map_s": j.map_seconds,
+                "reduce_s": j.reduce_seconds,
+                "slo_s": j.slo_seconds,
+            }
+            for j in trace.jobs
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+
+
+def _load_canonical(doc: dict, name: str) -> WorkloadTrace:
+    jobs = [
+        TraceJob(
+            arrival_time=float(j["arrival"]),
+            tenant=str(j["tenant"]),
+            job_class=str(j["class"]),
+            n_maps=int(j["maps"]),
+            n_reduces=int(j["reduces"]),
+            block_mb=float(j["block_mb"]),
+            map_seconds=float(j["map_s"]),
+            reduce_seconds=float(j["reduce_s"]),
+            slo_seconds=(
+                None if j.get("slo_s") is None else float(j["slo_s"])
+            ),
+        )
+        for j in doc.get("jobs", [])
+    ]
+    return WorkloadTrace.build(
+        jobs,
+        horizon=(
+            None if doc.get("horizon") is None else float(doc["horizon"])
+        ),
+        name=str(doc.get("name", name)),
+        pattern=str(doc.get("pattern", "replay")),
+    )
+
+
+# ======================================================================
+# Google-cluster-style CSV
+# ======================================================================
+def save_google_csv(path: PathLike, trace: WorkloadTrace) -> None:
+    """Export as the Google-cluster-style job-events CSV."""
+    lines = ["# format=google-cluster-jobs version=1", _GOOGLE_HEADER]
+    for i, j in enumerate(trace.jobs, 1):
+        slo = "" if j.slo_seconds is None else repr(j.slo_seconds)
+        lines.append(
+            f"{int(round(j.arrival_time * 1e6))},{6250000000 + i},"
+            f"{j.tenant},{j.job_class},1,{j.n_maps},{j.n_reduces},"
+            f"{int(round(j.input_mb * MB))},"
+            f"{j.map_seconds!r},{j.reduce_seconds!r},{slo}"
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def load_google_csv(path: PathLike) -> WorkloadTrace:
+    """Parse a Google-cluster-style job-events CSV."""
+    jobs: List[TraceJob] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line or line.startswith("#") or line == _GOOGLE_HEADER:
+                continue
+            parts = line.split(",")
+            if len(parts) != 11:
+                raise TraceError(
+                    f"{path}:{lineno}: expected 11 fields, got {len(parts)}"
+                )
+            try:
+                row = TraceJob(
+                    arrival_time=int(parts[0]) / 1e6,
+                    tenant=parts[2],
+                    job_class=parts[3],
+                    n_maps=int(parts[5]),
+                    n_reduces=int(parts[6]),
+                    block_mb=int(parts[7]) / MB / int(parts[5]),
+                    map_seconds=float(parts[8]),
+                    reduce_seconds=float(parts[9]),
+                    slo_seconds=(
+                        None if parts[10] == "" else float(parts[10])
+                    ),
+                )
+                row.validate()
+            except (ValueError, ZeroDivisionError, TraceError) as exc:
+                raise TraceError(f"{path}:{lineno}: {exc}") from None
+            jobs.append(row)
+    if not jobs:
+        raise TraceError(f"{path}: empty workload trace: no jobs to replay")
+    return WorkloadTrace.build(jobs, name=_stem(path))
+
+
+# ======================================================================
+# Hadoop JobHistory-style JSON
+# ======================================================================
+def save_hadoop_json(path: PathLike, trace: WorkloadTrace) -> None:
+    """Export as a Hadoop JobHistory-style job list (millisecond times)."""
+    doc = {
+        "jobs": [
+            {
+                "jobid": f"job_201307091600_{i:04d}",
+                "user": j.tenant,
+                "queue": "default",
+                "jobname": j.job_class,
+                "submitTime": HADOOP_EPOCH_MS
+                + int(round(j.arrival_time * 1000.0)),
+                "totalMaps": j.n_maps,
+                "totalReduces": j.n_reduces,
+                "hdfsBytesRead": int(round(j.input_mb * MB)),
+                "avgMapTime": int(round(j.map_seconds * 1000.0)),
+                "avgReduceTime": int(round(j.reduce_seconds * 1000.0)),
+                **(
+                    {}
+                    if j.slo_seconds is None
+                    else {"slo": int(round(j.slo_seconds * 1000.0))}
+                ),
+            }
+            for i, j in enumerate(trace.jobs, 1)
+        ]
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+
+
+def _load_hadoop(doc, path: PathLike) -> WorkloadTrace:
+    entries = doc.get("jobs", doc) if isinstance(doc, dict) else doc
+    if not isinstance(entries, list) or not entries:
+        raise TraceError(f"{path}: empty workload trace: no jobs to replay")
+    jobs: List[TraceJob] = []
+    try:
+        base = min(int(e["submitTime"]) for e in entries)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"{path}: malformed JobHistory entry: {exc}") from None
+    for i, e in enumerate(entries, 1):
+        label = e.get("jobid", f"entry {i}") if isinstance(e, dict) else i
+        try:
+            row = TraceJob(
+                arrival_time=(int(e["submitTime"]) - base) / 1000.0,
+                tenant=str(e.get("user") or e.get("queue", "")),
+                job_class=str(e.get("jobname", "")),
+                n_maps=int(e["totalMaps"]),
+                n_reduces=int(e.get("totalReduces", 0)),
+                block_mb=(
+                    int(e.get("hdfsBytesRead", 0)) / MB
+                    / int(e["totalMaps"])
+                ),
+                map_seconds=int(e.get("avgMapTime", 0)) / 1000.0,
+                reduce_seconds=int(e.get("avgReduceTime", 0)) / 1000.0,
+                slo_seconds=(
+                    None if e.get("slo") is None else int(e["slo"]) / 1000.0
+                ),
+            )
+            row.validate()
+        except (KeyError, TypeError, ValueError, ZeroDivisionError,
+                TraceError) as exc:
+            raise TraceError(
+                f"{path}: malformed JobHistory entry ({label}): {exc}"
+            ) from None
+        jobs.append(row)
+    return WorkloadTrace.build(jobs, name=_stem(path))
+
+
+# ======================================================================
+# Format sniffing
+# ======================================================================
+def load_workload_trace(path: PathLike) -> WorkloadTrace:
+    """Load any supported trace format, sniffing by extension + shape.
+
+    ``.csv`` -> Google-cluster-style; ``.json`` -> the canonical format
+    when the document carries ``format == "repro-workload-trace"``,
+    otherwise Hadoop JobHistory-style.
+    """
+    text_path = str(path)
+    if text_path.endswith(".csv"):
+        return load_google_csv(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except ValueError as exc:
+            raise TraceError(f"{path}: not valid JSON: {exc}") from None
+    if isinstance(doc, dict) and doc.get("format") == CANONICAL_FORMAT:
+        return _load_canonical(doc, _stem(path))
+    return _load_hadoop(doc, path)

@@ -1,0 +1,245 @@
+"""Canonical workload-trace model: jobs arriving over a horizon.
+
+The availability-trace package answers "when are the *machines* up?";
+this package answers "when does the *work* arrive?".  A
+:class:`WorkloadTrace` is the canonical in-memory form every on-disk
+format (Google-cluster-style CSV, Hadoop JobHistory-style JSON, the
+package's own canonical JSON) parses into, the synthesizer samples
+from, and the capture path records into.  One :class:`TraceJob` is one
+job submission: *when* (arrival time), *who* (tenant), *what* (a named
+job class plus task counts, data volume and per-task durations), and
+*how urgent* (a relative response-time SLO).
+
+SLOs are **relative** (seconds after arrival), matching how request
+logs record latency budgets; the calibration layer turns them into
+absolute deadlines when it builds
+:func:`~repro.service.replay_arrivals` entries.
+
+Jobs are kept **stably sorted by arrival time**: parsers may hand in
+unsorted rows, and equal-timestamp jobs keep their input order — the
+same contract :func:`repro.service.arrivals.replay_arrivals` pins, so
+a trace replays in exactly the order it is stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import HOUR
+from ..errors import TraceError
+from ..plotting import table
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One job submission in a workload trace.
+
+    ``block_mb`` is the *per-map* input volume — stored directly (not
+    derived from a total) so capture -> calibrate recovers a live
+    run's ``JobSpec`` bit-exactly; parsers of formats that record
+    total input bytes divide by the task count at parse time.
+    ``map_seconds`` / ``reduce_seconds`` are mean per-task compute
+    durations (the quantity JobHistory's ``avgMapTime`` reports).
+    """
+
+    arrival_time: float
+    tenant: str
+    job_class: str
+    n_maps: int
+    #: 0 = derive from slots at submit time (0.9 x AvailSlots, as the
+    #: sort and sleep classes do; classes with fixed reduce counts
+    #: calibrate 0 to a single reduce).
+    n_reduces: int
+    block_mb: float
+    map_seconds: float
+    reduce_seconds: float
+    #: Relative SLO in seconds after arrival; None = no deadline.
+    slo_seconds: Optional[float] = None
+
+    @property
+    def input_mb(self) -> float:
+        """The job's total input volume."""
+        return self.n_maps * self.block_mb
+
+    def validate(self) -> None:
+        if not self.tenant:
+            raise TraceError("trace job needs a tenant")
+        if not self.job_class:
+            raise TraceError("trace job needs a job class")
+        if self.arrival_time < 0:
+            raise TraceError(
+                f"arrival_time must be non-negative, got {self.arrival_time}"
+            )
+        if self.n_maps < 1:
+            raise TraceError(f"n_maps must be >= 1, got {self.n_maps}")
+        if self.n_reduces < 0:
+            raise TraceError(f"n_reduces must be >= 0, got {self.n_reduces}")
+        for val, name in (
+            (self.block_mb, "block_mb"),
+            (self.map_seconds, "map_seconds"),
+            (self.reduce_seconds, "reduce_seconds"),
+        ):
+            if val < 0 or not np.isfinite(val):
+                raise TraceError(f"{name} must be finite and non-negative")
+        if self.slo_seconds is not None and self.slo_seconds <= 0:
+            raise TraceError(
+                f"slo_seconds must be positive (got {self.slo_seconds}); "
+                "use None for jobs without a deadline"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A validated, stably time-ordered sequence of :class:`TraceJob`.
+
+    Construct through :meth:`build`, which validates every job, sorts
+    stably by arrival time (ties keep input order) and derives the
+    horizon — direct construction skips those guarantees.
+    """
+
+    jobs: Tuple[TraceJob, ...]
+    #: Admission horizon of the stream.  Usually >= the last arrival;
+    #: an *explicit* smaller horizon is meaningful — jobs arriving
+    #: after it are offered load past the admission window and replay
+    #: as DROPPED, which is how capture preserves a horizon-limited
+    #: service run exactly.
+    horizon: float
+    #: Provenance label (file stem, "capture", "synth", ...).
+    name: str = "trace"
+    #: Arrival-pattern label carried into the ServiceReport on replay.
+    pattern: str = "replay"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        jobs: Sequence[TraceJob],
+        horizon: Optional[float] = None,
+        name: str = "trace",
+        pattern: str = "replay",
+    ) -> "WorkloadTrace":
+        """Validate, stable-sort by arrival, and derive the horizon.
+
+        ``horizon=None`` derives the last arrival time, floored at 1 s
+        so a single-instant trace (every job at t=0) stays servable;
+        an explicit horizon may precede late arrivals (they replay as
+        DROPPED).  Raises :class:`~repro.errors.TraceError` on an
+        empty job list, on any invalid job, or on a non-positive
+        explicit horizon.
+        """
+        if not jobs:
+            raise TraceError("empty workload trace: no jobs to replay")
+        for job in jobs:
+            job.validate()
+        ordered = tuple(sorted(jobs, key=lambda j: j.arrival_time))
+        if horizon is None:
+            horizon = max(ordered[-1].arrival_time, 1.0)
+        elif horizon <= 0:
+            raise TraceError(f"horizon must be positive, got {horizon}")
+        return cls(jobs=ordered, horizon=horizon, name=name, pattern=pattern)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[TraceJob]:
+        return iter(self.jobs)
+
+    def tenants(self) -> List[str]:
+        """Distinct tenants in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for job in self.jobs:
+            seen.setdefault(job.tenant, None)
+        return list(seen)
+
+    def job_classes(self) -> List[str]:
+        """Distinct job classes in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for job in self.jobs:
+            seen.setdefault(job.job_class, None)
+        return list(seen)
+
+    def inter_arrival_gaps(self) -> np.ndarray:
+        """Gaps between consecutive arrivals (length ``len - 1``)."""
+        times = np.array([j.arrival_time for j in self.jobs], dtype=float)
+        return np.diff(times)
+
+    @property
+    def rate_per_hour(self) -> float:
+        """Mean arrival rate over the horizon."""
+        return len(self.jobs) / (max(self.horizon, 1e-9) / HOUR)
+
+    def summary(self) -> "TraceSummary":
+        """Aggregate statistics (see :class:`TraceSummary`)."""
+        return summarize(self)
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of one workload trace."""
+
+    name: str
+    n_jobs: int
+    horizon: float
+    rate_per_hour: float
+    n_tenants: int
+    #: jobs per class, insertion-ordered by first appearance.
+    class_counts: Dict[str, int] = field(repr=False)
+    total_input_mb: float = 0.0
+    total_map_tasks: int = 0
+    total_reduce_tasks: int = 0
+    mean_gap: float = 0.0
+    max_gap: float = 0.0
+    #: Fraction of jobs carrying an SLO.
+    slo_fraction: float = 0.0
+
+    def render(self) -> str:
+        """The summary as one aligned text table."""
+        rows = [
+            ["jobs", str(self.n_jobs)],
+            ["horizon", f"{self.horizon / HOUR:.2f} h"],
+            ["rate", f"{self.rate_per_hour:.1f} jobs/h"],
+            ["tenants", str(self.n_tenants)],
+            ["classes", ", ".join(
+                f"{name} x{count}"
+                for name, count in self.class_counts.items()
+            )],
+            ["input", f"{self.total_input_mb / 1024:.2f} GB"],
+            ["tasks", f"{self.total_map_tasks} maps / "
+                      f"{self.total_reduce_tasks} reduces"],
+            ["inter-arrival", f"mean {self.mean_gap:.1f} s, "
+                              f"max {self.max_gap:.1f} s"],
+            ["with SLO", f"{100.0 * self.slo_fraction:.0f}%"],
+        ]
+        return table(
+            ["field", "value"], rows,
+            title=f"workload trace - {self.name}",
+        )
+
+
+def summarize(trace: WorkloadTrace) -> TraceSummary:
+    """Roll one trace into its :class:`TraceSummary`."""
+    classes: Dict[str, int] = {}
+    for job in trace.jobs:
+        classes[job.job_class] = classes.get(job.job_class, 0) + 1
+    gaps = trace.inter_arrival_gaps()
+    return TraceSummary(
+        name=trace.name,
+        n_jobs=len(trace),
+        horizon=trace.horizon,
+        rate_per_hour=trace.rate_per_hour,
+        n_tenants=len(trace.tenants()),
+        class_counts=classes,
+        total_input_mb=sum(j.input_mb for j in trace.jobs),
+        total_map_tasks=sum(j.n_maps for j in trace.jobs),
+        total_reduce_tasks=sum(j.n_reduces for j in trace.jobs),
+        mean_gap=float(gaps.mean()) if gaps.size else 0.0,
+        max_gap=float(gaps.max()) if gaps.size else 0.0,
+        slo_fraction=(
+            sum(1 for j in trace.jobs if j.slo_seconds is not None)
+            / len(trace)
+        ),
+    )

@@ -1,0 +1,109 @@
+"""Deterministic sample workload traces bundled with the repo.
+
+Two small, seeded traces are committed under ``benchmarks/data/`` so
+``repro replay`` has something real-shaped to chew on out of the box
+(and so tests, docs and the perf harness share one fixture):
+
+* ``google_cluster_sample.csv`` — a Google-cluster-style job-events
+  file: a grep/word-count/sort mix from three users over 90 minutes,
+  tiny block sizes so a full ``--policy all`` comparison replays in
+  seconds.
+* ``hadoop_jobhistory_sample.json`` — a Hadoop JobHistory-style job
+  list: the data-free sleep catalogue's interactive/batch mix over two
+  hours, the fast fixture the determinism smoke replays twice.
+
+Everything is a pure function of the hard-coded seeds;
+``tools/make_workload_samples.py`` regenerates the files and
+``tests/test_workload_traces.py`` asserts the committed bytes match.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import numpy as np
+
+from ..config import HOUR
+from .io import save_google_csv, save_hadoop_json
+from .model import TraceJob, WorkloadTrace
+
+GOOGLE_SAMPLE = "google_cluster_sample.csv"
+HADOOP_SAMPLE = "hadoop_jobhistory_sample.json"
+
+#: (job_class, n_maps range, block_mb, n_reduces range, map_s, reduce_s,
+#:  slo_s, weight) — shapes mirror the service catalogue at toy scale.
+_GOOGLE_CLASSES = (
+    ("grep", (4, 8), 2.0, (1, 1), 8.0, 2.0, 600.0, 0.5),
+    ("word count", (6, 12), 2.0, (2, 4), 30.0, 12.0, 1800.0, 0.3),
+    ("sort", (8, 16), 2.0, (4, 6), 12.0, 6.0, 3600.0, 0.2),
+)
+_SLEEP_CLASSES = (
+    ("sleep-interactive", (6, 10), 0.0, (2, 2), 30.0, 10.0, 600.0, 0.6),
+    ("sleep-batch", (6, 10), 0.0, (2, 2), 300.0, 120.0, 5400.0, 0.4),
+)
+
+
+def _mixed_trace(
+    seed: int,
+    n_jobs: int,
+    horizon: float,
+    classes,
+    tenants: List[str],
+    name: str,
+) -> WorkloadTrace:
+    """A seeded trace: exponential gaps over a weighted class mix."""
+    rng = np.random.default_rng(seed)
+    weights = np.array([c[7] for c in classes], dtype=float)
+    p_class = weights / weights.sum()
+    mean_gap = horizon / (n_jobs + 1)
+    jobs: List[TraceJob] = []
+    t = 0.0
+    for _ in range(n_jobs):
+        t += float(rng.exponential(mean_gap))
+        cls, maps_rng, block, red_rng, map_s, red_s, slo, _w = classes[
+            int(rng.choice(len(classes), p=p_class))
+        ]
+        n_maps = int(rng.integers(maps_rng[0], maps_rng[1] + 1))
+        n_reduces = int(rng.integers(red_rng[0], red_rng[1] + 1))
+        jobs.append(
+            TraceJob(
+                arrival_time=t,
+                tenant=tenants[int(rng.integers(len(tenants)))],
+                job_class=cls,
+                n_maps=n_maps,
+                n_reduces=n_reduces,
+                block_mb=block,
+                map_seconds=map_s,
+                reduce_seconds=red_s,
+                slo_seconds=slo,
+            )
+        )
+    # Gap accumulation can overshoot the nominal horizon for some
+    # seeds; widen rather than truncate so every seed yields n_jobs.
+    return WorkloadTrace.build(jobs, horizon=max(horizon, t), name=name)
+
+
+def sample_google_trace(seed: int = 20100621, n_jobs: int = 32) -> WorkloadTrace:
+    """The committed Google-style sample (90 min, three users)."""
+    return _mixed_trace(
+        seed, n_jobs, 1.5 * HOUR, _GOOGLE_CLASSES,
+        ["alice", "bob", "carol"], "google_cluster_sample",
+    )
+
+
+def sample_hadoop_trace(seed: int = 20130709, n_jobs: int = 28) -> WorkloadTrace:
+    """The committed Hadoop JobHistory-style sample (2 h, sleep mix)."""
+    return _mixed_trace(
+        seed, n_jobs, 2 * HOUR, _SLEEP_CLASSES,
+        ["etl", "reports"], "hadoop_jobhistory_sample",
+    )
+
+
+def write_samples(directory) -> List[str]:
+    """(Re)generate both sample files; returns the paths written."""
+    google = os.path.join(str(directory), GOOGLE_SAMPLE)
+    hadoop = os.path.join(str(directory), HADOOP_SAMPLE)
+    save_google_csv(google, sample_google_trace())
+    save_hadoop_json(hadoop, sample_hadoop_trace())
+    return [google, hadoop]

@@ -1,0 +1,201 @@
+"""Synthesizing scaled workload variants from one loaded trace.
+
+One real trace is a single data point; scheduling and autoscaling
+studies need a *family* of heavier scenarios.  This module fits the
+trace's inter-arrival process (every family from
+:mod:`repro.traces.fitting`, ranked by AIC — the same idiom the
+availability layer uses for outage lengths) and its tenant / job-class
+mixes, then samples new traces from the fit:
+
+* ``load_factor`` — 2x/10x the arrival rate at the same horizon,
+* ``horizon_factor`` — stretch the stream over a longer day,
+* ``tenant_weights`` — perturb the tenant mix (hot-tenant what-ifs),
+
+Job *shapes* are bootstrapped empirically: each synthetic arrival
+copies the task counts, sizes, durations and SLO of a uniformly drawn
+same-class job from the source trace, so synthetic jobs are always
+jobs the calibration layer can build.  Given one
+``numpy.random.Generator`` the output is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import TraceError
+from ..traces.distributions import OutageDistribution, make_distribution
+from ..traces.fitting import FitResult, fit_outages
+from .model import TraceJob, WorkloadTrace
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Scaling knobs for one synthetic variant."""
+
+    #: Arrival-rate multiplier (2.0 = twice the load).
+    load_factor: float = 1.0
+    #: Horizon multiplier (2.0 = the same process over a doubled day).
+    horizon_factor: float = 1.0
+    #: Tenant-mix perturbation: relative weights by tenant name
+    #: (missing tenants keep their empirical share; weights rescale it).
+    tenant_weights: Optional[Dict[str, float]] = None
+    #: Pin the inter-arrival family by name instead of best-by-AIC.
+    family: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.load_factor <= 0:
+            raise TraceError("load_factor must be positive")
+        if self.horizon_factor <= 0:
+            raise TraceError("horizon_factor must be positive")
+        if self.tenant_weights is not None and any(
+            w < 0 for w in self.tenant_weights.values()
+        ):
+            raise TraceError("tenant weights must be non-negative")
+
+
+@dataclass(frozen=True)
+class TraceFit:
+    """The fitted statistical description of one workload trace."""
+
+    #: Inter-arrival families ranked by AIC (best first).
+    inter_arrival: List[FitResult] = field(repr=False)
+    #: Empirical class mix, first-appearance order (sums to 1).
+    class_mix: Dict[str, float] = field(default_factory=dict)
+    #: Empirical tenant mix, first-appearance order (sums to 1).
+    tenant_mix: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def best_family(self) -> FitResult:
+        return self.inter_arrival[0]
+
+
+def fit_trace(trace: WorkloadTrace) -> TraceFit:
+    """Fit inter-arrival and mix distributions from a loaded trace.
+
+    Traces with fewer than 4 distinct arrival instants fall back to an
+    exponential fit at the trace's mean rate (too few gaps to rank
+    families).
+    """
+    gaps = trace.inter_arrival_gaps()
+    positive = gaps[gaps > 0]
+    if positive.size >= 3:
+        families = fit_outages(positive)
+    else:
+        mean = trace.horizon / max(len(trace), 1)
+        families = [FitResult("exponential", mean, mean, 0.0, 1)]
+    n = len(trace)
+    class_mix: Dict[str, float] = {}
+    tenant_mix: Dict[str, float] = {}
+    for job in trace.jobs:
+        class_mix[job.job_class] = class_mix.get(job.job_class, 0.0) + 1.0
+        tenant_mix[job.tenant] = tenant_mix.get(job.tenant, 0.0) + 1.0
+    return TraceFit(
+        inter_arrival=families,
+        class_mix={k: v / n for k, v in class_mix.items()},
+        tenant_mix={k: v / n for k, v in tenant_mix.items()},
+    )
+
+
+def _gap_distribution(
+    fit: TraceFit, cfg: SynthesisConfig
+) -> OutageDistribution:
+    """The inter-arrival sampler, rate-scaled by ``load_factor``."""
+    chosen = fit.best_family
+    if cfg.family is not None:
+        for result in fit.inter_arrival:
+            if result.name == cfg.family:
+                chosen = result
+                break
+        else:
+            known = ", ".join(r.name for r in fit.inter_arrival)
+            raise TraceError(
+                f"family {cfg.family!r} was not fitted (have: {known})"
+            )
+    name, mean, sigma = chosen.name, chosen.mean, chosen.sigma
+    if not (np.isfinite(mean) and np.isfinite(sigma)):
+        # An infinite-moment fit (e.g. a Pareto tail exponent <= 2)
+        # cannot parameterise a sampler; fall back to memorylessness,
+        # keeping the fitted mean when it is finite.
+        name = "exponential"
+        if not np.isfinite(mean):
+            mean = float(np.mean([r.mean for r in fit.inter_arrival
+                                  if np.isfinite(r.mean)]))
+        sigma = mean
+    return make_distribution(
+        name, mean / cfg.load_factor, sigma / cfg.load_factor
+    )
+
+
+def synthesize(
+    trace: WorkloadTrace,
+    rng: np.random.Generator,
+    config: Optional[SynthesisConfig] = None,
+) -> WorkloadTrace:
+    """Sample one scaled synthetic variant of ``trace``.
+
+    Deterministic given ``rng``; iteration orders are pinned to the
+    trace's first-appearance orders so the output is byte-stable
+    across processes.
+    """
+    cfg = config or SynthesisConfig()
+    cfg.validate()
+    fit = fit_trace(trace)
+    dist = _gap_distribution(fit, cfg)
+    horizon = trace.horizon * cfg.horizon_factor
+
+    classes = list(fit.class_mix)
+    p_class = np.array([fit.class_mix[c] for c in classes], dtype=float)
+    tenants = list(fit.tenant_mix)
+    t_weights = np.array([fit.tenant_mix[t] for t in tenants], dtype=float)
+    if cfg.tenant_weights is not None:
+        t_weights = t_weights * np.array(
+            [cfg.tenant_weights.get(t, 1.0) for t in tenants], dtype=float
+        )
+        if t_weights.sum() <= 0:
+            raise TraceError("tenant weights zero out every tenant")
+    p_tenant = t_weights / t_weights.sum()
+
+    by_class: Dict[str, List[TraceJob]] = {}
+    for job in trace.jobs:
+        by_class.setdefault(job.job_class, []).append(job)
+
+    jobs: List[TraceJob] = []
+    t = float(dist.sample(rng, 1)[0])
+    while t < horizon:
+        cls = classes[int(rng.choice(len(classes), p=p_class))]
+        tenant = tenants[int(rng.choice(len(tenants), p=p_tenant))]
+        pool = by_class[cls]
+        template = pool[int(rng.integers(len(pool)))]
+        jobs.append(
+            TraceJob(
+                arrival_time=t,
+                tenant=tenant,
+                job_class=cls,
+                n_maps=template.n_maps,
+                n_reduces=template.n_reduces,
+                block_mb=template.block_mb,
+                map_seconds=template.map_seconds,
+                reduce_seconds=template.reduce_seconds,
+                slo_seconds=template.slo_seconds,
+            )
+        )
+        # Clamp so a degenerate fit (near-zero mean gap) still advances
+        # the clock instead of spinning at one instant.
+        t += max(float(dist.sample(rng, 1)[0]), 1e-3)
+    if not jobs:
+        raise TraceError(
+            "synthesis produced an empty trace (horizon too short for "
+            "the fitted inter-arrival law)"
+        )
+    suffix = f"-x{cfg.load_factor:g}"
+    if cfg.horizon_factor != 1.0:
+        suffix += f"-h{cfg.horizon_factor:g}"
+    return WorkloadTrace.build(
+        jobs,
+        horizon=horizon,
+        name=trace.name + suffix,
+        pattern=trace.pattern,
+    )

@@ -84,6 +84,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--policy", "lifo"])
 
+    def test_replay_registered_and_requires_trace(self):
+        args = build_parser().parse_args(["replay", "--trace", "t.csv"])
+        assert args.policy == "fifo" and args.scale is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay"])
+
 
 class TestFastCommands:
     def test_table1(self, capsys):
@@ -174,6 +180,60 @@ class TestServeCommand:
         assert "policy=edf" in out
         assert "(all)" in out
         assert "fairness" in out
+
+
+class TestReplayCommand:
+    def _sample(self):
+        import pathlib
+
+        return str(
+            pathlib.Path(__file__).parent.parent
+            / "benchmarks" / "data" / "hadoop_jobhistory_sample.json"
+        )
+
+    def test_serve_replay_pattern_points_at_repro_replay(self, capsys):
+        rc = main(["serve", "--pattern", "replay"])
+        assert rc == 2
+        assert "repro replay --trace" in capsys.readouterr().out
+
+    def test_missing_trace_file_is_a_clean_error(self, capsys):
+        rc = main(["replay", "--trace", "/nonexistent/t.json"])
+        assert rc == 2
+        assert "replay:" in capsys.readouterr().out
+
+    def test_scale_zero_is_rejected(self, capsys):
+        rc = main(["replay", "--trace", self._sample(), "--scale", "0"])
+        assert rc == 2
+        assert "load_factor" in capsys.readouterr().out
+
+    def test_autoscale_rejects_policy_all(self, capsys):
+        rc = main(["replay", "--trace", self._sample(),
+                   "--autoscale", "all", "--policy", "all"])
+        assert rc == 2
+        assert "single --policy" in capsys.readouterr().out
+
+    def test_determinism_smoke_same_bytes_twice(self, capsys):
+        """The fast-lane smoke: replaying the bundled sample twice in
+        fresh systems prints byte-identical reports."""
+        argv = ["replay", "--trace", self._sample(), "--policy", "edf"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "service report" in first
+        assert "pattern=replay" in first
+        assert "replayed trace: hadoop_jobhistory_sample" in first
+        assert first == second
+
+    def test_capture_roundtrip_through_cli(self, tmp_path, capsys):
+        out = tmp_path / "captured.json"
+        rc = main(["replay", "--trace", self._sample(),
+                   "--capture", str(out)])
+        assert rc == 0
+        assert "captured" in capsys.readouterr().out
+        rc = main(["replay", "--trace", str(out)])
+        assert rc == 0
+        assert "service report" in capsys.readouterr().out
 
 
 class TestRunCommand:

@@ -77,14 +77,24 @@ class TestServiceLoop:
             assert r.queue_wait >= 0
 
     def test_empty_stream_reports_zeros(self):
+        # An empty *synthetic* stream is a valid (if dull) run; an
+        # empty "replay" stream is a wiring mistake and fails fast
+        # (PR 4 — see TestReplayPatternGuard in
+        # tests/test_workload_traces.py).
         system = make_system()
-        report = serve(system, [])
+        report = system.run_service(
+            [], ServiceConfig(horizon=1 * HOUR), pattern="poisson"
+        )
+        system.jobtracker.stop()
+        system.namenode.stop()
         assert report.overall.arrived == 0
         assert report.overall.completed == 0
         assert report.overall.miss_rate is None
         assert report.overall.p50_response is None
         assert report.fairness is None
         assert "(all)" in report.render()
+        with pytest.raises(ConfigError, match="repro replay"):
+            make_system().run_service([], ServiceConfig(horizon=1 * HOUR))
 
     def test_arrival_after_horizon_is_dropped_unserved(self):
         system = make_system()

@@ -98,6 +98,22 @@ class TestGenerators:
         assert arrivals[0].deadline is None
         assert arrivals[1].deadline == 660.0
 
+    def test_replay_equal_timestamps_keep_input_order(self):
+        """The ordering contract trace parsers rely on: the sort is
+        stable, so same-instant entries replay in input order."""
+        spec = sleep_spec(5.0, 2.0, n_maps=2, n_reduces=1)
+        entries = [
+            (30.0, "first", spec, None),
+            (30.0, "second", spec, 60.0),
+            (10.0, "zero", spec, None),
+            (30.0, "third", spec, None),
+            (30.0, "fourth", spec, 600.0),
+        ]
+        arrivals = replay_arrivals(entries)
+        assert [a.tenant for a in arrivals] == [
+            "zero", "first", "second", "third", "fourth"
+        ]
+
     def test_bad_parameters_rejected(self):
         with pytest.raises(ConfigError):
             poisson_arrivals(rng(), 0.0, HOUR)

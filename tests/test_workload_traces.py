@@ -1,0 +1,592 @@
+"""Tests for the workload-trace subsystem (S14).
+
+Covers the canonical model's edge cases (unsorted rows, duplicate
+timestamps, zero/negative SLOs, empty traces), the three file formats,
+calibration onto the JobSpec catalogue (including the exact-identity
+mapping for catalogue classes and the unknown-class error), the
+synthesizer's scaling laws, the committed sample files' determinism,
+and the capture -> replay round-trip guarantee on a seeded service
+run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.errors import ConfigError, TraceError
+from repro.service import (
+    MoonService,
+    ServiceConfig,
+    default_catalog,
+    poisson_arrivals,
+    sleep_catalog,
+)
+from repro.workload_traces import (
+    CalibrationConfig,
+    SynthesisConfig,
+    TraceJob,
+    WorkloadTrace,
+    calibrate_job,
+    capture_trace,
+    fit_trace,
+    load_workload_trace,
+    sample_google_trace,
+    sample_hadoop_trace,
+    save_google_csv,
+    save_hadoop_json,
+    save_workload_json,
+    synthesize,
+    trace_arrivals,
+    write_samples,
+)
+
+HOUR = 3600.0
+DATA_DIR = pathlib.Path(__file__).parent.parent / "benchmarks" / "data"
+
+
+def job(t=0.0, tenant="a", cls="sleep-interactive", maps=4, reduces=2,
+        block_mb=0.0, map_s=30.0, reduce_s=10.0, slo=600.0):
+    return TraceJob(
+        arrival_time=t, tenant=tenant, job_class=cls, n_maps=maps,
+        n_reduces=reduces, block_mb=block_mb, map_seconds=map_s,
+        reduce_seconds=reduce_s, slo_seconds=slo,
+    )
+
+
+class TestModel:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError, match="empty"):
+            WorkloadTrace.build([])
+
+    @pytest.mark.parametrize("slo", [0.0, -60.0])
+    def test_zero_or_negative_slo_rejected(self, slo):
+        with pytest.raises(TraceError, match="slo_seconds"):
+            job(slo=slo).validate()
+
+    def test_no_slo_is_allowed(self):
+        job(slo=None).validate()
+
+    def test_bad_fields_rejected(self):
+        with pytest.raises(TraceError):
+            job(t=-1.0).validate()
+        with pytest.raises(TraceError):
+            job(maps=0).validate()
+        with pytest.raises(TraceError):
+            job(reduces=-1).validate()
+        with pytest.raises(TraceError):
+            job(tenant="").validate()
+        with pytest.raises(TraceError):
+            job(block_mb=-4.0).validate()
+
+    def test_unsorted_input_is_stably_sorted(self):
+        trace = WorkloadTrace.build(
+            [job(t=50.0, tenant="late"), job(t=10.0, tenant="early")]
+        )
+        assert [j.tenant for j in trace.jobs] == ["early", "late"]
+
+    def test_duplicate_timestamps_keep_input_order(self):
+        trace = WorkloadTrace.build(
+            [job(t=30.0, tenant="first"), job(t=30.0, tenant="second"),
+             job(t=10.0, tenant="zero"), job(t=30.0, tenant="third")]
+        )
+        assert [j.tenant for j in trace.jobs] == [
+            "zero", "first", "second", "third"
+        ]
+
+    def test_explicit_horizon_may_precede_late_arrivals(self):
+        # Offered load past the admission window stays in the trace
+        # (it replays as DROPPED); only the horizon's sign is checked.
+        trace = WorkloadTrace.build([job(t=100.0)], horizon=50.0)
+        assert trace.horizon == 50.0
+        with pytest.raises(TraceError, match="positive"):
+            WorkloadTrace.build([job(t=100.0)], horizon=0.0)
+
+    def test_summary_stats(self):
+        trace = WorkloadTrace.build(
+            [job(t=0.0, cls="sleep-interactive", slo=600.0),
+             job(t=600.0, cls="sleep-batch", tenant="b", slo=None)],
+            horizon=HOUR,
+        )
+        s = trace.summary()
+        assert s.n_jobs == 2 and s.n_tenants == 2
+        assert s.class_counts == {"sleep-interactive": 1, "sleep-batch": 1}
+        assert s.rate_per_hour == pytest.approx(2.0)
+        assert s.slo_fraction == pytest.approx(0.5)
+        assert "workload trace" in s.render()
+
+
+class TestIo:
+    def test_canonical_json_roundtrip_is_exact(self, tmp_path):
+        trace = sample_google_trace()
+        path = tmp_path / "t.json"
+        save_workload_json(path, trace)
+        again = load_workload_trace(path)
+        assert again.jobs == trace.jobs
+        assert again.horizon == trace.horizon
+        assert again.pattern == trace.pattern
+
+    def test_google_csv_roundtrip(self, tmp_path):
+        trace = sample_google_trace()
+        path = tmp_path / "t.csv"
+        save_google_csv(path, trace)
+        again = load_workload_trace(path)
+        assert len(again) == len(trace)
+        for a, b in zip(again.jobs, trace.jobs):
+            assert (a.tenant, a.job_class, a.n_maps, a.n_reduces) == (
+                b.tenant, b.job_class, b.n_maps, b.n_reduces
+            )
+            assert a.arrival_time == pytest.approx(b.arrival_time, abs=1e-5)
+            assert a.input_mb == pytest.approx(b.input_mb)
+
+    def test_google_csv_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1,2,3\n")
+        with pytest.raises(TraceError, match="bad.csv:1"):
+            load_workload_trace(path)
+
+    def test_google_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# format=google-cluster-jobs version=1\n")
+        with pytest.raises(TraceError, match="empty"):
+            load_workload_trace(path)
+
+    def test_hadoop_json_normalises_to_earliest_submit(self, tmp_path):
+        trace = sample_hadoop_trace()
+        path = tmp_path / "t.json"
+        save_hadoop_json(path, trace)
+        again = load_workload_trace(path)
+        assert len(again) == len(trace)
+        assert again.jobs[0].arrival_time == 0.0
+        # Relative spacing survives the epoch shift (ms precision).
+        base = trace.jobs[0].arrival_time
+        for a, b in zip(again.jobs, trace.jobs):
+            assert a.arrival_time == pytest.approx(
+                b.arrival_time - base, abs=2e-3
+            )
+
+    def test_hadoop_json_malformed_entry(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"jobs": [{"user": "x"}]}')
+        with pytest.raises(TraceError, match="malformed"):
+            load_workload_trace(path)
+
+    def test_not_json_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{nope")
+        with pytest.raises(TraceError, match="not valid JSON"):
+            load_workload_trace(path)
+
+
+class TestCalibration:
+    def test_catalog_classes_roundtrip_to_equal_specs(self):
+        """Capture's field set rebuilds the service-catalogue specs
+        exactly — the foundation of the replay round-trip guarantee."""
+        for cls in default_catalog() + sleep_catalog():
+            spec = cls.spec
+            row = TraceJob(
+                arrival_time=0.0, tenant="t", job_class=spec.name,
+                n_maps=spec.n_maps, n_reduces=spec.n_reduces or 0,
+                block_mb=spec.map_input_mb,
+                map_seconds=spec.map_cpu_seconds,
+                reduce_seconds=spec.reduce_cpu_seconds, slo_seconds=60.0,
+            )
+            assert calibrate_job(row) == spec, spec.name
+
+    def test_slot_derived_reduces_roundtrip(self):
+        """n_reduces=0 means slot-derived: capture of a
+        sleep_like_sort / default-sort spec rebuilds the slot-derived
+        sizing, not a zero-reduce job."""
+        from repro.workloads import sleep_like_sort, sort_spec
+
+        for spec in (sleep_like_sort(n_maps=16), sort_spec(n_maps=16)):
+            row = TraceJob(
+                arrival_time=0.0, tenant="t", job_class=spec.name,
+                n_maps=spec.n_maps, n_reduces=spec.n_reduces or 0,
+                block_mb=spec.map_input_mb,
+                map_seconds=spec.map_cpu_seconds,
+                reduce_seconds=spec.reduce_cpu_seconds, slo_seconds=None,
+            )
+            rebuilt = calibrate_job(row)
+            assert rebuilt == spec, spec.name
+            assert rebuilt.n_reduces is None
+            assert rebuilt.reduces_per_slot == 0.9
+
+    def test_unknown_job_class(self):
+        with pytest.raises(TraceError, match="unknown job class 'pagerank'"):
+            calibrate_job(job(cls="pagerank"))
+
+    def test_sleep_variants_fall_back_to_sleep_builder(self):
+        spec = calibrate_job(job(cls="sleep-adhoc"))
+        assert spec.name == "sleep-adhoc"
+        assert spec.map_input_mb == 0.0
+
+    def test_caps_preserve_total_compute(self):
+        row = job(cls="word count", maps=640, reduces=64,
+                  block_mb=2.0, map_s=10.0, reduce_s=8.0)
+        spec = calibrate_job(
+            row, CalibrationConfig(max_maps=64, max_reduces=16)
+        )
+        assert spec.n_maps == 64 and spec.n_reduces == 16
+        # 10x fewer maps -> 10x longer maps; total input preserved.
+        assert spec.map_cpu_seconds == pytest.approx(100.0)
+        assert spec.reduce_cpu_seconds == pytest.approx(32.0)
+        assert spec.input_mb == pytest.approx(1280.0)
+
+    def test_time_scale(self):
+        spec = calibrate_job(
+            job(map_s=30.0, reduce_s=10.0),
+            CalibrationConfig(time_scale=0.5),
+        )
+        assert spec.map_cpu_seconds == pytest.approx(15.0)
+        assert spec.reduce_cpu_seconds == pytest.approx(5.0)
+
+    def test_trace_arrivals_deadlines_and_duplicate_order(self):
+        trace = WorkloadTrace.build(
+            [job(t=30.0, tenant="first", slo=600.0),
+             job(t=30.0, tenant="second", slo=None)]
+        )
+        arrivals = trace_arrivals(trace)
+        assert [a.tenant for a in arrivals] == ["first", "second"]
+        assert arrivals[0].deadline == 630.0
+        assert arrivals[1].deadline is None
+
+
+class TestSynthesize:
+    def test_deterministic_given_seed(self):
+        base = sample_google_trace()
+        a = synthesize(base, np.random.default_rng(5))
+        b = synthesize(base, np.random.default_rng(5))
+        assert a.jobs == b.jobs
+        assert a.jobs != synthesize(base, np.random.default_rng(6)).jobs
+
+    def test_load_factor_scales_the_rate(self):
+        base = sample_hadoop_trace()
+        flat = synthesize(base, np.random.default_rng(1))
+        heavy = synthesize(
+            base, np.random.default_rng(1),
+            SynthesisConfig(load_factor=4.0),
+        )
+        assert heavy.horizon == base.horizon
+        # 4x the rate of the same fitted law, +/- sampling noise.
+        ratio = len(heavy) / len(flat)
+        assert 2.5 < ratio < 6.0
+        assert heavy.name.endswith("-x4")
+
+    def test_horizon_factor_stretches(self):
+        base = sample_hadoop_trace()
+        longer = synthesize(
+            base, np.random.default_rng(1),
+            SynthesisConfig(horizon_factor=2.0),
+        )
+        assert longer.horizon == pytest.approx(2 * base.horizon)
+        assert longer.jobs[-1].arrival_time > base.horizon
+
+    def test_tenant_weights_perturb_the_mix(self):
+        base = sample_google_trace()
+        skewed = synthesize(
+            base, np.random.default_rng(2),
+            SynthesisConfig(load_factor=6.0,
+                            tenant_weights={"alice": 20.0}),
+        )
+        alice = sum(1 for j in skewed.jobs if j.tenant == "alice")
+        assert alice > 0.7 * len(skewed)
+
+    def test_jobs_are_bootstrapped_from_source_classes(self):
+        base = sample_google_trace()
+        synth = synthesize(base, np.random.default_rng(3))
+        assert set(j.job_class for j in synth.jobs) <= set(
+            base.job_classes()
+        )
+        for j in synth.jobs:  # every job calibrates
+            calibrate_job(j)
+
+    def test_unknown_family_rejected(self):
+        base = sample_google_trace()
+        with pytest.raises(TraceError, match="not fitted"):
+            synthesize(base, np.random.default_rng(1),
+                       SynthesisConfig(family="zipf"))
+
+    def test_fit_exposes_mixes(self):
+        fit = fit_trace(sample_google_trace())
+        assert fit.best_family.name
+        assert sum(fit.class_mix.values()) == pytest.approx(1.0)
+        assert sum(fit.tenant_mix.values()) == pytest.approx(1.0)
+
+    def test_tiny_trace_falls_back_to_exponential(self):
+        tiny = WorkloadTrace.build([job(t=0.0), job(t=60.0)], horizon=HOUR)
+        fit = fit_trace(tiny)
+        assert fit.best_family.name == "exponential"
+        synthesize(tiny, np.random.default_rng(1))
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(TraceError):
+            SynthesisConfig(load_factor=0.0).validate()
+        with pytest.raises(TraceError):
+            SynthesisConfig(horizon_factor=-1.0).validate()
+
+    def test_infinite_moment_fit_falls_back_to_exponential(self):
+        # A Pareto fit with tail exponent <= 2 has sigma = inf; the
+        # sampler must fall back to exponential at the *fitted* mean.
+        from repro.traces.distributions import ExponentialOutages
+        from repro.traces.fitting import FitResult
+        from repro.workload_traces.synthesize import (
+            TraceFit,
+            _gap_distribution,
+        )
+
+        fit = TraceFit(
+            inter_arrival=[
+                FitResult("pareto", 30.0, float("inf"), 0.0, 2),
+                FitResult("exponential", 45.0, 45.0, -1.0, 1),
+            ]
+        )
+        dist = _gap_distribution(fit, SynthesisConfig(load_factor=2.0))
+        assert isinstance(dist, ExponentialOutages)
+        assert dist.mean == pytest.approx(15.0)  # fitted mean / load
+
+
+class TestSamples:
+    def test_committed_samples_match_regeneration(self, tmp_path):
+        """The bundled trace files are a pure function of their seeds."""
+        fresh = write_samples(tmp_path)
+        for path in fresh:
+            name = pathlib.Path(path).name
+            committed = DATA_DIR / name
+            assert committed.exists(), f"missing benchmarks/data/{name}"
+            assert committed.read_bytes() == pathlib.Path(
+                path
+            ).read_bytes(), f"{name} drifted from its generator"
+
+    def test_samples_load_and_calibrate(self):
+        for name in ("google_cluster_sample.csv",
+                     "hadoop_jobhistory_sample.json"):
+            trace = load_workload_trace(DATA_DIR / name)
+            arrivals = trace_arrivals(trace)
+            assert len(arrivals) == len(trace) > 0
+
+    def test_generators_valid_for_arbitrary_seeds(self):
+        # Gap accumulation may overshoot the nominal horizon; the
+        # generator must widen it, not raise, whatever the seed.
+        for seed in range(20):
+            assert len(sample_google_trace(seed=seed)) == 32
+            assert len(sample_hadoop_trace(seed=seed)) == 28
+
+
+def _service_system(seed=17):
+    return moon_system(
+        SystemConfig(
+            cluster=ClusterConfig(n_volatile=8, n_dedicated=2),
+            trace=TraceConfig(unavailability_rate=0.2),
+            scheduler=moon_scheduler_config(),
+            seed=seed,
+        )
+    )
+
+
+def _service_cfg(**kw):
+    return ServiceConfig(
+        policy="edf", max_in_flight=2, max_queue_depth=32,
+        horizon=HOUR, drain_limit=2 * HOUR, **kw,
+    )
+
+
+class TestCaptureReplayRoundTrip:
+    def test_replay_reproduces_the_report_byte_for_byte(self):
+        """The tentpole guarantee: capture a seeded live run, replay
+        the captured trace on a fresh system with the same seed, and
+        get the same per-job response times and the same rendered
+        ServiceReport, byte for byte."""
+        system = _service_system()
+        arrivals = poisson_arrivals(
+            system.sim.rng("service/arrivals"),
+            rate_per_hour=14.0, horizon=HOUR, catalog=sleep_catalog(),
+        )
+        service = MoonService(
+            system, _service_cfg(capture=True), arrivals, pattern="poisson"
+        )
+        original = service.run()
+        system.jobtracker.stop()
+        system.namenode.stop()
+        captured = service.captured_trace
+        assert captured is not None and len(captured) == len(arrivals)
+        assert captured.pattern == "poisson"
+
+        replay_system = _service_system()
+        replay = MoonService(
+            replay_system,
+            _service_cfg(),
+            trace_arrivals(captured),
+            pattern=captured.pattern,
+        ).run()
+        replay_system.jobtracker.stop()
+        replay_system.namenode.stop()
+
+        assert [r.response_time for r in replay.records] == [
+            r.response_time for r in original.records
+        ]
+        assert replay.render() == original.render()
+
+    def test_captured_arrivals_equal_originals(self):
+        """Calibration inverts capture exactly for catalogue jobs —
+        the replayed JobArrival list is *equal* to the original."""
+        system = _service_system(seed=23)
+        arrivals = poisson_arrivals(
+            system.sim.rng("service/arrivals"),
+            rate_per_hour=10.0, horizon=HOUR,
+            catalog=default_catalog(block_mb=4.0),
+        )
+        service = MoonService(
+            system, _service_cfg(), arrivals, pattern="poisson"
+        )
+        captured = capture_trace(service, name="roundtrip")
+        assert trace_arrivals(captured) == sorted(
+            arrivals, key=lambda a: a.arrival_time
+        )
+        # Stop without running: drop the scheduled arrival events.
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+    def test_post_horizon_drops_survive_the_round_trip(self):
+        """Arrivals past the admission horizon are DROPPED offered
+        load; the capture keeps the admission horizon verbatim so a
+        replay drops them again instead of serving them."""
+        from repro.service import replay_arrivals
+        from repro.workloads import sleep_spec
+
+        spec = sleep_spec(5.0, 2.0, n_maps=2, n_reduces=1)
+        entries = [(60.0, "a", spec, None), (5000.0, "b", spec, None)]
+        system = _service_system(seed=31)
+        service = MoonService(
+            system, _service_cfg(capture=True),
+            replay_arrivals(entries), pattern="poisson",
+        )
+        original = service.run()
+        system.jobtracker.stop()
+        system.namenode.stop()
+        assert original.overall.dropped == 1
+
+        captured = service.captured_trace
+        assert captured.horizon == HOUR  # the admission horizon
+        assert len(captured) == 2  # the dropped arrival is kept
+
+        replay_system = _service_system(seed=31)
+        replay = MoonService(
+            replay_system,
+            _service_cfg(),
+            trace_arrivals(captured),
+            pattern=captured.pattern,
+        ).run()
+        replay_system.jobtracker.stop()
+        replay_system.namenode.stop()
+        assert replay.overall.dropped == 1
+        assert replay.render() == original.render()
+
+    def test_non_dyadic_block_sizes_roundtrip_exactly(self):
+        """capture stores the per-map block verbatim (no total-input
+        division on replay), so even blocks like 0.1 MB — where no
+        float total divides back exactly — rebuild bit-exact specs."""
+        from repro.service import replay_arrivals
+        from repro.workloads import wordcount_spec
+
+        spec = wordcount_spec(
+            n_maps=3, block_mb=0.1, n_reduces=2, map_cpu_seconds=30.0
+        )
+        system = _service_system(seed=41)
+        service = MoonService(
+            system, _service_cfg(),
+            replay_arrivals(
+                [(10.0, "a", spec, 600.0), (20.0, "b", spec, None)]
+            ),
+            pattern="poisson",
+        )
+        captured = capture_trace(service)
+        assert len(captured) == 2
+        for row in captured.jobs:
+            assert calibrate_job(row) == spec
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+    def test_single_instant_trace_gets_a_servable_horizon(self):
+        trace = WorkloadTrace.build([job(t=0.0)])
+        assert trace.horizon == 1.0  # floored; ServiceConfig needs > 0
+        assert len(trace_arrivals(trace)) == 1
+
+    def test_capture_of_an_empty_run_is_none_not_a_crash(self):
+        system = _service_system(seed=37)
+        service = MoonService(
+            system, _service_cfg(capture=True), (), pattern="poisson"
+        )
+        report = service.run()
+        system.jobtracker.stop()
+        system.namenode.stop()
+        assert report.overall.arrived == 0
+        assert service.captured_trace is None
+
+    def test_capture_survives_canonical_serialisation(self, tmp_path):
+        system = _service_system(seed=29)
+        arrivals = poisson_arrivals(
+            system.sim.rng("service/arrivals"),
+            rate_per_hour=10.0, horizon=HOUR, catalog=sleep_catalog(),
+        )
+        service = MoonService(
+            system, _service_cfg(), arrivals, pattern="poisson"
+        )
+        captured = capture_trace(service)
+        path = tmp_path / "cap.json"
+        save_workload_json(path, captured)
+        again = load_workload_trace(path)
+        assert again.jobs == captured.jobs
+        assert trace_arrivals(again) == trace_arrivals(captured)
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+
+class TestReplayPatternGuard:
+    def test_empty_replay_stream_fails_fast(self):
+        system = _service_system()
+        with pytest.raises(ConfigError, match="repro replay"):
+            MoonService(system, _service_cfg(), (), pattern="replay")
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+    def test_synthetic_pattern_with_no_arrivals_still_allowed(self):
+        # An empty synthetic stream is a valid (if dull) run.
+        system = _service_system()
+        MoonService(system, _service_cfg(), (), pattern="poisson")
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+    def test_guard_fires_before_the_autoscaler_arms(self):
+        """The failed construction must not leave an orphaned control
+        loop on the caller's simulation: after catching the
+        ConfigError, the same system serves a real stream cleanly."""
+        from repro.service import AutoscaleConfig, poisson_arrivals
+
+        system = _service_system(seed=43)
+        with pytest.raises(ConfigError, match="repro replay"):
+            MoonService(
+                system,
+                _service_cfg(autoscale=AutoscaleConfig(policy="reactive")),
+                (),
+                pattern="replay",
+            )
+        arrivals = poisson_arrivals(
+            system.sim.rng("service/arrivals"),
+            rate_per_hour=6.0, horizon=HOUR, catalog=sleep_catalog(),
+        )
+        report = system.run_service(
+            arrivals, _service_cfg(), pattern="poisson"
+        )
+        system.jobtracker.stop()
+        system.namenode.stop()
+        assert report.overall.arrived == len(arrivals)

@@ -5,7 +5,9 @@
    file targets exist, and intra-document ``#anchors`` match a
    heading's GitHub-style slug.
 2. Every package under ``src/repro/`` (every ``__init__.py``) carries
-   a non-empty module docstring.
+   a non-empty module docstring — and so does every *module*: the
+   per-package coverage extends file by file, so a new subsystem
+   (e.g. ``workload_traces``) cannot land half-documented.
 3. docs/ARCHITECTURE.md mentions every package under ``src/repro/``
    (the "covers every layer" guarantee).
 
@@ -72,10 +74,14 @@ def package_inits() -> list:
     return sorted(SRC.glob("**/__init__.py"))
 
 
+def package_modules() -> list:
+    return sorted(SRC.glob("**/*.py"))
+
+
 def check_package_docstrings(errors: list) -> None:
-    for init in package_inits():
-        rel = init.relative_to(REPO)
-        tree = ast.parse(init.read_text(encoding="utf-8"))
+    for module in package_modules():
+        rel = module.relative_to(REPO)
+        tree = ast.parse(module.read_text(encoding="utf-8"))
         doc = ast.get_docstring(tree)
         if not doc or not doc.strip():
             errors.append(f"{rel}: missing module docstring")
@@ -110,7 +116,8 @@ def main() -> int:
     ))
     print(
         f"[docs] OK: {n_links} links resolve, "
-        f"{len(package_inits())} package docstrings present, "
+        f"{len(package_modules())} module docstrings present "
+        f"across {len(package_inits())} packages, "
         "every package covered by ARCHITECTURE.md"
     )
     return 0

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Regenerate the committed sample workload traces.
+
+Writes ``benchmarks/data/google_cluster_sample.csv`` and
+``benchmarks/data/hadoop_jobhistory_sample.json`` from the seeded
+generators in :mod:`repro.workload_traces.samples`.  The outputs are a
+pure function of the hard-coded seeds, and
+``tests/test_workload_traces.py`` asserts the committed bytes match a
+regeneration — run this (and commit the diff) only when the sample
+*shape* deliberately changes.
+
+Usage:  PYTHONPATH=src python tools/make_workload_samples.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.workload_traces import load_workload_trace, write_samples  # noqa: E402
+
+DATA_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "data"
+
+
+def main() -> int:
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    for path in write_samples(DATA_DIR):
+        trace = load_workload_trace(path)
+        print(f"wrote {path}: {len(trace)} jobs over "
+              f"{trace.horizon / 3600.0:.1f} h")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
