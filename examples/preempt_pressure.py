@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""SLO-aware preemption: rescuing tight jobs stuck behind batch work.
+
+Queue policies reorder work only *before* admission — once loose-SLO
+batch jobs hold the in-flight window, a tight-SLO arrival can only
+wait.  This walkthrough builds exactly that squeeze on a small
+cluster, then serves the identical stream three times:
+
+  off           plain EDF — the tight jobs strand and miss
+  deprioritise  victims drop to the back of the scheduler walk;
+                slots free only as their tasks finish
+  pause         victims additionally suspend under sustained
+                pressure: compute progress is banked, their slots
+                and in-flight seats release immediately, and they
+                resume when the pressure clears
+
+Run:  python examples/preempt_pressure.py
+"""
+
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.service import (
+    MoonService,
+    PreemptConfig,
+    ServiceConfig,
+    render_preempt_events,
+    replay_arrivals,
+)
+from repro.workloads import sleep_spec
+
+HOUR = 3600.0
+
+
+def build_system(seed: int = 3):
+    """A small churn-free cluster: the squeeze, not the weather."""
+    return moon_system(
+        SystemConfig(
+            cluster=ClusterConfig(n_volatile=8, n_dedicated=2),
+            trace=TraceConfig(unavailability_rate=0.0),
+            scheduler=moon_scheduler_config(),
+            seed=seed,
+        )
+    )
+
+
+def pressured_stream():
+    """Two long batch jobs grab both in-flight seats, then two
+    interactive jobs with five-minute SLOs arrive behind them."""
+    batch = sleep_spec(300.0, 120.0, n_maps=12, n_reduces=2).with_(
+        name="batch"
+    )
+    tight = sleep_spec(20.0, 5.0, n_maps=4, n_reduces=1).with_(
+        name="interactive"
+    )
+    return replay_arrivals(
+        [
+            (0.0, "etl", batch, 4 * HOUR),
+            (0.0, "etl", batch, 4 * HOUR),
+            (60.0, "web", tight, 300.0),
+            (70.0, "web", tight, 300.0),
+        ]
+    )
+
+
+def serve(mode: str):
+    system = build_system()
+    service = MoonService(
+        system,
+        ServiceConfig(
+            policy="edf",
+            max_in_flight=2,
+            horizon=1 * HOUR,
+            preempt=PreemptConfig(mode=mode),
+        ),
+        pressured_stream(),
+    )
+    report = service.run()
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return report
+
+
+def main() -> None:
+    for mode in ("off", "deprioritise", "pause"):
+        report = serve(mode)
+        print(report.render())
+        if report.preempt_events:
+            print()
+            print(render_preempt_events(report.preempt_events))
+        print()
+    print(
+        "Same stream, same seed: pause mode suspends the batch jobs "
+        "the moment the interactive backlog is projected to miss, "
+        "admits the tight work into the freed seats, and resumes the "
+        "batch jobs afterwards — every job still completes, so the "
+        "only cost is batch latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -195,11 +195,12 @@ def _resolve_serve_defaults(args) -> None:
 
 
 #: Overall summary columns (ServiceReport.summary_row) and the
-#: autoscale cost extension (cost_row), shared by the serve and
-#: replay comparison tables.
+#: autoscale cost / preemption extensions (cost_row / preempt_row),
+#: shared by the serve and replay comparison tables.
 _SUMMARY_COLS = ["done", "p50 s", "p95 s", "p99 s", "miss", "good/h",
                  "fairness"]
 _COST_COLS = _SUMMARY_COLS + ["node-h", "tier", "ops"]
+_PREEMPT_COLS = _SUMMARY_COLS + ["depri", "pauses"]
 
 
 def _reject_autoscale_policy_all(args) -> bool:
@@ -212,6 +213,37 @@ def _reject_autoscale_policy_all(args) -> bool:
         )
         return True
     return False
+
+
+def _reject_preempt_all_conflicts(args) -> bool:
+    """Shared serve/replay rule: `--preempt all` compares preemption
+    modes on one queue policy with a fixed tier — one axis at a time."""
+    if args.preempt == "all" and (
+        args.policy == "all" or args.autoscale is not None
+    ):
+        print(
+            "--preempt all compares preemption modes on one queue "
+            "policy with a fixed dedicated tier; pass a single "
+            "--policy (e.g. edf) and drop --autoscale"
+        )
+        return True
+    return False
+
+
+def _preempt_modes(args):
+    """The preemption cells of one serve/replay run ([None] = the
+    classic service without a controller)."""
+    from ..service import PREEMPT_MODES
+
+    if args.preempt == "all":
+        return list(PREEMPT_MODES)
+    return [args.preempt]
+
+
+def _preempt_cfg(mode):
+    from ..service import PreemptConfig
+
+    return None if mode is None else PreemptConfig(mode=mode)
 
 
 def _max_dedicated(args) -> int:
@@ -294,39 +326,55 @@ def cmd_serve(args) -> int:
             "with `repro replay --trace <file>` instead"
         )
         return 2
+    if _reject_preempt_all_conflicts(args):
+        return 2
     if args.autoscale is not None:
         return _serve_autoscaled(args)
+    from ..service import render_preempt_events
 
     policies = (
         list(QUEUE_POLICIES) if args.policy == "all" else [args.policy]
     )
+    preempt_modes = _preempt_modes(args)
     summaries = []
     for policy in policies:
-        system = _serve_system(args)
-        arrivals = _serve_arrivals(args, system)
-        service_cfg = ServiceConfig(
-            policy=policy,
-            max_in_flight=args.max_in_flight,
-            max_queue_depth=args.queue_depth,
-            tenant_quota=args.tenant_quota,
-            horizon=args.hours * 3600.0,
-        )
-        report = system.run_service(
-            arrivals, service_cfg, pattern=args.pattern
-        )
-        system.jobtracker.stop()
-        system.namenode.stop()
-        print(report.render())
-        print()
-        summaries.append([policy] + report.summary_row())
-    if len(summaries) > 1:
-        print(
-            table(
-                ["policy"] + _SUMMARY_COLS,
-                summaries,
-                title=f"queue-policy comparison - {args.pattern} arrivals",
+        for mode in preempt_modes:
+            system = _serve_system(args)
+            arrivals = _serve_arrivals(args, system)
+            service_cfg = ServiceConfig(
+                policy=policy,
+                max_in_flight=args.max_in_flight,
+                max_queue_depth=args.queue_depth,
+                tenant_quota=args.tenant_quota,
+                horizon=args.hours * 3600.0,
+                preempt=_preempt_cfg(mode),
+                admission_prices=args.admission_prices,
             )
-        )
+            report = system.run_service(
+                arrivals, service_cfg, pattern=args.pattern
+            )
+            system.jobtracker.stop()
+            system.namenode.stop()
+            print(report.render())
+            print()
+            if report.preempt_events:
+                print(render_preempt_events(report.preempt_events))
+                print()
+            if len(preempt_modes) > 1:
+                summaries.append([mode] + report.preempt_row())
+            else:
+                summaries.append([policy] + report.summary_row())
+    if len(summaries) > 1:
+        if len(preempt_modes) > 1:
+            headers = ["preempt"] + _PREEMPT_COLS
+            title = (
+                f"preemption comparison - {args.pattern} arrivals, "
+                f"{policies[0]} queue"
+            )
+        else:
+            headers = ["policy"] + _SUMMARY_COLS
+            title = f"queue-policy comparison - {args.pattern} arrivals"
+        print(table(headers, summaries, title=title))
     return 0
 
 
@@ -364,6 +412,8 @@ def _serve_autoscaled(args) -> int:
                 min_dedicated=args.min_dedicated,
                 max_dedicated=max_dedicated,
             ),
+            preempt=_preempt_cfg(args.preempt),
+            admission_prices=args.admission_prices,
         )
         report = system.run_service(
             arrivals, service_cfg, pattern=args.pattern
@@ -395,7 +445,9 @@ def _serve_autoscaled(args) -> int:
 # ======================================================================
 # replay
 # ======================================================================
-def _replay_service_config(args, policy, autoscale_cfg, capture, trace):
+def _replay_service_config(
+    args, policy, autoscale_cfg, capture, trace, preempt_mode=None
+):
     """One replay cell's ServiceConfig (horizon = the trace's)."""
     from ..service import ServiceConfig
 
@@ -409,6 +461,8 @@ def _replay_service_config(args, policy, autoscale_cfg, capture, trace):
         autoscale=autoscale_cfg,
         capture=capture,
         trace_name=trace.name,
+        preempt=_preempt_cfg(preempt_mode),
+        admission_prices=args.admission_prices,
     )
 
 
@@ -422,6 +476,7 @@ def cmd_replay(args) -> int:
         AutoscaleConfig,
         MoonService,
         render_decisions,
+        render_preempt_events,
     )
     from ..workload_traces import (
         CalibrationConfig,
@@ -433,6 +488,8 @@ def cmd_replay(args) -> int:
     )
 
     if _reject_autoscale_policy_all(args):
+        return 2
+    if _reject_preempt_all_conflicts(args):
         return 2
     try:
         trace = load_workload_trace(args.trace)
@@ -472,14 +529,16 @@ def cmd_replay(args) -> int:
         list(QUEUE_POLICIES) if args.policy == "all" else [args.policy]
     )
     max_dedicated = _max_dedicated(args)
+    preempt_modes = _preempt_modes(args)
     cells = [
-        (policy, scale_policy)
+        (policy, scale_policy, mode)
         for scale_policy in scale_policies
         for policy in queue_policies
+        for mode in preempt_modes
     ]
     summaries = []
     captured = None
-    for policy, scale_policy in cells:
+    for policy, scale_policy, mode in cells:
         autoscale_cfg = (
             None if scale_policy is None
             else AutoscaleConfig(
@@ -496,6 +555,7 @@ def cmd_replay(args) -> int:
                 args, policy, autoscale_cfg,
                 capture=(args.capture is not None and captured is None),
                 trace=trace,
+                preempt_mode=mode,
             ),
             arrivals,
             pattern=trace.pattern,
@@ -510,8 +570,13 @@ def cmd_replay(args) -> int:
         if report.scale_events:
             print(render_decisions(report.scale_events))
             print()
+        if report.preempt_events:
+            print(render_preempt_events(report.preempt_events))
+            print()
         if scale_policy is not None:
             summaries.append([scale_policy, policy] + report.cost_row())
+        elif len(preempt_modes) > 1:
+            summaries.append([mode] + report.preempt_row())
         else:
             summaries.append([policy] + report.summary_row())
     if len(summaries) > 1:
@@ -521,6 +586,12 @@ def cmd_replay(args) -> int:
                 f"autoscale-policy comparison - trace {trace.name}, "
                 f"{queue_policies[0]} queue (D{args.dedicated}, bounds "
                 f"{args.min_dedicated}..{max_dedicated})"
+            )
+        elif len(preempt_modes) > 1:
+            headers = ["preempt"] + _PREEMPT_COLS
+            title = (
+                f"preemption comparison - trace {trace.name}, "
+                f"{queue_policies[0]} queue"
             )
         else:
             headers = ["policy"] + _SUMMARY_COLS

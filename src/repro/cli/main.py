@@ -21,6 +21,28 @@ def _add_autoscale_bounds(parser) -> None:
                         help="seconds between autoscale control rounds")
 
 
+def _add_preemption_flags(parser) -> None:
+    """The preemption flags shared verbatim by serve and replay."""
+    from ..service.preempt import PREEMPT_MODES
+
+    parser.add_argument(
+        "--preempt",
+        choices=list(PREEMPT_MODES) + ["all"],
+        default=None,
+        help="act on in-flight loose-SLO jobs when tight-SLO arrivals "
+             "queue up: demote them ('deprioritise') or additionally "
+             "suspend them under sustained pressure ('pause'); 'all' "
+             "compares the three modes on one queue policy",
+    )
+    parser.add_argument(
+        "--admission-prices",
+        action="store_true",
+        help="at queue saturation shed the cheapest-to-miss work "
+             "(deadline-free, then loosest SLO) instead of the newest "
+             "arrival",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the `repro` argument parser (one sub-command per artifact)."""
     parser = argparse.ArgumentParser(
@@ -172,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
              "policy ('all' compares the three on cost and SLO)",
     )
     _add_autoscale_bounds(serve_p)
+    _add_preemption_flags(serve_p)
 
     # --- replay ---------------------------------------------------------
     replay_p = sub.add_parser(
@@ -194,6 +217,10 @@ def build_parser() -> argparse.ArgumentParser:
             "google_cluster_sample.csv --policy all\n"
             "  double the load via the fitted synthesizer:\n"
             "    repro replay --trace <file> --scale 2 --policy edf\n"
+            "  compare preemption modes at 3x load (EDF+pause should "
+            "post the lowest\n  tight-SLO miss rate):\n"
+            "    repro replay --trace <file> --scale 3 --policy edf "
+            "--preempt all\n"
             "  round-trip: capture the served run back out as a "
             "canonical trace:\n"
             "    repro replay --trace <file> --capture served.json"
@@ -250,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay_p.add_argument("--dedicated", type=int, default=2)
     replay_p.add_argument("--seed", type=int, default=42)
     _add_autoscale_bounds(replay_p)
+    _add_preemption_flags(replay_p)
 
     # --- trace ----------------------------------------------------------
     trace_p = sub.add_parser(

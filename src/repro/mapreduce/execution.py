@@ -6,14 +6,19 @@ unavailable no compute progress is made and its in-flight I/O aborts;
 on resume the current I/O step restarts and compute continues from
 where it froze.
 
-Two layers of "suspended" exist deliberately:
+Three layers of "suspended" exist deliberately:
 
 * **physical** — the node is down *now*; runners pause instantly
   (they're on the node), but the JobTracker cannot see this;
 * **judged** — after SuspensionInterval without heartbeats the MOON
   JobTracker flags the attempts INACTIVE (Section V-A), feeding the
   frozen-task list.  Hadoop has no such judgement: it only ever sees
-  stalled progress, then kills at TrackerExpiryInterval.
+  stalled progress, then kills at TrackerExpiryInterval;
+* **job-held** — the service layer paused the whole *job* (SLO-aware
+  preemption): :meth:`AttemptRunner.hold` banks compute progress with
+  the same mechanics as a physical pause, but the flag belongs to the
+  job, so a node coming back up must not wake the attempt —
+  only :meth:`AttemptRunner.release` (the job resuming) may.
 
 Map phases:    read input -> compute -> write intermediate
 Reduce phases: shuffle -> sort -> compute -> write output
@@ -92,6 +97,10 @@ class AttemptRunner:
         self.node = rt.cluster.node(attempt.node_id)
         self.phase = 0
         self.paused = not self.node.available
+        #: Job-level preemption hold (service layer).  Orthogonal to
+        #: ``paused``: a held attempt stays paused across physical
+        #: node resumes until the job itself is resumed.
+        self.job_held = False
         self.done = False
         self._io_op = None
         self._compute: Optional[_ComputeStep] = None
@@ -114,14 +123,41 @@ class AttemptRunner:
         self._cancel_io()
 
     def resume(self) -> None:
-        """Physical node resumption: restart the interrupted step."""
-        if self.done or not self.paused:
+        """Physical node resumption: restart the interrupted step.
+
+        A job-held attempt stays paused — its pause belongs to the
+        job, not the node, and only :meth:`release` may wake it."""
+        if self.done or not self.paused or self.job_held:
             return
         self.paused = False
         if self._compute is not None:
             self._compute.resume()
         else:
             self._enter_phase()
+
+    def hold(self) -> None:
+        """Job-level preemption pause (service layer).
+
+        Same mechanics as a physical :meth:`pause` — compute progress
+        is banked, in-flight I/O aborts and restarts on wake — but the
+        hold outlives physical node churn: the attempt wakes only when
+        the *job* is resumed."""
+        if self.done or self.job_held:
+            return
+        self.job_held = True
+        if not self.paused:
+            self.pause()
+
+    def release(self) -> None:
+        """Lift the job-level hold; wake the attempt if its node is up.
+
+        On a physically-unavailable node the attempt stays paused and
+        the normal VM-resume path wakes it when the node returns."""
+        if self.done or not self.job_held:
+            return
+        self.job_held = False
+        if self.node.available:
+            self.resume()
 
     def kill(self) -> None:
         self.done = True
@@ -309,7 +345,7 @@ class ReduceRunner(AttemptRunner):
         self._retry_events.clear()
 
     def resume(self) -> None:
-        if self.done or not self.paused:
+        if self.done or not self.paused or self.job_held:
             return
         self.paused = False
         if self._compute is not None:

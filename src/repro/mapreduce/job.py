@@ -48,6 +48,18 @@ class Job:
         #: live count of unfinished speculative attempts, maintained by
         #: the JobTracker (cheap cap checks on every assignment).
         self._spec_active = 0
+        #: Submission sequence (set by the JobTracker): the stable
+        #: minor key of the priority-ordered active-jobs walk.
+        self.submit_seq = 0
+        #: SLO-aware preemption (service layer).  ``paused`` jobs are
+        #: skipped by the assignment walk and their unfinished attempts
+        #: are held (slots released) in ``held_attempts``;
+        #: ``deprioritised`` jobs drop to the back of the walk and get
+        #: no new speculative copies.  Both default off, so batch runs
+        #: are byte-identical with the flags unused.
+        self.paused = False
+        self.deprioritised = False
+        self.held_attempts: List = []
 
     # ------------------------------------------------------------------
     @property

@@ -137,12 +137,21 @@ class JobTracker:
         job.n_reduces = n_reduces
         job.reduces = [Task(job, TaskType.REDUCE, i) for i in range(n_reduces)]
 
+        job.submit_seq = len(self.jobs)
         self.jobs.append(job)
         self._active_jobs.append(job)
-        # Stable sort: priority-major, submission-order-minor.
-        self._active_jobs.sort(key=lambda j: -j.priority)
+        self._resort_active_jobs()
         self._tick()  # give it a first assignment round immediately
         return job
+
+    def _resort_active_jobs(self) -> None:
+        """Canonical assignment-walk order: deprioritised jobs last,
+        then priority-major, submission-order-minor.  With no job
+        deprioritised this equals the historical stable sort by
+        ``-priority``, so batch runs are byte-identical."""
+        self._active_jobs.sort(
+            key=lambda j: (j.deprioritised, -j.priority, j.submit_seq)
+        )
 
     # ==================================================================
     # Views used by scheduling policies
@@ -231,7 +240,7 @@ class JobTracker:
 
     def _assign_one(self, tracker, task_type, jobs) -> bool:
         for job in jobs:
-            if job.finished:
+            if job.finished or job.paused:
                 continue
             picked = self.policy.select_task(job, tracker, task_type)
             if picked is not None:
@@ -339,7 +348,12 @@ class JobTracker:
         attempt.state = AttemptState.KILLED
         attempt.finished_at = self.sim.now
         self._note_attempt_finished(attempt)
-        self.trackers[attempt.node_id].release(attempt)
+        # A held attempt's node may have been decommissioned while its
+        # job was paused (the drain gate does not wait for held work);
+        # the tracker is then already gone and there is no slot to free.
+        tracker = self.trackers.get(attempt.node_id)
+        if tracker is not None:
+            tracker.release(attempt)
         task = attempt.task
         job = task.job
         kind = "map" if task.is_map else "reduce"
@@ -416,6 +430,18 @@ class JobTracker:
         tracker.dead = True
         for attempt in list(tracker.running_attempts()):
             self.kill_attempt(attempt, "tracker expired")
+        # Held attempts of paused jobs escaped the registry at pause
+        # time, but they die with the tracker like everything else:
+        # otherwise a pause spanning an expiry would resurrect work on
+        # a rejoined node that every registered attempt lost for good.
+        for job in self._active_jobs:
+            if job.paused:
+                for attempt in job.held_attempts:
+                    if (
+                        attempt.node_id == node.node_id
+                        and not attempt.finished
+                    ):
+                        self.kill_attempt(attempt, "tracker expired")
         # Stock Hadoop: completed maps whose output lived on the dead
         # tracker's disk are re-executed while reduces still need them.
         if self.cfg.reexec_completed_maps():
@@ -468,6 +494,84 @@ class JobTracker:
         del self.trackers[node.node_id]
         self._draining_trackers.pop(node.node_id, None)
         self._rebuild_assignment_order()
+
+    # ==================================================================
+    # Job-level preemption (SLO-aware service pressure)
+    # ==================================================================
+    # The VM-pause machinery below suspends whatever runs on one *node*;
+    # these hooks suspend or demote one *job* across every node — the
+    # service layer's PreemptionController drives them when tight-SLO
+    # arrivals queue behind loose-SLO work.  Completed map output is
+    # never touched, so a resumed job re-executes nothing it finished.
+    def pause_job(self, job: Job) -> None:
+        """Suspend every unfinished attempt of ``job`` and release
+        their slots.  Held attempts keep their banked compute progress
+        (same mechanics as a VM pause) but leave the tracker registry,
+        so tracker sweeps — drain gates, expiry kills, suspension
+        marks — no longer see them; :meth:`resume_job` reconciles the
+        held set against whatever happened to the nodes meanwhile."""
+        if job.finished or job.paused:
+            return
+        job.paused = True
+        job.counters["preempt_pauses"] += 1
+        for task in job.tasks:
+            for attempt in task.live_attempts():
+                runner = attempt.runner
+                if runner is not None:
+                    runner.hold()
+                if attempt.state is AttemptState.RUNNING:
+                    attempt.state = AttemptState.INACTIVE
+                tracker = self.trackers.get(attempt.node_id)
+                if tracker is not None:
+                    tracker.release(attempt)
+                job.held_attempts.append(attempt)
+
+    def resume_job(self, job: Job) -> None:
+        """Wake a paused job: re-register its held attempts (their old
+        trackers may transiently overcommit — they accept no new work
+        until occupancy drops back) and kill the ones whose node died
+        or left while the job was paused, returning those tasks to
+        PENDING for normal re-scheduling."""
+        if job.finished or not job.paused:
+            return
+        job.paused = False
+        job.counters["preempt_resumes"] += 1
+        held, job.held_attempts = job.held_attempts, []
+        for attempt in held:
+            if attempt.finished:
+                continue  # killed while paused (job commit/failure)
+            tracker = self.trackers.get(attempt.node_id)
+            if tracker is None or tracker.dead:
+                self.kill_attempt(attempt, "preemption resume: node gone")
+                continue
+            tracker.add(attempt)
+            if (
+                attempt.state is AttemptState.INACTIVE
+                and not tracker.suspected
+            ):
+                attempt.state = AttemptState.RUNNING
+            runner = attempt.runner
+            if runner is not None:
+                runner.release()
+
+    def deprioritise_job(self, job: Job) -> None:
+        """Demote ``job`` to the back of the assignment walk and stop
+        granting it new speculative copies; running work continues, so
+        slots free up exactly as its tasks finish."""
+        if job.finished or job.deprioritised:
+            return
+        job.deprioritised = True
+        job.counters["preempt_deprioritisations"] += 1
+        self._resort_active_jobs()
+
+    def restore_job(self, job: Job) -> None:
+        """Undo :meth:`deprioritise_job` (pressure cleared)."""
+        if not job.deprioritised:
+            return
+        job.deprioritised = False
+        job.counters["preempt_restores"] += 1
+        if not job.finished:
+            self._resort_active_jobs()
 
     # ==================================================================
     # Physical suspend/resume (VM-pause)

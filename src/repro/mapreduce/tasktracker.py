@@ -56,9 +56,20 @@ class TaskTracker:
         )
 
     def free_slots(self, task_type: TaskType) -> int:
+        # The max(0, ...) clamp matters under preemption: resuming a
+        # paused job re-adds its held attempts to their old trackers,
+        # which may transiently overcommit a slot type — the tracker
+        # then simply accepts no new work until occupancy drops back
+        # below capacity (see ``overcommitted``).
         if task_type is TaskType.MAP:
             return max(0, self.map_slots - self._occupied_maps)
         return max(0, self.reduce_slots - self._occupied_reduces)
+
+    def overcommitted(self, task_type: TaskType) -> int:
+        """Attempts beyond slot capacity (job-resume transients only)."""
+        if task_type is TaskType.MAP:
+            return max(0, self._occupied_maps - self.map_slots)
+        return max(0, self._occupied_reduces - self.reduce_slots)
 
     def total_slots(self) -> int:
         return self.map_slots + self.reduce_slots

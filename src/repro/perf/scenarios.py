@@ -285,6 +285,62 @@ def _replay_2k() -> Dict[str, float]:
     }
 
 
+def _preempt_2k() -> Dict[str, float]:
+    """2k-job bursty stream under SLO-aware pause preemption.
+
+    The same admission/queue/task stack as ``service2k`` with the
+    PreemptionController armed in its heaviest mode: tight-SLO bursts
+    repeatedly demote and pause in-flight batch jobs, exercising the
+    job-level hold/release machinery (slot release, tracker
+    re-registration, shuffle re-pump on resume) at trace scale.
+    """
+    from ..service import (
+        PreemptConfig,
+        ServiceConfig,
+        bursty_arrivals,
+        sleep_catalog,
+    )
+
+    cfg = SystemConfig(
+        cluster=ClusterConfig(n_volatile=30, n_dedicated=3),
+        trace=TraceConfig(unavailability_rate=0.3),
+        scheduler=moon_policy(True),
+        seed=PERF_SCALE.seeds[0],
+    )
+    system = moon_system(cfg)
+    arrivals = bursty_arrivals(
+        system.sim.rng("service/arrivals"),
+        bursts_per_hour=8.0,
+        burst_size_mean=30.0,
+        horizon=8 * 3600.0,
+        catalog=sleep_catalog(),
+    )
+    report = system.run_service(
+        arrivals,
+        ServiceConfig(
+            policy="edf",
+            max_in_flight=16,
+            max_queue_depth=256,
+            horizon=8 * 3600.0,
+            drain_limit=4 * 3600.0,
+            preempt=PreemptConfig(mode="pause"),
+            admission_prices=True,
+        ),
+        pattern="bursty",
+    )
+    system.jobtracker.stop()
+    system.namenode.stop()
+    counts = report.preempt_counts
+    return {
+        "events": float(system.sim.executed_events),
+        "jobs_done": float(report.overall.completed),
+        "sim_seconds": system.sim.now,
+        "arrivals": float(len(arrivals)),
+        "preempt_actions": float(len(report.preempt_events)),
+        "pauses": float(counts["pause"]),
+    }
+
+
 def _fairshare_sort() -> Dict[str, float]:
     """Max-min fair-share network under a data-heavy sort at rate 0.3.
 
@@ -326,6 +382,9 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("replay2k",
                  "2k-job synthesized trace replay (fit + calibrate + EDF)",
                  _replay_2k),
+        Scenario("preempt2k",
+                 "2k-job bursty stream under SLO-aware pause preemption",
+                 _preempt_2k),
         Scenario("fairshare", "192-map sort on the fair-share network",
                  _fairshare_sort),
     )

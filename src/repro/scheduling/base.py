@@ -136,6 +136,14 @@ class SchedulerPolicy(ABC):
         extras = len(task.live_attempts()) - 1
         return extras < self.cfg.max_speculative_per_task
 
+    def allow_speculation(self, job: Job) -> bool:
+        """Deprioritised jobs (service-layer preemption) yield slots as
+        their tasks finish: they may still run *pending* work when the
+        walk reaches them last, but no policy grants them new
+        speculative copies — backup instances are exactly the extra
+        slots the preemption is trying to hand to tighter jobs."""
+        return not job.deprioritised
+
     def available_slots(self) -> int:
         cached = self._memo.get("avail_slots")
         if cached is None:

@@ -28,6 +28,8 @@ class HadoopScheduler(SchedulerPolicy):
         # speculatively issues backup tasks for slow running ones".
         if self.has_pending(job, task_type):
             return None
+        if not self.allow_speculation(job):
+            return None
         stragglers = [
             t
             for t in self.hadoop_stragglers(job, task_type)

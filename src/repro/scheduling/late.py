@@ -40,7 +40,7 @@ class LateScheduler(SchedulerPolicy):
             return (pending, False)
         if self.has_pending(job, task_type):
             return None
-        if not self.under_job_cap(job):
+        if not self.allow_speculation(job) or not self.under_job_cap(job):
             return None
         candidates = self._ranked_by_time_left(job, task_type, tracker)
         if not candidates:

@@ -58,7 +58,7 @@ class MoonScheduler(SchedulerPolicy):
     def _pick_speculative(
         self, job: Job, tracker: TaskTracker, task_type: TaskType
     ) -> Optional[Tuple[Task, bool]]:
-        if not self.under_job_cap(job):
+        if not self.allow_speculation(job) or not self.under_job_cap(job):
             return None
 
         frozen, slow, home = self._spec_candidates(job, task_type)

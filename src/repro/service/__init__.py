@@ -11,7 +11,13 @@ provisioning question dynamic — the dedicated-tier autoscaler
 (:mod:`~repro.service.autoscale`): static/reactive/predictive
 controllers that grow and shrink the dedicated tier against queue
 depth, deadline-miss rate and occupancy, with per-decision audit
-records and node-hours cost accounting.
+records and node-hours cost accounting.  SLO-aware preemption
+(:mod:`~repro.service.preempt`) closes the remaining gap: when
+tight-SLO arrivals queue behind admitted loose-SLO work, a controller
+deprioritises — and under sustained pressure pauses — in-flight
+victims through the JobTracker's job-level hooks, and the saturated
+queue can price admission by cost-of-missing instead of arrival order
+(:func:`~repro.service.queue.admission_price`).
 
 See docs/ARCHITECTURE.md#service-layer for the layer map.
 """
@@ -34,11 +40,19 @@ from .autoscale import (
     ScaleDecision,
     render_decisions,
 )
+from .preempt import (
+    PREEMPT_MODES,
+    PreemptConfig,
+    PreemptEvent,
+    PreemptionController,
+    render_preempt_events,
+)
 from .queue import (
     QUEUE_POLICIES,
     JobQueue,
     QueueContext,
     QueuedJob,
+    admission_price,
     make_cost_estimator,
     make_queue_policy,
 )
@@ -66,8 +80,14 @@ __all__ = [
     "JobQueue",
     "QueueContext",
     "QueuedJob",
+    "admission_price",
     "make_queue_policy",
     "make_cost_estimator",
+    "PREEMPT_MODES",
+    "PreemptConfig",
+    "PreemptEvent",
+    "PreemptionController",
+    "render_preempt_events",
     "MoonService",
     "ServiceConfig",
     "AUTOSCALE_POLICIES",

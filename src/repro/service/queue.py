@@ -15,6 +15,16 @@ across concurrent jobs).  Four orderings are provided:
 Admission control is two-layered: a bounded queue rejects work outright
 when the backlog exceeds ``max_queue_depth``, and per-tenant in-flight
 quotas stop one tenant from monopolising the cluster.
+
+With ``admission_prices=True`` the saturated queue stops rejecting in
+pure arrival order: every job class carries an **admission price** —
+how expensive its deadline is to miss (:func:`admission_price`: zero
+for deadline-free work, reciprocal of the relative SLO otherwise) —
+and when the backlog is full the *cheapest-to-miss* entry goes,
+whether that is the new arrival or something already queued (evictions
+surface through the ``on_evict`` callback so the service records them
+as rejected).  Default off: the classic bound is byte-identical to
+the historical behaviour.
 """
 
 from __future__ import annotations
@@ -49,6 +59,19 @@ class QueuedJob:
     @property
     def deadline(self) -> Optional[float]:
         return self.arrival.deadline
+
+
+def admission_price(arrival: JobArrival) -> float:
+    """The class's cost-of-missing, used to pick saturation victims.
+
+    Deadline-free work prices at zero (it cannot miss); deadline work
+    prices at the reciprocal of its *relative* SLO, so a 10-minute
+    budget is nine times dearer than a 90-minute one.  A pure function
+    of the arrival's class, hence identical across processes.
+    """
+    if arrival.deadline is None:
+        return 0.0
+    return 1.0 / max(arrival.deadline - arrival.arrival_time, 1e-9)
 
 
 def make_cost_estimator(
@@ -197,6 +220,8 @@ class JobQueue:
         max_queue_depth: Optional[int] = None,
         tenant_quota: Optional[int] = None,
         estimator: Optional[Callable[[JobSpec], float]] = None,
+        admission_prices: bool = False,
+        on_evict: Optional[Callable[[QueuedJob], None]] = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ConfigError("max_queue_depth must be >= 1")
@@ -212,9 +237,12 @@ class JobQueue:
         self.max_queue_depth = max_queue_depth
         self.tenant_quota = tenant_quota
         self._estimator = estimator or (lambda spec: 0.0)
+        self.admission_prices = admission_prices
+        self._on_evict = on_evict
         self._pending: List[QueuedJob] = []
         self._seq = 0
         self.rejected = 0
+        self.evicted = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -224,13 +252,37 @@ class JobQueue:
         return list(self._pending)
 
     def offer(self, arrival: JobArrival, now: float) -> Optional[QueuedJob]:
-        """Admit to the queue, or reject when the backlog is full."""
+        """Admit to the queue, or shed work when the backlog is full.
+
+        At saturation the classic rule rejects the arrival; with
+        admission prices on, the cheapest-to-miss entry of
+        ``pending + [arrival]`` goes instead — the arrival itself only
+        when nothing queued is strictly cheaper, so equal-price floods
+        degrade to exactly the historical arrival-order rejection.
+        """
         if (
             self.max_queue_depth is not None
             and len(self._pending) >= self.max_queue_depth
         ):
+            if not self.admission_prices:
+                self.rejected += 1
+                return None
+            price = admission_price(arrival)
+            # Cheapest price first; among equals the *newest* goes, so
+            # earlier-queued work of a class keeps its place (and the
+            # arrival, newest of all, loses every tie).
+            victim = min(
+                self._pending,
+                key=lambda q: (admission_price(q.arrival), -q.seq),
+            )
+            if admission_price(victim.arrival) >= price:
+                self.rejected += 1
+                return None
+            self._pending.remove(victim)
             self.rejected += 1
-            return None
+            self.evicted += 1
+            if self._on_evict is not None:
+                self._on_evict(victim)
         qjob = QueuedJob(
             arrival=arrival,
             enqueued_at=now,

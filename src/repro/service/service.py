@@ -5,8 +5,12 @@
 simulation clock, applies admission control at the front door, admits
 queued jobs into the JobTracker as in-flight slots free up, and keeps
 per-job SLO records the whole way.  The underlying task-level machinery
-(hybrid scheduling, replication, suspension handling) is untouched —
-this is the job-stream layer the paper's Section VIII leaves open.
+(hybrid scheduling, replication, suspension handling) runs unchanged —
+this is the job-stream layer the paper's Section VIII leaves open —
+except when the optional :class:`~repro.service.preempt.
+PreemptionController` is armed, which reaches down through the
+JobTracker's job-level pause/deprioritise hooks to act on in-flight
+work under SLO pressure.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from ..mapreduce.job import Job
 from ..simulation import PRIORITY_PERIODIC, PeriodicTask
 from .arrivals import JobArrival
 from .autoscale import Autoscaler, AutoscaleConfig
+from .preempt import PreemptConfig, PreemptionController
 from .queue import (
     QUEUE_POLICIES,
     JobQueue,
@@ -55,6 +60,14 @@ class ServiceConfig:
     #: Dedicated-tier autoscaling controller (None = fixed tier and no
     #: cost metering, today's behaviour).
     autoscale: Optional[AutoscaleConfig] = None
+    #: SLO-aware preemption of in-flight jobs (None = admission-only
+    #: control, today's behaviour; mode "off" wires the accounting but
+    #: arms no controller events — byte-identical to None).
+    preempt: Optional[PreemptConfig] = None
+    #: Price the saturated queue by cost-of-missing instead of arrival
+    #: order: cheapest-to-miss work (deadline-free, then loosest SLO)
+    #: is shed first (see repro.service.queue.admission_price).
+    admission_prices: bool = False
     #: Capture the offered stream back into a
     #: :class:`~repro.workload_traces.WorkloadTrace` after ``run()``
     #: (exposed as ``MoonService.captured_trace``; what ``repro replay
@@ -85,6 +98,8 @@ class ServiceConfig:
             raise ConfigError("check_interval must be positive")
         if self.autoscale is not None:
             self.autoscale.validate()
+        if self.preempt is not None:
+            self.preempt.validate()
         if cluster is not None:
             slots = sum(
                 n.spec.map_slots + n.spec.reduce_slots
@@ -154,6 +169,13 @@ class MoonService:
                 system.config.cluster.n_volatile or 1,
                 system.config.trace.unavailability_rate,
             ),
+            admission_prices=cfg.admission_prices,
+            on_evict=self._on_evict,
+        )
+        self.preemptor: Optional[PreemptionController] = (
+            PreemptionController(self, cfg.preempt)
+            if cfg.preempt is not None
+            else None
         )
         self.records: List[JobRecord] = []
         self._in_flight: List[Tuple[JobRecord, Job]] = []
@@ -208,9 +230,24 @@ class MoonService:
         self._record_by_qjob[qjob.seq] = record
         self._pump()
 
+    def _on_evict(self, qjob) -> None:
+        """Admission-price eviction: the queued job is rejected late."""
+        record = self._record_by_qjob.pop(qjob.seq)
+        record.state = ServedState.REJECTED
+        if self.autoscaler is not None:
+            self.autoscaler.note_outcome(record)
+
+    def active_in_flight(self) -> int:
+        """In-flight jobs that still occupy the admission window —
+        paused jobs don't: releasing their slots to tighter work is
+        the whole point of pausing them.  (Resuming can transiently
+        overshoot ``max_in_flight``; the pump simply admits nothing
+        until completions bring the count back down.)"""
+        return sum(1 for _r, job in self._in_flight if not job.paused)
+
     def _pump(self) -> None:
         """Admit queued jobs while in-flight slots are free."""
-        while len(self._in_flight) < self.config.max_in_flight:
+        while self.active_in_flight() < self.config.max_in_flight:
             ctx = QueueContext(in_flight_by_tenant=self._tenant_counts())
             qjob = self.queue.select(ctx)
             if qjob is None:
@@ -243,8 +280,15 @@ class MoonService:
             self.autoscaler.note_outcome(record)
 
     def _tenant_counts(self) -> Dict[str, int]:
+        # Paused jobs release their quota seat along with their slots:
+        # counting them would let a pause free the global window while
+        # the victim's own tenant stays quota-blocked — the tight job
+        # the pause was taken for could then never be admitted, and
+        # the pressure (hence the pause) would never clear.
         counts: Dict[str, int] = {}
-        for record, _job in self._in_flight:
+        for record, job in self._in_flight:
+            if job.paused:
+                continue
             counts[record.tenant] = counts.get(record.tenant, 0) + 1
         return counts
 
@@ -274,6 +318,9 @@ class MoonService:
         scaler = self.autoscaler
         if scaler is not None:
             scaler.stop()
+        preemptor = self.preemptor
+        if preemptor is not None:
+            preemptor.stop()
         if cfg.capture and self.records:
             # Imported here: workload_traces sits beside the service
             # layer and imports its arrival model.  A run that saw no
@@ -300,4 +347,11 @@ class MoonService:
                 [] if scaler is None else list(scaler.decisions)
             ),
             trace=cfg.trace_name,
+            preempt=(
+                None if preemptor is None else preemptor.cfg.mode
+            ),
+            preempt_events=(
+                [] if preemptor is None else list(preemptor.events)
+            ),
+            evicted=self.queue.evicted,
         )

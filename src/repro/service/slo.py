@@ -218,6 +218,23 @@ class ServiceReport:
     #: Provenance label of the replayed workload trace (None for
     #: synthetic arrival streams).
     trace: Optional[str] = None
+    #: Preemption mode when a controller was configured ("off" |
+    #: "deprioritise" | "pause"; None = no controller, the classic
+    #: admission-only service).
+    preempt: Optional[str] = None
+    #: Per-action audit records (see repro.service.preempt).
+    preempt_events: List = field(repr=False, default_factory=list)
+    #: Saturation evictions by admission price (0 whenever the queue
+    #: ran the classic arrival-order bound).
+    evicted: int = 0
+
+    @property
+    def preempt_counts(self) -> Dict[str, int]:
+        """Action totals of the preemption audit log."""
+        out = {"deprioritise": 0, "pause": 0, "resume": 0, "restore": 0}
+        for e in self.preempt_events:
+            out[e.action] += 1
+        return out
 
     # ------------------------------------------------------------------
     def tenant(self, name: str) -> TenantSlo:
@@ -259,6 +276,17 @@ class ServiceReport:
             }
         if self.trace is not None:
             out["trace"] = self.trace
+        if self.preempt is not None:
+            counts = self.preempt_counts
+            out["preempt"] = {
+                "mode": self.preempt,
+                "deprioritisations": counts["deprioritise"],
+                "pauses": counts["pause"],
+                "resumes": counts["resume"],
+                "restores": counts["restore"],
+            }
+        if self.evicted:
+            out["evicted"] = self.evicted
         return out
 
     def summary_row(self) -> list:
@@ -283,6 +311,15 @@ class ServiceReport:
             None if self.node_hours is None else f"{self.node_hours:.2f}",
             self.dedicated_final,
             len(self.scale_events),
+        ]
+
+    def preempt_row(self) -> list:
+        """``summary_row`` plus the preemption cells ``[depri,
+        pauses]`` — the shape of the ``--preempt all`` comparison."""
+        counts = self.preempt_counts
+        return self.summary_row() + [
+            counts["deprioritise"],
+            counts["pause"],
         ]
 
     def render(self) -> str:
@@ -337,6 +374,20 @@ class ServiceReport:
                 f"final tier {self.dedicated_final}, "
                 f"{len(self.scale_events)} scale actions"
             )
+        if self.preempt is not None:
+            counts = self.preempt_counts
+            out += (
+                f"\npreempt={self.preempt}: "
+                f"{counts['deprioritise']} deprioritised, "
+                f"{counts['pause']} paused, "
+                f"{counts['resume']} resumed, "
+                f"{counts['restore']} restored"
+            )
+        if self.evicted:
+            out += (
+                f"\nadmission prices: {self.evicted} queued jobs "
+                "evicted for dearer arrivals at saturation"
+            )
         return out
 
 
@@ -352,6 +403,9 @@ def build_report(
     dedicated_final: Optional[int] = None,
     scale_events: Optional[List] = None,
     trace: Optional[str] = None,
+    preempt: Optional[str] = None,
+    preempt_events: Optional[List] = None,
+    evicted: int = 0,
 ) -> ServiceReport:
     """Roll per-job records into the service-level report."""
     by_tenant: Dict[str, List[JobRecord]] = {}
@@ -381,4 +435,7 @@ def build_report(
         dedicated_final=dedicated_final,
         scale_events=list(scale_events or []),
         trace=trace,
+        preempt=preempt,
+        preempt_events=list(preempt_events or []),
+        evicted=evicted,
     )

@@ -212,6 +212,31 @@ class TestReplayCommand:
         assert rc == 2
         assert "single --policy" in capsys.readouterr().out
 
+    def test_preempt_all_rejects_conflicting_axes(self, capsys):
+        rc = main(["replay", "--trace", self._sample(),
+                   "--preempt", "all", "--policy", "all"])
+        assert rc == 2
+        assert "--preempt all" in capsys.readouterr().out
+        rc = main(["replay", "--trace", self._sample(),
+                   "--preempt", "all", "--autoscale", "reactive"])
+        assert rc == 2
+        assert "--preempt all" in capsys.readouterr().out
+        rc = main(["serve", "--preempt", "all", "--policy", "all"])
+        assert rc == 2
+        assert "--preempt all" in capsys.readouterr().out
+
+    def test_preempt_flag_parses_on_both_commands(self):
+        args = build_parser().parse_args(
+            ["replay", "--trace", "t.csv", "--preempt", "pause"]
+        )
+        assert args.preempt == "pause" and not args.admission_prices
+        args = build_parser().parse_args(
+            ["serve", "--preempt", "deprioritise", "--admission-prices"]
+        )
+        assert args.preempt == "deprioritise" and args.admission_prices
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--preempt", "kill"])
+
     def test_determinism_smoke_same_bytes_twice(self, capsys):
         """The fast-lane smoke: replaying the bundled sample twice in
         fresh systems prints byte-identical reports."""
@@ -223,6 +248,23 @@ class TestReplayCommand:
         assert "service report" in first
         assert "pattern=replay" in first
         assert "replayed trace: hadoop_jobhistory_sample" in first
+        assert first == second
+
+    def test_preempt_determinism_smoke_same_bytes_twice(self, capsys):
+        """Fast-lane preemption smoke: the same pause-mode replay on a
+        pressured cluster twice — controller decisions, audit table and
+        report must diff to nothing (the trace-scale twin lives in
+        benchmarks/test_preempt_replay.py, marked slow)."""
+        argv = [
+            "replay", "--trace", self._sample(), "--policy", "edf",
+            "--volatile", "6", "--dedicated", "1",
+            "--max-in-flight", "2", "--preempt", "pause",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "preempt=pause" in first
         assert first == second
 
     def test_capture_roundtrip_through_cli(self, tmp_path, capsys):

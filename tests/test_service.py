@@ -197,6 +197,26 @@ class TestServiceLoop:
         )
         assert a_records[1].admitted_at >= a_records[0].finished_at
 
+    def test_admission_prices_evict_cheapest_to_miss(self):
+        system = make_system()
+        # One running job, depth-1 queue: the deadline-free filler is
+        # queued first, then a tight arrival outprices and evicts it.
+        entries = [
+            (0.0, "a", quick_spec(map_seconds=600.0), None),
+            (1.0, "a", quick_spec(), None),
+            (2.0, "b", quick_spec(), 900.0),
+        ]
+        report = serve(
+            system, entries, max_in_flight=1, max_queue_depth=1,
+            admission_prices=True,
+        )
+        by_tenant = {r.tenant: r for r in report.records if r.seq > 0}
+        assert by_tenant["a"].state is ServedState.REJECTED
+        assert by_tenant["b"].state is ServedState.SUCCEEDED
+        assert report.evicted == 1
+        assert "admission prices: 1 queued jobs evicted" in report.render()
+        assert report.to_dict()["evicted"] == 1
+
     def test_same_seed_identical_report(self):
         def one_run():
             system = make_system(seed=11, rate=0.3)

@@ -120,6 +120,87 @@ class TestAdmission:
             make_cost_estimator(0, 0.3)
 
 
+class TestAdmissionPrices:
+    """Saturation sheds cheapest-to-miss work first (ROADMAP item)."""
+
+    def _full_queue(self, **kwargs):
+        q = queue("edf", max_queue_depth=3, admission_prices=True,
+                  **kwargs)
+        # no deadline (price 0) < 2h SLO < 30min SLO.
+        q.offer(arrival(t=0.0, deadline=None, name="free"), now=0.0)
+        q.offer(arrival(t=1.0, deadline=1.0 + 7200.0, name="loose"),
+                now=1.0)
+        q.offer(arrival(t=2.0, deadline=2.0 + 1800.0, name="mid"), now=2.0)
+        return q
+
+    def test_cheapest_class_evicted_first(self):
+        evicted = []
+        q = self._full_queue(on_evict=lambda qj: evicted.append(qj))
+        # A tight arrival outprices the deadline-free entry.
+        tight = arrival(t=3.0, deadline=3.0 + 600.0, name="tight")
+        assert q.offer(tight, now=3.0) is not None
+        assert [e.arrival.spec.name for e in evicted] == ["free"]
+        assert q.rejected == 1 and q.evicted == 1
+        assert len(q) == 3
+
+    def test_equal_or_cheaper_arrival_is_rejected(self):
+        evicted = []
+        q = self._full_queue(on_evict=lambda qj: evicted.append(qj))
+        # Same price as the queued deadline-free job: the arrival —
+        # newest of all — loses the tie; nothing queued is disturbed.
+        assert q.offer(arrival(t=3.0, deadline=None), now=3.0) is None
+        assert evicted == []
+        assert q.rejected == 1 and q.evicted == 0
+
+    def test_rejection_order_is_pinned(self):
+        """The full saturation cascade: classes go cheapest-first, and
+        within a class newest-first — a deterministic order pinned
+        here because it must be identical across processes (the
+        comparison-table byte-stability bar)."""
+        def flood(q):
+            names = ["free-0", "loose-0", "loose-1"]
+            q.offer(arrival(t=0.0, deadline=None, name=names[0]), now=0.0)
+            q.offer(arrival(t=1.0, deadline=1.0 + 7200.0, name=names[1]),
+                    now=1.0)
+            q.offer(arrival(t=2.0, deadline=2.0 + 7200.0, name=names[2]),
+                    now=2.0)
+            shed = []
+            q._on_evict = lambda qj: shed.append(qj.arrival.spec.name)
+            for i in range(3):
+                t = 10.0 + i
+                q.offer(
+                    arrival(t=t, deadline=t + 600.0, name=f"tight-{i}"),
+                    now=t,
+                )
+            return shed, [p.arrival.spec.name for p in q.pending]
+
+        shed1, left1 = flood(queue("edf", max_queue_depth=3,
+                                   admission_prices=True))
+        shed2, left2 = flood(queue("edf", max_queue_depth=3,
+                                   admission_prices=True))
+        # Cheapest class first (deadline-free), then the loose class
+        # newest-first; the tight arrivals all stay.
+        assert shed1 == ["free-0", "loose-1", "loose-0"]
+        assert left1 == ["tight-0", "tight-1", "tight-2"]
+        assert (shed1, left1) == (shed2, left2)
+
+    def test_flag_off_keeps_classic_arrival_order_rejection(self):
+        q = queue("edf", max_queue_depth=1)
+        q.offer(arrival(t=0.0, deadline=None), now=0.0)
+        tight = arrival(t=1.0, deadline=1.0 + 60.0)
+        assert q.offer(tight, now=1.0) is None
+        assert q.evicted == 0 and len(q) == 1
+
+    def test_admission_price_function(self):
+        from repro.service import admission_price
+
+        assert admission_price(arrival(deadline=None)) == 0.0
+        tight = admission_price(arrival(t=10.0, deadline=10.0 + 600.0))
+        loose = admission_price(arrival(t=10.0, deadline=10.0 + 5400.0))
+        assert tight == pytest.approx(9 * loose)
+        assert tight > loose > 0.0
+
+
 class TestCostEstimator:
     def test_monotone_in_job_size(self):
         est = make_cost_estimator(10, 0.3)

@@ -22,6 +22,8 @@ from repro.config import (
 from repro.core import moon_system
 from repro.workloads import sleep_spec
 
+HOUR = 3600.0
+
 
 @st.composite
 def system_and_job(draw):
@@ -110,3 +112,160 @@ class TestSystemInvariants:
         assert r1.state == r2.state
         assert r1.elapsed == r2.elapsed
         assert r1.metrics.duplicated_tasks == r2.metrics.duplicated_tasks
+
+
+@st.composite
+def service_under_pressure(draw):
+    """A service configuration combining the three control layers:
+    SLO-aware preemption, dedicated-tier autoscaling and node churn."""
+    from dataclasses import replace
+
+    from repro.config import moon_scheduler_config
+    from repro.service import AutoscaleConfig, PreemptConfig, ServiceConfig
+
+    cfg = SystemConfig(
+        cluster=ClusterConfig(
+            n_volatile=draw(st.integers(min_value=2, max_value=8)),
+            n_dedicated=draw(st.integers(min_value=1, max_value=3)),
+        ),
+        trace=TraceConfig(
+            unavailability_rate=draw(st.sampled_from([0.0, 0.3, 0.6]))
+        ),
+        scheduler=replace(moon_scheduler_config(), dedicated_primary=True),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+    service_cfg = ServiceConfig(
+        policy=draw(st.sampled_from(["fifo", "edf"])),
+        max_in_flight=draw(st.integers(min_value=1, max_value=4)),
+        max_queue_depth=draw(st.sampled_from([2, 8, 64])),
+        tenant_quota=draw(st.sampled_from([None, 1, 2])),
+        horizon=1 * HOUR,
+        drain_limit=4 * HOUR,
+        preempt=PreemptConfig(
+            mode=draw(st.sampled_from(["off", "deprioritise", "pause"])),
+            interval=draw(st.sampled_from([10.0, 30.0])),
+            slack_threshold=draw(st.sampled_from([60.0, 600.0])),
+            victim_slack=draw(st.sampled_from([0.0, 600.0])),
+            escalate_rounds=draw(st.integers(min_value=0, max_value=2)),
+        ),
+        admission_prices=draw(st.booleans()),
+        autoscale=draw(
+            st.sampled_from(
+                [
+                    None,
+                    AutoscaleConfig(
+                        policy="reactive",
+                        interval=20.0,
+                        min_dedicated=1,
+                        max_dedicated=4,
+                        up_cooldown=20.0,
+                        down_cooldown=40.0,
+                    ),
+                ]
+            )
+        ),
+    )
+    return cfg, service_cfg
+
+
+class TestServicePressureInvariants:
+    """Preemption + autoscaling + churn fuzz: the three control loops
+    acting on the same jobs must never wedge the service or corrupt
+    its accounting — in particular a pause racing a dedicated-node
+    drain must not deadlock the decommission gate."""
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(args=service_under_pressure())
+    def test_property_combined_control_loops_never_wedge(self, args):
+        from repro.service import bursty_arrivals, sleep_catalog
+
+        cfg, service_cfg = args
+        system = moon_system(cfg)
+        arrivals = bursty_arrivals(
+            system.sim.rng("service/arrivals"),
+            bursts_per_hour=4.0,
+            burst_size_mean=6.0,
+            horizon=service_cfg.horizon,
+            catalog=sleep_catalog(),
+        )
+        report = system.run_service(
+            arrivals, service_cfg, pattern="bursty"
+        )
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+        # Terminal accounting always adds up.
+        o = report.overall
+        assert o.arrived == len(arrivals)
+        assert (
+            o.completed + o.failed + o.rejected + o.dropped + o.unserved
+            == o.arrived
+        )
+        # Paused-then-resumed work is never both lost *and* counted:
+        # every preemption pause has a matching resume unless the run
+        # stopped at the limit with the job still in flight.
+        counts = report.preempt_counts
+        assert counts["resume"] <= counts["pause"]
+        if o.unserved == 0:
+            assert counts["resume"] == counts["pause"]
+        # The decommission gate cleared: no tracker is still draining
+        # once the stream has fully drained (a pause racing a drain
+        # must not wedge the gate open forever).
+        if o.unserved == 0 and report.scale_events:
+            assert not system.cluster.draining_nodes()
+        # No ghost work anywhere in the registry.
+        for tracker in system.jobtracker.trackers.values():
+            for attempt in tracker.attempts:
+                assert not attempt.task.job.finished
+
+    def test_pause_racing_dedicated_drain_completes(self):
+        """Deterministic drain-race: pause a job whose attempts run on
+        a dedicated node, decommission that node mid-pause, and the
+        gate must clear (held work is reconciled at resume, its tasks
+        re-queued, the job still finishes)."""
+        from dataclasses import replace
+
+        from repro.config import moon_scheduler_config
+
+        cfg = SystemConfig(
+            cluster=ClusterConfig(n_volatile=0, n_dedicated=2),
+            trace=TraceConfig(unavailability_rate=0.0),
+            scheduler=replace(
+                moon_scheduler_config(), dedicated_primary=True
+            ),
+            seed=5,
+        )
+        system = moon_system(cfg)
+        jt = system.jobtracker
+        job = jt.submit(sleep_spec(300.0, 30.0, n_maps=6, n_reduces=1))
+        system.sim.run(until=30.0)
+        victims = [
+            t.node_id
+            for t in jt.trackers.values()
+            if t.node.is_dedicated and t.attempts
+        ]
+        assert victims, "maps must be running on the dedicated tier"
+        victim = victims[0]
+        jt.pause_job(job)
+        held_on_victim = [
+            a for a in job.held_attempts if a.node_id == victim
+        ]
+        assert held_on_victim
+        system.cluster.decommission_dedicated(victim)
+        # The gate clears at the next heartbeat ticks even though the
+        # job still holds (released) attempts on the draining node.
+        system.sim.run(until=120.0)
+        assert victim not in jt.trackers
+        assert not system.cluster.draining_nodes()
+        # Resume reconciles: the orphaned attempts die, their tasks
+        # re-queue, and the job completes on the surviving node.
+        jt.resume_job(job)
+        system.sim.run(until=6 * HOUR, stop_when=lambda: job.finished)
+        assert job.state.value == "succeeded"
+        assert all(a.finished for a in held_on_victim)
+        for task in job.tasks:
+            assert not task.live_attempts()
