@@ -3,9 +3,16 @@
 Each handler takes the parsed :mod:`argparse` namespace, prints its
 report to stdout, and returns an exit code.  Experiments delegate to
 :mod:`repro.experiments`; utility commands assemble systems directly.
+
+Reports go to stdout; diagnostics (usage errors, progress notes, file
+confirmations) go through :mod:`logging` to stderr — errors always,
+progress only under ``repro --verbose``.
 """
 
 from __future__ import annotations
+
+import json
+import logging
 
 import numpy as np
 
@@ -38,7 +45,48 @@ from ..workloads import (
     wordcount_spec,
 )
 
+log = logging.getLogger("repro")
+
 _APPS = {"sort": "sort", "wordcount": "word count"}
+
+
+# ======================================================================
+# Observability / JSON-report plumbing
+# ======================================================================
+def _make_obs(args):
+    """An :class:`~repro.obs.Observability` when any flight-recorder
+    flag was passed; None keeps obs entirely off (the default, which
+    is byte-identical to a build without the obs layer)."""
+    if args.trace_out is None and args.metrics_out is None:
+        return None
+    from ..obs import Observability, ObsConfig
+
+    return Observability(
+        ObsConfig(
+            trace=args.trace_out is not None,
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+        )
+    )
+
+
+def _export_obs(obs) -> None:
+    """Write any requested trace/metrics files; log each path."""
+    if obs is None:
+        return
+    for path in obs.export():
+        log.info("wrote %s", path)
+
+
+def _write_reports_json(path, reports) -> None:
+    """Write serve/replay reports as versioned JSON (``--json``)."""
+    from ..service import REPORT_SCHEMA_VERSION
+
+    payload = {"schema_version": REPORT_SCHEMA_VERSION, "reports": reports}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    log.info("wrote %d report(s) to %s", len(reports), path)
 
 
 def _apps(choice: str):
@@ -157,12 +205,16 @@ def cmd_run(args) -> int:
         scheduler=sched,
         seed=args.seed,
     )
+    obs = _make_obs(args)
     system = (
-        moon_system(cfg) if args.scheduler == "moon" else hadoop_system(cfg)
+        moon_system(cfg, obs=obs)
+        if args.scheduler == "moon"
+        else hadoop_system(cfg, obs=obs)
     )
     result = system.run_job(spec)
     print(result.summary())
     print(result.profile.row())
+    _export_obs(obs)
     return 0 if result.succeeded else 1
 
 
@@ -207,7 +259,7 @@ def _reject_autoscale_policy_all(args) -> bool:
     """Shared serve/replay rule: autoscale compares provisioning
     policies on *one* queue policy."""
     if args.autoscale is not None and args.policy == "all":
-        print(
+        log.error(
             "--autoscale compares provisioning policies on one queue "
             "policy; pass a single --policy (e.g. edf), not 'all'"
         )
@@ -221,7 +273,7 @@ def _reject_preempt_all_conflicts(args) -> bool:
     if args.preempt == "all" and (
         args.policy == "all" or args.autoscale is not None
     ):
-        print(
+        log.error(
             "--preempt all compares preemption modes on one queue "
             "policy with a fixed dedicated tier; pass a single "
             "--policy (e.g. edf) and drop --autoscale"
@@ -292,7 +344,7 @@ def _serve_arrivals(args, system):
     )
 
 
-def _serve_system(args, dedicated_primary: bool = False):
+def _serve_system(args, dedicated_primary: bool = False, obs=None):
     """A fresh system per serve cell: same seed -> same traces and the
     same arrival draws, so policies compete on identical streams."""
     from dataclasses import replace as _replace
@@ -308,7 +360,7 @@ def _serve_system(args, dedicated_primary: bool = False):
         scheduler=scheduler,
         seed=args.seed,
     )
-    return moon_system(cfg)
+    return moon_system(cfg, obs=obs)
 
 
 def cmd_serve(args) -> int:
@@ -320,7 +372,7 @@ def cmd_serve(args) -> int:
     if args.pattern == "replay":
         # Fail fast (same check MoonService makes as a ConfigError):
         # serve synthesizes streams; a replay stream needs a trace file.
-        print(
+        log.error(
             "serve generates synthetic streams (poisson|bursty|diurnal) "
             "and cannot produce 'replay' entries; feed a workload trace "
             "with `repro replay --trace <file>` instead"
@@ -337,9 +389,15 @@ def cmd_serve(args) -> int:
     )
     preempt_modes = _preempt_modes(args)
     summaries = []
+    json_reports = []
+    # Like --capture, the flight recorder observes the FIRST cell of a
+    # comparison; later cells run with obs off.
+    obs = _make_obs(args)
+    obs_pending = obs
     for policy in policies:
         for mode in preempt_modes:
-            system = _serve_system(args)
+            system = _serve_system(args, obs=obs_pending)
+            obs_pending = None
             arrivals = _serve_arrivals(args, system)
             service_cfg = ServiceConfig(
                 policy=policy,
@@ -364,6 +422,7 @@ def cmd_serve(args) -> int:
                 summaries.append([mode] + report.preempt_row())
             else:
                 summaries.append([policy] + report.summary_row())
+            json_reports.append(report.to_dict())
     if len(summaries) > 1:
         if len(preempt_modes) > 1:
             headers = ["preempt"] + _PREEMPT_COLS
@@ -375,6 +434,9 @@ def cmd_serve(args) -> int:
             headers = ["policy"] + _SUMMARY_COLS
             title = f"queue-policy comparison - {args.pattern} arrivals"
         print(table(headers, summaries, title=title))
+    if args.json_out is not None:
+        _write_reports_json(args.json_out, json_reports)
+    _export_obs(obs)
     return 0
 
 
@@ -397,8 +459,12 @@ def _serve_autoscaled(args) -> int:
     )
     max_dedicated = _max_dedicated(args)
     summaries = []
+    json_reports = []
+    obs = _make_obs(args)
+    obs_pending = obs
     for scale_policy in scale_policies:
-        system = _serve_system(args, dedicated_primary=True)
+        system = _serve_system(args, dedicated_primary=True, obs=obs_pending)
+        obs_pending = None
         arrivals = _serve_arrivals(args, system)
         service_cfg = ServiceConfig(
             policy=args.policy,
@@ -426,6 +492,7 @@ def _serve_autoscaled(args) -> int:
             print(render_decisions(report.scale_events))
             print()
         summaries.append([scale_policy] + report.cost_row())
+        json_reports.append(report.to_dict())
     if len(summaries) > 1:
         print(
             table(
@@ -439,6 +506,9 @@ def _serve_autoscaled(args) -> int:
                 ),
             )
         )
+    if args.json_out is not None:
+        _write_reports_json(args.json_out, json_reports)
+    _export_obs(obs)
     return 0
 
 
@@ -515,7 +585,7 @@ def cmd_replay(args) -> int:
         # the frozen JobArrival list is safely shared across cells.
         arrivals = trace_arrivals(trace, calibration)
     except (ReproError, OSError) as exc:
-        print(f"replay: {exc}")
+        log.error("replay: %s", exc)
         return 2
     print(trace.summary().render())
     print()
@@ -537,7 +607,11 @@ def cmd_replay(args) -> int:
         for mode in preempt_modes
     ]
     summaries = []
+    json_reports = []
     captured = None
+    # As with --capture, the flight recorder rides the FIRST cell only.
+    obs = _make_obs(args)
+    obs_pending = obs
     for policy, scale_policy, mode in cells:
         autoscale_cfg = (
             None if scale_policy is None
@@ -548,7 +622,12 @@ def cmd_replay(args) -> int:
                 max_dedicated=max_dedicated,
             )
         )
-        system = _serve_system(args, dedicated_primary=scale_policy is not None)
+        system = _serve_system(
+            args,
+            dedicated_primary=scale_policy is not None,
+            obs=obs_pending,
+        )
+        obs_pending = None
         service = MoonService(
             system,
             _replay_service_config(
@@ -579,6 +658,7 @@ def cmd_replay(args) -> int:
             summaries.append([mode] + report.preempt_row())
         else:
             summaries.append([policy] + report.summary_row())
+        json_reports.append(report.to_dict())
     if len(summaries) > 1:
         if scale_policies != [None]:
             headers = ["autoscale", "policy"] + _COST_COLS
@@ -597,13 +677,16 @@ def cmd_replay(args) -> int:
             headers = ["policy"] + _SUMMARY_COLS
             title = f"queue-policy comparison - replayed trace {trace.name}"
         print(table(headers, summaries, title=title))
+    if args.json_out is not None:
+        _write_reports_json(args.json_out, json_reports)
+    _export_obs(obs)
     if args.capture is not None and captured is not None:
         try:
             save_workload_json(args.capture, captured)
         except OSError as exc:
-            print(f"replay: cannot write capture: {exc}")
+            log.error("replay: cannot write capture: %s", exc)
             return 2
-        print(f"captured {len(captured)} arrivals -> {args.capture}")
+        log.info("captured %d arrivals -> %s", len(captured), args.capture)
     return 0
 
 
@@ -633,7 +716,7 @@ def _trace_generate(args) -> int:
     else:
         save_traces_csv(args.output, traces)
     stats = compute_stats(traces)
-    print(f"wrote {len(traces)} traces to {args.output}")
+    log.info("wrote %d traces to %s", len(traces), args.output)
     print(stats)
     return 0
 
@@ -720,3 +803,37 @@ def cmd_perf(args) -> int:
         output=args.output,
         baseline_path=args.baseline,
     )
+
+
+# ======================================================================
+# profile
+# ======================================================================
+def cmd_profile(args) -> int:
+    """Profile the dispatch loop over perf scenarios; print the hot
+    table (per-handler count, cumulative wall-clock, share)."""
+    from ..obs import Observability, ObsConfig, default_observability
+    from ..perf import SCENARIOS
+
+    names = args.scenario or ["fig6"]
+    obs = Observability(
+        ObsConfig(
+            trace=args.trace_out is not None,
+            profile=True,
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+        )
+    )
+    # Scenarios construct their systems internally; the process-wide
+    # default hands every Simulation they build this recorder.
+    with default_observability(obs):
+        for name in names:
+            log.info("profiling scenario %s", name)
+            work = SCENARIOS[name].run()
+            print(
+                f"[profile] {name}: {SCENARIOS[name].description} "
+                f"({int(work.get('events', 0))} events)"
+            )
+    print()
+    print(obs.profiler.table(top=args.top))
+    _export_obs(obs)
+    return 0

@@ -3,11 +3,31 @@
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
 from .. import __version__
 from . import commands
+
+
+def _add_obs_flags(parser) -> None:
+    """The flight-recorder flags shared by run, serve and replay."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome-trace-event JSON of the run (load in "
+             "Perfetto / chrome://tracing; first cell when comparing "
+             "policies)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics registry (counters, gauges, "
+             "histograms) as JSON",
+    )
 
 
 def _add_autoscale_bounds(parser) -> None:
@@ -54,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "-v", "--verbose",
+        action="store_true",
+        help="log progress diagnostics to stderr (INFO level)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -102,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=42)
     run_p.add_argument("--expiry-minutes", type=float, default=None,
                        help="TrackerExpiryInterval override (minutes)")
+    _add_obs_flags(run_p)
 
     # --- serve ----------------------------------------------------------
     serve_p = sub.add_parser(
@@ -193,8 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="autoscale the dedicated tier with this provisioning "
              "policy ('all' compares the three on cost and SLO)",
     )
+    serve_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_out",
+        help="also write the report(s) as versioned JSON",
+    )
     _add_autoscale_bounds(serve_p)
     _add_preemption_flags(serve_p)
+    _add_obs_flags(serve_p)
 
     # --- replay ---------------------------------------------------------
     replay_p = sub.add_parser(
@@ -276,8 +310,16 @@ def build_parser() -> argparse.ArgumentParser:
     replay_p.add_argument("--volatile", type=int, default=12)
     replay_p.add_argument("--dedicated", type=int, default=2)
     replay_p.add_argument("--seed", type=int, default=42)
+    replay_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_out",
+        help="also write the report(s) as versioned JSON",
+    )
     _add_autoscale_bounds(replay_p)
     _add_preemption_flags(replay_p)
+    _add_obs_flags(replay_p)
 
     # --- trace ----------------------------------------------------------
     trace_p = sub.add_parser(
@@ -360,6 +402,28 @@ def build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument("--baseline", default=None,
                         help="baseline path override")
 
+    # --- profile ----------------------------------------------------------
+    profile_p = sub.add_parser(
+        "profile",
+        help="profile the dispatch loop over a perf scenario",
+        description=(
+            "Run a perf scenario with the dispatch-loop profiler armed "
+            "and print a per-event-type hot table: call count, "
+            "cumulative wall-clock and share of dispatch time for each "
+            "handler.  Wall-clock lives outside the determinism "
+            "boundary — the simulated behaviour is unchanged."
+        ),
+    )
+    profile_p.add_argument(
+        "--scenario",
+        action="append",
+        choices=list(SCENARIOS),
+        help="scenario to profile (repeatable; default: fig6)",
+    )
+    profile_p.add_argument("--top", type=int, default=20,
+                           help="rows in the hot table")
+    _add_obs_flags(profile_p)
+
     return parser
 
 
@@ -380,12 +444,29 @@ _DISPATCH = {
     "estimate": commands.cmd_estimate,
     "validate": commands.cmd_validate,
     "perf": commands.cmd_perf,
+    "profile": commands.cmd_profile,
 }
+
+
+def _configure_logging(verbose: bool) -> None:
+    """Route diagnostics to stderr; INFO only under ``--verbose``.
+
+    ``force=True`` so repeated in-process ``main()`` calls (tests,
+    notebooks) reconfigure instead of silently keeping the first
+    handler.
+    """
+    logging.basicConfig(
+        level=logging.INFO if verbose else logging.WARNING,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+        force=True,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     handler = _DISPATCH[args.command]
     try:
         return handler(args)

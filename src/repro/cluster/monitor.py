@@ -21,6 +21,11 @@ class AvailabilityMonitor:
         self.sim = sim
         self.cluster = cluster
         self._scheduled = 0
+        # Flight recorder: transition counts plus per-node instants.
+        self._trace = sim.obs.tracer
+        metrics = sim.obs.metrics
+        self._m_suspends = metrics.counter("cluster/suspensions")
+        self._m_resumes = metrics.counter("cluster/resumes")
         for node in cluster.nodes:
             if node.trace is None:
                 continue
@@ -46,8 +51,18 @@ class AvailabilityMonitor:
 
     def _suspend(self, node: Node) -> None:
         if node.available:
+            self._m_suspends.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "node.suspend", "node", self.sim.now, node=node.node_id
+                )
             self.cluster._notify_suspend(node)
 
     def _resume(self, node: Node) -> None:
         if not node.available:
+            self._m_resumes.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "node.resume", "node", self.sim.now, node=node.node_id
+                )
             self.cluster._notify_resume(node)

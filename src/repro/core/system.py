@@ -29,7 +29,7 @@ from ..errors import ConfigError
 from ..mapreduce import Job, JobTracker
 from ..net import make_network
 from ..scheduling import make_scheduler
-from ..simulation import Simulation
+from ..simulation import Observability, Simulation
 from ..traces import generate_trace
 from ..workloads import JobSpec
 from .results import JobResult
@@ -39,11 +39,16 @@ class MoonSystem:
     """A fully wired MOON (or Hadoop-baseline) deployment."""
 
     def __init__(
-        self, config: SystemConfig, cluster: Optional[Cluster] = None
+        self,
+        config: SystemConfig,
+        cluster: Optional[Cluster] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         config.validate()
         self.config = config
-        self.sim = Simulation(config.seed)
+        self.sim = Simulation(config.seed, obs=obs)
+        #: Observability bundle shared by every component via ``sim.obs``.
+        self.obs = self.sim.obs
         self.cluster = cluster or build_cluster(
             self.sim, config.cluster, config.trace
         )
@@ -160,12 +165,16 @@ class MoonSystem:
         ).run()
 
 
-def moon_system(config: SystemConfig) -> MoonSystem:
+def moon_system(
+    config: SystemConfig, obs: Optional[Observability] = None
+) -> MoonSystem:
     """The paper's MOON deployment (dedicated + volatile nodes)."""
-    return MoonSystem(config)
+    return MoonSystem(config, obs=obs)
 
 
-def hadoop_system(config: SystemConfig) -> MoonSystem:
+def hadoop_system(
+    config: SystemConfig, obs: Optional[Observability] = None
+) -> MoonSystem:
     """The Hadoop baseline: same machines, all presented as volatile.
 
     The first ``n_dedicated`` nodes keep their perfect availability
@@ -195,5 +204,5 @@ def hadoop_system(config: SystemConfig) -> MoonSystem:
         node_hibernate_interval=config.dfs.node_expiry_interval - 1e-3,
     )
     cfg = config.with_(dfs=dfs)
-    system = MoonSystem(cfg, cluster=Cluster(nodes))
+    system = MoonSystem(cfg, cluster=Cluster(nodes), obs=obs)
     return system

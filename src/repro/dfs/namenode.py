@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from collections import Counter
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..cluster import Cluster, FailureDetector, Node
 from ..config import DfsConfig
 from ..errors import DfsError, FileAlreadyExists, FileNotFound
 from ..net import NetworkModel
+from ..obs import CounterBag
 from ..simulation import PeriodicTask, Simulation
 from .placement import PlacementPolicy
 from .throttle import ThrottleService
@@ -64,7 +64,11 @@ class NameNode:
         self.cluster = cluster
         self.network = network
         self.config = config
-        self.counters: Counter = Counter()
+        # DFS bookkeeping now lives in the run's metrics registry under
+        # the ``dfs/`` prefix; the bag keeps the historical
+        # collections.Counter surface (`nn.counters[k] += 1`,
+        # ``dict(nn.counters)``) for callers and tests.
+        self.counters: CounterBag = CounterBag(sim.obs.metrics, "dfs/")
         self.rng = sim.rng("namenode")
 
         self._files: Dict[str, FileInfo] = {}
@@ -625,12 +629,38 @@ class NameNode:
     def _issue_replication(self, block: BlockInfo, source: int, target: int) -> None:
         self.counters["replications_issued"] += 1
         self.counters["replication_mb"] += block.size_mb
+        issued_at = self.sim.now
+        tracer = self.sim.obs.tracer
+        # Trace label: path#index, not the numeric block id — the id
+        # stream is process-global, the path is run-stable (the
+        # byte-identical-trace guarantee rides on it).
+        block_label = f"{block.file.path}#{block.index}"
 
         def done(_t) -> None:
+            if tracer.enabled:
+                tracer.span(
+                    "dfs.replicate",
+                    "dfs",
+                    issued_at,
+                    self.sim.now,
+                    block=block_label,
+                    source=source,
+                    target=target,
+                    mb=block.size_mb,
+                )
             self.register_replica(block, target)
 
         def fail(_t) -> None:
             self.counters["replications_failed"] += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "dfs.replicate_failed",
+                    "dfs",
+                    self.sim.now,
+                    block=block_label,
+                    source=source,
+                    target=target,
+                )
             if self._block_deficit(block):
                 self._enqueue(block)
 

@@ -20,6 +20,7 @@ from ..cluster import Cluster, FailureDetector, Node
 from ..config import SchedulerConfig, ShuffleConfig
 from ..dfs import DfsClient, NameNode
 from ..errors import SchedulingError
+from ..obs import ATTEMPT_LANE_BASE
 from ..simulation import PeriodicTask, Simulation
 from ..workloads import JobSpec
 from .execution import ReduceRunner, make_runner
@@ -58,6 +59,10 @@ class JobTracker:
         self.sim = sim
         self.cluster = cluster
         self.namenode = namenode
+        # Flight recorder: spans/instants when tracing is armed, and
+        # run-level aggregates folded into the registry at job end.
+        self._trace = sim.obs.tracer
+        self._metrics = sim.obs.metrics
         self.cfg = scheduler_cfg
         self.shuffle_cfg = shuffle_cfg
         self.policy = policy
@@ -141,6 +146,17 @@ class JobTracker:
         self.jobs.append(job)
         self._active_jobs.append(job)
         self._resort_active_jobs()
+        if self._trace.enabled:
+            self._trace.instant(
+                "job.submit",
+                "job",
+                self.sim.now,
+                job=job.job_id,
+                workload=spec.name,
+                maps=len(job.maps),
+                reduces=job.n_reduces,
+                priority=priority,
+            )
         self._tick()  # give it a first assignment round immediately
         return job
 
@@ -281,9 +297,34 @@ class JobTracker:
             job.counters["speculative_launched"] += 1
             job._spec_active += 1
 
+        if self._trace.enabled:
+            self._trace.instant(
+                "sched.assign",
+                "sched",
+                self.sim.now,
+                task=task.task_id,
+                job=job.job_id,
+                node=tracker.node_id,
+                speculative=speculative,
+            )
         runner = make_runner(self.rt, attempt)
         runner.start()
         return attempt
+
+    def _trace_attempt(self, attempt: TaskAttempt, outcome: str) -> None:
+        """Record one finished attempt as a span on its node's lane."""
+        task = attempt.task
+        self._trace.span(
+            task.task_id,
+            "attempt",
+            attempt.started_at,
+            self.sim.now,
+            tid=ATTEMPT_LANE_BASE + attempt.node_id,
+            job=task.job.job_id,
+            node=attempt.node_id,
+            outcome=outcome,
+            speculative=attempt.is_speculative,
+        )
 
     def _note_attempt_finished(self, attempt: TaskAttempt) -> None:
         if attempt.is_speculative:
@@ -292,6 +333,8 @@ class JobTracker:
     def attempt_succeeded(self, attempt: TaskAttempt, output_file) -> None:
         attempt.state = AttemptState.SUCCEEDED
         attempt.finished_at = self.sim.now
+        if self._trace.enabled:
+            self._trace_attempt(attempt, "succeeded")
         self._note_attempt_finished(attempt)
         self.trackers[attempt.node_id].release(attempt)
         task = attempt.task
@@ -324,6 +367,8 @@ class JobTracker:
     def attempt_failed(self, attempt: TaskAttempt, reason: str) -> None:
         attempt.state = AttemptState.FAILED
         attempt.finished_at = self.sim.now
+        if self._trace.enabled:
+            self._trace_attempt(attempt, "failed")
         self._note_attempt_finished(attempt)
         self.trackers[attempt.node_id].release(attempt)
         task = attempt.task
@@ -347,6 +392,8 @@ class JobTracker:
             attempt.runner.kill()
         attempt.state = AttemptState.KILLED
         attempt.finished_at = self.sim.now
+        if self._trace.enabled:
+            self._trace_attempt(attempt, "killed")
         self._note_attempt_finished(attempt)
         # A held attempt's node may have been decommissioned while its
         # job was paused (the drain gate does not wait for held work);
@@ -656,6 +703,22 @@ class JobTracker:
             self._active_jobs.remove(job)
         except ValueError:  # pragma: no cover - defensive
             pass
+        # Fold the job's per-run counters into the registry.  Reports
+        # and goldens keep reading ``job.counters`` directly — the
+        # registry is an additive aggregate view, never a replacement.
+        metrics = self._metrics
+        metrics.counter(f"mapreduce/jobs_{job.state.value}").inc()
+        for key, value in job.counters.items():
+            metrics.counter(f"mapreduce/{key}").inc(value)
+        if self._trace.enabled and job.submitted_at is not None:
+            self._trace.span(
+                job.job_id,
+                "job",
+                job.submitted_at,
+                self.sim.now,
+                state=job.state.value,
+                workload=job.spec.name,
+            )
         # Intermediate data is transient: drop it at job end.
         for task in job.maps:
             if task.output_file is not None:

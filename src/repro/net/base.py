@@ -111,6 +111,11 @@ class NetworkModel(ABC):
     def __init__(self, sim: Simulation) -> None:
         self.sim = sim
         self._ports: Dict[int, NodePorts] = {}
+        #: Ids of decommissioned nodes.  Callers racing a decommission
+        #: (a write pipeline that picked its targets before the node
+        #: left) probe these via :meth:`is_up`; a never-registered id
+        #: is still a programming error.
+        self._retired: set = set()
         #: Cumulative MB served per node (reads+writes+net), used by the
         #: throttling monitor to estimate consumed I/O bandwidth.
         self.mb_served: Dict[int, float] = {}
@@ -121,6 +126,7 @@ class NetworkModel(ABC):
             raise NetworkError(f"node {node_id} already registered")
         self._ports[node_id] = NodePorts(disk_mbps, nic_mbps)
         self.mb_served[node_id] = 0.0
+        self._retired.discard(node_id)
 
     def unregister_node(self, node_id: int) -> None:
         """Remove a decommissioned node: abort whatever still touches it
@@ -130,6 +136,7 @@ class NetworkModel(ABC):
         self._abort_transfers(node_id)
         del self._ports[node_id]
         self.mb_served.pop(node_id, None)
+        self._retired.add(node_id)
 
     def ports(self, node_id: int) -> NodePorts:
         try:
@@ -138,6 +145,14 @@ class NetworkModel(ABC):
             raise NetworkError(f"unknown node {node_id}") from None
 
     def is_up(self, node_id: int) -> bool:
+        # A decommissioned node has no ports at all: callers racing the
+        # decommission (e.g. a DFS write pipeline that picked its
+        # targets before the node left) must see it as down and take
+        # their clean failure path, not crash on the lookup.  An id
+        # that was never registered still raises: that is a caller bug,
+        # not a race.
+        if node_id in self._retired:
+            return False
         return self.ports(node_id).up
 
     # -- availability ----------------------------------------------------

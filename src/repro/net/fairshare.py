@@ -79,6 +79,10 @@ class FairShareNetwork(NetworkModel):
         # timestamp) recomputes rates once for the final flow set.
         self._dirty_channels: List[ChannelKey] = []
         self._flush_event = None
+        # Flight-recorder counters (registry adds only; no sim reads).
+        metrics = sim.obs.metrics
+        self._m_flows = metrics.counter("net/flows")
+        self._m_water_fills = metrics.counter("net/water_fills")
 
     # ------------------------------------------------------------------
     def transfer(
@@ -152,6 +156,7 @@ class FairShareNetwork(NetworkModel):
             return
         self._flow_seq += 1
         flow.seq = self._flow_seq
+        self._m_flows.inc()
         self._flows[flow] = None
         for key in flow.channels:
             users = self._users.get(key)
@@ -259,6 +264,7 @@ class FairShareNetwork(NetworkModel):
         naive find-min-rescan (same arithmetic, same tie-breaks), but
         O((F·C) log F) instead of O(rounds · channels · users).
         """
+        self._m_water_fills.inc()
         users: Dict[ChannelKey, List[_Flow]] = {}
         for f in flows:
             f.rate = 0.0

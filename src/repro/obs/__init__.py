@@ -1,0 +1,60 @@
+"""Observability layer (S16): tracing, metrics and dispatch profiling.
+
+The flight recorder for the simulator.  Three instruments behind one
+:class:`~repro.obs.config.ObsConfig`, reached via ``sim.obs``:
+
+* :class:`~repro.obs.trace.Tracer` — structured, sim-clock-stamped
+  span/instant events (job lifecycle, attempt execution, scheduler
+  decisions, preempt/autoscale actions, DFS replication, queue
+  admission/eviction), exported as Perfetto-loadable Chrome-trace JSON
+  or a deterministic text timeline;
+* :class:`~repro.obs.metrics.MetricsRegistry` — named counters, gauges
+  and histograms with deterministic serialization, replacing the
+  ad-hoc per-component counters;
+* :class:`~repro.obs.profile.DispatchProfiler` — wall-clock,
+  per-event-type dispatch cost, explicitly *outside* the determinism
+  boundary, surfaced as ``repro profile``.
+
+Invariant: with observability off the simulation is byte-identical to
+an uninstrumented build (same event checksums, same goldens); with it
+on, the sim clock and RNG streams are never perturbed — only recorded.
+"""
+
+from .config import ObsConfig, Observability, current_default, default_observability
+from .metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    CounterBag,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profile import DispatchProfiler
+from .trace import (
+    ATTEMPT_LANE_BASE,
+    CATEGORY_LANES,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "ObsConfig",
+    "Observability",
+    "current_default",
+    "default_observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CounterBag",
+    "DEFAULT_BOUNDS",
+    "DispatchProfiler",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "CATEGORY_LANES",
+    "ATTEMPT_LANE_BASE",
+]

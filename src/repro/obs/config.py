@@ -1,0 +1,105 @@
+"""Observability wiring: one config object, one per-run bundle.
+
+:class:`ObsConfig` is the single switchboard the ISSUE asks for:
+tracing, metrics export and the dispatch profiler are all enabled
+from here, and every instrumented component reaches its instruments
+through the :class:`Observability` bundle hanging off the simulation
+(``sim.obs``).
+
+The bundle is deliberately asymmetric:
+
+* ``tracer`` is :data:`~repro.obs.trace.NULL_TRACER` unless tracing is
+  on — hot sites guard on ``tracer.enabled`` so obs-off adds one
+  attribute load;
+* ``metrics`` is always a live :class:`~repro.obs.metrics.MetricsRegistry`
+  (integer adds cannot perturb event order, and components like the
+  NameNode keep their counters here unconditionally);
+* ``profiler`` is ``None`` unless profiling is on — the engine selects
+  a timed dispatch path only when it exists.
+
+:func:`default_observability` is a context manager that installs a
+process-wide default picked up by every :class:`Simulation` created
+without an explicit ``obs=``; it exists so the perf harness and
+``repro profile`` can arm instrumentation inside scenario factories
+they do not control.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .metrics import MetricsRegistry
+from .profile import DispatchProfiler
+from .trace import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Switchboard for the observability layer (all off by default)."""
+
+    #: Record span/instant trace events.
+    trace: bool = False
+    #: Time every dispatched callback (wall-clock; see ``profile.py``).
+    profile: bool = False
+    #: Where :meth:`Observability.export` writes Chrome-trace JSON.
+    trace_out: Optional[str] = None
+    #: Where :meth:`Observability.export` writes the metrics snapshot.
+    metrics_out: Optional[str] = None
+    #: Tracer memory cap (events beyond this are counted, not stored).
+    max_trace_events: int = 1_000_000
+
+
+class Observability:
+    """Per-run bundle of tracer + metrics registry + profiler."""
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self.config = config or ObsConfig()
+        cfg = self.config
+        if cfg.trace or cfg.trace_out is not None:
+            self.tracer = Tracer(max_events=cfg.max_trace_events)
+        else:
+            self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry()
+        self.profiler: Optional[DispatchProfiler] = (
+            DispatchProfiler() if cfg.profile else None
+        )
+
+    def export(self) -> List[str]:
+        """Write any configured output files; return the paths written."""
+        written: List[str] = []
+        if self.config.trace_out is not None:
+            self.tracer.write_chrome(self.config.trace_out)
+            written.append(self.config.trace_out)
+        if self.config.metrics_out is not None:
+            self.metrics.write_json(self.config.metrics_out)
+            written.append(self.config.metrics_out)
+        return written
+
+
+#: Process-wide default installed by :func:`default_observability`.
+_DEFAULT: Optional[Observability] = None
+
+
+def current_default() -> Optional[Observability]:
+    """The ambient :class:`Observability`, or ``None`` when unset."""
+    return _DEFAULT
+
+
+@contextlib.contextmanager
+def default_observability(obs: Observability) -> Iterator[Observability]:
+    """Install ``obs`` as the default for simulations built inside.
+
+    Used by the perf harness and ``repro profile`` to instrument
+    scenario factories without changing their signatures.  Restores
+    the previous default on exit; not thread-safe (the simulator is
+    single-threaded by design).
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = obs
+    try:
+        yield obs
+    finally:
+        _DEFAULT = previous

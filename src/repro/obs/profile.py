@@ -1,0 +1,94 @@
+"""Wall-clock dispatch-loop profiler (outside the determinism boundary).
+
+The :class:`DispatchProfiler` answers the engine-scale-out question
+"which event types eat the dispatch loop?": the engine times every
+callback with :func:`time.perf_counter` and records per-``__qualname__``
+count and cumulative seconds.  Wall-clock readings are inherently
+non-deterministic, which is why the profiler lives *outside* the
+determinism boundary: it observes callback durations but never feeds
+anything back into the sim clock, the event queue, or the RNG streams —
+a profiled run executes the exact same event sequence as an unprofiled
+one, just slower.
+
+The hot table (:meth:`DispatchProfiler.table`) is what ``repro
+profile`` prints: event types sorted by cumulative time with count,
+total ms, mean µs and share of profiled time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class DispatchProfiler:
+    """Per-event-type count + cumulative wall-clock seconds."""
+
+    def __init__(self) -> None:
+        #: ``qualname -> [count, total_seconds]`` (list for cheap updates).
+        self.stats: Dict[str, List[float]] = {}
+
+    def note(self, key: str, seconds: float) -> None:
+        """Record one dispatched callback (called from the engine loop)."""
+        entry = self.stats.get(key)
+        if entry is None:
+            self.stats[key] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    @property
+    def total_events(self) -> int:
+        return int(sum(entry[0] for entry in self.stats.values()))
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry[1] for entry in self.stats.values())
+
+    def rows(self, top: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Hot rows sorted by cumulative time (desc), heaviest first."""
+        total = self.total_seconds or 1.0
+        ordered = sorted(
+            self.stats.items(), key=lambda kv: (-kv[1][1], kv[0])
+        )
+        if top is not None:
+            ordered = ordered[:top]
+        return [
+            {
+                "event": name,
+                "count": int(count),
+                "total_ms": seconds * 1e3,
+                "mean_us": (seconds / count) * 1e6 if count else 0.0,
+                "share_pct": 100.0 * seconds / total,
+            }
+            for name, (count, seconds) in ordered
+        ]
+
+    def table(self, top: Optional[int] = 20) -> str:
+        """Render the hot-event table ``repro profile`` prints."""
+        rows = self.rows(top)
+        if not rows:
+            return "(no events profiled)\n"
+        width = max(len("event"), max(len(r["event"]) for r in rows))
+        lines = [
+            f"{'event':<{width}}  {'count':>10}  {'total ms':>10}  "
+            f"{'mean us':>9}  {'share':>6}",
+            "-" * (width + 42),
+        ]
+        for r in rows:
+            lines.append(
+                f"{r['event']:<{width}}  {r['count']:>10d}  "
+                f"{r['total_ms']:>10.1f}  {r['mean_us']:>9.2f}  "
+                f"{r['share_pct']:>5.1f}%"
+            )
+        lines.append(
+            f"{'TOTAL':<{width}}  {self.total_events:>10d}  "
+            f"{self.total_seconds * 1e3:>10.1f}"
+        )
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministically *ordered* snapshot (values are wall-clock)."""
+        return {
+            name: {"count": int(count), "seconds": seconds}
+            for name, (count, seconds) in sorted(self.stats.items())
+        }

@@ -1,0 +1,226 @@
+"""Structured, sim-clock-stamped tracing (spans + instants).
+
+The :class:`Tracer` records :class:`TraceEvent` rows — each stamped
+with *simulated* seconds, never wall-clock — and exports them in two
+forms:
+
+* **Chrome trace-event JSON** (:meth:`Tracer.to_chrome` /
+  :meth:`Tracer.write_chrome`): the ``{"traceEvents": [...]}`` format
+  loadable in Perfetto or ``chrome://tracing``.  Spans become ``"X"``
+  (complete) events with microsecond ``ts``/``dur``; instants become
+  ``"i"`` events; lane names are emitted as ``"M"`` metadata.
+* **a deterministic text timeline** (:meth:`Tracer.timeline`): one
+  line per event, sorted by ``(ts, record order)``, with args rendered
+  in sorted key order — byte-identical across seeded reruns.
+
+Recording never touches the simulation clock or RNG streams, so a
+traced run executes the exact same event sequence as an untraced one.
+Hot call sites guard on :attr:`Tracer.enabled` and the module-level
+:data:`NULL_TRACER` singleton keeps the obs-off cost to one attribute
+load per site.
+
+Lane (``tid``) convention: each category owns a small fixed lane
+(:data:`CATEGORY_LANES`); per-node task-attempt lanes live at
+``100 + node_id`` so Perfetto shows one swimlane per node.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+#: Fixed Perfetto lane per event category (``tid`` in the JSON).
+CATEGORY_LANES: Dict[str, int] = {
+    "job": 1,
+    "queue": 2,
+    "sched": 3,
+    "preempt": 4,
+    "autoscale": 5,
+    "dfs": 6,
+    "node": 7,
+    "net": 8,
+}
+
+#: Lane offset for per-node attempt swimlanes (``100 + node_id``).
+ATTEMPT_LANE_BASE = 100
+
+
+class TraceEvent:
+    """One recorded span or instant (times in simulated seconds)."""
+
+    __slots__ = ("name", "cat", "ts", "dur", "tid", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        dur: Optional[float],
+        tid: int,
+        args: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        #: ``None`` for instants, span length in seconds otherwise.
+        self.dur = dur
+        self.tid = tid
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "instant" if self.dur is None else f"span dur={self.dur:.3f}"
+        return f"<TraceEvent {self.name} t={self.ts:.3f} {kind}>"
+
+
+class Tracer:
+    """Append-only recorder for :class:`TraceEvent` rows.
+
+    ``max_events`` bounds memory on very long runs: once full, further
+    events are counted in :attr:`dropped` instead of stored (the cap is
+    deterministic, so seeded reruns drop the same rows).
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def instant(self, name: str, cat: str, ts: float, tid: Optional[int] = None, **args: Any) -> None:
+        """Record a zero-duration marker at simulated time ``ts``."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        lane = CATEGORY_LANES.get(cat, 0) if tid is None else tid
+        self.events.append(TraceEvent(name, cat, ts, None, lane, args))
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        tid: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        """Record a completed span covering ``[start, end]`` sim-seconds."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        lane = CATEGORY_LANES.get(cat, 0) if tid is None else tid
+        self.events.append(TraceEvent(name, cat, start, max(0.0, end - start), lane, args))
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def _lane_names(self) -> Dict[int, str]:
+        names = {lane: f"{cat}" for cat, lane in CATEGORY_LANES.items()}
+        used: Dict[int, str] = {}
+        for event in self.events:
+            if event.tid not in used:
+                if event.tid >= ATTEMPT_LANE_BASE:
+                    used[event.tid] = f"node-{event.tid - ATTEMPT_LANE_BASE} attempts"
+                else:
+                    used[event.tid] = names.get(event.tid, f"lane-{event.tid}")
+        return used
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """Render as a Chrome trace-event JSON object (Perfetto-loadable)."""
+        rows: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "moon-sim"},
+            }
+        ]
+        for tid in sorted(self._lane_names()):
+            rows.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": self._lane_names()[tid]},
+                }
+            )
+        for event in self.events:
+            row: Dict[str, Any] = {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": "i" if event.dur is None else "X",
+                "ts": round(event.ts * 1e6, 3),
+                "pid": 1,
+                "tid": event.tid,
+                "args": event.args,
+            }
+            if event.dur is None:
+                row["s"] = "t"
+            else:
+                row["dur"] = round(event.dur * 1e6, 3)
+            rows.append(row)
+        return {"traceEvents": rows, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        """Write the Chrome-trace JSON to ``path`` (deterministic bytes)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh, sort_keys=True, separators=(",", ":"))
+            fh.write("\n")
+
+    def timeline(self) -> str:
+        """Deterministic text timeline — one sorted line per event."""
+        order = sorted(range(len(self.events)), key=lambda i: (self.events[i].ts, i))
+        lines = []
+        for i in order:
+            event = self.events[i]
+            rendered = " ".join(f"{k}={event.args[k]}" for k in sorted(event.args))
+            dur = "" if event.dur is None else f" dur={event.dur:.3f}s"
+            lines.append(
+                f"t={event.ts:12.3f}s [{event.cat:<9}] {event.name}{dur}"
+                + (f" {rendered}" if rendered else "")
+            )
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (max_events cap)")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class NullTracer:
+    """Disabled tracer: every recording call is a cheap no-op.
+
+    Hot sites should guard with ``if tracer.enabled:`` so argument
+    construction is skipped entirely; the methods exist so unguarded
+    cold sites stay correct either way.
+    """
+
+    enabled = False
+    events: List[TraceEvent] = []
+    dropped = 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def instant(self, name: str, cat: str, ts: float, tid: Optional[int] = None, **args: Any) -> None:
+        return None
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        tid: Optional[int] = None,
+        **args: Any,
+    ) -> None:
+        return None
+
+
+#: Shared disabled tracer — the obs-off default everywhere.
+NULL_TRACER = NullTracer()

@@ -24,6 +24,12 @@ from .scenarios import SCENARIOS
 #: A scenario slower than baseline by more than this fails ``--check``.
 REGRESSION_THRESHOLD_PCT = 20.0
 
+#: Under ``--check``, one scenario is re-run with tracing armed; the
+#: traced run failing to stay within this overhead — or drifting on
+#: the event checksum — fails the gate (the obs-on half of the ISSUE-6
+#: invariant: tracing observes the simulation, never perturbs it).
+OBS_OVERHEAD_THRESHOLD_PCT = 10.0
+
 #: Baseline location relative to the repo root.
 BASELINE_RELPATH = os.path.join("benchmarks", "perf", "baseline.json")
 #: Report emitted at the repo root.
@@ -141,6 +147,10 @@ def run_perf(
             line += f", {entry['speedup_vs_baseline']:.2f}x vs baseline"
         print(line, file=out)
 
+    obs_failures: List[str] = []
+    if check:
+        obs_failures = _obs_check(names[0], repeat, results, out)
+
     root = find_repo_root()
     out_path = output or os.path.join(root or os.getcwd(), REPORT_NAME)
     # Merge over any prior report so a partial run (e.g. CI's fig6
@@ -184,11 +194,70 @@ def run_perf(
             fh.write("\n")
         print(f"[perf] baseline re-pinned at {base_path}", file=out)
 
-    if check and regressions:
+    if check and (regressions or obs_failures):
         for r in regressions:
             print(f"[perf] REGRESSION {r}", file=out)
+        for r in obs_failures:
+            print(f"[perf] OBS-CHECK FAILED {r}", file=out)
         return 1
     if check and not any("baseline_wall_s" in e for e in results.values()):
         print("[perf] --check requested but no baseline found", file=out)
         return 1
     return 0
+
+
+def _obs_check(name: str, repeat: int, results: Dict[str, dict], out) -> List[str]:
+    """Re-time ``name`` with tracing armed; fail on checksum drift or
+    obs-on overhead beyond :data:`OBS_OVERHEAD_THRESHOLD_PCT`.
+
+    The off-reference is the *better* of the main timing and a fresh
+    untraced re-run, so warm-up effects (first-run imports, allocator
+    growth) never read as tracing overhead; both sides take the
+    fastest of at least two runs, because a single sample on a busy
+    machine swings more than the threshold by itself.  Results land in
+    the scenario's report entry under ``"obs_check"``.
+    """
+    from ..obs import Observability, ObsConfig, default_observability
+
+    print(
+        f"[perf] obs-check: re-timing {name} untraced, then with "
+        "tracing armed",
+        file=out,
+    )
+    reps = max(2, repeat)
+    off_entry = time_scenario(name, repeat=reps)
+    off_wall = min(results[name]["wall_s"], off_entry["wall_s"])
+    with default_observability(Observability(ObsConfig(trace=True))):
+        on_entry = time_scenario(name, repeat=reps)
+    overhead_pct = 100.0 * (on_entry["wall_s"] / max(off_wall, 1e-9) - 1.0)
+    events_match = (
+        on_entry["events"] == results[name]["events"]
+        and off_entry["events"] == results[name]["events"]
+    )
+    failures: List[str] = []
+    if not events_match:
+        failures.append(
+            f"{name}: event checksum drift with tracing on — "
+            f"{on_entry['events']} traced vs {results[name]['events']} "
+            f"untraced (off re-run: {off_entry['events']})"
+        )
+    if overhead_pct > OBS_OVERHEAD_THRESHOLD_PCT:
+        failures.append(
+            f"{name}: obs-on overhead {overhead_pct:.1f}% exceeds "
+            f"{OBS_OVERHEAD_THRESHOLD_PCT:.0f}% "
+            f"({on_entry['wall_s']:.2f}s traced vs {off_wall:.2f}s off)"
+        )
+    results[name]["obs_check"] = {
+        "events_match": events_match,
+        "overhead_pct": round(overhead_pct, 1),
+        "traced_wall_s": on_entry["wall_s"],
+        "untraced_wall_s": off_wall,
+        "threshold_pct": OBS_OVERHEAD_THRESHOLD_PCT,
+    }
+    print(
+        f"[perf] obs-check {name}: {on_entry['wall_s']:.2f}s traced vs "
+        f"{off_wall:.2f}s untraced ({overhead_pct:+.1f}%), events "
+        f"{'match' if events_match else 'DRIFTED'}",
+        file=out,
+    )
+    return failures

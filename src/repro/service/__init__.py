@@ -58,6 +58,7 @@ from .queue import (
 )
 from .service import MoonService, ServiceConfig
 from .slo import (
+    REPORT_SCHEMA_VERSION,
     JobRecord,
     ServedState,
     ServiceReport,
@@ -99,6 +100,7 @@ __all__ = [
     "ServedState",
     "TenantSlo",
     "ServiceReport",
+    "REPORT_SCHEMA_VERSION",
     "build_report",
     "jain_fairness",
 ]

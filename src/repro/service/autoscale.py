@@ -496,6 +496,23 @@ class Autoscaler:
                 reason=reason,
             )
         )
+        # Flight recorder: every scale decision doubles as a
+        # zero-length span on the autoscale lane plus a registry count.
+        obs = self.sim.obs
+        obs.metrics.counter(f"service/autoscale/{action}").inc()
+        tracer = obs.tracer
+        if tracer.enabled:
+            tracer.span(
+                f"autoscale.{action}",
+                "autoscale",
+                self.sim.now,
+                self.sim.now,
+                count=count,
+                before=before,
+                after=after,
+                queue_depth=queue_depth,
+                reason=reason,
+            )
 
     # ------------------------------------------------------------------
     def stop(self) -> None:

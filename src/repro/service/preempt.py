@@ -295,6 +295,21 @@ class PreemptionController:
                 reason=reason,
             )
         )
+        # Flight recorder: every controller action doubles as a
+        # zero-length span on the preempt lane plus a registry count.
+        obs = self.sim.obs
+        obs.metrics.counter(f"service/preempt/{action}").inc()
+        tracer = obs.tracer
+        if tracer.enabled:
+            tracer.span(
+                f"preempt.{action}",
+                "preempt",
+                self.sim.now,
+                self.sim.now,
+                seq=record.seq,
+                tight_waiting=tight,
+                reason=reason,
+            )
 
     # ------------------------------------------------------------------
     def stop(self) -> None:

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..analysis import estimate_makespan
 from ..errors import ConfigError
+from ..obs import MetricsRegistry
 from ..workloads import JobSpec
 from .arrivals import JobArrival
 
@@ -222,6 +223,7 @@ class JobQueue:
         estimator: Optional[Callable[[JobSpec], float]] = None,
         admission_prices: bool = False,
         on_evict: Optional[Callable[[QueuedJob], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ConfigError("max_queue_depth must be >= 1")
@@ -241,8 +243,22 @@ class JobQueue:
         self._on_evict = on_evict
         self._pending: List[QueuedJob] = []
         self._seq = 0
-        self.rejected = 0
-        self.evicted = 0
+        # Shed-work bookkeeping lives in the metrics registry (the
+        # service passes the run's shared one; standalone queues get a
+        # private registry so the surface is unchanged either way).
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._rejected = registry.counter("service/queue/rejected")
+        self._evicted = registry.counter("service/queue/evicted")
+
+    @property
+    def rejected(self) -> int:
+        """Arrivals shed at the front door (backlog full / priced out)."""
+        return self._rejected.value
+
+    @property
+    def evicted(self) -> int:
+        """Queued jobs displaced late by admission pricing."""
+        return self._evicted.value
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -265,7 +281,7 @@ class JobQueue:
             and len(self._pending) >= self.max_queue_depth
         ):
             if not self.admission_prices:
-                self.rejected += 1
+                self._rejected.inc()
                 return None
             price = admission_price(arrival)
             # Cheapest price first; among equals the *newest* goes, so
@@ -276,11 +292,11 @@ class JobQueue:
                 key=lambda q: (admission_price(q.arrival), -q.seq),
             )
             if admission_price(victim.arrival) >= price:
-                self.rejected += 1
+                self._rejected.inc()
                 return None
             self._pending.remove(victim)
-            self.rejected += 1
-            self.evicted += 1
+            self._rejected.inc()
+            self._evicted.inc()
             if self._on_evict is not None:
                 self._on_evict(victim)
         qjob = QueuedJob(

@@ -153,6 +153,16 @@ class MoonService:
         self.system = system
         self.sim = system.sim
         self.pattern = pattern
+        # Flight recorder handles (see repro.obs): trace spans/instants
+        # when armed, registry counters and the queue-wait histogram
+        # always — neither touches the sim clock.
+        self._trace = self.sim.obs.tracer
+        metrics = self.sim.obs.metrics
+        self._m_admitted = metrics.counter("service/jobs_admitted")
+        self._m_rejected = metrics.counter("service/jobs_rejected")
+        self._m_completed = metrics.counter("service/jobs_completed")
+        self._m_failed = metrics.counter("service/jobs_failed")
+        self._m_queue_wait = metrics.histogram("service/queue_wait_seconds")
         #: Set after run() when ``config.capture`` is on.
         self.captured_trace = None
         cfg = self.config
@@ -171,6 +181,7 @@ class MoonService:
             ),
             admission_prices=cfg.admission_prices,
             on_evict=self._on_evict,
+            metrics=self.sim.obs.metrics,
         )
         self.preemptor: Optional[PreemptionController] = (
             PreemptionController(self, cfg.preempt)
@@ -224,6 +235,16 @@ class MoonService:
         qjob = self.queue.offer(record.arrival, self.sim.now)
         if qjob is None:
             record.state = ServedState.REJECTED
+            self._m_rejected.inc()
+            if self._trace.enabled:
+                self._trace.instant(
+                    "queue.reject",
+                    "queue",
+                    self.sim.now,
+                    seq=record.seq,
+                    tenant=record.tenant,
+                    workload=record.arrival.spec.name,
+                )
             if self.autoscaler is not None:
                 self.autoscaler.note_outcome(record)
             return
@@ -234,6 +255,16 @@ class MoonService:
         """Admission-price eviction: the queued job is rejected late."""
         record = self._record_by_qjob.pop(qjob.seq)
         record.state = ServedState.REJECTED
+        self._m_rejected.inc()
+        if self._trace.enabled:
+            self._trace.instant(
+                "queue.evict",
+                "queue",
+                self.sim.now,
+                seq=record.seq,
+                tenant=record.tenant,
+                workload=record.arrival.spec.name,
+            )
         if self.autoscaler is not None:
             self.autoscaler.note_outcome(record)
 
@@ -254,6 +285,20 @@ class MoonService:
                 return
             record = self._record_by_qjob.pop(qjob.seq)
             record.admitted_at = self.sim.now
+            self._m_admitted.inc()
+            self._m_queue_wait.observe(
+                self.sim.now - record.arrival.arrival_time
+            )
+            if self._trace.enabled:
+                self._trace.span(
+                    "queue.wait",
+                    "queue",
+                    record.arrival.arrival_time,
+                    self.sim.now,
+                    seq=record.seq,
+                    tenant=record.tenant,
+                    workload=record.arrival.spec.name,
+                )
             job = self.system.submit(
                 qjob.arrival.spec, priority=qjob.arrival.priority
             )
@@ -276,6 +321,10 @@ class MoonService:
             ServedState.SUCCEEDED if job.state.value == "succeeded"
             else ServedState.FAILED
         )
+        if record.state is ServedState.SUCCEEDED:
+            self._m_completed.inc()
+        else:
+            self._m_failed.inc()
         if self.autoscaler is not None:
             self.autoscaler.note_outcome(record)
 
@@ -321,6 +370,20 @@ class MoonService:
         preemptor = self.preemptor
         if preemptor is not None:
             preemptor.stop()
+        # Let in-flight decommissions land.  The stream drain stops the
+        # sim at the exact event that finishes the last job — which can
+        # be the very event that makes a drain gate clearable.  The
+        # clearing heartbeat tick is a daemon event three seconds in
+        # the future: without this drain-out it never fires and the
+        # node is reported as draining forever.  Controllers are
+        # stopped above, so no new scale or preempt decisions can fire
+        # here; the run is bounded by the same drain limit as the jobs.
+        cluster = self.system.cluster
+        if cluster.draining_nodes():
+            self.sim.run(
+                until=limit,
+                stop_when=lambda: not cluster.draining_nodes(),
+            )
         if cfg.capture and self.records:
             # Imported here: workload_traces sits beside the service
             # layer and imports its arrival model.  A run that saw no

@@ -184,6 +184,13 @@ def jain_fairness(shares: Sequence[float]) -> Optional[float]:
     return (total * total) / (len(shares) * square_sum)
 
 
+#: Version stamp of :meth:`ServiceReport.to_dict` (and of the
+#: ``repro serve/replay --json`` envelope).  Bump on any key change so
+#: dashboards can detect incompatible reports instead of misreading
+#: them.
+REPORT_SCHEMA_VERSION = 1
+
+
 def _fmt_s(v: Optional[float], decimals: int = 1) -> Optional[str]:
     return None if v is None else f"{v:.{decimals}f}"
 
@@ -260,6 +267,7 @@ class ServiceReport:
             }
 
         out = {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "policy": self.policy,
             "pattern": self.pattern,
             "seed": self.seed,

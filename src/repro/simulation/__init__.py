@@ -13,11 +13,14 @@ from .engine import (
     PeriodicTask,
     Simulation,
 )
+from ..obs import Observability, ObsConfig
 from .event import Event, EventQueue
 from .rng import RngRegistry
 
 __all__ = [
     "Simulation",
+    "Observability",
+    "ObsConfig",
     "PeriodicTask",
     "Event",
     "EventQueue",

@@ -22,11 +22,13 @@ cluster at time *t* sees the availability that holds *at* t.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Optional
 
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs import Observability, current_default
 from .event import Event, EventQueue
 from .rng import RngRegistry
 
@@ -39,12 +41,21 @@ PRIORITY_PERIODIC = 20
 class Simulation:
     """Clock + event queue + named RNG streams."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, obs: Optional[Observability] = None) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self._rng = RngRegistry(seed)
         self._running = False
         self._executed = 0
+        #: Observability bundle (tracer/metrics/profiler) — falls back
+        #: to the ambient default installed by
+        #: :func:`repro.obs.default_observability`, else a fresh
+        #: all-off bundle.  Instrumented components reach it via
+        #: ``sim.obs``; with everything off the dispatch loop is
+        #: untouched.
+        if obs is None:
+            obs = current_default() or Observability()
+        self.obs = obs
         #: Optional trace hook ``fn(time, event)`` for debugging.
         self.trace_hook: Optional[Callable[[float, Event], None]] = None
 
@@ -146,6 +157,11 @@ class Simulation:
         queue = self._queue
         peek = queue.peek_time
         pop = queue.pop
+        # The wall-clock profiler sits outside the determinism
+        # boundary: when armed, each callback is bracketed with
+        # perf_counter, but the event sequence (and everything the sim
+        # clock or RNGs see) is identical to an unprofiled run.
+        profiler = self.obs.profiler
         try:
             while queue._live:
                 if until is None and queue._live_foreground == 0:
@@ -162,7 +178,15 @@ class Simulation:
                 self._now = event.time
                 if self.trace_hook is not None:
                     self.trace_hook(self._now, event)
-                event.fn(*event.args)
+                if profiler is None:
+                    event.fn(*event.args)
+                else:
+                    t0 = perf_counter()
+                    event.fn(*event.args)
+                    profiler.note(
+                        getattr(event.fn, "__qualname__", repr(event.fn)),
+                        perf_counter() - t0,
+                    )
                 self._executed += 1
                 fired += 1
                 if max_events is not None and fired >= max_events:

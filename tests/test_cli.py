@@ -165,7 +165,7 @@ class TestServeCommand:
     def test_autoscale_all_rejects_policy_all(self, capsys):
         rc = main(["serve", "--autoscale", "all", "--policy", "all"])
         assert rc == 2
-        assert "single --policy" in capsys.readouterr().out
+        assert "single --policy" in capsys.readouterr().err
 
     def test_small_serve_run(self, capsys):
         rc = main([
@@ -194,36 +194,36 @@ class TestReplayCommand:
     def test_serve_replay_pattern_points_at_repro_replay(self, capsys):
         rc = main(["serve", "--pattern", "replay"])
         assert rc == 2
-        assert "repro replay --trace" in capsys.readouterr().out
+        assert "repro replay --trace" in capsys.readouterr().err
 
     def test_missing_trace_file_is_a_clean_error(self, capsys):
         rc = main(["replay", "--trace", "/nonexistent/t.json"])
         assert rc == 2
-        assert "replay:" in capsys.readouterr().out
+        assert "replay:" in capsys.readouterr().err
 
     def test_scale_zero_is_rejected(self, capsys):
         rc = main(["replay", "--trace", self._sample(), "--scale", "0"])
         assert rc == 2
-        assert "load_factor" in capsys.readouterr().out
+        assert "load_factor" in capsys.readouterr().err
 
     def test_autoscale_rejects_policy_all(self, capsys):
         rc = main(["replay", "--trace", self._sample(),
                    "--autoscale", "all", "--policy", "all"])
         assert rc == 2
-        assert "single --policy" in capsys.readouterr().out
+        assert "single --policy" in capsys.readouterr().err
 
     def test_preempt_all_rejects_conflicting_axes(self, capsys):
         rc = main(["replay", "--trace", self._sample(),
                    "--preempt", "all", "--policy", "all"])
         assert rc == 2
-        assert "--preempt all" in capsys.readouterr().out
+        assert "--preempt all" in capsys.readouterr().err
         rc = main(["replay", "--trace", self._sample(),
                    "--preempt", "all", "--autoscale", "reactive"])
         assert rc == 2
-        assert "--preempt all" in capsys.readouterr().out
+        assert "--preempt all" in capsys.readouterr().err
         rc = main(["serve", "--preempt", "all", "--policy", "all"])
         assert rc == 2
-        assert "--preempt all" in capsys.readouterr().out
+        assert "--preempt all" in capsys.readouterr().err
 
     def test_preempt_flag_parses_on_both_commands(self):
         args = build_parser().parse_args(
@@ -269,13 +269,113 @@ class TestReplayCommand:
 
     def test_capture_roundtrip_through_cli(self, tmp_path, capsys):
         out = tmp_path / "captured.json"
-        rc = main(["replay", "--trace", self._sample(),
+        rc = main(["--verbose", "replay", "--trace", self._sample(),
                    "--capture", str(out)])
         assert rc == 0
-        assert "captured" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert out.exists()
+        assert "captured" in captured.err
         rc = main(["replay", "--trace", str(out)])
         assert rc == 0
         assert "service report" in capsys.readouterr().out
+
+
+class TestObsFlags:
+    """--json / --trace-out / --metrics-out / repro profile wiring."""
+
+    def _sample(self):
+        import pathlib
+
+        return str(
+            pathlib.Path(__file__).parent.parent
+            / "benchmarks" / "data" / "hadoop_jobhistory_sample.json"
+        )
+
+    def test_replay_json_report_roundtrip(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "report.json"
+        rc = main(["replay", "--trace", self._sample(),
+                   "--policy", "edf", "--json", str(path)])
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        assert len(payload["reports"]) == 1
+        report = payload["reports"][0]
+        assert report["schema_version"] == 1
+        assert report["policy"] == "edf"
+        # Round-trip: the JSON is what to_dict() said.
+        assert json.loads(json.dumps(report)) == report
+
+    def test_serve_json_writes_one_report_per_cell(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "cells.json"
+        rc = main([
+            "serve", "--pattern", "poisson", "--policy", "all",
+            "--catalog", "sleep", "--jobs-per-hour", "6",
+            "--hours", "0.25", "--volatile", "6", "--dedicated", "2",
+            "--rate", "0.1", "--max-in-flight", "2", "--seed", "4",
+            "--json", str(path),
+        ])
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 1
+        policies = [r["policy"] for r in payload["reports"]]
+        assert len(policies) == len(set(policies)) >= 2
+
+    def test_replay_trace_out_is_valid_chrome_json(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main(["replay", "--trace", self._sample(),
+                   "--policy", "edf", "--trace-out", str(trace),
+                   "--metrics-out", str(metrics)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases >= {"M", "X"}  # metadata + complete spans
+        names = {e["name"] for e in events}
+        assert "queue.wait" in names  # job queue-wait spans
+        # Attempt-execution spans live on the per-node lanes.
+        assert any(e.get("cat") == "attempt" for e in events)
+        reg = json.loads(metrics.read_text())
+        assert reg["counters"]["service/jobs_admitted"] >= 1
+
+    def test_trace_out_does_not_change_the_report(self, tmp_path, capsys):
+        argv = ["replay", "--trace", self._sample(), "--policy", "edf"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--trace-out",
+                            str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr().out
+        assert plain == traced
+
+    def test_profile_prints_hot_table(self, tmp_path, capsys, monkeypatch):
+        from repro.perf import SCENARIOS
+        from repro.perf.scenarios import Scenario
+
+        def fake_run():
+            from repro.simulation import Simulation
+
+            sim = Simulation(seed=1)
+            for t in range(5):
+                sim.call_at(float(t), lambda: None)
+            sim.run()
+            return {"events": 5.0}
+
+        monkeypatch.setitem(
+            SCENARIOS, "fig6",
+            Scenario(name="fig6", description="tiny stub", run=fake_run),
+        )
+        rc = main(["profile", "--scenario", "fig6", "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[profile] fig6" in out
+        assert "TOTAL" in out
+        assert "lambda" in out  # the stub handler shows up as a row
 
 
 class TestRunCommand:
