@@ -112,7 +112,7 @@ class TestRegistry:
     def test_real_registry_names(self):
         assert set(SCENARIOS) == {
             "fig6", "fig7", "service2k", "fairshare", "autoscale2k",
-            "replay2k", "preempt2k",
+            "replay2k", "preempt2k", "detect2k",
         }
 
     def test_descriptions_present(self):

@@ -1,0 +1,178 @@
+"""Headline: the detection-latency / wasted-work tradeoff.
+
+An oracle scheduler reacts to a node's death the instant the trace
+says so — real masters only see missing heartbeats.  This bench runs
+the same correlated-outage service stream under all three detector
+modes and quantifies what honesty costs: how long failures go
+undetected (detection latency), how much duplicated attempt time
+false suspicions burn (wasted work), and whether either moves the
+deadline-miss needle.  The adaptive phi-accrual detector should
+dominate the fixed timeout on wasted work: it learns per-node silence
+distributions, so flaky nodes earn wider tolerances than quiet ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+import numpy as np
+
+from repro.cluster import Cluster, Node, NodeKind
+from repro.config import (
+    DETECTOR_MODES,
+    ClusterConfig,
+    DetectorConfig,
+    NodeSpec,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import MoonSystem
+from repro.plotting import table
+from repro.service import ServiceConfig, WorkloadClass, poisson_arrivals
+from repro.traces import CorrelatedConfig, generate_correlated_traces
+from repro.workloads import sort_spec, wordcount_spec
+
+from conftest import run_once, save_report
+
+N_VOLATILE, N_DEDICATED, RATE = 24, 3, 0.35
+HOURS = 4.0
+JOBS_PER_HOUR = 16.0
+
+#: Long-ish map tasks so a lab-session outage reliably lands mid-attempt
+#: (that is what makes detection mistakes *cost* something).
+CATALOG = [
+    WorkloadClass(
+        wordcount_spec(n_maps=24, block_mb=8.0, n_reduces=6,
+                       map_cpu_seconds=120.0),
+        slo_seconds=45 * 60.0,
+        weight=0.6,
+    ),
+    WorkloadClass(
+        sort_spec(n_maps=48, block_mb=8.0).with_(
+            n_reduces=8, reduces_per_slot=0.0
+        ),
+        slo_seconds=60 * 60.0,
+        weight=0.4,
+    ),
+]
+
+
+def _correlated_traces():
+    return generate_correlated_traces(
+        CorrelatedConfig(
+            base=TraceConfig(unavailability_rate=RATE),
+            n_groups=2,
+            correlation_weight=0.8,
+            session_mean=900.0,
+            session_sigma=200.0,
+        ),
+        N_VOLATILE,
+        np.random.default_rng(17),
+    )
+
+
+def _build(mode: str, traces) -> MoonSystem:
+    config = SystemConfig(
+        cluster=ClusterConfig(n_volatile=N_VOLATILE, n_dedicated=N_DEDICATED),
+        trace=TraceConfig(unavailability_rate=RATE),
+        scheduler=moon_scheduler_config(),
+        detector=DetectorConfig(mode=mode),
+        seed=7,
+    )
+    node_spec = NodeSpec()
+    nodes = [Node(i, NodeKind.DEDICATED, node_spec) for i in range(N_DEDICATED)]
+    nodes += [
+        Node(N_DEDICATED + i, NodeKind.VOLATILE, node_spec, trace)
+        for i, trace in enumerate(traces)
+    ]
+    return MoonSystem(config, cluster=Cluster(nodes))
+
+
+def _serve_one(mode: str, traces) -> dict:
+    system = _build(mode, traces)
+    # Same seed -> the same arrival stream for every mode; detector
+    # streams are namespaced separately so honest noise never perturbs
+    # the workload.
+    arrivals = poisson_arrivals(
+        system.sim.rng("service/arrivals"),
+        JOBS_PER_HOUR,
+        HOURS * 3600.0,
+        catalog=CATALOG,
+    )
+    report = system.run_service(
+        arrivals,
+        ServiceConfig(horizon=HOURS * 3600.0),
+        pattern="poisson",
+    )
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return {
+        "done": report.overall.completed,
+        "miss": report.overall.miss_rate,
+        "detect_mean": report.detection_mean,
+        "false_positives": report.false_positives,
+        "requeues": report.requeues,
+        "wasted": report.wasted_work,
+    }
+
+
+def test_detection_tradeoff(benchmark):
+    def experiment():
+        traces = _correlated_traces()
+        return {mode: _serve_one(mode, traces) for mode in DETECTOR_MODES}
+
+    data = run_once(benchmark, experiment)
+
+    rows = [
+        [
+            mode,
+            d["done"],
+            "-" if d["miss"] is None else f"{d['miss']:.0%}",
+            "-" if d["detect_mean"] is None else f"{d['detect_mean']:.1f}",
+            d["false_positives"],
+            d["requeues"],
+            f"{d['wasted']:.0f}",
+        ]
+        for mode, d in data.items()
+    ]
+    report = table(
+        ["detector", "done", "miss", "detect s", "false+", "requeues",
+         "wasted s"],
+        rows,
+        title=(
+            "detection tradeoff - correlated lab-session outages, "
+            f"{JOBS_PER_HOUR:.0f} jobs/h poisson, {HOURS:.0f}h"
+        ),
+    )
+    report += (
+        "\n\nOracle detection is free: zero latency, zero false"
+        "\nsuspicion, zero duplicated work.  Honest detectors pay for"
+        "\nknowledge with wasted attempt-seconds; the adaptive detector"
+        "\nlearns per-node silence distributions and wastes less than"
+        "\nthe fixed timeout on the same stream."
+    )
+    save_report("detection_tradeoff", report)
+
+    oracle = data["oracle"]
+    timeout = data["timeout"]
+    adaptive = data["adaptive"]
+    # The oracle never suspects wrongly and never duplicates work.
+    assert oracle["false_positives"] == 0
+    assert oracle["requeues"] == 0
+    assert oracle["wasted"] == 0.0
+    assert oracle["detect_mean"] is None
+    # Honest detection has measurable cost: false suspicions happen
+    # and duplicated attempt-seconds are burned.
+    assert timeout["false_positives"] > 0
+    assert timeout["wasted"] > 0.0
+    assert timeout["detect_mean"] is not None and timeout["detect_mean"] > 0
+    # The adaptive detector dominates the fixed timeout on wasted work
+    # under this correlated-outage trace.
+    assert adaptive["wasted"] < timeout["wasted"]
+    # Detection cost must not collapse throughput: every honest mode
+    # still completes most of what the oracle does.
+    assert timeout["done"] >= 0.8 * oracle["done"]
+    assert adaptive["done"] >= 0.8 * oracle["done"]

@@ -18,7 +18,9 @@ import numpy as np
 
 from ..analysis import estimate_makespan, strategy_table
 from ..config import (
+    DETECTOR_MODES,
     ClusterConfig,
+    DetectorConfig,
     SchedulerConfig,
     SystemConfig,
     TraceConfig,
@@ -253,6 +255,7 @@ _SUMMARY_COLS = ["done", "p50 s", "p95 s", "p99 s", "miss", "good/h",
                  "fairness"]
 _COST_COLS = _SUMMARY_COLS + ["node-h", "tier", "ops"]
 _PREEMPT_COLS = _SUMMARY_COLS + ["depri", "pauses"]
+_DETECT_COLS = _SUMMARY_COLS + ["detect s", "false+", "requeues", "wasted s"]
 
 
 def _reject_autoscale_policy_all(args) -> bool:
@@ -280,6 +283,34 @@ def _reject_preempt_all_conflicts(args) -> bool:
         )
         return True
     return False
+
+
+def _reject_detector_all_conflicts(args) -> bool:
+    """Shared serve/replay rule: `--detector all` compares detection
+    modes on one queue policy with everything else fixed."""
+    if args.detector == "all" and (
+        args.policy == "all"
+        or args.autoscale is not None
+        or args.preempt == "all"
+    ):
+        log.error(
+            "--detector all compares detection modes on one queue "
+            "policy with a fixed tier and preemption mode; pass a "
+            "single --policy/--preempt and drop --autoscale"
+        )
+        return True
+    return False
+
+
+def _detector_modes(args):
+    """The detection cells of one serve/replay run."""
+    if args.detector == "all":
+        return list(DETECTOR_MODES)
+    return [args.detector]
+
+
+def _detector_cfg(args, mode) -> DetectorConfig:
+    return DetectorConfig(mode=mode, timeout_scale=args.detector_scale)
 
 
 def _preempt_modes(args):
@@ -344,7 +375,8 @@ def _serve_arrivals(args, system):
     )
 
 
-def _serve_system(args, dedicated_primary: bool = False, obs=None):
+def _serve_system(args, dedicated_primary: bool = False, obs=None,
+                  detector=None):
     """A fresh system per serve cell: same seed -> same traces and the
     same arrival draws, so policies compete on identical streams."""
     from dataclasses import replace as _replace
@@ -358,6 +390,7 @@ def _serve_system(args, dedicated_primary: bool = False, obs=None):
         ),
         trace=TraceConfig(unavailability_rate=args.rate),
         scheduler=scheduler,
+        detector=(detector if detector is not None else DetectorConfig()),
         seed=args.seed,
     )
     return moon_system(cfg, obs=obs)
@@ -380,6 +413,8 @@ def cmd_serve(args) -> int:
         return 2
     if _reject_preempt_all_conflicts(args):
         return 2
+    if _reject_detector_all_conflicts(args):
+        return 2
     if args.autoscale is not None:
         return _serve_autoscaled(args)
     from ..service import render_preempt_events
@@ -388,6 +423,7 @@ def cmd_serve(args) -> int:
         list(QUEUE_POLICIES) if args.policy == "all" else [args.policy]
     )
     preempt_modes = _preempt_modes(args)
+    detector_modes = _detector_modes(args)
     summaries = []
     json_reports = []
     # Like --capture, the flight recorder observes the FIRST cell of a
@@ -396,35 +432,48 @@ def cmd_serve(args) -> int:
     obs_pending = obs
     for policy in policies:
         for mode in preempt_modes:
-            system = _serve_system(args, obs=obs_pending)
-            obs_pending = None
-            arrivals = _serve_arrivals(args, system)
-            service_cfg = ServiceConfig(
-                policy=policy,
-                max_in_flight=args.max_in_flight,
-                max_queue_depth=args.queue_depth,
-                tenant_quota=args.tenant_quota,
-                horizon=args.hours * 3600.0,
-                preempt=_preempt_cfg(mode),
-                admission_prices=args.admission_prices,
-            )
-            report = system.run_service(
-                arrivals, service_cfg, pattern=args.pattern
-            )
-            system.jobtracker.stop()
-            system.namenode.stop()
-            print(report.render())
-            print()
-            if report.preempt_events:
-                print(render_preempt_events(report.preempt_events))
+            for dmode in detector_modes:
+                system = _serve_system(
+                    args,
+                    obs=obs_pending,
+                    detector=_detector_cfg(args, dmode),
+                )
+                obs_pending = None
+                arrivals = _serve_arrivals(args, system)
+                service_cfg = ServiceConfig(
+                    policy=policy,
+                    max_in_flight=args.max_in_flight,
+                    max_queue_depth=args.queue_depth,
+                    tenant_quota=args.tenant_quota,
+                    horizon=args.hours * 3600.0,
+                    preempt=_preempt_cfg(mode),
+                    admission_prices=args.admission_prices,
+                )
+                report = system.run_service(
+                    arrivals, service_cfg, pattern=args.pattern
+                )
+                system.jobtracker.stop()
+                system.namenode.stop()
+                print(report.render())
                 print()
-            if len(preempt_modes) > 1:
-                summaries.append([mode] + report.preempt_row())
-            else:
-                summaries.append([policy] + report.summary_row())
-            json_reports.append(report.to_dict())
+                if report.preempt_events:
+                    print(render_preempt_events(report.preempt_events))
+                    print()
+                if len(detector_modes) > 1:
+                    summaries.append([dmode] + report.detector_row())
+                elif len(preempt_modes) > 1:
+                    summaries.append([mode] + report.preempt_row())
+                else:
+                    summaries.append([policy] + report.summary_row())
+                json_reports.append(report.to_dict())
     if len(summaries) > 1:
-        if len(preempt_modes) > 1:
+        if len(detector_modes) > 1:
+            headers = ["detector"] + _DETECT_COLS
+            title = (
+                f"detector comparison - {args.pattern} arrivals, "
+                f"{policies[0]} queue"
+            )
+        elif len(preempt_modes) > 1:
             headers = ["preempt"] + _PREEMPT_COLS
             title = (
                 f"preemption comparison - {args.pattern} arrivals, "
@@ -463,7 +512,12 @@ def _serve_autoscaled(args) -> int:
     obs = _make_obs(args)
     obs_pending = obs
     for scale_policy in scale_policies:
-        system = _serve_system(args, dedicated_primary=True, obs=obs_pending)
+        system = _serve_system(
+            args,
+            dedicated_primary=True,
+            obs=obs_pending,
+            detector=_detector_cfg(args, args.detector),
+        )
         obs_pending = None
         arrivals = _serve_arrivals(args, system)
         service_cfg = ServiceConfig(
@@ -561,6 +615,8 @@ def cmd_replay(args) -> int:
         return 2
     if _reject_preempt_all_conflicts(args):
         return 2
+    if _reject_detector_all_conflicts(args):
+        return 2
     try:
         trace = load_workload_trace(args.trace)
         if args.scale is not None or args.stretch is not None:
@@ -600,11 +656,13 @@ def cmd_replay(args) -> int:
     )
     max_dedicated = _max_dedicated(args)
     preempt_modes = _preempt_modes(args)
+    detector_modes = _detector_modes(args)
     cells = [
-        (policy, scale_policy, mode)
+        (policy, scale_policy, mode, dmode)
         for scale_policy in scale_policies
         for policy in queue_policies
         for mode in preempt_modes
+        for dmode in detector_modes
     ]
     summaries = []
     json_reports = []
@@ -612,7 +670,7 @@ def cmd_replay(args) -> int:
     # As with --capture, the flight recorder rides the FIRST cell only.
     obs = _make_obs(args)
     obs_pending = obs
-    for policy, scale_policy, mode in cells:
+    for policy, scale_policy, mode, dmode in cells:
         autoscale_cfg = (
             None if scale_policy is None
             else AutoscaleConfig(
@@ -626,6 +684,7 @@ def cmd_replay(args) -> int:
             args,
             dedicated_primary=scale_policy is not None,
             obs=obs_pending,
+            detector=_detector_cfg(args, dmode),
         )
         obs_pending = None
         service = MoonService(
@@ -656,6 +715,8 @@ def cmd_replay(args) -> int:
             summaries.append([scale_policy, policy] + report.cost_row())
         elif len(preempt_modes) > 1:
             summaries.append([mode] + report.preempt_row())
+        elif len(detector_modes) > 1:
+            summaries.append([dmode] + report.detector_row())
         else:
             summaries.append([policy] + report.summary_row())
         json_reports.append(report.to_dict())
@@ -671,6 +732,12 @@ def cmd_replay(args) -> int:
             headers = ["preempt"] + _PREEMPT_COLS
             title = (
                 f"preemption comparison - trace {trace.name}, "
+                f"{queue_policies[0]} queue"
+            )
+        elif len(detector_modes) > 1:
+            headers = ["detector"] + _DETECT_COLS
+            title = (
+                f"detector comparison - trace {trace.name}, "
                 f"{queue_policies[0]} queue"
             )
         else:

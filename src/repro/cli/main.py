@@ -41,6 +41,30 @@ def _add_autoscale_bounds(parser) -> None:
                         help="seconds between autoscale control rounds")
 
 
+def _add_detector_flags(parser) -> None:
+    """The failure-detection flags shared verbatim by serve and replay."""
+    from ..config import DETECTOR_MODES
+
+    parser.add_argument(
+        "--detector",
+        choices=list(DETECTOR_MODES) + ["all"],
+        default="oracle",
+        help="how observers learn node state: 'oracle' (trace-fed "
+             "judgements, the byte-identical historical default), "
+             "'timeout' (honest fixed heartbeat timeouts with "
+             "observation noise), 'adaptive' (phi-accrual-style "
+             "per-node thresholds); 'all' compares the three on one "
+             "queue policy",
+    )
+    parser.add_argument(
+        "--detector-scale",
+        type=float,
+        default=1.0,
+        help="multiply every honest detection threshold (the "
+             "detection-latency axis: 0.5 suspects twice as fast)",
+    )
+
+
 def _add_preemption_flags(parser) -> None:
     """The preemption flags shared verbatim by serve and replay."""
     from ..service.preempt import PREEMPT_MODES
@@ -228,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_autoscale_bounds(serve_p)
     _add_preemption_flags(serve_p)
+    _add_detector_flags(serve_p)
     _add_obs_flags(serve_p)
 
     # --- replay ---------------------------------------------------------
@@ -319,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_autoscale_bounds(replay_p)
     _add_preemption_flags(replay_p)
+    _add_detector_flags(replay_p)
     _add_obs_flags(replay_p)
 
     # --- trace ----------------------------------------------------------

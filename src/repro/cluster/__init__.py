@@ -19,6 +19,7 @@ from .cluster import Cluster, build_cluster, connect_network
 from .detector import FailureDetector
 from .monitor import AvailabilityMonitor
 from .node import Node, NodeKind
+from .suspicion import DETECTOR_MODES, HonestDetector, NodeView
 
 __all__ = [
     "Node",
@@ -28,4 +29,7 @@ __all__ = [
     "connect_network",
     "AvailabilityMonitor",
     "FailureDetector",
+    "NodeView",
+    "HonestDetector",
+    "DETECTOR_MODES",
 ]

@@ -30,6 +30,10 @@ class _Judgement(NamedTuple):
     threshold: float
     on_trip: DownCallback
     on_recover: Optional[UpCallback]
+    #: May this threshold be tightened/widened by an adaptive detector?
+    #: Expiry-scale judgements keep their configured value (an adaptive
+    #: detector must never expire a node after a few seconds of silence).
+    adapt: bool = False
 
 
 class FailureDetector:
@@ -49,6 +53,8 @@ class FailureDetector:
         self._pending: Dict[int, List[Optional[object]]] = {}
         #: node_id -> set of judgement indices already tripped
         self._tripped: Dict[int, set] = {}
+        #: node_id -> sim time of the current (actual) suspension
+        self._down_since: Dict[int, float] = {}
         cluster.on_suspend(self._node_suspended)
         cluster.on_resume(self._node_resumed)
 
@@ -58,11 +64,14 @@ class FailureDetector:
         threshold: float,
         on_trip: DownCallback,
         on_recover: Optional[UpCallback] = None,
+        adapt: bool = False,
     ) -> None:
         """Register: call ``on_trip(node)`` once the node has been silent
         for ``threshold`` seconds; ``on_recover(node)`` when it returns
         after tripping."""
-        self._judgements.append(_Judgement(name, threshold, on_trip, on_recover))
+        self._judgements.append(
+            _Judgement(name, threshold, on_trip, on_recover, adapt)
+        )
 
     def has_tripped(self, node: Node, name: str) -> bool:
         idx = self._index(name)
@@ -74,13 +83,22 @@ class FailureDetector:
                 return i
         raise KeyError(name)
 
+    def _effective_threshold(self, node: Node, idx: int) -> float:
+        """Seconds of silence before judgement ``idx`` trips for ``node``.
+
+        The oracle detector uses the configured value verbatim; honest
+        subclasses scale it or learn it per node (phi-accrual style).
+        """
+        return self._judgements[idx].threshold
+
     # ------------------------------------------------------------------
     def _node_suspended(self, node: Node) -> None:
+        self._down_since[node.node_id] = self.sim.now
         events: List[Optional[object]] = []
-        for i, j in enumerate(self._judgements):
+        for i in range(len(self._judgements)):
             # Last heartbeat was at most `heartbeat_interval` before the
             # outage; the observer notices silence at threshold past it.
-            delay = j.threshold + self.heartbeat_interval
+            delay = self._effective_threshold(node, i) + self.heartbeat_interval
             events.append(
                 self.sim.call_after(
                     delay, self._trip, node, i, priority=PRIORITY_HEARTBEAT
@@ -91,18 +109,32 @@ class FailureDetector:
     def _trip(self, node: Node, idx: int) -> None:
         if node.available:  # stale timer (resume races are cancelled, but be safe)
             return
+        tripped = self._tripped.setdefault(node.node_id, set())
+        if idx in tripped:  # already suspected by an earlier (false) trip
+            return
         pending = self._pending.get(node.node_id)
         if pending is not None:
             pending[idx] = None
-        self._tripped.setdefault(node.node_id, set()).add(idx)
+        tripped.add(idx)
+        self._note_trip(node, idx)
         self._judgements[idx].on_trip(node)
 
+    def _note_trip(self, node: Node, idx: int) -> None:
+        """Observability hook; honest detectors record trip metrics."""
+
     def _node_resumed(self, node: Node) -> None:
+        self._down_since.pop(node.node_id, None)
+        self._cancel_pending(node)
+        tripped = self._tripped.pop(node.node_id, set())
+        for idx in sorted(tripped):
+            self._recover(node, idx)
+
+    def _cancel_pending(self, node: Node) -> None:
         for ev in self._pending.pop(node.node_id, []):
             if ev is not None:
                 ev.cancel()
-        tripped = self._tripped.pop(node.node_id, set())
-        for idx in sorted(tripped):
-            j = self._judgements[idx]
-            if j.on_recover is not None:
-                j.on_recover(node)
+
+    def _recover(self, node: Node, idx: int) -> None:
+        j = self._judgements[idx]
+        if j.on_recover is not None:
+            j.on_recover(node)

@@ -1,0 +1,354 @@
+"""Observed node state: the suspicion layer between ground truth and
+every consumer.
+
+Real MOON observers (JobTracker, NameNode) never see the availability
+trace — they see heartbeats, and silence.  A :class:`NodeView` is one
+observer's belief about the cluster: in ``oracle`` mode it delegates to
+ground truth exactly as every paper figure always has; in the honest
+modes (``timeout``, ``adaptive``) belief is driven only by an
+:class:`HonestDetector`, whose judgements can be wrong in both
+directions — real outages are noticed late (detection latency), and
+bursty heartbeat silence on a healthy node trips false suspicion whose
+requeued work is pure waste.
+
+The honest detector keeps the analytical trick of
+:class:`FailureDetector` (never simulate individual 3-second beats):
+
+* Real outages are judged exactly as before, except the effective
+  threshold may be scaled (``timeout_scale``) or learned per node
+  (``adaptive``).
+* Observation noise is modelled as silence episodes: per observer and
+  node, silences arrive as a Poisson process (``silences_per_hour``)
+  with Exp(``mean_silence``)-distributed duration.  A silence of
+  length ``S`` falsely trips every judgement whose effective threshold
+  ``T`` satisfies ``T + h <= S``, at ``T + h`` past silence start; the
+  silence ending recovers everything it tripped.
+* The adaptive (phi-accrual-style) detector feeds every observed
+  silence gap — false episodes and real outages alike — into a
+  per-node Welford estimator and sets the effective suspicion
+  threshold to ``mean + phi * std``, clamped to
+  ``[adaptive_floor * h, adaptive_cap * base]``.  Nodes with flappy
+  histories earn wide tolerances; an under-sampled node is judged with
+  the configured (fixed-timeout) threshold — phi-accrual bootstraps
+  conservatively, never from a guess.
+
+Only suspicion-scale judgements adapt (``add_threshold(...,
+adapt=True)``); expiry judgements keep their configured threshold so a
+noisy link can never expire a node — and drop its replicas or kill its
+attempts — after a few seconds of silence.
+
+Determinism: every silence draw comes from the per-observer, per-node
+stream ``detector/<observer>/<node_id>``, and all detector events carry
+``PRIORITY_HEARTBEAT``, so honest runs are byte-stable across
+processes.  In oracle mode :meth:`NodeView.make_detector` returns the
+plain :class:`FailureDetector` — zero extra events, zero rng draws.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import DETECTOR_MODES, DetectorConfig
+from ..simulation import PRIORITY_HEARTBEAT, Simulation
+from .cluster import Cluster
+from .detector import FailureDetector
+from .node import Node
+
+__all__ = ["DETECTOR_MODES", "NodeView", "HonestDetector", "_Welford"]
+
+
+class _Welford:
+    """Streaming mean/variance of one node's observed silence gaps."""
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (x - self.mean)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.m2 / self.n) if self.n else 0.0
+
+
+class NodeView:
+    """One observer's belief about node liveness.
+
+    ``believes_up`` is the drop-in replacement for the old direct
+    ``node.available`` reads: ground truth under the oracle, and
+    constant ``True`` under the honest modes — an honest observer has
+    no channel to liveness other than its own suspicion state, which
+    consumers already carry (``TaskTracker.suspected``, the NameNode's
+    per-node :class:`NodeState`) and which the detector's trip/recover
+    callbacks keep updated.  ``is_suspect``/``is_expired`` expose the
+    detector's raw judgement state for tests and diagnostics.
+    """
+
+    __slots__ = ("name", "config", "detector")
+
+    def __init__(self, name: str, config: Optional[DetectorConfig] = None) -> None:
+        self.name = name
+        self.config = config if config is not None else DetectorConfig()
+        #: Set by :meth:`make_detector`.
+        self.detector: Optional[FailureDetector] = None
+
+    @property
+    def honest(self) -> bool:
+        return self.config.honest
+
+    # -- the routed reads ----------------------------------------------
+    def believes_up(self, node: Node) -> bool:
+        if self.config.honest:
+            return True
+        return node.available
+
+    # -- judgement state (tests / diagnostics) -------------------------
+    def is_suspect(self, node: Node) -> bool:
+        """Has any of this observer's judgements tripped for ``node``?"""
+        det = self.detector
+        if det is None:
+            return not node.available
+        return bool(det._tripped.get(node.node_id))
+
+    def is_expired(self, node: Node) -> bool:
+        """Has the longest-threshold (expiry-scale) judgement tripped?"""
+        det = self.detector
+        if det is None or not det._judgements:
+            return False
+        tripped = det._tripped.get(node.node_id)
+        if not tripped:
+            return False
+        expiry_idx = max(
+            range(len(det._judgements)), key=lambda i: det._judgements[i].threshold
+        )
+        return expiry_idx in tripped
+
+    # -- factory -------------------------------------------------------
+    def make_detector(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        heartbeat_interval: float = 3.0,
+    ) -> FailureDetector:
+        """Build this observer's detector: the untouched analytical
+        :class:`FailureDetector` under the oracle, an
+        :class:`HonestDetector` otherwise."""
+        if self.config.honest:
+            det: FailureDetector = HonestDetector(
+                sim, cluster, self, heartbeat_interval
+            )
+        else:
+            det = FailureDetector(sim, cluster, heartbeat_interval)
+        self.detector = det
+        return det
+
+
+class HonestDetector(FailureDetector):
+    """Heartbeat judgement with delayed detection, observation noise,
+    and (optionally) per-node adaptive thresholds."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        view: NodeView,
+        heartbeat_interval: float = 3.0,
+    ) -> None:
+        super().__init__(sim, cluster, heartbeat_interval)
+        self.view = view
+        self.config = view.config
+        self._silence_rate = self.config.silences_per_hour / 3600.0
+        #: node_id -> Welford stats over observed silence gaps
+        self._gaps: Dict[int, _Welford] = {}
+        self._rngs: Dict[int, np.random.Generator] = {}
+        #: node_id -> pending silence-arrival event
+        self._silence_arrival: Dict[int, object] = {}
+        #: node_id -> events of the silence currently in progress
+        self._silence_live: Dict[int, List[object]] = {}
+        metrics = sim.obs.metrics
+        self._m_trips = metrics.counter("detector/trips")
+        self._m_false = metrics.counter("detector/false_positives")
+        self._m_recovers = metrics.counter("detector/recoveries")
+        self._h_latency = metrics.histogram("detector/detection_latency_seconds")
+        self._tracer = sim.obs.tracer
+        for node in cluster.nodes:
+            self._arm_silence(node)
+        cluster.on_provision(self._node_provisioned)
+        cluster.on_decommission(self._node_decommissioned)
+
+    # ------------------------------------------------------------------
+    # Effective thresholds
+    # ------------------------------------------------------------------
+    def _effective_threshold(self, node: Node, idx: int) -> float:
+        j = self._judgements[idx]
+        base = j.threshold * self.config.timeout_scale
+        if not j.adapt or self.config.mode != "adaptive":
+            return base
+        gaps = self._gaps.get(node.node_id)
+        if gaps is None or gaps.n < self.config.adaptive_min_samples:
+            return base  # bootstrap like the fixed timeout, never guess
+        eff = gaps.mean + self.config.phi * gaps.std
+        lo = self.config.adaptive_floor * self.heartbeat_interval
+        hi = self.config.adaptive_cap * base
+        return min(max(eff, lo), hi)
+
+    def _observe_gap(self, node: Node, gap: float) -> None:
+        stats = self._gaps.get(node.node_id)
+        if stats is None:
+            stats = self._gaps[node.node_id] = _Welford()
+        stats.add(gap)
+
+    # ------------------------------------------------------------------
+    # Silence episodes (observation noise on a healthy node)
+    # ------------------------------------------------------------------
+    def _rng_for(self, node: Node) -> np.random.Generator:
+        rng = self._rngs.get(node.node_id)
+        if rng is None:
+            rng = self.sim.rng_indexed(f"detector/{self.view.name}", node.node_id)
+            self._rngs[node.node_id] = rng
+        return rng
+
+    def _arm_silence(self, node: Node) -> None:
+        if self._silence_rate <= 0.0:
+            return
+        gap = float(self._rng_for(node).exponential(1.0 / self._silence_rate))
+        self._silence_arrival[node.node_id] = self.sim.call_after(
+            gap, self._silence_begin, node, priority=PRIORITY_HEARTBEAT, daemon=True
+        )
+
+    def _silence_begin(self, node: Node) -> None:
+        self._silence_arrival.pop(node.node_id, None)
+        if not node.available:
+            # Actually down: the real-outage machinery owns judgement.
+            self._arm_silence(node)
+            return
+        duration = float(self._rng_for(node).exponential(self.config.mean_silence))
+        h = self.heartbeat_interval
+        events: List[object] = []
+        for i in range(len(self._judgements)):
+            notice = self._effective_threshold(node, i) + h
+            if notice <= duration:
+                events.append(
+                    self.sim.call_after(
+                        notice,
+                        self._false_trip,
+                        node,
+                        i,
+                        priority=PRIORITY_HEARTBEAT,
+                        daemon=True,
+                    )
+                )
+        events.append(
+            self.sim.call_after(
+                duration,
+                self._silence_end,
+                node,
+                duration,
+                priority=PRIORITY_HEARTBEAT,
+                daemon=True,
+            )
+        )
+        self._silence_live[node.node_id] = events
+
+    def _false_trip(self, node: Node, idx: int) -> None:
+        if not node.available:  # a real outage took over (stale timer)
+            return
+        tripped = self._tripped.setdefault(node.node_id, set())
+        if idx in tripped:
+            return
+        tripped.add(idx)
+        self._m_trips.inc()
+        self._m_false.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "detector.false_positive",
+                "detector",
+                self.sim.now,
+                node=node.node_id,
+                judgement=self._judgements[idx].name,
+                observer=self.view.name,
+            )
+        self._judgements[idx].on_trip(node)
+
+    def _silence_end(self, node: Node, duration: float) -> None:
+        self._silence_live.pop(node.node_id, None)
+        self._observe_gap(node, duration + self.heartbeat_interval)
+        if node.available:
+            tripped = self._tripped.pop(node.node_id, set())
+            for idx in sorted(tripped):
+                self._recover(node, idx)
+        self._arm_silence(node)
+
+    # ------------------------------------------------------------------
+    # Real outages
+    # ------------------------------------------------------------------
+    def _node_suspended(self, node: Node) -> None:
+        # The silence (if any) just became a real outage: cancel its
+        # machinery but keep whatever it already tripped.
+        arrival = self._silence_arrival.pop(node.node_id, None)
+        if arrival is not None:
+            arrival.cancel()
+        for ev in self._silence_live.pop(node.node_id, ()):
+            ev.cancel()
+        super()._node_suspended(node)
+
+    def _node_resumed(self, node: Node) -> None:
+        down = self._down_since.get(node.node_id)
+        if down is not None:
+            self._observe_gap(node, self.sim.now - down + self.heartbeat_interval)
+        super()._node_resumed(node)
+        self._arm_silence(node)
+
+    def _note_trip(self, node: Node, idx: int) -> None:
+        self._m_trips.inc()
+        down = self._down_since.get(node.node_id)
+        if down is not None:
+            self._h_latency.observe(self.sim.now - down)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "detector.trip",
+                "detector",
+                self.sim.now,
+                node=node.node_id,
+                judgement=self._judgements[idx].name,
+                observer=self.view.name,
+            )
+
+    def _recover(self, node: Node, idx: int) -> None:
+        self._m_recovers.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "detector.recover",
+                "detector",
+                self.sim.now,
+                node=node.node_id,
+                judgement=self._judgements[idx].name,
+                observer=self.view.name,
+            )
+        super()._recover(node, idx)
+
+    # ------------------------------------------------------------------
+    # Membership churn
+    # ------------------------------------------------------------------
+    def _node_provisioned(self, node: Node) -> None:
+        self._arm_silence(node)
+
+    def _node_decommissioned(self, node: Node) -> None:
+        arrival = self._silence_arrival.pop(node.node_id, None)
+        if arrival is not None:
+            arrival.cancel()
+        for ev in self._silence_live.pop(node.node_id, ()):
+            ev.cancel()
+        self._cancel_pending(node)
+        self._tripped.pop(node.node_id, None)
+        self._down_since.pop(node.node_id, None)

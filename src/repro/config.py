@@ -174,6 +174,73 @@ class DfsConfig:
             raise ConfigError("max_replications_per_scan must be >= 1")
 
 
+#: Failure-detection modes: the oracle default plus the honest ones.
+DETECTOR_MODES = ("oracle", "timeout", "adaptive")
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """How observers learn node state (cluster suspicion layer).
+
+    ``oracle`` is the historical setup: the availability trace feeds
+    judgements directly, heartbeats are perfect, and a node is never
+    suspected while it is actually up — byte-identical to every paper
+    figure.  The honest modes drive suspicion purely from (simulated)
+    heartbeat arrivals: the observer's link to an *alive* node can go
+    silent in bursts, so suspicion has false positives, detection of a
+    real outage is delayed by the last-delivered heartbeat, and a
+    requeue decision carries a grace period (SNIPPETS Snippet 3).
+    """
+
+    #: "oracle" | "timeout" | "adaptive".
+    mode: str = "oracle"
+    #: Multiplier applied to every observer threshold in honest modes —
+    #: the detection-latency axis (0.5 = suspect twice as fast).
+    timeout_scale: float = 1.0
+    #: Observation noise (honest modes): per-node rate of heartbeat
+    #: silence bursts while the node is up (GC pauses, lost packets,
+    #: congested links), and their mean length in seconds.
+    silences_per_hour: float = 1.5
+    mean_silence: float = 45.0
+    #: Seconds between first suspicion and task requeue (Snippet 3
+    #: Policy B: a missing heartbeat must not requeue work instantly).
+    grace_period: float = 60.0
+    #: Adaptive (phi-accrual-style) detector: the per-node effective
+    #: threshold is ``mean + phi * std`` of the node's observed silence
+    #: gaps, clamped to ``[adaptive_floor * heartbeat, adaptive_cap *
+    #: base threshold]`` — flappy nodes earn wide tolerances, quiet
+    #: dedicated nodes tight (fast) ones.
+    phi: float = 3.0
+    adaptive_floor: float = 2.0
+    adaptive_cap: float = 2.0
+    #: Below this many observed gaps the adaptive detector falls back
+    #: to the configured (fixed-timeout) threshold — phi-accrual
+    #: bootstraps conservatively, never from a guess.
+    adaptive_min_samples: int = 3
+
+    @property
+    def honest(self) -> bool:
+        return self.mode != "oracle"
+
+    def validate(self) -> None:
+        if self.mode not in DETECTOR_MODES:
+            raise ConfigError(f"unknown detector mode: {self.mode!r}")
+        if self.timeout_scale <= 0:
+            raise ConfigError("timeout_scale must be positive")
+        if self.silences_per_hour < 0:
+            raise ConfigError("silences_per_hour must be non-negative")
+        if self.mean_silence <= 0:
+            raise ConfigError("mean_silence must be positive")
+        if self.grace_period < 0:
+            raise ConfigError("grace_period must be non-negative")
+        if self.phi < 0:
+            raise ConfigError("phi must be non-negative")
+        if self.adaptive_floor <= 0 or self.adaptive_cap <= 0:
+            raise ConfigError("adaptive clamps must be positive")
+        if self.adaptive_min_samples < 1:
+            raise ConfigError("adaptive_min_samples must be >= 1")
+
+
 @dataclass(frozen=True)
 class SchedulerConfig:
     """Task-scheduling parameters (paper Sections II-C and V)."""
@@ -290,6 +357,10 @@ class SystemConfig:
     dfs: DfsConfig = field(default_factory=DfsConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     shuffle: ShuffleConfig = field(default_factory=ShuffleConfig)
+    #: How observers learn node state ("oracle" keeps the historical,
+    #: trace-fed judgements; honest modes drive suspicion from
+    #: heartbeats only).
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
     #: Root seed; every random stream in a run derives from it.
     seed: int = 42
     #: "fifo" (default, fast) or "fairshare" (ablation).
@@ -301,6 +372,7 @@ class SystemConfig:
         self.dfs.validate()
         self.scheduler.validate()
         self.shuffle.validate()
+        self.detector.validate()
         if self.network_model not in ("fifo", "fairshare"):
             raise ConfigError(f"unknown network model: {self.network_model!r}")
 

@@ -20,6 +20,7 @@ from ..cluster import (
     Cluster,
     Node,
     NodeKind,
+    NodeView,
     build_cluster,
     connect_network,
 )
@@ -59,7 +60,14 @@ class MoonSystem:
                 node.node_id, node.spec.disk_mbps, node.spec.nic_mbps
             )
         connect_network(self.cluster, self.network)
-        self.namenode = NameNode(self.sim, self.cluster, self.network, config.dfs)
+        # Each observer gets its own view of node liveness (and, in the
+        # honest modes, its own detector with independent observation
+        # noise — a real NameNode and JobTracker do not share sockets).
+        self.nn_view = NodeView("namenode", config.detector)
+        self.jt_view = NodeView("jobtracker", config.detector)
+        self.namenode = NameNode(
+            self.sim, self.cluster, self.network, config.dfs, view=self.nn_view
+        )
         self.policy = make_scheduler(config.scheduler)
         self.jobtracker = JobTracker(
             self.sim,
@@ -69,6 +77,7 @@ class MoonSystem:
             config.shuffle,
             self.policy,
             heartbeat_interval=config.cluster.heartbeat_interval,
+            view=self.jt_view,
         )
         self.dfs = DfsClient(self.namenode)
         # Decommission wiring, deliberately registered *after* the

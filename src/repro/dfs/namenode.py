@@ -27,7 +27,7 @@ import heapq
 import itertools
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from ..cluster import Cluster, FailureDetector, Node
+from ..cluster import Cluster, Node, NodeView
 from ..config import DfsConfig
 from ..errors import DfsError, FileAlreadyExists, FileNotFound
 from ..net import NetworkModel
@@ -58,12 +58,16 @@ class NameNode:
         cluster: Cluster,
         network: NetworkModel,
         config: DfsConfig,
+        view: Optional[NodeView] = None,
     ) -> None:
         config.validate()
         self.sim = sim
         self.cluster = cluster
         self.network = network
         self.config = config
+        #: This observer's belief about node liveness (oracle by default).
+        self.view = view if view is not None else NodeView("namenode")
+        self._honest = self.view.honest
         # DFS bookkeeping now lives in the run's metrics registry under
         # the ``dfs/`` prefix; the bag keeps the historical
         # collections.Counter surface (`nn.counters[k] += 1`,
@@ -90,13 +94,15 @@ class NameNode:
             on_unthrottled=self._dedicated_unthrottled,
         )
 
-        # Heartbeat judgements.
-        self._detector = FailureDetector(sim, cluster)
+        # Heartbeat judgements (through this observer's view: the plain
+        # analytical detector under the oracle, honest otherwise).
+        self._detector = self.view.make_detector(sim, cluster)
         self._detector.add_threshold(
             "hibernate",
             config.node_hibernate_interval,
             self._on_hibernate,
             self._on_wake,
+            adapt=True,
         )
         self._detector.add_threshold(
             "expiry", config.node_expiry_interval, self._on_expiry, self._on_rejoin
@@ -167,7 +173,13 @@ class NameNode:
     def node_is_servable(self, node_id: int) -> bool:
         """Should the NameNode direct I/O at this node?  Hibernated and
         dead nodes are excluded (IV-C); an undetected outage still
-        counts as servable — clients then pay the timeout."""
+        counts as servable — clients then pay the timeout.
+
+        An honest NameNode knows suspicion can be wrong: a hibernated
+        (suspected-but-possibly-alive) node keeps serving reads until it
+        is expired for good, so only DEAD excludes it."""
+        if self._honest:
+            return self._states[node_id] is not NodeState.DEAD
         return self._states[node_id] is NodeState.ALIVE
 
     def estimated_p(self) -> float:
@@ -320,10 +332,15 @@ class NameNode:
         )
 
     def block_availability_now(self, block: BlockInfo) -> bool:
-        """Is any replica actually reachable this instant?  (Used by the
-        MOON JobTracker's fetch-failure fast path, Section VI-B.)"""
+        """Is any replica reachable this instant, as far as this
+        observer can tell?  (Used by the MOON JobTracker's fetch-failure
+        fast path, Section VI-B.)  The oracle view still consults
+        ground truth exactly as the paper's simulation did; an honest
+        view can only answer from its own judgement state."""
+        view = self.view
+        cluster_node = self.cluster.node
         return any(
-            self.node_is_servable(nid) and self.cluster.node(nid).available
+            self.node_is_servable(nid) and view.believes_up(cluster_node(nid))
             for nid in block.replicas
         )
 
@@ -382,6 +399,11 @@ class NameNode:
     def _on_hibernate(self, node: Node) -> None:
         self._states[node.node_id] = NodeState.HIBERNATED
         self.counters["hibernations"] += 1
+        # Honest observers defer re-replication to *expiry*: first
+        # suspicion may be a false positive, and copying data off every
+        # suspect node would turn detector noise into replication storms.
+        if self._honest:
+            return
         # Re-replicate only opportunistic blocks lacking a dedicated copy.
         info = self._infos[node.node_id]
         for block_id in info.blocks:

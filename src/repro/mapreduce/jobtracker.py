@@ -16,12 +16,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..cluster import Cluster, FailureDetector, Node
+from ..cluster import Cluster, Node, NodeView
 from ..config import SchedulerConfig, ShuffleConfig
 from ..dfs import DfsClient, NameNode
 from ..errors import SchedulingError
 from ..obs import ATTEMPT_LANE_BASE
-from ..simulation import PeriodicTask, Simulation
+from ..simulation import PRIORITY_HEARTBEAT, PeriodicTask, Simulation
 from ..workloads import JobSpec
 from .execution import ReduceRunner, make_runner
 from .job import Job, JobState
@@ -53,12 +53,15 @@ class JobTracker:
         shuffle_cfg: ShuffleConfig,
         policy,
         heartbeat_interval: float = 3.0,
+        view: Optional[NodeView] = None,
     ) -> None:
         scheduler_cfg.validate()
         shuffle_cfg.validate()
         self.sim = sim
         self.cluster = cluster
         self.namenode = namenode
+        #: This observer's belief about node liveness (oracle by default).
+        self.view = view if view is not None else NodeView("jobtracker")
         # Flight recorder: spans/instants when tracing is armed, and
         # run-level aggregates folded into the registry at job end.
         self._trace = sim.obs.tracer
@@ -70,7 +73,7 @@ class JobTracker:
         self.rt = Runtime(sim, cluster, namenode, self.dfs, shuffle_cfg, self)
 
         self.trackers: Dict[int, TaskTracker] = {
-            n.node_id: TaskTracker(n) for n in cluster.nodes
+            n.node_id: TaskTracker(n, self.view) for n in cluster.nodes
         }
         # Tracker membership only changes on explicit provision or
         # decommission events (service autoscaling), so the assignment
@@ -99,8 +102,9 @@ class JobTracker:
         cluster.on_drain_begin(self._node_drain_begin)
         cluster.on_decommission(self._node_decommissioned)
 
-        # Heartbeat judgements.
-        self._detector = FailureDetector(
+        # Heartbeat judgements (through this observer's view: the plain
+        # analytical detector under the oracle, honest otherwise).
+        self._detector = self.view.make_detector(
             sim, cluster, heartbeat_interval=heartbeat_interval
         )
         if self.cfg.kind == "moon":
@@ -109,6 +113,7 @@ class JobTracker:
                 self.cfg.suspension_interval,
                 self._tracker_suspected,
                 self._tracker_unsuspected,
+                adapt=True,
             )
         self._detector.add_threshold(
             "expiry",
@@ -341,7 +346,11 @@ class JobTracker:
         job = task.job
 
         if task.complete:
-            # A redundant copy finished after the winner: discard.
+            # A redundant copy finished after the winner: discard.  A
+            # falsely-suspected node completing work that was requeued
+            # past the grace window lands here — pure duplicated effort.
+            if attempt.abandoned:
+                job.counters["wasted_work_seconds"] += attempt.runtime(self.sim.now)
             if output_file is not None:
                 self._delete_quiet(output_file.path)
             return
@@ -350,8 +359,14 @@ class JobTracker:
         task.finished_at = self.sim.now
         task.output_file = output_file
         # Kill the losing copies (they count as killed task instances).
+        # When winner or loser was abandoned by a suspicion requeue, the
+        # loser's runtime is duplicated effort caused by the detector.
         for other in list(task.attempts):
             if other is not attempt and not other.finished:
+                if attempt.abandoned or other.abandoned:
+                    job.counters["wasted_work_seconds"] += other.runtime(
+                        self.sim.now
+                    )
                 self.kill_attempt(other, "redundant copy")
 
         if task.is_map:
@@ -468,6 +483,54 @@ class JobTracker:
         for job in self.running_jobs():
             job.counters["tracker_suspensions"] += 1
             break
+        # Snippet 3 Policy B: suspect first, requeue only once the node
+        # has stayed suspect past the grace window.  Oracle observers
+        # never requeue on suspicion (suspension is then known-true and
+        # MOON's frozen-task rescue already covers it).
+        if self.view.honest:
+            self.sim.call_after(
+                self.view.config.grace_period,
+                self._suspicion_requeue,
+                node,
+                priority=PRIORITY_HEARTBEAT,
+                daemon=True,
+            )
+
+    def _suspicion_requeue(self, node: Node) -> None:
+        """Grace window elapsed with the node still suspect: hand every
+        unfinished task it hosts back to the scheduler.
+
+        The suspect attempts are *abandoned*, not killed: the node may
+        be falsely accused, and if its results arrive after the requeue
+        they reconcile through the normal winner/redundant-copy paths —
+        with the duplicated attempt-seconds accounted as wasted work.
+        Slots are not released either (as far as the observer knows
+        the node may still be running the work)."""
+        tracker = self.trackers.get(node.node_id)
+        if tracker is None or tracker.dead or not tracker.suspected:
+            return  # recovered (or expired) before the grace ran out
+        requeued = 0
+        for attempt in list(tracker.attempts):
+            if attempt.finished or attempt.abandoned:
+                continue
+            task = attempt.task
+            if task.complete or task.job.finished or task.job.paused:
+                continue
+            attempt.abandoned = True
+            if all(a.abandoned for a in task.live_attempts()):
+                task.state = TaskState.PENDING
+                task.job.counters["suspicion_requeues"] += 1
+                requeued += 1
+        if requeued:
+            self._metrics.counter("detector/suspicion_requeues").inc(requeued)
+            if self._trace.enabled:
+                self._trace.instant(
+                    "detector.requeue",
+                    "detector",
+                    self.sim.now,
+                    node=node.node_id,
+                    tasks=requeued,
+                )
 
     def _tracker_unsuspected(self, node: Node) -> None:
         self.trackers[node.node_id].mark_recovered()
@@ -475,7 +538,14 @@ class JobTracker:
     def _tracker_dead(self, node: Node) -> None:
         tracker = self.trackers[node.node_id]
         tracker.dead = True
+        # Measurement only (never behaviour): an honest expiry of a node
+        # that is actually up destroys genuinely running work.
+        false_expiry = self.view.honest and node.available
         for attempt in list(tracker.running_attempts()):
+            if false_expiry and not attempt.task.complete:
+                attempt.task.job.counters["wasted_work_seconds"] += (
+                    attempt.runtime(self.sim.now)
+                )
             self.kill_attempt(attempt, "tracker expired")
         # Held attempts of paused jobs escaped the registry at pause
         # time, but they die with the tracker like everything else:
@@ -523,7 +593,7 @@ class JobTracker:
         )
 
     def _node_provisioned(self, node: Node) -> None:
-        self.trackers[node.node_id] = TaskTracker(node)
+        self.trackers[node.node_id] = TaskTracker(node, self.view)
         self._rebuild_assignment_order()
 
     def _node_drain_begin(self, node: Node) -> None:

@@ -57,6 +57,7 @@ class TaskAttempt:
         "progress",
         "phase_marks",
         "runner",
+        "abandoned",
     )
 
     def __init__(
@@ -75,6 +76,10 @@ class TaskAttempt:
         #: phase name -> completion timestamp (Table II accounting).
         self.phase_marks: dict = {}
         self.runner = None  # set by the execution engine
+        #: Suspicion requeue gave this attempt's task back to the
+        #: scheduler; if the attempt still finishes, its runtime is
+        #: duplicated effort (``wasted_work``).
+        self.abandoned = False
 
     @property
     def active(self) -> bool:

@@ -18,8 +18,11 @@ class TaskTracker:
     the scheduler's free-slot checks are O(1) instead of scanning.
     """
 
-    def __init__(self, node: Node) -> None:
+    def __init__(self, node: Node, view=None) -> None:
         self.node = node
+        #: Honest observers cannot read ground truth: ``usable`` then
+        #: rests purely on the suspicion flags the detector maintains.
+        self._honest_view = view is not None and view.honest
         self.map_slots = node.spec.map_slots
         self.reduce_slots = node.spec.reduce_slots
         self.attempts: Dict[TaskAttempt, None] = {}
@@ -40,7 +43,9 @@ class TaskTracker:
 
     @property
     def usable(self) -> bool:
-        """Can receive new work right now."""
+        """Can receive new work right now (as far as the observer knows)."""
+        if self._honest_view:
+            return not (self.dead or self.suspected or self.draining)
         return (
             self.node.available
             and not self.dead

@@ -341,6 +341,62 @@ def _preempt_2k() -> Dict[str, float]:
     }
 
 
+def _detect_2k() -> Dict[str, float]:
+    """2k-job service stream judged by the adaptive honest detector.
+
+    The same admission/queue/task stack as ``service2k``, but node
+    state is *observed* rather than oracle-fed: per-node silence
+    processes, phi-accrual threshold updates on every gap, grace-period
+    requeues and late-result reconciliation all run at trace scale.
+    The detector counters double as a behaviour checksum for the whole
+    suspicion layer.
+    """
+    from ..config import DetectorConfig
+    from ..service import ServiceConfig, poisson_arrivals, sleep_catalog
+
+    cfg = SystemConfig(
+        cluster=ClusterConfig(n_volatile=30, n_dedicated=3),
+        trace=TraceConfig(unavailability_rate=0.3),
+        scheduler=moon_policy(True),
+        detector=DetectorConfig(mode="adaptive"),
+        seed=PERF_SCALE.seeds[0],
+    )
+    system = moon_system(cfg)
+    arrivals = poisson_arrivals(
+        system.sim.rng("service/arrivals"),
+        rate_per_hour=250.0,
+        horizon=8 * 3600.0,
+        catalog=sleep_catalog(),
+    )
+    report = system.run_service(
+        arrivals,
+        ServiceConfig(
+            policy="edf",
+            max_in_flight=16,
+            max_queue_depth=256,
+            horizon=8 * 3600.0,
+            drain_limit=4 * 3600.0,
+        ),
+        pattern="poisson",
+    )
+    system.jobtracker.stop()
+    system.namenode.stop()
+    metrics = system.obs.metrics
+    return {
+        "events": float(system.sim.executed_events),
+        "jobs_done": float(report.overall.completed),
+        "sim_seconds": system.sim.now,
+        "arrivals": float(len(arrivals)),
+        "trips": float(metrics.counter("detector/trips").value),
+        "false_positives": float(
+            metrics.counter("detector/false_positives").value
+        ),
+        "requeues": float(
+            metrics.counter("detector/suspicion_requeues").value
+        ),
+    }
+
+
 def _fairshare_sort() -> Dict[str, float]:
     """Max-min fair-share network under a data-heavy sort at rate 0.3.
 
@@ -385,6 +441,9 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("preempt2k",
                  "2k-job bursty stream under SLO-aware pause preemption",
                  _preempt_2k),
+        Scenario("detect2k",
+                 "2k-job Poisson stream under the adaptive honest detector",
+                 _detect_2k),
         Scenario("fairshare", "192-map sort on the fair-share network",
                  _fairshare_sort),
     )

@@ -394,6 +394,24 @@ class MoonService:
             self.captured_trace = capture_trace(
                 self, name=cfg.trace_name or "capture"
             )
+        # Detection-tradeoff axes (honest detectors only: the oracle
+        # emits no detector metrics, and its wasted work is 0 by
+        # construction).
+        det_cfg = getattr(self.system.config, "detector", None)
+        det_mode = None
+        wasted = 0.0
+        false_pos = 0
+        requeues = 0
+        detect_mean = None
+        if det_cfg is not None and det_cfg.honest:
+            det_mode = det_cfg.mode
+            m = self.system.obs.metrics
+            wasted = float(m.counter("mapreduce/wasted_work_seconds").value)
+            false_pos = int(m.counter("detector/false_positives").value)
+            requeues = int(m.counter("detector/suspicion_requeues").value)
+            latency = m.histogram("detector/detection_latency_seconds")
+            if latency.count:
+                detect_mean = latency.mean
         return build_report(
             self.records,
             policy=cfg.policy,
@@ -417,4 +435,9 @@ class MoonService:
                 [] if preemptor is None else list(preemptor.events)
             ),
             evicted=self.queue.evicted,
+            detector=det_mode,
+            wasted_work=wasted,
+            false_positives=false_pos,
+            requeues=requeues,
+            detection_mean=detect_mean,
         )

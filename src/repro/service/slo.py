@@ -234,6 +234,20 @@ class ServiceReport:
     #: Saturation evictions by admission price (0 whenever the queue
     #: ran the classic arrival-order bound).
     evicted: int = 0
+    #: Failure-detection mode when an honest detector was armed
+    #: ("timeout" | "adaptive"; None = the oracle default, whose
+    #: detection is perfect and whose wasted work is structurally 0).
+    detector: Optional[str] = None
+    #: Duplicated attempt-seconds caused by suspicion requeues (the
+    #: price of detection mistakes; see ISSUE: Snippet 3 Policy B).
+    wasted_work: float = 0.0
+    #: Judgement trips on nodes that were actually up.
+    false_positives: int = 0
+    #: Tasks handed back to the scheduler past the grace window.
+    requeues: int = 0
+    #: Mean seconds from a real outage to its detection (None when the
+    #: run saw no real trips).
+    detection_mean: Optional[float] = None
 
     @property
     def preempt_counts(self) -> Dict[str, int]:
@@ -295,6 +309,14 @@ class ServiceReport:
             }
         if self.evicted:
             out["evicted"] = self.evicted
+        if self.detector is not None:
+            out["detector"] = {
+                "mode": self.detector,
+                "wasted_work_seconds": self.wasted_work,
+                "false_positives": self.false_positives,
+                "requeues": self.requeues,
+                "detection_mean_seconds": self.detection_mean,
+            }
         return out
 
     def summary_row(self) -> list:
@@ -328,6 +350,17 @@ class ServiceReport:
         return self.summary_row() + [
             counts["deprioritise"],
             counts["pause"],
+        ]
+
+    def detector_row(self) -> list:
+        """``summary_row`` plus the detection-tradeoff cells
+        ``[detect s, false+, requeues, wasted s]`` — the shape of the
+        ``--detector all`` comparison."""
+        return self.summary_row() + [
+            _fmt_s(self.detection_mean),
+            self.false_positives,
+            self.requeues,
+            f"{self.wasted_work:.0f}",
         ]
 
     def render(self) -> str:
@@ -396,6 +429,17 @@ class ServiceReport:
                 f"\nadmission prices: {self.evicted} queued jobs "
                 "evicted for dearer arrivals at saturation"
             )
+        if self.detector is not None:
+            detect = (
+                "--" if self.detection_mean is None
+                else f"{self.detection_mean:.1f}s mean detection"
+            )
+            out += (
+                f"\ndetector={self.detector}: {detect}, "
+                f"{self.false_positives} false positives, "
+                f"{self.requeues} suspicion requeues, "
+                f"{self.wasted_work:.0f}s wasted work"
+            )
         return out
 
 
@@ -414,6 +458,11 @@ def build_report(
     preempt: Optional[str] = None,
     preempt_events: Optional[List] = None,
     evicted: int = 0,
+    detector: Optional[str] = None,
+    wasted_work: float = 0.0,
+    false_positives: int = 0,
+    requeues: int = 0,
+    detection_mean: Optional[float] = None,
 ) -> ServiceReport:
     """Roll per-job records into the service-level report."""
     by_tenant: Dict[str, List[JobRecord]] = {}
@@ -446,4 +495,9 @@ def build_report(
         preempt=preempt,
         preempt_events=list(preempt_events or []),
         evicted=evicted,
+        detector=detector,
+        wasted_work=wasted_work,
+        false_positives=false_positives,
+        requeues=requeues,
+        detection_mean=detection_mean,
     )

@@ -190,3 +190,62 @@ class TestFailureDetector:
         det.add_threshold("x", 50.0, lambda n: trips.append(sim.now))
         sim.run()
         assert trips == [pytest.approx(53.0), pytest.approx(253.0)]
+
+
+class TestFailureDetectorEdgeCases:
+    """The ugly instants: flapping, late registration, exact ties."""
+
+    def _setup(self, sim, intervals):
+        node = make_node(0, intervals=intervals)
+        cluster = Cluster([node])
+        AvailabilityMonitor(sim, cluster)
+        det = FailureDetector(sim, cluster, heartbeat_interval=3.0)
+        return node, cluster, det
+
+    def test_flapping_adjacent_instants_deterministic_order(self, sim):
+        """Back-to-back outages sharing an instant: the resume at the
+        shared boundary recovers the first trip *before* the second
+        outage re-arms, so trip/recover strictly alternate."""
+        node, _, det = self._setup(sim, [(100.0, 150.0), (150.0, 400.0)])
+        log = []
+        det.add_threshold(
+            "x",
+            40.0,
+            lambda n: log.append(("trip", sim.now)),
+            lambda n: log.append(("back", sim.now)),
+        )
+        sim.run()
+        assert log == [
+            ("trip", pytest.approx(143.0)),  # 100 + 40 + 3
+            ("back", pytest.approx(150.0)),
+            ("trip", pytest.approx(193.0)),  # 150 + 40 + 3
+            ("back", pytest.approx(400.0)),
+        ]
+
+    def test_add_threshold_while_node_already_down(self, sim):
+        """A judgement registered mid-outage is not armed retroactively
+        (its observer missed the silence onset) but watches every
+        subsequent outage."""
+        node, _, det = self._setup(sim, [(100.0, 200.0), (300.0, 400.0)])
+        trips = []
+        sim.run(until=120.0)
+        assert node.available is False
+        det.add_threshold("late", 10.0, lambda n: trips.append(sim.now))
+        sim.run()
+        assert trips == [pytest.approx(313.0)]  # 300 + 10 + 3 only
+
+    def test_resume_racing_trip_at_same_timestamp(self, sim):
+        """Outage ends at the exact instant the judgement would fire:
+        node-state events outrank heartbeat judgements, so the resume
+        cancels the trip — neither callback runs."""
+        node, _, det = self._setup(sim, [(100.0, 160.0)])
+        log = []
+        det.add_threshold(
+            "x",
+            57.0,  # trip would land at 100 + 57 + 3 = 160 exactly
+            lambda n: log.append(("trip", sim.now)),
+            lambda n: log.append(("back", sim.now)),
+        )
+        sim.run()
+        assert log == []
+        assert det.has_tripped(node, "x") is False

@@ -1,0 +1,490 @@
+"""Suspicion-layer tests: observed node state vs ground truth.
+
+Covers the :class:`NodeView` contract (oracle mode delegates to ground
+truth, honest modes believe only heartbeats), the
+:class:`HonestDetector`'s delayed detection, silence-driven false
+positives and phi-accrual adaptive thresholds, the grace-period requeue
+with late-result reconciliation and ``wasted_work`` accounting, and the
+honest NameNode's serve-until-expiry semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    AvailabilityMonitor,
+    Cluster,
+    FailureDetector,
+    HonestDetector,
+    Node,
+    NodeKind,
+    NodeView,
+)
+from repro.config import (
+    ClusterConfig,
+    DetectorConfig,
+    NodeSpec,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import MoonSystem
+from repro.dfs import FileKind, NodeState, ReplicationFactor
+from repro.errors import ConfigError
+from repro.traces import AvailabilityTrace
+from repro.workloads import sleep_spec
+
+
+def quiet(mode="timeout", **kw):
+    """An honest config with observation noise off: deterministic."""
+    kw.setdefault("silences_per_hour", 0.0)
+    return DetectorConfig(mode=mode, **kw)
+
+
+def make_cluster(sim, traces=None, n_dedicated=1, n_volatile=3):
+    """Dedicated ids 0..d-1, volatile d..; ``traces`` maps node_id ->
+    intervals (duration 100000 s)."""
+    spec = NodeSpec()
+    nodes = []
+    for i in range(n_dedicated):
+        nodes.append(Node(i, NodeKind.DEDICATED, spec))
+    for j in range(n_volatile):
+        nid = n_dedicated + j
+        trace = None
+        if traces and nid in traces:
+            trace = AvailabilityTrace(traces[nid], 100000.0)
+        nodes.append(Node(nid, NodeKind.VOLATILE, spec, trace))
+    cluster = Cluster(nodes)
+    AvailabilityMonitor(sim, cluster)
+    return cluster
+
+
+def honest_system(
+    traces, detector, n_dedicated=1, n_volatile=3, seed=9, scheduler=None
+):
+    from repro.simulation import Simulation
+
+    config = SystemConfig(
+        cluster=ClusterConfig(
+            n_volatile=n_volatile, n_dedicated=n_dedicated
+        ),
+        trace=TraceConfig(unavailability_rate=0.0),
+        scheduler=scheduler if scheduler is not None else moon_scheduler_config(),
+        detector=detector,
+        seed=seed,
+    )
+    sim = Simulation(seed)
+    spec = NodeSpec()
+    nodes = [Node(i, NodeKind.DEDICATED, spec) for i in range(n_dedicated)]
+    for j in range(n_volatile):
+        nid = n_dedicated + j
+        trace = None
+        if traces and nid in traces:
+            trace = AvailabilityTrace(traces[nid], 100000.0)
+        nodes.append(Node(nid, NodeKind.VOLATILE, spec, trace))
+    return MoonSystem(config, cluster=Cluster(nodes))
+
+
+class TestDetectorConfig:
+    def test_oracle_is_the_default_and_not_honest(self):
+        cfg = DetectorConfig()
+        assert cfg.mode == "oracle"
+        assert cfg.honest is False
+        assert DetectorConfig(mode="timeout").honest is True
+        assert DetectorConfig(mode="adaptive").honest is True
+
+    def test_validation_rejects_bad_fields(self):
+        for bad in (
+            DetectorConfig(mode="psychic"),
+            DetectorConfig(timeout_scale=0.0),
+            DetectorConfig(silences_per_hour=-1.0),
+            DetectorConfig(mean_silence=0.0),
+            DetectorConfig(grace_period=-1.0),
+            DetectorConfig(phi=-0.1),
+            DetectorConfig(adaptive_cap=0.0),
+            DetectorConfig(adaptive_min_samples=0),
+        ):
+            with pytest.raises(ConfigError):
+                bad.validate()
+
+
+class TestNodeView:
+    def test_oracle_believes_ground_truth(self, sim):
+        cluster = make_cluster(sim, traces={1: [(10.0, 20.0)]})
+        view = NodeView("observer")  # default config: oracle
+        node = cluster.node(1)
+        assert view.honest is False
+        assert view.believes_up(node) is True
+        sim.run(until=15.0)
+        assert node.available is False
+        assert view.believes_up(node) is False
+        # Without a detector, suspicion *is* ground truth.
+        assert view.is_suspect(node) is True
+
+    def test_honest_observer_has_no_liveness_channel(self, sim):
+        cluster = make_cluster(sim, traces={1: [(10.0, 20.0)]})
+        view = NodeView("observer", quiet())
+        node = cluster.node(1)
+        sim.run(until=15.0)
+        assert node.available is False
+        # Belief never consults the trace; only suspicion state (which
+        # consumers carry) reflects the outage, after a delay.
+        assert view.believes_up(node) is True
+
+    def test_make_detector_class_per_mode(self, sim):
+        cluster = make_cluster(sim)
+        oracle = NodeView("a").make_detector(sim, cluster)
+        honest = NodeView("b", quiet()).make_detector(sim, cluster)
+        assert type(oracle) is FailureDetector
+        assert isinstance(honest, HonestDetector)
+
+    def test_is_expired_tracks_longest_threshold(self, sim):
+        cluster = make_cluster(sim, traces={1: [(0.0, 1000.0)]})
+        view = NodeView("observer", quiet())
+        det = view.make_detector(sim, cluster)
+        det.add_threshold("suspect", 60.0, lambda n: None, adapt=True)
+        det.add_threshold("expiry", 600.0, lambda n: None)
+        node = cluster.node(1)
+        sim.run(until=100.0)
+        assert view.is_suspect(node) is True
+        assert view.is_expired(node) is False
+        sim.run(until=700.0)
+        assert view.is_expired(node) is True
+
+
+class TestHonestDetection:
+    def test_outage_detected_threshold_plus_heartbeat_late(self, sim):
+        cluster = make_cluster(sim, traces={1: [(100.0, 400.0)]})
+        det = NodeView("o", quiet()).make_detector(
+            sim, cluster, heartbeat_interval=3.0
+        )
+        log = []
+        det.add_threshold(
+            "suspect",
+            60.0,
+            lambda n: log.append(("trip", sim.now)),
+            lambda n: log.append(("back", sim.now)),
+            adapt=True,
+        )
+        sim.run(until=1000.0)
+        assert log == [
+            ("trip", pytest.approx(163.0)),
+            ("back", pytest.approx(400.0)),
+        ]
+        lat = sim.obs.metrics.histogram("detector/detection_latency_seconds")
+        assert lat.count == 1
+        assert lat.mean == pytest.approx(63.0)
+        assert sim.obs.metrics.counter("detector/false_positives").value == 0
+
+    def test_timeout_scale_shifts_detection(self, sim):
+        cluster = make_cluster(sim, traces={1: [(100.0, 400.0)]})
+        det = NodeView("o", quiet(timeout_scale=0.5)).make_detector(
+            sim, cluster, heartbeat_interval=3.0
+        )
+        trips = []
+        det.add_threshold("suspect", 60.0, lambda n: trips.append(sim.now))
+        sim.run(until=1000.0)
+        assert trips == [pytest.approx(133.0)]  # 100 + 60*0.5 + 3
+
+    def test_silences_trip_false_positives_and_recover(self, sim):
+        """A healthy, traceless node accumulates false suspicions from
+        heartbeat silence alone — and every one recovers."""
+        cluster = make_cluster(sim, traces=None)
+        cfg = DetectorConfig(
+            mode="timeout", silences_per_hour=30.0, mean_silence=120.0
+        )
+        det = NodeView("o", cfg).make_detector(sim, cluster)
+        log = []
+        det.add_threshold(
+            "suspect",
+            60.0,
+            lambda n: log.append("trip"),
+            lambda n: log.append("back"),
+            adapt=True,
+        )
+        sim.run(until=4 * 3600.0)
+        m = sim.obs.metrics
+        false = m.counter("detector/false_positives").value
+        assert false > 0
+        # Every trip recovers except any silence still in progress at
+        # the cutoff.
+        still_tripped = sum(len(s) for s in det._tripped.values())
+        assert m.counter("detector/recoveries").value == false - still_tripped
+        assert log.count("trip") == false
+        assert log.count("back") == false - still_tripped
+        # Ground truth never changed: every node stayed up throughout.
+        assert all(n.available for n in cluster.nodes)
+
+    def test_silence_machinery_is_daemon_only(self, sim):
+        """Arming silences must not keep a horizonless run alive."""
+        cluster = make_cluster(sim, traces=None)
+        NodeView("o", DetectorConfig(mode="timeout")).make_detector(
+            sim, cluster
+        )
+        sim.run()  # returns immediately: only daemon events pending
+        assert sim.now == 0.0
+
+
+class TestAdaptiveThresholds:
+    def _det(self, sim, cluster, **kw):
+        view = NodeView("o", quiet(mode="adaptive", **kw))
+        det = view.make_detector(sim, cluster, heartbeat_interval=3.0)
+        det.add_threshold("suspect", 60.0, lambda n: None, adapt=True)
+        det.add_threshold("expiry", 600.0, lambda n: None)
+        return det
+
+    def test_under_sampled_node_uses_configured_threshold(self, sim):
+        cluster = make_cluster(sim)
+        det = self._det(sim, cluster)
+        node = cluster.node(1)
+        assert det._effective_threshold(node, 0) == pytest.approx(60.0)
+        det._observe_gap(node, 10.0)
+        det._observe_gap(node, 10.0)
+        assert det._effective_threshold(node, 0) == pytest.approx(60.0)
+
+    def test_quiet_node_earns_tight_threshold(self, sim):
+        cluster = make_cluster(sim)
+        det = self._det(sim, cluster)
+        node = cluster.node(1)
+        for _ in range(5):
+            det._observe_gap(node, 10.0)
+        # mean 10, std 0 -> 10, above the 2*heartbeat floor.
+        assert det._effective_threshold(node, 0) == pytest.approx(10.0)
+
+    def test_flappy_node_earns_wide_threshold_up_to_cap(self, sim):
+        cluster = make_cluster(sim)
+        det = self._det(sim, cluster)
+        node = cluster.node(1)
+        for gap in (300.0, 500.0, 400.0):
+            det._observe_gap(node, gap)
+        # mean + phi*std blows past the cap: clamped to 2 * base.
+        assert det._effective_threshold(node, 0) == pytest.approx(120.0)
+
+    def test_expiry_judgement_never_adapts(self, sim):
+        cluster = make_cluster(sim)
+        det = self._det(sim, cluster)
+        node = cluster.node(1)
+        for _ in range(5):
+            det._observe_gap(node, 5.0)
+        assert det._effective_threshold(node, 1) == pytest.approx(600.0)
+
+    def test_thresholds_are_per_node(self, sim):
+        cluster = make_cluster(sim)
+        det = self._det(sim, cluster)
+        flappy, steady = cluster.node(1), cluster.node(2)
+        for gap in (300.0, 500.0, 400.0):
+            det._observe_gap(flappy, gap)
+        for _ in range(3):
+            det._observe_gap(steady, 8.0)
+        assert det._effective_threshold(flappy, 0) == pytest.approx(120.0)
+        assert det._effective_threshold(steady, 0) == pytest.approx(8.0)
+
+    def test_real_outages_feed_the_estimator(self, sim):
+        cluster = make_cluster(
+            sim, traces={1: [(0.0, 200.0), (300.0, 500.0), (600.0, 800.0)]}
+        )
+        det = self._det(sim, cluster)
+        node = cluster.node(1)
+        sim.run(until=1000.0)
+        gaps = det._gaps[node.node_id]
+        assert gaps.n == 3  # one observation per resume
+        assert gaps.mean == pytest.approx(203.0)  # outage + heartbeat
+
+
+class TestHonestNameNode:
+    """Satellite: servability is decided by the observed view — a
+    suspected-but-alive node keeps serving reads until expiry."""
+
+    def _system_with_block(self, detector):
+        system = honest_system(traces=None, detector=detector)
+        nn = system.namenode
+        f = nn.create_file(
+            "/x", FileKind.OPPORTUNISTIC, ReplicationFactor(0, 1), 64.0
+        )
+        block = f.blocks[0]
+        nn.register_replica(block, 2)  # a volatile node, actually up
+        return system, nn, block, system.cluster.node(2)
+
+    def test_false_hibernate_keeps_serving_until_expiry(self):
+        system, nn, block, node = self._system_with_block(quiet())
+        det = system.nn_view.detector
+        queue_before = nn.replication_queue_length()
+        # Falsely suspect the (alive) replica holder: hibernate is
+        # judgement 0, expiry judgement 1 (registration order).
+        det._false_trip(node, 0)
+        assert node.available is True
+        assert nn.node_state(node.node_id) is NodeState.HIBERNATED
+        assert nn.node_is_servable(node.node_id) is True
+        assert nn.block_availability_now(block) is True
+        # First suspicion must not trigger re-replication (detector
+        # noise must never become a replication storm).
+        assert nn.replication_queue_length() == queue_before
+        # Only expiry stops the traffic.
+        det._false_trip(node, 1)
+        assert nn.node_state(node.node_id) is NodeState.DEAD
+        assert nn.node_is_servable(node.node_id) is False
+        assert nn.block_availability_now(block) is False
+
+    def test_oracle_hibernated_node_stops_serving(self):
+        """The historical (oracle) contract is unchanged: hibernation
+        excludes a node from servability immediately."""
+        system, nn, block, node = self._system_with_block(
+            DetectorConfig()
+        )
+        node.available = False  # oracle sees ground truth directly
+        nn._states[node.node_id] = NodeState.HIBERNATED
+        assert nn.node_is_servable(node.node_id) is False
+        assert nn.block_availability_now(block) is False
+
+    def test_honest_availability_ignores_ground_truth(self, sim):
+        """An undetected outage is invisible: the honest NameNode keeps
+        directing reads at the node (clients pay the timeout)."""
+        system = honest_system(
+            traces={2: [(10.0, 400.0)]}, detector=quiet()
+        )
+        nn = system.namenode
+        f = nn.create_file(
+            "/x", FileKind.OPPORTUNISTIC, ReplicationFactor(0, 1), 64.0
+        )
+        block = f.blocks[0]
+        nn.register_replica(block, 2)
+        system.sim.run(until=20.0)  # down, but well before detection
+        assert system.cluster.node(2).available is False
+        assert nn.block_availability_now(block) is True
+
+
+class TestGraceRequeue:
+    """Satellite-adjacent core: suspicion triggers a grace-gated
+    requeue; a late result from the suspected node reconciles and the
+    duplicated attempt-seconds are accounted as wasted work."""
+
+    def _run(self, detector, outage=(200.0, 500.0)):
+        from dataclasses import replace
+
+        # Plain MOON (no hybrid tier) with straggler speculation off,
+        # and exactly one 600 s map per volatile slot: the dedicated
+        # node is a pure data server and every volatile slot stays busy
+        # past the grace window, so MOON's frozen-task rescue has
+        # nowhere to launch copies and the grace-period requeue is the
+        # ONLY channel that re-duplicates the suspected node's work.
+        scheduler = replace(
+            moon_scheduler_config(hybrid_aware=False),
+            max_speculative_per_task=0,
+        )
+        system = honest_system(
+            traces={1: [outage]},
+            detector=detector,
+            n_dedicated=1,
+            n_volatile=3,
+            scheduler=scheduler,
+        )
+        spec = sleep_spec(600.0, 1.0, n_maps=6, n_reduces=0)
+        result = system.run_job(spec, time_limit=4 * 3600.0)
+        job = system.jobtracker.jobs[0]
+        return system, job, result
+
+    def test_requeue_reconciles_and_accounts_wasted_work(self):
+        system, job, result = self._run(quiet(grace_period=60.0))
+        assert result.succeeded
+        assert job.counters["suspicion_requeues"] >= 1
+        assert job.counters["wasted_work_seconds"] > 0.0
+        # Reconciliation: every task completed exactly once, nothing
+        # lost, nothing double-counted, no attempt left alive.
+        for task in job.tasks:
+            assert task.complete
+            assert (
+                sum(1 for a in task.attempts if a.state.value == "succeeded")
+                == 1
+            )
+            assert not task.live_attempts()
+        m = system.obs.metrics
+        assert m.counter("detector/suspicion_requeues").value >= 1
+        assert m.counter("mapreduce/wasted_work_seconds").value > 0.0
+
+    def test_grace_period_rides_out_short_suspicion(self):
+        """With a long grace window the suspicion clears before the
+        requeue fires: no work is abandoned, nothing is wasted."""
+        system, job, result = self._run(
+            quiet(grace_period=600.0)  # outage is 300 s; trip at 263
+        )
+        assert result.succeeded
+        assert job.counters["suspicion_requeues"] == 0
+        assert job.counters["wasted_work_seconds"] == 0.0
+
+    def test_oracle_never_requeues_on_suspicion(self):
+        system, job, result = self._run(DetectorConfig())
+        assert result.succeeded
+        assert job.counters["suspicion_requeues"] == 0
+        assert job.counters["wasted_work_seconds"] == 0.0
+        m = system.obs.metrics
+        assert m.counter("detector/trips").value == 0
+        assert m.counter("detector/false_positives").value == 0
+
+
+class TestOracleIdentity:
+    """``detector=oracle`` must be invisible: plain detectors, zero
+    detector events, and byte-stable reruns."""
+
+    def test_oracle_observers_use_plain_detectors(self):
+        system = honest_system(traces=None, detector=DetectorConfig())
+        assert type(system.nn_view.detector) is FailureDetector
+        assert type(system.jt_view.detector) is FailureDetector
+
+    def test_oracle_run_is_event_identical_to_default(self):
+        """An explicitly-configured oracle detector changes nothing
+        about the simulation — not even the event count."""
+
+        def run(detector):
+            system = honest_system(
+                traces={1: [(100.0, 400.0)], 2: [(150.0, 300.0)]},
+                detector=detector,
+            )
+            result = system.run_job(
+                sleep_spec(120.0, 10.0, n_maps=6, n_reduces=2),
+                time_limit=4 * 3600.0,
+            )
+            return result.elapsed, system.sim.executed_events
+
+        baseline = run(DetectorConfig())
+        scaled = run(DetectorConfig(timeout_scale=2.0, grace_period=0.0))
+        assert baseline == scaled
+
+    def test_honest_run_is_deterministic_across_systems(self):
+        def run():
+            system = honest_system(
+                traces={1: [(100.0, 400.0)]},
+                detector=DetectorConfig(
+                    mode="adaptive", silences_per_hour=6.0
+                ),
+            )
+            result = system.run_job(
+                sleep_spec(120.0, 10.0, n_maps=6, n_reduces=2),
+                time_limit=4 * 3600.0,
+            )
+            m = system.obs.metrics
+            return (
+                result.elapsed,
+                system.sim.executed_events,
+                m.counter("detector/trips").value,
+                m.counter("detector/false_positives").value,
+            )
+
+        assert run() == run()
+
+
+class TestChurnCleanup:
+    def test_decommission_cancels_silence_machinery(self, sim):
+        cluster = make_cluster(sim, n_dedicated=2, n_volatile=2)
+        cfg = DetectorConfig(
+            mode="timeout", silences_per_hour=30.0, mean_silence=120.0
+        )
+        det = NodeView("o", cfg).make_detector(sim, cluster)
+        det.add_threshold("suspect", 60.0, lambda n: None, adapt=True)
+        node = cluster.node(1)
+        sim.run(until=600.0)
+        cluster.decommission_dedicated(node.node_id)
+        cluster.finish_decommission(node.node_id)
+        assert node.node_id not in det._silence_arrival
+        assert node.node_id not in det._silence_live
+        assert node.node_id not in det._tripped

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro.config import (
     ClusterConfig,
+    DetectorConfig,
     SchedulerConfig,
     SystemConfig,
     TraceConfig,
@@ -116,13 +117,37 @@ class TestSystemInvariants:
 
 @st.composite
 def service_under_pressure(draw):
-    """A service configuration combining the three control layers:
-    SLO-aware preemption, dedicated-tier autoscaling and node churn."""
+    """A service configuration combining the four control layers:
+    SLO-aware preemption, dedicated-tier autoscaling, node churn and
+    (possibly honest) failure detection."""
     from dataclasses import replace
 
     from repro.config import moon_scheduler_config
     from repro.service import AutoscaleConfig, PreemptConfig, ServiceConfig
 
+    detector = draw(
+        st.sampled_from(
+            [
+                DetectorConfig(),  # oracle
+                DetectorConfig(
+                    mode="timeout",
+                    silences_per_hour=6.0,
+                    grace_period=30.0,
+                ),
+                DetectorConfig(
+                    mode="timeout",
+                    silences_per_hour=0.0,
+                    grace_period=120.0,
+                ),
+                DetectorConfig(
+                    mode="adaptive",
+                    silences_per_hour=12.0,
+                    mean_silence=90.0,
+                    grace_period=0.0,
+                ),
+            ]
+        )
+    )
     cfg = SystemConfig(
         cluster=ClusterConfig(
             n_volatile=draw(st.integers(min_value=2, max_value=8)),
@@ -132,6 +157,7 @@ def service_under_pressure(draw):
             unavailability_rate=draw(st.sampled_from([0.0, 0.3, 0.6]))
         ),
         scheduler=replace(moon_scheduler_config(), dedicated_primary=True),
+        detector=detector,
         seed=draw(st.integers(min_value=0, max_value=2**16)),
     )
     service_cfg = ServiceConfig(
@@ -169,10 +195,11 @@ def service_under_pressure(draw):
 
 
 class TestServicePressureInvariants:
-    """Preemption + autoscaling + churn fuzz: the three control loops
-    acting on the same jobs must never wedge the service or corrupt
-    its accounting — in particular a pause racing a dedicated-node
-    drain must not deadlock the decommission gate."""
+    """Preemption + autoscaling + churn + detector fuzz: the control
+    loops acting on the same jobs must never wedge the service or
+    corrupt its accounting — in particular a pause racing a
+    dedicated-node drain must not deadlock the decommission gate, and
+    a grace-period requeue must never lose or double-count work."""
 
     @settings(
         max_examples=15,
@@ -213,14 +240,35 @@ class TestServicePressureInvariants:
         if o.unserved == 0:
             assert counts["resume"] == counts["pause"]
         # The decommission gate cleared: no tracker is still draining
-        # once the stream has fully drained (a pause racing a drain
-        # must not wedge the gate open forever).
+        # once the stream has fully drained (a pause racing a drain —
+        # or a node under suspicion — must not wedge the gate open
+        # forever).
         if o.unserved == 0 and report.scale_events:
             assert not system.cluster.draining_nodes()
         # No ghost work anywhere in the registry.
         for tracker in system.jobtracker.trackers.values():
             for attempt in tracker.attempts:
                 assert not attempt.task.job.finished
+        # Honest-detector accounting: wasted work only accrues, the
+        # oracle never wastes anything, and a grace-period requeue
+        # never loses or double-counts an attempt — every task of a
+        # completed job has exactly one succeeded copy and no survivor.
+        assert report.wasted_work >= 0.0
+        if not cfg.detector.honest:
+            assert report.false_positives == 0
+            assert report.requeues == 0
+            assert report.wasted_work == 0.0
+        for job in system.jobtracker.jobs:
+            if job.state.value != "succeeded":
+                continue
+            for task in job.tasks:
+                succeeded = sum(
+                    1
+                    for a in task.attempts
+                    if a.state.value == "succeeded"
+                )
+                assert succeeded == (1 if task.complete else 0)
+                assert not task.live_attempts()
 
     def test_pause_racing_dedicated_drain_completes(self):
         """Deterministic drain-race: pause a job whose attempts run on
@@ -268,4 +316,60 @@ class TestServicePressureInvariants:
         assert job.state.value == "succeeded"
         assert all(a.finished for a in held_on_victim)
         for task in job.tasks:
+            assert not task.live_attempts()
+
+    def test_drain_gate_clears_under_suspicion(self):
+        """Deterministic churn-under-suspicion race: a volatile node
+        goes silent (the honest detector suspects it and the grace
+        requeue hands its work back) while a dedicated node drains.
+        The decommission gate must still clear, and reconciliation
+        must leave exactly one succeeded copy per task."""
+        from dataclasses import replace
+
+        from repro.cluster import Cluster, Node, NodeKind
+        from repro.config import NodeSpec, moon_scheduler_config
+        from repro.core import MoonSystem
+        from repro.traces import AvailabilityTrace
+
+        cfg = SystemConfig(
+            cluster=ClusterConfig(n_volatile=2, n_dedicated=2),
+            trace=TraceConfig(unavailability_rate=0.0),
+            scheduler=replace(
+                moon_scheduler_config(), dedicated_primary=True
+            ),
+            detector=DetectorConfig(
+                mode="timeout", silences_per_hour=0.0, grace_period=60.0
+            ),
+            seed=11,
+        )
+        spec = NodeSpec()
+        nodes = [
+            Node(0, NodeKind.DEDICATED, spec),
+            Node(1, NodeKind.DEDICATED, spec),
+            Node(2, NodeKind.VOLATILE, spec,
+                 AvailabilityTrace([(50.0, 900.0)], 100000.0)),
+            Node(3, NodeKind.VOLATILE, spec),
+        ]
+        system = MoonSystem(cfg, cluster=Cluster(nodes))
+        jt = system.jobtracker
+        job = jt.submit(sleep_spec(400.0, 10.0, n_maps=8, n_reduces=1))
+        # Past the suspicion trip (50 + 60 + 3) and the grace requeue
+        # (trip + 60): node 2's work is abandoned while it stays dark.
+        system.sim.run(until=200.0)
+        assert jt.trackers[2].suspected
+        system.cluster.decommission_dedicated(1)
+        system.sim.run(until=6 * HOUR, stop_when=lambda: job.finished)
+        assert job.state.value == "succeeded"
+        assert 1 not in jt.trackers
+        assert not system.cluster.draining_nodes()
+        for task in job.tasks:
+            assert task.complete
+            assert (
+                sum(
+                    1
+                    for a in task.attempts
+                    if a.state.value == "succeeded"
+                )
+                == 1
+            )
             assert not task.live_attempts()
