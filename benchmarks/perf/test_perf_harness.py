@@ -112,7 +112,7 @@ class TestRegistry:
     def test_real_registry_names(self):
         assert set(SCENARIOS) == {
             "fig6", "fig7", "service2k", "fairshare", "autoscale2k",
-            "replay2k", "preempt2k", "detect2k",
+            "replay2k", "preempt2k", "detect2k", "recover2k",
         }
 
     def test_descriptions_present(self):
@@ -122,12 +122,18 @@ class TestRegistry:
 
 @pytest.mark.slow
 def test_cli_smoke_fig6_against_committed_baseline(tmp_path, capsys):
-    """The CI perf smoke: `repro perf --scenario fig6 --check`."""
+    """The CI perf smoke: `repro perf --scenario fig6 --check`.
+
+    ``--repeat 2`` takes the fastest of two timings: the wall-clock
+    gate should trip on real regressions, not on a scheduler hiccup
+    during a single run.  The event checksum is exact either way.
+    """
     from repro.cli.main import main
 
     out = tmp_path / "BENCH_PR2.json"
     code = main(
-        ["perf", "--scenario", "fig6", "--check", "--output", str(out)]
+        ["perf", "--scenario", "fig6", "--check", "--repeat", "2",
+         "--output", str(out)]
     )
     assert code == 0, capsys.readouterr().out
     report = json.loads(out.read_text())

@@ -21,6 +21,8 @@ from ..config import (
     DETECTOR_MODES,
     ClusterConfig,
     DetectorConfig,
+    DfsConfig,
+    JournalConfig,
     SchedulerConfig,
     SystemConfig,
     TraceConfig,
@@ -313,6 +315,22 @@ def _detector_cfg(args, mode) -> DetectorConfig:
     return DetectorConfig(mode=mode, timeout_scale=args.detector_scale)
 
 
+def _journal_cfg(args) -> DfsConfig:
+    """DfsConfig from the --journal flags.  --namenode-crash implies
+    the journal on (a crash without one is unrecoverable, and the
+    flag's whole point is the failover)."""
+    crash = getattr(args, "namenode_crash", None)
+    if getattr(args, "journal", "off") != "on" and crash is None:
+        return DfsConfig()
+    return DfsConfig(
+        journal=JournalConfig(
+            enabled=True,
+            checkpoint_interval=args.checkpoint_interval,
+            crash_at=crash,
+        )
+    )
+
+
 def _preempt_modes(args):
     """The preemption cells of one serve/replay run ([None] = the
     classic service without a controller)."""
@@ -391,6 +409,7 @@ def _serve_system(args, dedicated_primary: bool = False, obs=None,
         trace=TraceConfig(unavailability_rate=args.rate),
         scheduler=scheduler,
         detector=(detector if detector is not None else DetectorConfig()),
+        dfs=_journal_cfg(args),
         seed=args.seed,
     )
     return moon_system(cfg, obs=obs)

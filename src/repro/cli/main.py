@@ -65,6 +65,34 @@ def _add_detector_flags(parser) -> None:
     )
 
 
+def _add_journal_flags(parser) -> None:
+    """The durable-metadata flags shared verbatim by serve and replay."""
+    parser.add_argument(
+        "--journal",
+        choices=["off", "on"],
+        default="off",
+        help="NameNode write-ahead journal: 'off' (the byte-identical "
+             "historical default — an immortal NameNode, zero extra "
+             "events) or 'on' (journal every namespace/block-map "
+             "mutation and checkpoint periodically)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=300.0,
+        help="seconds between namespace checkpoints when the journal "
+             "is on (shorter -> fewer records replayed at recovery)",
+    )
+    parser.add_argument(
+        "--namenode-crash",
+        type=float,
+        default=None,
+        metavar="T",
+        help="crash and fail over the NameNode at sim-time T seconds, "
+             "losing unsynced journal records (implies --journal on)",
+    )
+
+
 def _add_preemption_flags(parser) -> None:
     """The preemption flags shared verbatim by serve and replay."""
     from ..service.preempt import PREEMPT_MODES
@@ -253,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_autoscale_bounds(serve_p)
     _add_preemption_flags(serve_p)
     _add_detector_flags(serve_p)
+    _add_journal_flags(serve_p)
     _add_obs_flags(serve_p)
 
     # --- replay ---------------------------------------------------------
@@ -345,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_autoscale_bounds(replay_p)
     _add_preemption_flags(replay_p)
     _add_detector_flags(replay_p)
+    _add_journal_flags(replay_p)
     _add_obs_flags(replay_p)
 
     # --- trace ----------------------------------------------------------

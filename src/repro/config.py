@@ -112,6 +112,50 @@ class TraceConfig:
 
 
 @dataclass(frozen=True)
+class JournalConfig:
+    """NameNode write-ahead journal + checkpointed failover.
+
+    Disabled by default: the paper's figures assume an immortal
+    NameNode, and with ``enabled=False`` the journal adds zero
+    simulation events, so every pre-journal golden stays byte-identical.
+    When enabled, namespace mutations are synchronously durable while
+    replica registrations group-commit every ``fsync_interval`` records
+    (the unsynced tail is what a crash loses and block reports win
+    back).
+    """
+
+    enabled: bool = False
+    #: Seconds between full namespace checkpoints (journal truncation).
+    checkpoint_interval: float = 300.0
+    #: Replica-map records per group commit; namespace records always
+    #: fsync immediately.
+    fsync_interval: int = 16
+    #: Simulated seconds of replay work per journal record recovered.
+    replay_seconds_per_record: float = 5e-5
+    #: Seconds after replay before the first datanode block report.
+    block_report_delay: float = 2.0
+    #: Stagger between consecutive block reports (one per node).
+    block_report_stagger: float = 0.5
+    #: Simulated NameNode crash time (None = no fault injected).
+    crash_at: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.checkpoint_interval <= 0:
+            raise ConfigError("checkpoint_interval must be positive")
+        if self.fsync_interval < 1:
+            raise ConfigError("fsync_interval must be >= 1")
+        if self.replay_seconds_per_record < 0:
+            raise ConfigError("replay_seconds_per_record must be non-negative")
+        if self.block_report_delay < 0 or self.block_report_stagger < 0:
+            raise ConfigError("block-report delays must be non-negative")
+        if self.crash_at is not None:
+            if not self.enabled:
+                raise ConfigError("--namenode-crash requires the journal on")
+            if self.crash_at <= 0:
+                raise ConfigError("crash_at must be positive")
+
+
+@dataclass(frozen=True)
 class DfsConfig:
     """MOON-DFS parameters (paper Section IV)."""
 
@@ -143,8 +187,11 @@ class DfsConfig:
     client_read_timeout: float = 15.0
     #: Re-replication work issued per NameNode scan (anti-storm cap).
     max_replications_per_scan: int = 40
+    #: Durable-metadata layer (off for the paper figures).
+    journal: JournalConfig = field(default_factory=JournalConfig)
 
     def validate(self) -> None:
+        self.journal.validate()
         if self.block_size_mb <= 0:
             raise ConfigError("block_size_mb must be positive")
         for name, (d, v) in (

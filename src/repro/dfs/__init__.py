@@ -8,6 +8,13 @@ from .availability import (
     required_volatile_replicas,
 )
 from .client import DfsClient, ReadOp, WriteOp
+from .journal import (
+    RECORD_TYPES,
+    SCHEMA_VERSION,
+    Journal,
+    JournalRecord,
+    NamespaceImage,
+)
 from .namenode import NameNode
 from .placement import PlacementPolicy, WritePlan
 from .throttle import THROTTLED, UNTHROTTLED, ThrottleDetector, ThrottleService
@@ -22,6 +29,11 @@ from .types import (
 
 __all__ = [
     "NameNode",
+    "Journal",
+    "JournalRecord",
+    "NamespaceImage",
+    "RECORD_TYPES",
+    "SCHEMA_VERSION",
     "DfsClient",
     "WriteOp",
     "ReadOp",

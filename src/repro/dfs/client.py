@@ -71,7 +71,9 @@ class WriteOp:
             self.file, block, self.client_node
         )
         if plan.adjusted_volatile is not None:
-            self.file.adjusted_volatile = plan.adjusted_volatile
+            self.client.namenode.set_adjusted_volatile(
+                self.file, plan.adjusted_volatile
+            )
         if not plan.targets:
             self.on_fail(
                 WriteDeclined(

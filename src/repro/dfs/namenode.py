@@ -33,6 +33,7 @@ from ..errors import DfsError, FileAlreadyExists, FileNotFound
 from ..net import NetworkModel
 from ..obs import CounterBag
 from ..simulation import PeriodicTask, Simulation
+from .journal import Journal, JournalRecord, NamespaceImage
 from .placement import PlacementPolicy
 from .throttle import ThrottleService
 from .types import (
@@ -152,6 +153,36 @@ class NameNode:
         #: block instead of rescanning the whole file).
         self._watch_pending: Dict[str, Dict[int, None]] = {}
 
+        # Durable metadata: write-ahead journal + periodic checkpoints.
+        # Strictly opt-in — with the journal off (the paper-figure
+        # default) no task is armed and no event is scheduled, so
+        # pre-journal goldens stay byte-identical.
+        jcfg = config.journal
+        self.journal: Optional[Journal] = Journal(jcfg) if jcfg.enabled else None
+        self._ckpt_task: Optional[PeriodicTask] = None
+        #: Nodes whose post-crash block report is still outstanding.
+        self._report_owed: Dict[int, None] = {}
+        if self.journal is not None:
+            # Baseline checkpoint: the initial cluster, empty namespace.
+            self.journal.checkpoint(self.snapshot_image())
+            self._ckpt_task = PeriodicTask(
+                sim, jcfg.checkpoint_interval, self.take_checkpoint
+            )
+            if jcfg.crash_at is not None:
+                sim.call_at(jcfg.crash_at, self.simulate_crash, daemon=True)
+
+    def _j(self, rtype: str, **payload) -> None:
+        """Append a journal record *before* the mutation it describes
+        (no-op when the journal is disabled).  Durability is decided by
+        record type: namespace records fsync immediately, replica-map
+        records group-commit."""
+        j = self.journal
+        if j is None:
+            return
+        if j.append(rtype, payload):
+            self.counters["journal_fsyncs"] += 1
+        self.counters["journal_records"] += 1
+
     # ==================================================================
     # Views used by the placement policy and clients
     # ==================================================================
@@ -201,20 +232,30 @@ class NameNode:
         rf.validate()
         if size_mb < 0:
             raise DfsError("negative file size")
-        file = FileInfo(path, kind, rf, self.sim.now)
         bs = block_size_mb or self.config.block_size_mb
+        sizes: List[float] = []
         remaining = size_mb
-        index = 0
-        while remaining > 0 or index == 0:
+        while remaining > 0 or not sizes:
             size = min(bs, remaining) if remaining > 0 else 0.0
+            sizes.append(size)
+            remaining -= size
+            if remaining <= 0:
+                break
+        self._j(
+            "create",
+            path=path,
+            kind=kind.value,
+            d=rf.dedicated,
+            v=rf.volatile,
+            sizes=sizes,
+            created_at=self.sim.now,
+        )
+        file = FileInfo(path, kind, rf, self.sim.now)
+        for index, size in enumerate(sizes):
             block = BlockInfo(file, index, size)
             file.blocks.append(block)
             self._blocks[block.block_id] = block
-            remaining -= size
-            index += 1
-            if remaining <= 0:
-                break
-        self._files[path] = file
+        self._files[file.path] = file
         return file
 
     def file(self, path: str) -> FileInfo:
@@ -231,14 +272,22 @@ class NameNode:
 
     def delete_file(self, path: str) -> None:
         file = self.file(path)
+        self._j("delete", path=file.path)
+        self._drop_file_state(file.path)
+
+    def _drop_file_state(self, path: str) -> None:
+        """Remove a file's metadata (shared by delete and the defensive
+        arm of recovery, which must not journal)."""
+        file = self._files.pop(path)
         for block in file.blocks:
             for node_id in list(block.replicas):
-                self._infos[node_id].drop_block(block)
+                info = self._infos.get(node_id)
+                if info is not None:
+                    info.drop_block(block)
             block.replicas.clear()
             block.dedicated_replicas.clear()
             self._blocks.pop(block.block_id, None)
             self._want_dedicated.pop(block.block_id, None)
-        del self._files[path]
         self._watchers.pop(path, None)
         self._watch_pending.pop(path, None)
 
@@ -248,12 +297,22 @@ class NameNode:
         file = self.file(path)
         if file.kind is FileKind.RELIABLE:
             return
+        self._j("convert", path=file.path)
         file.kind = FileKind.RELIABLE
         file.adjusted_volatile = None
         for block in file.blocks:
             self._want_dedicated.pop(block.block_id, None)
             if self._block_deficit(block):
                 self._enqueue(block)
+
+    def set_adjusted_volatile(self, file: FileInfo, v: int) -> None:
+        """Placement declined the dedicated copy and adapted v' (paper
+        IV-A); routed through the NameNode so the adjustment is
+        journaled with the rest of the namespace."""
+        if file.adjusted_volatile == v:
+            return
+        self._j("adjust", path=file.path, v=v)
+        file.adjusted_volatile = v
 
     # ==================================================================
     # Replica bookkeeping
@@ -263,6 +322,8 @@ class NameNode:
             return  # file deleted while the write was in flight
         if node_id in block.replicas:
             return
+        if self.journal is not None:  # hot path: skip the kwargs build
+            self._j("add", path=block.file.path, i=block.index, node=node_id)
         block.replicas.add(node_id)
         info = self._infos[node_id]
         info.add_block(block)
@@ -273,6 +334,8 @@ class NameNode:
         self._watched_block_changed(block)
 
     def drop_replica(self, block: BlockInfo, node_id: int) -> None:
+        if self.journal is not None and node_id in block.replicas:
+            self._j("drop", path=block.file.path, i=block.index, node=node_id)
         block.replicas.discard(node_id)
         block.dedicated_replicas.discard(node_id)
         self._infos[node_id].drop_block(block)
@@ -420,6 +483,11 @@ class NameNode:
         if self._states[node.node_id] is not NodeState.HIBERNATED:
             return
         self._states[node.node_id] = NodeState.ALIVE
+        # A node returning after a NameNode failover owes the new master
+        # a block report (replicas registered in the lost journal tail
+        # are only on its disk).
+        if node.node_id in self._report_owed:
+            self.deliver_block_report(node.node_id)
         # Becoming servable again can clear a watched block's deficit
         # without any replica registration: re-check this node's blocks.
         if self._watch_pending:
@@ -440,6 +508,11 @@ class NameNode:
             if block is None:
                 info.blocks.pop(block_id, None)
                 continue
+            if self.journal is not None and node.node_id in block.replicas:
+                self._j(
+                    "drop", path=block.file.path, i=block.index,
+                    node=node.node_id,
+                )
             block.replicas.discard(node.node_id)
             block.dedicated_replicas.discard(node.node_id)
             if not block.replicas:
@@ -451,6 +524,12 @@ class NameNode:
     def _on_provision(self, node: Node) -> None:
         """A new (dedicated) DataNode joins: empty disk, ALIVE, and —
         when dedicated — throttle-watched and placement-eligible."""
+        self._j(
+            "node_add",
+            node=node.node_id,
+            dedicated=node.is_dedicated,
+            capacity_mb=node.spec.storage_gb * 1024.0,
+        )
         self._infos[node.node_id] = DataNodeInfo(
             node.node_id, node.is_dedicated, node.spec.storage_gb * 1024.0
         )
@@ -484,6 +563,7 @@ class NameNode:
         from that (e.g. opportunistic ``{1,0}`` intermediates), so they
         additionally join the dedicated-fill queue — the drain cannot
         complete while the node holds a sole replica."""
+        self._j("node_drain", node=node.node_id)
         self._draining_ids[node.node_id] = None
         info = self._infos[node.node_id]
         for block_id in list(info.blocks):
@@ -491,6 +571,7 @@ class NameNode:
             if block is None:
                 continue
             if not self.live_dedicated_replicas(block):
+                self._j("want", path=block.file.path, i=block.index)
                 self._want_dedicated[block.block_id] = None
             self._enqueue(block)
 
@@ -498,8 +579,10 @@ class NameNode:
         """A drained node leaves for good: unlike expiry, its replicas
         are dropped permanently (the disk goes away with the machine)
         and every affected block is queued for re-replication."""
+        self._j("node_retire", node=node.node_id)
         self.counters["decommissions"] += 1
         self._draining_ids.pop(node.node_id, None)
+        self._report_owed.pop(node.node_id, None)
         info = self._infos.pop(node.node_id)
         self._states.pop(node.node_id)
         self.throttle.remove_node(node.node_id)
@@ -526,6 +609,11 @@ class NameNode:
                 info.blocks.pop(block_id, None)
                 continue
             was_needed = self._block_deficit(block)
+            if self.journal is not None and node.node_id not in block.replicas:
+                self._j(
+                    "add", path=block.file.path, i=block.index,
+                    node=node.node_id,
+                )
             block.replicas.add(node.node_id)
             if info.is_dedicated:
                 block.dedicated_replicas.add(node.node_id)
@@ -533,6 +621,9 @@ class NameNode:
                 # The system replicated elsewhere meanwhile: thrashing.
                 self.counters["replication_thrash"] += 1
             self._watched_block_changed(block)
+        # The rejoin loop re-registered the full disk: the post-crash
+        # block report (if one was owed) is covered.
+        self._report_owed.pop(node.node_id, None)
 
     # ==================================================================
     # p estimation
@@ -593,6 +684,7 @@ class NameNode:
     def note_write_shortfall(self, block: BlockInfo, declined: bool) -> None:
         """Client tells us a block finished its pipeline below target."""
         if declined and not block.has_dedicated_replica():
+            self._j("want", path=block.file.path, i=block.index)
             self._want_dedicated[block.block_id] = None
             self._enqueue(block)
         if self._block_deficit(block):
@@ -656,7 +748,7 @@ class NameNode:
         # Trace label: path#index, not the numeric block id — the id
         # stream is process-global, the path is run-stable (the
         # byte-identical-trace guarantee rides on it).
-        block_label = f"{block.file.path}#{block.index}"
+        block_label = block.label
 
         def done(_t) -> None:
             if tracer.enabled:
@@ -691,6 +783,286 @@ class NameNode:
             kind="replication",
         )
 
+    # ==================================================================
+    # Durable metadata: checkpoints, crash, recovery
+    # ==================================================================
+    def snapshot_image(self) -> NamespaceImage:
+        """Canonical semantic snapshot of the live metadata — the
+        checkpoint payload, and the oracle side of the recovery-equality
+        fuzz suite."""
+        img = NamespaceImage()
+        for nid, info in self._infos.items():
+            img.nodes[nid] = (info.is_dedicated, info.capacity_mb)
+        for nid in self._draining_ids:
+            img.draining[nid] = None
+        for path, file in self._files.items():
+            img.files[path] = {
+                "kind": file.kind.value,
+                "d": file.rf.dedicated,
+                "v": file.rf.volatile,
+                "adjusted": file.adjusted_volatile,
+                "created_at": file.created_at,
+                "sizes": [b.size_mb for b in file.blocks],
+                "replicas": [set(b.replicas) for b in file.blocks],
+            }
+        for block_id in self._want_dedicated:
+            block = self._blocks.get(block_id)
+            if block is not None:
+                img.wants[(block.file.path, block.index)] = None
+        return img
+
+    def take_checkpoint(self) -> None:
+        """Snapshot the namespace and truncate the journal (a full
+        durability barrier; runs on the sim clock while the journal is
+        enabled)."""
+        if self.journal is None:
+            return
+        truncated = self.journal.checkpoint(self.snapshot_image())
+        self.counters["checkpoints"] += 1
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "dfs.checkpoint", "dfs", self.sim.now,
+                truncated=truncated, files=len(self._files),
+            )
+
+    def recover(
+        self,
+        checkpoint: Optional[NamespaceImage] = None,
+        records: Optional[List[JournalRecord]] = None,
+    ) -> NamespaceImage:
+        """Rebuild namespace, replica maps, watcher state and the
+        replication queue from ``checkpoint`` + ``records`` (default:
+        this NameNode's own journal — its durable prefix).
+
+        Namespace records fsync synchronously, so the recovered
+        namespace always matches the in-memory object graph and
+        recovery happens *in place*: ``FileInfo``/``BlockInfo``
+        identities survive the failover, keeping references held by
+        clients, the JobTracker and in-flight transfer callbacks valid.
+        Replica knowledge resets to what the journal proves; the gap to
+        disk truth closes via :meth:`deliver_block_report`.
+        """
+        if checkpoint is None:
+            if self.journal is None:
+                raise DfsError("recovery requires the journal")
+            image = self.journal.recovered_image()
+        else:
+            image = checkpoint.copy().replay(records or [])
+        self.counters["recoveries"] += 1
+
+        # Namespace: reconcile the object graph against the image.
+        for path in [p for p in self._files if p not in image.files]:
+            # Unreachable in-place (namespace records are synchronous);
+            # kept so recover() also works onto a fresh standby.
+            self._drop_file_state(path)
+        for path, fimg in image.files.items():
+            file = self._files.get(path)
+            if file is None:
+                file = FileInfo(
+                    path,
+                    FileKind(fimg["kind"]),
+                    ReplicationFactor(fimg["d"], fimg["v"]),
+                    fimg["created_at"],
+                )
+                for index, size in enumerate(fimg["sizes"]):
+                    block = BlockInfo(file, index, size)
+                    file.blocks.append(block)
+                    self._blocks[block.block_id] = block
+                self._files[file.path] = file
+            else:
+                file.kind = FileKind(fimg["kind"])
+                file.adjusted_volatile = fimg["adjusted"]
+
+        # Replica maps: reset to journal-proven knowledge.
+        for path, fimg in image.files.items():
+            file = self._files[path]
+            for block, reps in zip(file.blocks, fimg["replicas"]):
+                known = {n for n in reps if n in self._infos}
+                block.replicas.clear()
+                block.replicas.update(known)
+                block.dedicated_replicas.clear()
+                block.dedicated_replicas.update(
+                    n for n in known if self._infos[n].is_dedicated
+                )
+
+        # Detector judgements survive the failover (the standby shares
+        # the heartbeat stream), so re-apply what the journal may have
+        # lost with its tail: an expired node's replicas are dropped
+        # again.  Its disk is untouched — a later rejoin re-reports it.
+        for nid, info in self._infos.items():
+            if self._states.get(nid) is NodeState.DEAD:
+                for block_id in info.blocks:
+                    block = self._blocks.get(block_id)
+                    if block is not None:
+                        block.replicas.discard(nid)
+                        block.dedicated_replicas.discard(nid)
+
+        self._draining_ids = {
+            nid: None for nid in image.draining if nid in self._infos
+        }
+
+        # Want-dedicated set, normalised: a live dedicated replica
+        # satisfies any want the journal still carries.
+        self._want_dedicated = {}
+        for path, index in image.wants:
+            file = self._files.get(path)
+            if file is None or file.kind is FileKind.RELIABLE:
+                continue
+            if index >= len(file.blocks):
+                continue
+            block = file.blocks[index]
+            if not self.live_dedicated_replicas(block):
+                self._want_dedicated[block.block_id] = None
+
+        # The replication queue and watcher dirty-sets are derived
+        # state: recompute both with a full deficit scan (this is what
+        # lets them survive checkpoint truncation — they are never
+        # journaled at all).
+        self._repl_queue = []
+        self._queued = {}
+        self._watch_pending = {}
+        for path in list(self._watchers):
+            file = self._files.get(path)
+            if file is None:
+                self._watchers.pop(path, None)
+                continue
+            pending = {
+                b.block_id: None for b in file.blocks if self._block_deficit(b)
+            }
+            if pending:
+                self._watch_pending[path] = pending
+            else:
+                self._fire_watchers(file)
+        for file in self._files.values():
+            for block in file.blocks:
+                if (
+                    self._block_deficit(block)
+                    or block.block_id in self._want_dedicated
+                ):
+                    self._enqueue(block)
+        return image
+
+    def simulate_crash(self) -> Dict[str, object]:
+        """Kill the NameNode and fail over: the unsynced journal tail
+        dies with the master, a standby replays checkpoint + durable
+        log (charged at ``replay_seconds_per_record``), then datanodes
+        re-report their disks on a staggered schedule.  Returns the
+        recovery stats (also pushed to metrics and the flight
+        recorder)."""
+        if self.journal is None:
+            raise DfsError("simulate_crash requires the journal (--journal on)")
+        t0 = self.sim.now
+        jcfg = self.config.journal
+        self.counters["namenode_crashes"] += 1
+        lost = self.journal.drop_unsynced()
+        self.counters["journal_records_lost"] += lost
+        replayed = len(self.journal.durable_records())
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "dfs.namenode_crash", "dfs", t0,
+                lost_records=lost, replay_records=replayed,
+            )
+        self.recover()
+        # Every datanode owes the new master a block report.  ALIVE
+        # nodes deliver on a staggered schedule once replay finishes;
+        # the rest report when they wake or rejoin.
+        self._report_owed = {nid: None for nid in sorted(self._infos)}
+        reporters = [
+            nid
+            for nid in self._report_owed
+            if self._states.get(nid) is NodeState.ALIVE
+        ]
+        replay_time = jcfg.replay_seconds_per_record * replayed
+        t_first = t0 + replay_time + jcfg.block_report_delay
+        for k, nid in enumerate(reporters):
+            self.sim.call_at(
+                t_first + k * jcfg.block_report_stagger,
+                self._scheduled_report,
+                nid,
+                daemon=True,
+            )
+        t_done = (
+            t_first + (len(reporters) - 1) * jcfg.block_report_stagger
+            if reporters
+            else t0 + replay_time
+        )
+        self.sim.call_at(
+            t_done, self._finish_recovery, t0, replayed, len(reporters),
+            daemon=True,
+        )
+        return {
+            "crashed_at": t0,
+            "lost_records": lost,
+            "replayed_records": replayed,
+            "reporters": len(reporters),
+            "recovery_done_at": t_done,
+        }
+
+    def _scheduled_report(self, node_id: int) -> None:
+        # Owed may have been cleared (rejoin, decommission, a second
+        # crash); a node that went silent meanwhile reports on wake.
+        if (
+            node_id in self._report_owed
+            and self._states.get(node_id) is NodeState.ALIVE
+        ):
+            self.deliver_block_report(node_id)
+
+    def deliver_block_report(self, node_id: int) -> Tuple[int, int]:
+        """Reconcile one node's disk contents against the recovered
+        replica maps: registrations lost with the unsynced journal tail
+        are re-learned here, and replicas the journal remembers but the
+        disk no longer holds are dropped.  Returns ``(added,
+        dropped)``."""
+        self._report_owed.pop(node_id, None)
+        info = self._infos.get(node_id)
+        if info is None:
+            return (0, 0)
+        added = dropped = 0
+        for block_id in list(info.blocks):
+            block = self._blocks.get(block_id)
+            if block is None:
+                info.blocks.pop(block_id, None)
+                continue
+            if node_id in block.replicas:
+                continue
+            was_needed = self._block_deficit(block)
+            self._j("add", path=block.file.path, i=block.index, node=node_id)
+            block.replicas.add(node_id)
+            if info.is_dedicated:
+                block.dedicated_replicas.add(node_id)
+                self._want_dedicated.pop(block.block_id, None)
+            added += 1
+            self.counters["replicas_recovered"] += 1
+            if not was_needed:
+                # Re-replication already covered it: thrashing, same as
+                # a dead node rejoining.
+                self.counters["replication_thrash"] += 1
+            self._watched_block_changed(block)
+        # Phantom sweep: journal-attributed replicas the disk lacks.
+        for block in self._blocks.values():
+            if node_id in block.replicas and block.block_id not in info.blocks:
+                self._j(
+                    "drop", path=block.file.path, i=block.index, node=node_id
+                )
+                block.replicas.discard(node_id)
+                block.dedicated_replicas.discard(node_id)
+                dropped += 1
+                if self._block_deficit(block):
+                    self._enqueue(block)
+        return (added, dropped)
+
+    def _finish_recovery(self, t0: float, replayed: int, reporters: int) -> None:
+        dt = self.sim.now - t0
+        self.sim.obs.metrics.histogram("dfs/recovery_seconds").observe(dt)
+        tracer = self.sim.obs.tracer
+        if tracer.enabled:
+            tracer.span(
+                "dfs.namenode_recovery", "dfs", t0, self.sim.now,
+                replay_records=replayed, reports=reporters,
+            )
+
     # ------------------------------------------------------------------
     def replication_queue_length(self) -> int:
         return len(self._queued)
@@ -700,3 +1072,5 @@ class NameNode:
         self._repl_task.stop()
         self._p_task.stop()
         self.throttle.stop()
+        if self._ckpt_task is not None:
+            self._ckpt_task.stop()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import sys
 from typing import Dict, List, NamedTuple, Optional, Set
 
 from ..errors import DfsError
@@ -80,6 +81,14 @@ class BlockInfo:
     def volatile_replicas(self) -> Set[int]:
         return self.replicas - self.dedicated_replicas
 
+    @property
+    def label(self) -> str:
+        """Run-stable identity ``path#index`` — unlike ``block_id``
+        (process-global counter), the label survives checkpoints,
+        failovers and process boundaries; traces and journal records
+        use it exclusively."""
+        return f"{self.file.path}#{self.index}"
+
     def has_dedicated_replica(self) -> bool:
         return bool(self.dedicated_replicas)
 
@@ -111,7 +120,10 @@ class FileInfo:
         created_at: float,
     ) -> None:
         rf.validate()
-        self.path = path
+        # Interned: paths recur in every block label, journal record and
+        # trace row — million-block namespaces must not store a million
+        # copies of "/job3/part-00017".
+        self.path = sys.intern(path)
         self.kind = kind
         self.rf = rf
         self.blocks: List[BlockInfo] = []

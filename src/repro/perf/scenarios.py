@@ -397,6 +397,70 @@ def _detect_2k() -> Dict[str, float]:
     }
 
 
+def _recover_2k() -> Dict[str, float]:
+    """2k-job service stream with the journal on and a mid-stream
+    NameNode crash.
+
+    The same admission/queue/task stack as ``service2k``, but every
+    namespace/block-map mutation appends a journal record, checkpoints
+    fire on the sim clock, and at t=2h the master dies: unsynced tail
+    lost, checkpoint + durable log replayed, datanode block reports
+    reconverge the replica maps while the stream keeps arriving.  The
+    journal counters double as a behaviour checksum for the whole
+    durable-metadata layer.
+    """
+    from ..config import DfsConfig, JournalConfig
+    from ..service import ServiceConfig, poisson_arrivals, sleep_catalog
+
+    cfg = SystemConfig(
+        cluster=ClusterConfig(n_volatile=30, n_dedicated=3),
+        trace=TraceConfig(unavailability_rate=0.3),
+        scheduler=moon_policy(True),
+        dfs=DfsConfig(
+            journal=JournalConfig(
+                enabled=True,
+                checkpoint_interval=600.0,
+                crash_at=2 * 3600.0,
+            )
+        ),
+        seed=PERF_SCALE.seeds[0],
+    )
+    system = moon_system(cfg)
+    arrivals = poisson_arrivals(
+        system.sim.rng("service/arrivals"),
+        rate_per_hour=250.0,
+        horizon=8 * 3600.0,
+        catalog=sleep_catalog(),
+    )
+    report = system.run_service(
+        arrivals,
+        ServiceConfig(
+            policy="edf",
+            max_in_flight=16,
+            max_queue_depth=256,
+            horizon=8 * 3600.0,
+            drain_limit=4 * 3600.0,
+        ),
+        pattern="poisson",
+    )
+    system.jobtracker.stop()
+    system.namenode.stop()
+    metrics = system.obs.metrics
+    return {
+        "events": float(system.sim.executed_events),
+        "jobs_done": float(report.overall.completed),
+        "sim_seconds": system.sim.now,
+        "arrivals": float(len(arrivals)),
+        "journal_records": float(
+            metrics.counter("dfs/journal_records").value
+        ),
+        "checkpoints": float(metrics.counter("dfs/checkpoints").value),
+        "replicas_recovered": float(
+            metrics.counter("dfs/replicas_recovered").value
+        ),
+    }
+
+
 def _fairshare_sort() -> Dict[str, float]:
     """Max-min fair-share network under a data-heavy sort at rate 0.3.
 
@@ -444,6 +508,9 @@ SCENARIOS: Dict[str, Scenario] = {
         Scenario("detect2k",
                  "2k-job Poisson stream under the adaptive honest detector",
                  _detect_2k),
+        Scenario("recover2k",
+                 "2k-job Poisson stream, journal on, NameNode crash at 2h",
+                 _recover_2k),
         Scenario("fairshare", "192-map sort on the fair-share network",
                  _fairshare_sort),
     )

@@ -412,6 +412,23 @@ class MoonService:
             latency = m.histogram("detector/detection_latency_seconds")
             if latency.count:
                 detect_mean = latency.mean
+        # Durable-metadata axes (journal runs only: the paper-figure
+        # default keeps the NameNode immortal and journal-free).
+        jl_cfg = getattr(self.system.config.dfs, "journal", None)
+        jl_mode = None
+        nn_crashes = 0
+        recov_mean = None
+        jl_records = 0
+        jl_ckpts = 0
+        if jl_cfg is not None and jl_cfg.enabled:
+            jl_mode = "on"
+            m = self.system.obs.metrics
+            nn_crashes = int(m.counter("dfs/namenode_crashes").value)
+            jl_records = int(m.counter("dfs/journal_records").value)
+            jl_ckpts = int(m.counter("dfs/checkpoints").value)
+            recov = m.histogram("dfs/recovery_seconds")
+            if recov.count:
+                recov_mean = recov.mean
         return build_report(
             self.records,
             policy=cfg.policy,
@@ -440,4 +457,9 @@ class MoonService:
             false_positives=false_pos,
             requeues=requeues,
             detection_mean=detect_mean,
+            journal=jl_mode,
+            namenode_crashes=nn_crashes,
+            recovery_mean=recov_mean,
+            journal_records=jl_records,
+            checkpoints=jl_ckpts,
         )

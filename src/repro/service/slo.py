@@ -248,6 +248,17 @@ class ServiceReport:
     #: Mean seconds from a real outage to its detection (None when the
     #: run saw no real trips).
     detection_mean: Optional[float] = None
+    #: "on" when the NameNode write-ahead journal was enabled (None =
+    #: the paper-figure default: immortal NameNode, no journal).
+    journal: Optional[str] = None
+    #: Simulated NameNode crash/failover events during the run.
+    namenode_crashes: int = 0
+    #: Mean seconds from crash to reconvergence — journal replay plus
+    #: the staggered datanode block reports (None until a crash).
+    recovery_mean: Optional[float] = None
+    #: Journal records appended / checkpoints taken over the run.
+    journal_records: int = 0
+    checkpoints: int = 0
 
     @property
     def preempt_counts(self) -> Dict[str, int]:
@@ -317,6 +328,14 @@ class ServiceReport:
                 "requeues": self.requeues,
                 "detection_mean_seconds": self.detection_mean,
             }
+        if self.journal is not None:
+            out["journal"] = {
+                "mode": self.journal,
+                "records": self.journal_records,
+                "checkpoints": self.checkpoints,
+                "namenode_crashes": self.namenode_crashes,
+                "recovery_mean_seconds": self.recovery_mean,
+            }
         return out
 
     def summary_row(self) -> list:
@@ -361,6 +380,16 @@ class ServiceReport:
             self.false_positives,
             self.requeues,
             f"{self.wasted_work:.0f}",
+        ]
+
+    def recovery_row(self) -> list:
+        """``summary_row`` plus the failover cells ``[crashes,
+        recovery s, records, ckpts]``."""
+        return self.summary_row() + [
+            self.namenode_crashes,
+            _fmt_s(self.recovery_mean),
+            self.journal_records,
+            self.checkpoints,
         ]
 
     def render(self) -> str:
@@ -440,6 +469,17 @@ class ServiceReport:
                 f"{self.requeues} suspicion requeues, "
                 f"{self.wasted_work:.0f}s wasted work"
             )
+        if self.journal is not None:
+            recov = (
+                "no crash" if self.recovery_mean is None
+                else f"{self.namenode_crashes} crash(es), "
+                     f"{self.recovery_mean:.1f}s mean recovery"
+            )
+            out += (
+                f"\njournal={self.journal}: {recov}, "
+                f"{self.journal_records} records, "
+                f"{self.checkpoints} checkpoints"
+            )
         return out
 
 
@@ -463,6 +503,11 @@ def build_report(
     false_positives: int = 0,
     requeues: int = 0,
     detection_mean: Optional[float] = None,
+    journal: Optional[str] = None,
+    namenode_crashes: int = 0,
+    recovery_mean: Optional[float] = None,
+    journal_records: int = 0,
+    checkpoints: int = 0,
 ) -> ServiceReport:
     """Roll per-job records into the service-level report."""
     by_tenant: Dict[str, List[JobRecord]] = {}
@@ -500,4 +545,9 @@ def build_report(
         false_positives=false_positives,
         requeues=requeues,
         detection_mean=detection_mean,
+        journal=journal,
+        namenode_crashes=namenode_crashes,
+        recovery_mean=recovery_mean,
+        journal_records=journal_records,
+        checkpoints=checkpoints,
     )

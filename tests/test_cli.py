@@ -250,6 +250,55 @@ class TestReplayCommand:
         assert "replayed trace: hadoop_jobhistory_sample" in first
         assert first == second
 
+    def test_journal_flags_parse_on_both_commands(self):
+        args = build_parser().parse_args(
+            ["serve", "--journal", "on", "--checkpoint-interval", "60",
+             "--namenode-crash", "900"]
+        )
+        assert args.journal == "on"
+        assert args.checkpoint_interval == 60.0
+        assert args.namenode_crash == 900.0
+        args = build_parser().parse_args(
+            ["replay", "--trace", "t.csv", "--namenode-crash", "120"]
+        )
+        assert args.journal == "off" and args.namenode_crash == 120.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--journal", "maybe"])
+
+    def test_namenode_crash_recovery_smoke_same_bytes_twice(self, capsys):
+        """Fast-lane failover smoke: a serve run that crashes the
+        NameNode mid-stream recovers (journal trailer in the report)
+        and stays byte-deterministic across fresh systems."""
+        argv = [
+            "serve", "--pattern", "poisson", "--policy", "edf",
+            "--catalog", "sleep", "--jobs-per-hour", "6",
+            "--hours", "0.5", "--volatile", "8", "--dedicated", "2",
+            "--rate", "0.1", "--max-in-flight", "2", "--seed", "4",
+            "--namenode-crash", "600",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "journal=on: 1 crash(es)" in first
+        assert "mean recovery" in first
+        assert first == second
+
+    def test_journal_off_report_is_byte_identical_to_pre_journal(
+        self, capsys
+    ):
+        """The acceptance bar: with --journal off (the default) the
+        serve report must not mention the journal at all — the layer
+        adds zero events and zero report surface."""
+        argv = [
+            "serve", "--pattern", "poisson", "--policy", "edf",
+            "--catalog", "sleep", "--jobs-per-hour", "6",
+            "--hours", "0.5", "--volatile", "8", "--dedicated", "2",
+            "--rate", "0.1", "--max-in-flight", "2", "--seed", "4",
+        ]
+        assert main(argv) == 0
+        assert "journal" not in capsys.readouterr().out
+
     def test_preempt_determinism_smoke_same_bytes_twice(self, capsys):
         """Fast-lane preemption smoke: the same pause-mode replay on a
         pressured cluster twice — controller decisions, audit table and

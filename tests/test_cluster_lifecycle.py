@@ -302,3 +302,58 @@ class TestGracefulDrain:
         assert system.namenode.replication_queue_length() > queued_before
         system.jobtracker.stop()
         system.namenode.stop()
+
+
+class TestDecommissionRaces:
+    """Named regressions for the two decommission races: a retired id
+    probed through the network model, and the service's stream drain
+    racing ``finish_decommission``."""
+
+    def test_network_is_up_false_for_retired_id_error_for_unknown(self):
+        """Observers holding a node id across its decommission (the
+        availability monitor, in-flight transfer callbacks) probe
+        ``is_up`` after the node left the network.  A *retired* id must
+        answer False — only an id that never existed is a caller bug."""
+        system = make_system(n_volatile=2, n_dedicated=2)
+        victim = system.cluster.dedicated[-1].node_id
+        assert system.network.is_up(victim)
+        system.cluster.decommission_dedicated(victim)
+        # Idle node, no sole replicas: the next heartbeat tick retires it.
+        system.sim.run(until=10.0)
+        assert victim not in {
+            n.node_id for n in system.cluster.draining_nodes()
+        }
+        assert system.network.is_up(victim) is False
+        with pytest.raises(NetworkError):
+            system.network.is_up(999)
+        system.jobtracker.stop()
+        system.namenode.stop()
+
+    def test_stream_drain_waits_for_in_flight_decommission(self):
+        """The stream drain stops the sim at the exact event that
+        finishes the last job — which can be the very event that makes
+        a drain gate clearable.  run() must drain the decommission out
+        instead of reporting the node as draining forever."""
+        from repro.service import MoonService, ServiceConfig, replay_arrivals
+
+        system = make_system(n_volatile=2, n_dedicated=2,
+                             dedicated_primary=True)
+        spec = sleep_spec(30.0, 5.0, n_maps=4, n_reduces=1)
+        victim = system.cluster.dedicated[-1].node_id
+        # Decommission lands while the job still runs on the dedicated
+        # tier: the victim's unfinished attempts hold the drain gate
+        # shut until the final task — the one that ends the stream.
+        system.sim.call_at(
+            5.0, system.cluster.decommission_dedicated, victim
+        )
+        service = MoonService(
+            system,
+            ServiceConfig(horizon=600.0),
+            replay_arrivals([(0.0, "tenant-1", spec, None)]),
+        )
+        report = service.run()
+        assert report.overall.completed == 1
+        assert not system.cluster.draining_nodes()
+        assert victim not in system.jobtracker.trackers
+        system.jobtracker.stop()
+        system.namenode.stop()

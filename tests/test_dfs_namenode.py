@@ -293,3 +293,87 @@ class TestCommitWatchers:
         nn.register_replica(b0, 5)
         sim.run(until=720.0)
         assert len(fired) == 1
+
+
+class TestWatchersAcrossFailover:
+    """Commit watchers vs the durable-metadata layer: the dirty-sets
+    are derived state — never journaled — and must be recomputed, not
+    lost, by checkpoints and crash/recover cycles."""
+
+    @staticmethod
+    def _journal_cfg():
+        from repro.config import JournalConfig
+
+        return DfsConfig(
+            journal=JournalConfig(enabled=True, fsync_interval=1)
+        )
+
+    def test_watcher_fires_once_across_crash_recover(self, sim):
+        """A watch armed before the crash survives the failover and
+        fires exactly once when the deficit resolves after recovery."""
+        _, _, nn = build(sim, cfg=self._journal_cfg())
+        f = nn.create_file(
+            "/out", FileKind.RELIABLE, ReplicationFactor(0, 2), 64.0
+        )
+        nn.register_replica(f.blocks[0], 3)
+        fired = []
+        nn.when_fully_replicated("/out", lambda: fired.append(sim.now))
+        sim.run(until=1.0)
+        assert fired == []
+        nn.simulate_crash()
+        for nid in list(nn._report_owed):
+            nn.deliver_block_report(nid)
+        assert fired == []  # still one volatile copy of two
+        nn.register_replica(f.blocks[0], 4)
+        sim.run(until=2.0)
+        assert len(fired) == 1
+
+    def test_watch_pending_survives_checkpoint_truncation(self, sim):
+        """A checkpoint truncates every journal record the watch's
+        dirty-set was derived from; a crash right after must recompute
+        the pending set from the snapshot, not fire (or drop) the
+        watch early."""
+        _, _, nn = build(sim, cfg=self._journal_cfg())
+        f = nn.create_file(
+            "/out", FileKind.RELIABLE, ReplicationFactor(0, 2), 64.0
+        )
+        nn.register_replica(f.blocks[0], 3)
+        fired = []
+        nn.when_fully_replicated("/out", lambda: fired.append(sim.now))
+        nn.take_checkpoint()
+        assert len(nn.journal) == 0  # log truncated under the watch
+        nn.simulate_crash()
+        for nid in list(nn._report_owed):
+            nn.deliver_block_report(nid)
+        assert fired == []  # pending set recomputed, deficit intact
+        assert "/out" in nn._watch_pending
+        nn.register_replica(f.blocks[0], 4)
+        sim.run(until=1.0)
+        assert len(fired) == 1
+
+    def test_satisfied_watch_fires_during_recovery(self, sim):
+        """If the lost journal tail held the registration that
+        satisfied the watch, the block report both re-learns the
+        replica and fires the watcher."""
+        from repro.config import JournalConfig
+
+        cfg = DfsConfig(
+            journal=JournalConfig(enabled=True, fsync_interval=10**6)
+        )
+        _, _, nn = build(sim, cfg=cfg)
+        f = nn.create_file(
+            "/out", FileKind.RELIABLE, ReplicationFactor(0, 1), 64.0
+        )
+        fired = []
+        nn.when_fully_replicated("/out", lambda: fired.append(True))
+        nn.register_replica(f.blocks[0], 3)  # rides the unsynced tail
+        sim.run(until=1.0)
+        assert fired == [True]
+        stats = nn.simulate_crash()
+        assert stats["lost_records"] >= 1
+        # Recovery forgot the replica: the watch would block a commit
+        # retry until the disk answers.
+        assert f.blocks[0].replicas == set()
+        nn.deliver_block_report(3)
+        assert f.blocks[0].replicas == {3}
+        assert "/out" not in nn._watch_pending

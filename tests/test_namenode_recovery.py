@@ -1,0 +1,384 @@
+"""Crash-safe NameNode: the crash-at-any-event recovery fuzz suite.
+
+The contract under test: kill the NameNode at *any* moment of a churny
+workload — arbitrary journal offset, unsynced tail lost — and the
+failed-over master, after replaying checkpoint + durable log and
+collecting datanode block reports, must hold a namespace, block map
+and pending-replication set semantically identical to a NameNode that
+never crashed.  On top of that, the journal itself must be a proper
+replay log: applying any durable prefix twice is the same as applying
+it once (block reports and crash/recover loops re-apply records
+freely).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import DfsConfig, JournalConfig
+from repro.dfs import (
+    DfsClient,
+    FileKind,
+    JournalRecord,
+    NameNode,
+    NodeState,
+    ReplicationFactor,
+)
+from repro.simulation import Simulation
+
+from helpers import build
+
+RF11 = ReplicationFactor(1, 1)
+RF12 = ReplicationFactor(1, 2)
+RF02 = ReplicationFactor(0, 2)
+
+N_DEDICATED = 2
+N_VOLATILE = 6
+
+
+def journal_cfg(checkpoint_interval=120.0, fsync_interval=8, crash_at=None):
+    return DfsConfig(
+        journal=JournalConfig(
+            enabled=True,
+            checkpoint_interval=checkpoint_interval,
+            fsync_interval=fsync_interval,
+            crash_at=crash_at,
+        )
+    )
+
+
+def churn_system(sim, cfg, writes, deletes=(), converts=(), traces=None):
+    """A DFS under churn: scheduled writes, deletes, conversions and
+    (via ``traces``) volatile-node outages — every journal record type
+    short of membership changes gets exercised."""
+    cluster, net, nn = build(
+        sim,
+        n_dedicated=N_DEDICATED,
+        n_volatile=N_VOLATILE,
+        traces=traces,
+        cfg=cfg,
+    )
+    client = DfsClient(nn)
+
+    def write(path, kind, rf, size):
+        client.write_file(
+            path, size, kind, rf,
+            client_node=N_DEDICATED,  # first volatile node
+            on_complete=lambda: None,
+            on_fail=lambda e: None,  # shortfalls are the point
+        )
+
+    for t, path, kind, rf, size in writes:
+        sim.call_at(t, write, path, kind, rf, size)
+    for t, path in deletes:
+        sim.call_at(
+            t, lambda p=path: nn.delete_file(p) if nn.exists(p) else None
+        )
+    for t, path in converts:
+        sim.call_at(
+            t,
+            lambda p=path: (
+                nn.convert_to_reliable(p) if nn.exists(p) else None
+            ),
+        )
+    return cluster, net, nn
+
+
+def reconcile_synchronously(nn: NameNode) -> None:
+    """Deliver every owed block report immediately (zero-latency
+    datanodes).  DEAD nodes stay silent — exactly as in real time,
+    where they report on rejoin."""
+    for nid in list(nn._report_owed):
+        if nn._states.get(nid) is not NodeState.DEAD:
+            nn.deliver_block_report(nid)
+
+
+def assert_accounting_invariants(nn: NameNode) -> None:
+    known = set(nn._infos)
+    for block in nn._blocks.values():
+        assert block.replicas <= known
+        assert block.dedicated_replicas <= block.replicas
+    for nid, info in nn._infos.items():
+        expected = sum(
+            nn._blocks[bid].size_mb for bid in info.blocks if bid in nn._blocks
+        )
+        assert info.used_mb == pytest.approx(expected)
+    assert all(v >= 0 for v in nn.counters.values())
+
+
+# ---------------------------------------------------------------------------
+# The headline property: crash anywhere, recover to the oracle.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def crash_scenario(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    crash_at = draw(
+        st.floats(min_value=2.0, max_value=900.0, allow_nan=False)
+    )
+    checkpoint_interval = draw(st.sampled_from([45.0, 120.0, 300.0, 1e6]))
+    fsync_interval = draw(st.sampled_from([1, 4, 16, 64]))
+
+    writes = []
+    n_files = draw(st.integers(min_value=2, max_value=7))
+    for i in range(n_files):
+        t = draw(st.floats(min_value=0.0, max_value=600.0, allow_nan=False))
+        kind = draw(st.sampled_from(list(FileKind)))
+        rf = draw(st.sampled_from([RF11, RF12, RF02]))
+        size = draw(st.sampled_from([16.0, 64.0, 200.0]))
+        writes.append((t, f"/f{i}", kind, rf, size))
+    paths = [w[1] for w in writes]
+    deletes = [
+        (draw(st.floats(min_value=10.0, max_value=850.0)), p)
+        for p in draw(
+            st.lists(st.sampled_from(paths), max_size=2, unique=True)
+        )
+    ]
+    converts = [
+        (draw(st.floats(min_value=10.0, max_value=850.0)), p)
+        for p in draw(
+            st.lists(st.sampled_from(paths), max_size=2, unique=True)
+        )
+    ]
+
+    # Outage windows on a subset of volatile nodes: hibernations,
+    # expiries (600 s default) and rejoins all cross the crash point.
+    traces = {}
+    for nid in draw(
+        st.lists(
+            st.integers(N_DEDICATED, N_DEDICATED + N_VOLATILE - 1),
+            max_size=3,
+            unique=True,
+        )
+    ):
+        start = draw(st.floats(min_value=1.0, max_value=700.0))
+        length = draw(st.sampled_from([30.0, 200.0, 800.0]))
+        traces[nid] = [(start, start + length)]
+
+    return {
+        "seed": seed,
+        "crash_at": crash_at,
+        "checkpoint_interval": checkpoint_interval,
+        "fsync_interval": fsync_interval,
+        "writes": writes,
+        "deletes": deletes,
+        "converts": converts,
+        "traces": traces,
+    }
+
+
+class TestCrashAtAnyEvent:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(plan=crash_scenario())
+    def test_property_recovery_matches_never_crashed_oracle(self, plan):
+        sim = Simulation(seed=plan["seed"])
+        cfg = journal_cfg(
+            checkpoint_interval=plan["checkpoint_interval"],
+            fsync_interval=plan["fsync_interval"],
+        )
+        _, _, nn = churn_system(
+            sim, cfg,
+            writes=plan["writes"],
+            deletes=plan["deletes"],
+            converts=plan["converts"],
+            traces=plan["traces"],
+        )
+        sim.run(until=plan["crash_at"])
+
+        # The oracle is this very NameNode, frozen at the crash
+        # instant: a master that never died would hold exactly this.
+        oracle = nn.snapshot_image()
+        stats = nn.simulate_crash()
+        assert stats["lost_records"] >= 0
+        reconcile_synchronously(nn)
+
+        recovered = nn.snapshot_image()
+        assert recovered == oracle, (
+            f"recovered namespace diverged from the never-crashed "
+            f"oracle (lost={stats['lost_records']}, "
+            f"replayed={stats['replayed_records']})"
+        )
+
+        # The pending-replication set is derived state: everything
+        # with a replica deficit or an unmet dedicated want must be
+        # queued for repair.
+        needed = {
+            bid
+            for bid, b in nn._blocks.items()
+            if nn._block_deficit(b)
+        } | set(nn._want_dedicated)
+        assert needed <= set(nn._queued)
+
+        # The run continues: the sim must make progress past the
+        # crash and the accounting must stay self-consistent.
+        sim.run(until=plan["crash_at"] + 1200.0)
+        assert sim.now >= plan["crash_at"]
+        assert_accounting_invariants(nn)
+        assert nn.counters["namenode_crashes"] == 1
+        assert nn.counters["recoveries"] == 1
+
+    def test_scheduled_crash_end_to_end(self):
+        """The --namenode-crash path: crash armed from config, recovery
+        completes on the sim clock, metrics + histogram populated."""
+        sim = Simulation(seed=7)
+        cfg = journal_cfg(checkpoint_interval=60.0, crash_at=150.0)
+        writes = [
+            (5.0 * i, f"/f{i}", FileKind.RELIABLE, RF12, 64.0)
+            for i in range(8)
+        ]
+        _, _, nn = churn_system(sim, cfg, writes=writes)
+        sim.run(until=600.0)
+        assert nn.counters["namenode_crashes"] == 1
+        assert nn.counters["recoveries"] == 1
+        hist = sim.obs.metrics.histogram("dfs/recovery_seconds")
+        assert hist.count == 1
+        assert hist.mean > 0.0
+        assert_accounting_invariants(nn)
+
+    def test_crash_requires_journal(self, sim):
+        from repro.errors import DfsError
+
+        _, _, nn = build(sim)
+        with pytest.raises(DfsError):
+            nn.simulate_crash()
+
+    def test_double_crash_recovers_twice(self):
+        """A second failover while the first is still collecting block
+        reports must not wedge or double-count replicas."""
+        sim = Simulation(seed=9)
+        cfg = journal_cfg(checkpoint_interval=1e6, fsync_interval=4)
+        writes = [
+            (2.0 * i, f"/f{i}", FileKind.RELIABLE, RF12, 64.0)
+            for i in range(6)
+        ]
+        _, _, nn = churn_system(sim, cfg, writes=writes)
+        sim.run(until=100.0)
+        oracle = nn.snapshot_image()
+        nn.simulate_crash()
+        sim.run(until=101.0)  # mid block-report window: reports pending
+        nn.simulate_crash()  # second failover preempts the first
+        reconcile_synchronously(nn)
+        # Disk truth never changed; the doubly-failed-over master still
+        # converges to the pre-crash oracle.
+        assert nn.snapshot_image() == oracle
+        assert nn.counters["namenode_crashes"] == 2
+        sim.run(until=400.0)
+        assert_accounting_invariants(nn)
+
+    def test_lost_tail_relearned_from_block_reports(self):
+        """Registrations that died with the unsynced tail come back via
+        the reports — counted as recovered replicas, not re-replication."""
+        sim = Simulation(seed=3)
+        # Huge fsync interval: every replica record rides the volatile
+        # tail (namespace records still sync).
+        cfg = journal_cfg(checkpoint_interval=1e6, fsync_interval=10**6)
+        writes = [(1.0, "/x", FileKind.RELIABLE, RF12, 64.0)]
+        _, _, nn = churn_system(sim, cfg, writes=writes)
+        sim.run(until=50.0)
+        assert len(nn.file("/x").blocks[0].replicas) == 3
+        oracle = nn.snapshot_image()
+        stats = nn.simulate_crash()
+        assert stats["lost_records"] > 0
+        # Journal alone has forgotten the replicas...
+        assert nn.file("/x").blocks[0].replicas == set()
+        reconcile_synchronously(nn)
+        # ...the disks have not.
+        assert nn.snapshot_image() == oracle
+        assert nn.counters["replicas_recovered"] >= 3
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the journal as a replay log — idempotent, prefix-closed.
+# ---------------------------------------------------------------------------
+
+
+_JOURNAL_CACHE = {}
+
+
+def recorded_journal(seed=21):
+    """(checkpoint image, durable records) captured from a real churny
+    run — property tests replay slices of an actual log, not synthetic
+    records."""
+    if seed not in _JOURNAL_CACHE:
+        sim = Simulation(seed=seed)
+        cfg = journal_cfg(checkpoint_interval=1e6, fsync_interval=1)
+        writes = [
+            (3.0 * i, f"/f{i}", kind, rf, size)
+            for i, (kind, rf, size) in enumerate(
+                [
+                    (FileKind.RELIABLE, RF12, 200.0),
+                    (FileKind.OPPORTUNISTIC, RF11, 64.0),
+                    (FileKind.OPPORTUNISTIC, RF02, 16.0),
+                    (FileKind.RELIABLE, RF11, 64.0),
+                    (FileKind.OPPORTUNISTIC, RF12, 128.0),
+                ]
+            )
+        ]
+        _, _, nn = churn_system(
+            sim, cfg,
+            writes=writes,
+            deletes=[(40.0, "/f1")],
+            converts=[(45.0, "/f2")],
+            traces={3: [(10.0, 120.0)], 4: [(20.0, 2000.0)]},
+        )
+        sim.run(until=700.0)
+        nn.journal.fsync()
+        _JOURNAL_CACHE[seed] = (
+            nn.journal.checkpoint_image.copy(),
+            list(nn.journal.durable_records()),
+        )
+        nn.stop()
+    base, records = _JOURNAL_CACHE[seed]
+    return base.copy(), records
+
+
+class TestReplayProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_property_replay_prefix_twice_equals_once(self, data):
+        base, records = recorded_journal()
+        assert len(records) > 20, "churn run produced a trivial journal"
+        i = data.draw(st.integers(min_value=0, max_value=len(records)))
+        prefix = records[:i]
+        once = base.copy().replay(prefix)
+        twice = base.copy().replay(prefix).replay(prefix)
+        assert once == twice
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_property_replay_is_prefix_closed(self, data):
+        """Replaying records one at a time through any split point is
+        the same as replaying the whole prefix — no record depends on
+        a successor."""
+        base, records = recorded_journal()
+        i = data.draw(st.integers(min_value=0, max_value=len(records)))
+        j = data.draw(st.integers(min_value=0, max_value=i))
+        split = base.copy().replay(records[:j]).replay(records[j:i])
+        whole = base.copy().replay(records[:i])
+        assert split == whole
+
+    def test_encode_decode_round_trip_preserves_replay(self):
+        base, records = recorded_journal()
+        wire = [JournalRecord.decode(r.encode()) for r in records]
+        assert [r.type for r in wire] == [r.type for r in records]
+        assert [r.payload for r in wire] == [r.payload for r in records]
+        assert base.copy().replay(wire) == base.copy().replay(records)
+
+    def test_recovered_image_ignores_unsynced_tail(self):
+        sim = Simulation(seed=5)
+        cfg = journal_cfg(checkpoint_interval=1e6, fsync_interval=10**6)
+        writes = [(1.0, "/x", FileKind.RELIABLE, RF12, 64.0)]
+        _, _, nn = churn_system(sim, cfg, writes=writes)
+        sim.run(until=30.0)
+        assert nn.journal.unsynced_count() > 0
+        img = nn.journal.recovered_image()
+        # Namespace records sync; replica adds rode the tail.
+        assert "/x" in img.files
+        assert all(not reps for reps in img.files["/x"]["replicas"])

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Journal schema checks, run by the CI docs job.
+
+The write-ahead journal is a wire format: its record registry
+(``repro.dfs.journal.RECORD_TYPES``), its schema version, and the
+record table in docs/ARCHITECTURE.md are three copies of one contract.
+This keeps them in lock-step:
+
+1. The schema version stated in ARCHITECTURE.md ("journal schema
+   version: **N**") equals ``SCHEMA_VERSION``.
+2. The docs record table lists exactly the registry's record types,
+   with exactly the registry's payload fields and durability class
+   (synchronous vs group-commit).
+3. Every record type round-trips through encode/decode with a
+   representative payload, and the line's field order is stable
+   (type first, then payload fields in schema order).
+
+Exit code 0 when clean; 1 with a line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.dfs.journal import (  # noqa: E402
+    RECORD_TYPES,
+    SCHEMA_VERSION,
+    JournalRecord,
+)
+
+VERSION_RE = re.compile(
+    r"journal schema\s*\n?version:\s*\*\*(\d+)\*\*", re.IGNORECASE
+)
+ROW_RE = re.compile(
+    r"^\|\s*`(?P<type>[a-z_]+)`\s*"
+    r"\|\s*`(?P<payload>[^`]+)`\s*"
+    r"\|\s*(?P<durability>synchronous|group-commit)\s*\|",
+    re.MULTILINE,
+)
+
+#: A representative payload per record type for the round-trip check.
+SAMPLES = {
+    "create": {
+        "path": "/x", "kind": "reliable", "d": 1, "v": 3,
+        "sizes": [64.0, 8.0], "created_at": 12.5,
+    },
+    "delete": {"path": "/x"},
+    "convert": {"path": "/x"},
+    "adjust": {"path": "/x", "v": 4},
+    "node_add": {"node": 7, "dedicated": True, "capacity_mb": 1024.0},
+    "node_drain": {"node": 7},
+    "node_retire": {"node": 7},
+    "add": {"path": "/x", "i": 0, "node": 7},
+    "drop": {"path": "/x", "i": 0, "node": 7},
+    "want": {"path": "/x", "i": 0},
+}
+
+
+def check_schema_version(text: str, errors: list) -> None:
+    m = VERSION_RE.search(text)
+    if not m:
+        errors.append(
+            "ARCHITECTURE.md: no 'journal schema version: **N**' statement"
+        )
+        return
+    documented = int(m.group(1))
+    if documented != SCHEMA_VERSION:
+        errors.append(
+            f"schema version drift: docs say {documented}, "
+            f"SCHEMA_VERSION is {SCHEMA_VERSION}"
+        )
+
+
+def check_record_table(text: str, errors: list) -> None:
+    rows = {
+        m.group("type"): (
+            m.group("durability") == "synchronous",
+            tuple(
+                f.strip() for f in m.group("payload").split(",")
+            ),
+        )
+        for m in ROW_RE.finditer(text)
+    }
+    if not rows:
+        errors.append("ARCHITECTURE.md: journal record table not found")
+        return
+    for rtype, (sync, fields) in RECORD_TYPES.items():
+        if rtype not in rows:
+            errors.append(f"record `{rtype}` missing from the docs table")
+            continue
+        doc_sync, doc_fields = rows[rtype]
+        if doc_sync != sync:
+            errors.append(
+                f"record `{rtype}`: docs say "
+                f"{'synchronous' if doc_sync else 'group-commit'}, "
+                f"registry says "
+                f"{'synchronous' if sync else 'group-commit'}"
+            )
+        if doc_fields != fields:
+            errors.append(
+                f"record `{rtype}`: docs payload {doc_fields} != "
+                f"registry payload {fields}"
+            )
+    for rtype in rows:
+        if rtype not in RECORD_TYPES:
+            errors.append(
+                f"docs table lists `{rtype}`, not in RECORD_TYPES"
+            )
+
+
+def check_round_trip(errors: list) -> None:
+    for rtype, (_, fields) in RECORD_TYPES.items():
+        sample = SAMPLES.get(rtype)
+        if sample is None:
+            errors.append(f"no round-trip sample for record `{rtype}`")
+            continue
+        if set(sample) != set(fields):
+            errors.append(
+                f"sample for `{rtype}` has fields {sorted(sample)}, "
+                f"registry wants {sorted(fields)}"
+            )
+            continue
+        rec = JournalRecord(rtype, dict(sample))
+        line = rec.encode()
+        back = JournalRecord.decode(line)
+        if back.type != rec.type or back.payload != rec.payload:
+            errors.append(f"record `{rtype}` does not round-trip: {line}")
+        keys = list(__import__("json").loads(line))
+        if keys != ["t"] + list(fields):
+            errors.append(
+                f"record `{rtype}` field order unstable on the wire: {keys}"
+            )
+
+
+def main() -> int:
+    errors: list = []
+    if not ARCHITECTURE.exists():
+        print(f"missing file: {ARCHITECTURE.relative_to(REPO)}")
+        return 1
+    text = ARCHITECTURE.read_text(encoding="utf-8")
+    check_schema_version(text, errors)
+    check_record_table(text, errors)
+    check_round_trip(errors)
+    for err in errors:
+        print(err)
+    if not errors:
+        print(
+            f"journal schema v{SCHEMA_VERSION}: "
+            f"{len(RECORD_TYPES)} record types documented, "
+            "round-trip clean"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
