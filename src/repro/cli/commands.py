@@ -70,6 +70,7 @@ def _make_obs(args):
             trace=args.trace_out is not None,
             trace_out=args.trace_out,
             metrics_out=args.metrics_out,
+            max_trace_events=args.max_trace_events,
         )
     )
 
@@ -777,6 +778,143 @@ def cmd_replay(args) -> int:
 
 
 # ======================================================================
+# explain / diff
+# ======================================================================
+def _explain_replay(args):
+    """Replay one cell with an in-memory tracer; return (explanation,
+    obs) or (None, None) after logging the usage error."""
+    from ..errors import ReproError
+    from ..obs import Observability, ObsConfig
+    from ..obs.explain import explain_tracer
+    from ..service import MoonService
+    from ..workload_traces import (
+        CalibrationConfig,
+        SynthesisConfig,
+        load_workload_trace,
+        synthesize,
+        trace_arrivals,
+    )
+
+    try:
+        trace = load_workload_trace(args.trace)
+        if args.scale is not None:
+            trace = synthesize(
+                trace,
+                np.random.default_rng(args.seed),
+                SynthesisConfig(load_factor=args.scale),
+            )
+        arrivals = trace_arrivals(trace, CalibrationConfig())
+    except (ReproError, OSError) as exc:
+        log.error("explain: %s", exc)
+        return None, None
+    # The recorder is the whole point here: armed unconditionally,
+    # with any --trace-out/--metrics-out files riding along.
+    obs = Observability(
+        ObsConfig(
+            trace=True,
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+            max_trace_events=args.max_trace_events,
+        )
+    )
+    system = _serve_system(
+        args, obs=obs, detector=_detector_cfg(args, args.detector)
+    )
+    service = MoonService(
+        system,
+        _replay_service_config(
+            args, args.policy, None,
+            capture=False, trace=trace, preempt_mode=args.preempt,
+        ),
+        arrivals,
+        pattern=trace.pattern,
+    )
+    service.run()
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return explain_tracer(obs.tracer), obs
+
+
+def cmd_explain(args) -> int:
+    """Causal blame attribution: why was this job slow?"""
+    from ..obs.explain import explain_trace_file
+
+    obs = None
+    if args.from_trace is not None:
+        try:
+            explanation = explain_trace_file(args.from_trace)
+        except (OSError, ValueError) as exc:
+            log.error("explain: %s", exc)
+            return 2
+    else:
+        if args.trace is None:
+            log.error(
+                "explain: pass --trace <workload file> to replay, or "
+                "--from <trace-out JSON> to explain a recorded run"
+            )
+            return 2
+        if args.preempt == "all" or args.detector == "all":
+            log.error(
+                "explain: attributes one cell; pass a single "
+                "--preempt/--detector mode, not 'all'"
+            )
+            return 2
+        explanation, obs = _explain_replay(args)
+        if explanation is None:
+            return 2
+    if not explanation.jobs:
+        log.error("explain: the trace contains no finished jobs")
+        return 2
+
+    print(explanation.render_aggregates())
+    print()
+    if args.job is not None:
+        blame = explanation.job(args.job)
+        if blame is None:
+            log.error("explain: no finished job with seq %d", args.job)
+            return 2
+        selected, what = [blame], f"job seq{args.job}"
+    elif args.tenant is not None:
+        selected = explanation.tenant_jobs(args.tenant)
+        if not selected:
+            log.error(
+                "explain: tenant %r finished no jobs", args.tenant
+            )
+            return 2
+        what = f"tenant {args.tenant} ({len(selected)} job(s))"
+    else:
+        selected = explanation.worst(args.worst)
+        what = f"{len(selected)} slowest job(s)"
+    print(f"critical paths - {what}:")
+    print()
+    print("\n\n".join(explanation.render_job(b) for b in selected))
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(explanation.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log.info("wrote explanation to %s", args.json_out)
+    _export_obs(obs)
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """First causal divergence between two run artifacts."""
+    from ..obs.explain import diff_files
+
+    try:
+        kind, divergence, compared = diff_files(args.a, args.b)
+    except (OSError, ValueError) as exc:
+        log.error("diff: %s", exc)
+        return 2
+    unit = "trace event(s)" if kind == "trace" else "metric key(s)"
+    if divergence is None:
+        print(f"no divergence ({compared} {unit} compared)")
+        return 0
+    print(divergence.render())
+    return 1
+
+
+# ======================================================================
 # trace
 # ======================================================================
 def cmd_trace(args) -> int:
@@ -898,6 +1036,7 @@ def cmd_profile(args) -> int:
     """Profile the dispatch loop over perf scenarios; print the hot
     table (per-handler count, cumulative wall-clock, share)."""
     from ..obs import Observability, ObsConfig, default_observability
+    from ..obs.profile import PROFILE_SCHEMA_VERSION
     from ..perf import SCENARIOS
 
     names = args.scenario or ["fig6"]
@@ -907,6 +1046,7 @@ def cmd_profile(args) -> int:
             profile=True,
             trace_out=args.trace_out,
             metrics_out=args.metrics_out,
+            max_trace_events=args.max_trace_events,
         )
     )
     # Scenarios construct their systems internally; the process-wide
@@ -921,5 +1061,15 @@ def cmd_profile(args) -> int:
             )
     print()
     print(obs.profiler.table(top=args.top))
+    if args.json_out is not None:
+        payload = {
+            "schema_version": PROFILE_SCHEMA_VERSION,
+            "scenarios": names,
+            "profile": obs.profiler.to_dict(),
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        log.info("wrote profile to %s", args.json_out)
     _export_obs(obs)
     return 0

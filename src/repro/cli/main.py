@@ -28,6 +28,15 @@ def _add_obs_flags(parser) -> None:
         help="write the run's metrics registry (counters, gauges, "
              "histograms) as JSON",
     )
+    parser.add_argument(
+        "--max-trace-events",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="tracer memory cap; events beyond it are dropped, "
+             "counted in obs/dropped_events and warned about at "
+             "export (never silently)",
+    )
 
 
 def _add_autoscale_bounds(parser) -> None:
@@ -377,6 +386,92 @@ def build_parser() -> argparse.ArgumentParser:
     _add_journal_flags(replay_p)
     _add_obs_flags(replay_p)
 
+    # --- explain --------------------------------------------------------
+    explain_p = sub.add_parser(
+        "explain",
+        help="why was this job slow? causal blame over the flight recorder",
+        description=(
+            "Replay a workload trace with the flight recorder armed "
+            "(or load an existing --trace-out JSON), rebuild each "
+            "job's causal graph, and partition its response time into "
+            "an exhaustive blame taxonomy: queue wait, useful "
+            "execution, shuffle, straggler wait, re-execution after "
+            "real failures vs false-positive suspicion, preemption "
+            "pauses, NameNode-recovery stalls, slot wait and commit.  "
+            "Components sum to the response time exactly, so nothing "
+            "hides."
+        ),
+        epilog=(
+            "examples:\n"
+            "  the three slowest jobs of a replayed stream:\n"
+            "    repro explain --trace benchmarks/data/"
+            "hadoop_jobhistory_sample.json --worst 3\n"
+            "  one job by service seq, under an honest detector:\n"
+            "    repro explain --trace <file> --detector timeout --job 7\n"
+            "  explain a trace file recorded earlier:\n"
+            "    repro replay --trace <file> --trace-out run.json\n"
+            "    repro explain --from run.json"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    explain_p.add_argument("--trace", default=None,
+                           help="workload trace to replay with the "
+                                "recorder armed (as `repro replay`)")
+    explain_p.add_argument("--from", dest="from_trace", default=None,
+                           metavar="PATH",
+                           help="explain an existing --trace-out "
+                                "Chrome-trace JSON instead of running")
+    explain_p.add_argument("--scale", type=float, default=None,
+                           help="synthesize the trace at this load "
+                                "factor before replaying")
+    explain_p.add_argument(
+        "--policy",
+        choices=list(QUEUE_POLICIES),
+        default="fifo",
+        help="queue ordering policy of the replayed cell",
+    )
+    explain_p.add_argument("--job", type=int, default=None, metavar="N",
+                           help="explain the job with service seq N")
+    explain_p.add_argument("--worst", type=int, default=3, metavar="K",
+                           help="explain the K slowest jobs (default 3)")
+    explain_p.add_argument("--tenant", default=None,
+                           help="explain every job of one tenant")
+    explain_p.add_argument("--max-in-flight", type=int, default=4)
+    explain_p.add_argument("--queue-depth", type=int, default=64)
+    explain_p.add_argument("--tenant-quota", type=int, default=None)
+    explain_p.add_argument("--drain-hours", type=float, default=4.0)
+    explain_p.add_argument("--rate", type=float, default=0.3,
+                           help="volatile-node unavailability rate")
+    explain_p.add_argument("--volatile", type=int, default=12)
+    explain_p.add_argument("--dedicated", type=int, default=2)
+    explain_p.add_argument("--seed", type=int, default=42)
+    explain_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_out",
+        help="also write the explanation as versioned JSON",
+    )
+    _add_preemption_flags(explain_p)
+    _add_detector_flags(explain_p)
+    _add_journal_flags(explain_p)
+    _add_obs_flags(explain_p)
+
+    # --- diff -----------------------------------------------------------
+    diff_p = sub.add_parser(
+        "diff",
+        help="first causal divergence between two run artifacts",
+        description=(
+            "Align two flight-recorder files (--trace-out Chrome-trace "
+            "JSON or --metrics-out registry JSON) and report the first "
+            "causal divergence: event index, simulated time, layer and "
+            "the differing fields.  Exit 0 when identical, 1 on "
+            "divergence, 2 on unreadable or mismatched inputs."
+        ),
+    )
+    diff_p.add_argument("a", help="first run artifact (JSON)")
+    diff_p.add_argument("b", help="second run artifact (JSON)")
+
     # --- trace ----------------------------------------------------------
     trace_p = sub.add_parser(
         "trace", help="generate or inspect availability traces"
@@ -478,6 +573,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile_p.add_argument("--top", type=int, default=20,
                            help="rows in the hot table")
+    profile_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_out",
+        help="also write the profile as versioned JSON "
+             "(schema_version, scenarios, per-event count/seconds)",
+    )
     _add_obs_flags(profile_p)
 
     return parser
@@ -495,6 +598,8 @@ _DISPATCH = {
     "run": commands.cmd_run,
     "serve": commands.cmd_serve,
     "replay": commands.cmd_replay,
+    "explain": commands.cmd_explain,
+    "diff": commands.cmd_diff,
     "trace": commands.cmd_trace,
     "availability": commands.cmd_availability,
     "estimate": commands.cmd_estimate,

@@ -278,6 +278,14 @@ class JobTracker:
     ) -> TaskAttempt:
         if task.complete:
             raise SchedulingError(f"launching completed task {task.task_id}")
+        # Causal parent of this launch, read before the append below:
+        # a relaunch inherits the reason its task went back to PENDING.
+        if speculative:
+            cause = "speculative"
+        elif not task.attempts:
+            cause = "first"
+        else:
+            cause = task.requeue_cause or "failure"
         attempt = TaskAttempt(
             task,
             tracker.node_id,
@@ -285,6 +293,7 @@ class JobTracker:
             is_speculative=speculative,
             on_dedicated=tracker.node.is_dedicated,
         )
+        attempt.cause = cause
         task.attempts.append(attempt)
         if task.scheduled_order is None:
             task.scheduled_order = self.next_schedule_order()
@@ -311,13 +320,21 @@ class JobTracker:
                 job=job.job_id,
                 node=tracker.node_id,
                 speculative=speculative,
+                attempt=attempt.attempt_id,
+                cause=cause,
             )
         runner = make_runner(self.rt, attempt)
         runner.start()
         return attempt
 
     def _trace_attempt(self, attempt: TaskAttempt, outcome: str) -> None:
-        """Record one finished attempt as a span on its node's lane."""
+        """Record one finished attempt as a span on its node's lane.
+
+        The args carry the causal parents the explain layer rebuilds
+        the per-job graph from: the launch cause, the attempt id, the
+        task kind, and the phase-completion marks (``name=ts`` pairs,
+        ``;``-joined in mark order — deterministic, since marks land in
+        execution order)."""
         task = attempt.task
         self._trace.span(
             task.task_id,
@@ -329,6 +346,12 @@ class JobTracker:
             node=attempt.node_id,
             outcome=outcome,
             speculative=attempt.is_speculative,
+            attempt=attempt.attempt_id,
+            cause=attempt.cause,
+            kind="map" if task.is_map else "reduce",
+            phases=";".join(
+                f"{name}={ts!r}" for name, ts in attempt.phase_marks.items()
+            ),
         )
 
     def _note_attempt_finished(self, attempt: TaskAttempt) -> None:
@@ -399,6 +422,7 @@ class JobTracker:
             return
         if not task.complete and not task.live_attempts():
             task.state = TaskState.PENDING
+            task.requeue_cause = "failure"
 
     def kill_attempt(self, attempt: TaskAttempt, reason: str) -> None:
         if attempt.finished:
@@ -430,6 +454,11 @@ class JobTracker:
             self._delete_quiet(path)
         if not task.complete and not task.live_attempts():
             task.state = TaskState.PENDING
+            # A kill on a live task (tracker expiry, decommission, a
+            # node gone during a pause) loses real work; redundant-copy
+            # and job-terminal kills never reach here (task complete or
+            # job finished), so "failure" is the honest cause.
+            task.requeue_cause = "failure"
 
     # ==================================================================
     # Fetch failures (VI-B)
@@ -470,6 +499,7 @@ class JobTracker:
             self._delete_quiet(map_task.output_file.path)
         map_task.output_file = None
         map_task.state = TaskState.PENDING
+        map_task.requeue_cause = "fetch_failure"
         map_task.finished_at = None
         map_task.fetch_failure_reporters.clear()
         map_task.total_fetch_failures = 0
@@ -510,6 +540,7 @@ class JobTracker:
         if tracker is None or tracker.dead or not tracker.suspected:
             return  # recovered (or expired) before the grace ran out
         requeued = 0
+        requeued_jobs: set = set()
         for attempt in list(tracker.attempts):
             if attempt.finished or attempt.abandoned:
                 continue
@@ -519,8 +550,10 @@ class JobTracker:
             attempt.abandoned = True
             if all(a.abandoned for a in task.live_attempts()):
                 task.state = TaskState.PENDING
+                task.requeue_cause = "suspicion"
                 task.job.counters["suspicion_requeues"] += 1
                 requeued += 1
+                requeued_jobs.add(task.job.job_id)
         if requeued:
             self._metrics.counter("detector/suspicion_requeues").inc(requeued)
             if self._trace.enabled:
@@ -530,6 +563,7 @@ class JobTracker:
                     self.sim.now,
                     node=node.node_id,
                     tasks=requeued,
+                    jobs=",".join(sorted(requeued_jobs)),
                 )
 
     def _tracker_unsuspected(self, node: Node) -> None:
@@ -723,6 +757,12 @@ class JobTracker:
         if job.state is not JobState.RUNNING:
             return
         job.state = JobState.COMMITTING
+        # Causal boundary for the explain layer: compute is done, the
+        # remaining response time is output replication (IV-A).
+        if self._trace.enabled:
+            self._trace.instant(
+                "job.commit", "job", self.sim.now, job=job.job_id
+            )
         # Output files become reliable; the job is complete only when
         # every block reaches its replication factor (IV-A).
         paths = [

@@ -58,6 +58,7 @@ class TaskAttempt:
         "phase_marks",
         "runner",
         "abandoned",
+        "cause",
     )
 
     def __init__(
@@ -80,6 +81,12 @@ class TaskAttempt:
         #: scheduler; if the attempt still finishes, its runtime is
         #: duplicated effort (``wasted_work``).
         self.abandoned = False
+        #: Causal parent of this launch: "first" | "speculative" |
+        #: "failure" | "suspicion" | "fetch_failure" (why the
+        #: scheduler started it — the flight recorder stamps it on the
+        #: sched.assign instant and the attempt span so the explain
+        #: layer can attribute re-execution time to its root cause).
+        self.cause = "first"
 
     @property
     def active(self) -> bool:
@@ -121,6 +128,7 @@ class Task:
         "total_fetch_failures",
         "scheduled_order",
         "finished_at",
+        "requeue_cause",
     )
 
     def __init__(self, job, task_type: TaskType, index: int) -> None:
@@ -141,6 +149,10 @@ class Task:
         self.total_fetch_failures = 0
         self.scheduled_order: Optional[int] = None
         self.finished_at: Optional[float] = None
+        #: Why the task most recently went back to PENDING ("failure",
+        #: "suspicion" or "fetch_failure"); the next launch inherits it
+        #: as its attempt cause.  None until a requeue happens.
+        self.requeue_cause: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property

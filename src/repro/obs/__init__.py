@@ -21,15 +21,25 @@ on, the sim clock and RNG streams are never perturbed — only recorded.
 """
 
 from .config import ObsConfig, Observability, current_default, default_observability
+from .explain import (
+    BLAME_CATEGORIES,
+    Divergence,
+    RunExplanation,
+    diff_files,
+    explain_events,
+    explain_trace_file,
+    explain_tracer,
+)
 from .metrics import (
     DEFAULT_BOUNDS,
+    METRIC_FAMILIES,
     Counter,
     CounterBag,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
-from .profile import DispatchProfiler
+from .profile import PROFILE_SCHEMA_VERSION, DispatchProfiler
 from .trace import (
     ATTEMPT_LANE_BASE,
     CATEGORY_LANES,
@@ -50,11 +60,20 @@ __all__ = [
     "Histogram",
     "CounterBag",
     "DEFAULT_BOUNDS",
+    "METRIC_FAMILIES",
     "DispatchProfiler",
+    "PROFILE_SCHEMA_VERSION",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
     "TraceEvent",
     "CATEGORY_LANES",
     "ATTEMPT_LANE_BASE",
+    "BLAME_CATEGORIES",
+    "Divergence",
+    "RunExplanation",
+    "diff_files",
+    "explain_events",
+    "explain_trace_file",
+    "explain_tracer",
 ]

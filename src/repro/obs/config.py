@@ -27,6 +27,7 @@ they do not control.
 from __future__ import annotations
 
 import contextlib
+import logging
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
@@ -57,17 +58,35 @@ class Observability:
     def __init__(self, config: Optional[ObsConfig] = None) -> None:
         self.config = config or ObsConfig()
         cfg = self.config
+        self.metrics = MetricsRegistry()
         if cfg.trace or cfg.trace_out is not None:
-            self.tracer = Tracer(max_events=cfg.max_trace_events)
+            # Lazy counter hookup: ``obs/dropped_events`` appears in
+            # the registry only once something is actually dropped, so
+            # uncapped runs export an unchanged metric set.
+            self.tracer = Tracer(
+                max_events=cfg.max_trace_events,
+                on_drop=lambda: self.metrics.counter(
+                    "obs/dropped_events"
+                ).inc(),
+            )
         else:
             self.tracer = NULL_TRACER
-        self.metrics = MetricsRegistry()
         self.profiler: Optional[DispatchProfiler] = (
             DispatchProfiler() if cfg.profile else None
         )
 
     def export(self) -> List[str]:
-        """Write any configured output files; return the paths written."""
+        """Write any configured output files; return the paths written.
+
+        A capped trace is reported loudly: the cap is a memory bound,
+        not a license to silently truncate evidence."""
+        if self.tracer.dropped:
+            logging.getLogger("repro").warning(
+                "trace capped: %d event(s) dropped beyond "
+                "--max-trace-events=%d (obs/dropped_events counts them)",
+                self.tracer.dropped,
+                self.config.max_trace_events,
+            )
         written: List[str] = []
         if self.config.trace_out is not None:
             self.tracer.write_chrome(self.config.trace_out)

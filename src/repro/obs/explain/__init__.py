@@ -1,0 +1,61 @@
+"""Causal analysis over the flight recorder (``repro explain``).
+
+Three pieces, layered strictly *on top of* the tracer (nothing here
+ever runs inside the simulation):
+
+* :mod:`~repro.obs.explain.model` — rebuild per-job causal graphs
+  from recorded spans/instants;
+* :mod:`~repro.obs.explain.blame` — extract each job's critical path
+  and partition its response time into the exhaustive blame taxonomy
+  (components sum to response time, by construction);
+* :mod:`~repro.obs.explain.diff` — align two trace/metrics files and
+  report the first causal divergence instead of a bare checksum
+  mismatch.
+"""
+
+from .blame import (
+    BLAME_CATEGORIES,
+    JobBlame,
+    Segment,
+    aggregate,
+    attribute_job,
+    attribute_run,
+)
+from .diff import Divergence, diff_files
+from .model import (
+    AttemptNode,
+    JobGraph,
+    RunContext,
+    build_graphs,
+    events_from_tracer,
+    load_chrome_trace,
+)
+from .report import (
+    EXPLAIN_SCHEMA_VERSION,
+    RunExplanation,
+    explain_events,
+    explain_trace_file,
+    explain_tracer,
+)
+
+__all__ = [
+    "BLAME_CATEGORIES",
+    "JobBlame",
+    "Segment",
+    "aggregate",
+    "attribute_job",
+    "attribute_run",
+    "Divergence",
+    "diff_files",
+    "AttemptNode",
+    "JobGraph",
+    "RunContext",
+    "build_graphs",
+    "events_from_tracer",
+    "load_chrome_trace",
+    "EXPLAIN_SCHEMA_VERSION",
+    "RunExplanation",
+    "explain_events",
+    "explain_trace_file",
+    "explain_tracer",
+]

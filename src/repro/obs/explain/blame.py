@@ -1,0 +1,247 @@
+"""Critical-path extraction and blame attribution.
+
+Each finished job's response time is partitioned into the blame
+taxonomy below by walking its causal timeline: every instant between
+arrival and completion belongs to exactly one category, decided by a
+fixed priority order over what was blocking the job then.  Because the
+categories partition the timeline, **conservation holds by
+construction**: the components sum to the measured response time (to
+float tolerance) — the invariant the property suite pins.
+
+Taxonomy (:data:`BLAME_CATEGORIES`, priority order within the
+admitted window):
+
+``queue_wait``
+    Arrival to admission — the front-door queue.
+``pause``
+    The job was suspended by SLO preemption (slots lent to tighter
+    work).
+``recovery``
+    A NameNode crash-recovery window overlapped — the DFS control
+    plane was down, so writes, replication and commits stalled.
+``commit``
+    Compute done; waiting for output replication (paper IV-A).
+``slot_wait``
+    Admitted and runnable but no attempt was live — waiting for
+    execution slots (includes deprioritised starvation).
+``straggler_wait``
+    Attempts existed but every one sat on an unavailable node —
+    MOON's frozen-task state (paper V-A).
+``reexec_suspicion`` / ``reexec_failure``
+    Re-executed work was the only thing making progress: every
+    surviving first copy (if any) was blocked in shuffle, waiting on
+    a task whose original was lost to a false-positive suspicion
+    requeue (``suspicion``) or to real failures/expiries/fetch
+    failures (everything else).  This is the detector's bill, split
+    by whether the loss was honest.
+``shuffle``
+    Only first-copy reduces were running and all of them were still
+    fetching map output — network-bound time.
+``exec``
+    First-copy map/reduce work progressing — the irreducible part.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .model import AttemptNode, JobGraph, RunContext
+
+#: Exhaustive, non-overlapping blame categories, table order.
+BLAME_CATEGORIES = (
+    "queue_wait",
+    "exec",
+    "shuffle",
+    "straggler_wait",
+    "reexec_failure",
+    "reexec_suspicion",
+    "pause",
+    "recovery",
+    "slot_wait",
+    "commit",
+)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One maximal critical-path interval with a single blame."""
+
+    start: float
+    end: float
+    category: str
+    #: What anchored the blame: the critical attempt ("m3@n7") for
+    #: work categories, None for pure waits.
+    anchor: Optional[str] = None
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class JobBlame:
+    """One job's response time, fully attributed."""
+
+    graph: JobGraph
+    components: Dict[str, float]
+    segments: List[Segment] = field(repr=False, default_factory=list)
+
+    @property
+    def response_time(self) -> float:
+        return self.graph.finished - self.graph.arrival
+
+    @property
+    def total(self) -> float:
+        """Sum of all components — equals response_time by
+        construction (the conservation invariant)."""
+        return math.fsum(self.components.values())
+
+    @property
+    def dominant(self) -> str:
+        """The category that ate the most time."""
+        return max(
+            BLAME_CATEGORIES, key=lambda c: (self.components[c],)
+        )
+
+
+def _classify(
+    graph: JobGraph,
+    ctx: RunContext,
+    t0: float,
+    t1: float,
+) -> Segment:
+    """Blame one elementary interval (no change-point inside it)."""
+    mid = (t0 + t1) / 2.0
+    for start, end in graph.pauses:
+        if start <= mid < end:
+            return Segment(t0, t1, "pause")
+    if ctx.in_recovery(mid):
+        return Segment(t0, t1, "recovery")
+    if graph.commit_at is not None and mid >= graph.commit_at:
+        return Segment(t0, t1, "commit")
+    alive = [a for a in graph.attempts if a.alive_at(mid)]
+    if not alive:
+        return Segment(t0, t1, "slot_wait")
+    running = [a for a in alive if not ctx.node_down_at(a.node, mid)]
+    if not running:
+        # Every copy frozen on a suspended node: the MOON straggler.
+        return Segment(t0, t1, "straggler_wait", _anchor(alive))
+    first_copy = [a for a in running if not a.is_rework]
+    computing = [a for a in first_copy if not a.in_shuffle_at(mid)]
+    if computing:
+        return Segment(t0, t1, "exec", _anchor(computing))
+    rework = [a for a in running if a.is_rework]
+    if rework:
+        # Every surviving first copy (if any) is blocked in shuffle;
+        # the re-executed work is what the job is actually waiting on.
+        cat = (
+            "reexec_suspicion"
+            if any(a.cause == "suspicion" for a in rework)
+            else "reexec_failure"
+        )
+        return Segment(t0, t1, cat, _anchor(rework))
+    return Segment(t0, t1, "shuffle", _anchor(first_copy))
+
+
+def _anchor(attempts: Sequence[AttemptNode]) -> str:
+    """The critical attempt of an interval: the one that survives
+    longest (deterministic tie-break on the task label)."""
+    a = max(attempts, key=lambda a: (a.end, a.task_label, a.node))
+    return f"{a.task_label}@n{a.node}"
+
+
+def _change_points(graph: JobGraph, ctx: RunContext) -> List[float]:
+    """Timestamps where the blame decision can change, clamped to the
+    admitted window."""
+    lo, hi = graph.admitted, graph.finished
+    points = {lo, hi}
+
+    def add(t: Optional[float]) -> None:
+        if t is not None and lo < t < hi:
+            points.add(t)
+
+    for a in graph.attempts:
+        add(a.start)
+        add(a.end)
+        for mark in a.phases.values():
+            add(mark)
+    for start, end in graph.pauses:
+        add(start)
+        add(end)
+    for start, end in ctx.recoveries:
+        add(start)
+        add(end)
+    nodes = {a.node for a in graph.attempts}
+    for node in nodes:
+        for start, end in ctx.node_down.get(node, ()):
+            add(start)
+            add(end)
+    add(graph.commit_at)
+    for t in graph.requeues:
+        add(t)
+    return sorted(points)
+
+
+def attribute_job(graph: JobGraph, ctx: RunContext) -> Optional[JobBlame]:
+    """Attribute one job, or None if it never finished (nothing to
+    conserve against)."""
+    if graph.finished is None:
+        return None
+    per_cat: Dict[str, List[float]] = {c: [] for c in BLAME_CATEGORIES}
+    per_cat["queue_wait"].append(graph.admitted - graph.arrival)
+    segments: List[Segment] = []
+    if graph.admitted > graph.arrival:
+        segments.append(
+            Segment(graph.arrival, graph.admitted, "queue_wait")
+        )
+    points = _change_points(graph, ctx)
+    for t0, t1 in zip(points, points[1:]):
+        if t1 <= t0:
+            continue
+        seg = _classify(graph, ctx, t0, t1)
+        per_cat[seg.category].append(seg.seconds)
+        if segments and (
+            segments[-1].category == seg.category
+            and segments[-1].anchor == seg.anchor
+            and segments[-1].end == seg.start
+        ):
+            prev = segments.pop()
+            seg = Segment(prev.start, seg.end, seg.category, seg.anchor)
+        segments.append(seg)
+    components = {c: math.fsum(vs) for c, vs in per_cat.items()}
+    return JobBlame(graph=graph, components=components, segments=segments)
+
+
+def attribute_run(
+    graphs: Sequence[JobGraph], ctx: RunContext
+) -> List[JobBlame]:
+    """Attribute every finished job, in submit order."""
+    out = []
+    for graph in graphs:
+        blame = attribute_job(graph, ctx)
+        if blame is not None:
+            out.append(blame)
+    return out
+
+
+def aggregate(
+    blames: Sequence[JobBlame],
+    key: Callable[[JobBlame], str],
+) -> Dict[str, Dict[str, float]]:
+    """Sum components per group (tenant, workload class, ...).
+
+    Group order follows first appearance in submit order; sums use
+    ``fsum`` per category so aggregation is order-independent to the
+    last bit."""
+    grouped: Dict[str, List[JobBlame]] = {}
+    for blame in blames:
+        grouped.setdefault(key(blame), []).append(blame)
+    return {
+        name: {
+            c: math.fsum(b.components[c] for b in group)
+            for c in BLAME_CATEGORIES
+        }
+        for name, group in grouped.items()
+    }

@@ -1,0 +1,174 @@
+"""Run-diff triage: where exactly did two runs first diverge?
+
+A bare checksum mismatch says *that* two runs differ; this engine says
+*where* — it aligns two flight-recorder files event by event and
+reports the first causal divergence (event index, sim time, layer,
+event name, differing fields).  It understands both artifacts the obs
+layer writes:
+
+* ``--trace-out`` Chrome-trace JSON (``traceEvents``): events are
+  compared in file order, which is recording order — the first
+  mismatching index is the first moment the two runs did something
+  observably different;
+* ``--metrics-out`` registry JSON (``counters``/``gauges``/
+  ``histograms``): keys are compared in sorted order, so the first
+  differing metric is deterministic.
+
+Two identical seeded runs must report "no divergence" — pinned by the
+property suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first observed difference between two run artifacts."""
+
+    kind: str  #: "trace" | "metrics"
+    #: Event index into ``traceEvents`` (trace) or None (metrics).
+    index: Optional[int]
+    #: Simulated seconds of the diverging event (None for metrics or
+    #: metadata rows, which carry no timestamp).
+    sim_time: Optional[float]
+    #: Event category (trace) or metric family (metrics) — the layer
+    #: the divergence happened in.
+    layer: Optional[str]
+    #: Event name (trace) or metric key (metrics).
+    name: Optional[str]
+    #: Human description of what differs (field-level detail).
+    detail: str
+
+    def render(self) -> str:
+        where = []
+        if self.index is not None:
+            where.append(f"event {self.index}")
+        if self.sim_time is not None:
+            where.append(f"t={self.sim_time:.3f}s")
+        if self.layer:
+            where.append(f"layer={self.layer}")
+        if self.name:
+            where.append(f"name={self.name}")
+        head = ", ".join(where) if where else "structure"
+        return f"first divergence at {head}\n  {self.detail}"
+
+
+def _load(path: str) -> Tuple[str, Any]:
+    """Load a run artifact and sniff its kind."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return "trace", doc
+    if isinstance(doc, dict) and (
+        "counters" in doc or "gauges" in doc or "histograms" in doc
+    ):
+        return "metrics", doc
+    raise ValueError(
+        f"{path}: neither a Chrome-trace JSON (traceEvents) nor a "
+        "metrics registry JSON (counters/gauges/histograms)"
+    )
+
+
+def _row_time(row: Dict[str, Any]) -> Optional[float]:
+    ts = row.get("ts")
+    return None if ts is None or row.get("ph") == "M" else ts / 1e6
+
+
+def _diff_rows(i: int, a: Dict[str, Any], b: Dict[str, Any]) -> Divergence:
+    fields = sorted(set(a) | set(b))
+    diffs = []
+    for f in fields:
+        va, vb = a.get(f, "<absent>"), b.get(f, "<absent>")
+        if va != vb:
+            diffs.append(f"{f}: {va!r} != {vb!r}")
+    return Divergence(
+        kind="trace",
+        index=i,
+        sim_time=_row_time(a) if _row_time(a) == _row_time(b) else _row_time(a),
+        layer=a.get("cat") or b.get("cat"),
+        name=a.get("name") or b.get("name"),
+        detail="; ".join(diffs) or "rows differ",
+    )
+
+
+def _diff_trace(a: Dict[str, Any], b: Dict[str, Any]) -> Optional[Divergence]:
+    rows_a: List[Dict[str, Any]] = a.get("traceEvents", [])
+    rows_b: List[Dict[str, Any]] = b.get("traceEvents", [])
+    for i, (ra, rb) in enumerate(zip(rows_a, rows_b)):
+        if ra != rb:
+            return _diff_rows(i, ra, rb)
+    if len(rows_a) != len(rows_b):
+        i = min(len(rows_a), len(rows_b))
+        longer = rows_a if len(rows_a) > len(rows_b) else rows_b
+        extra = longer[i]
+        side = "A" if len(rows_a) > len(rows_b) else "B"
+        return Divergence(
+            kind="trace",
+            index=i,
+            sim_time=_row_time(extra),
+            layer=extra.get("cat"),
+            name=extra.get("name"),
+            detail=(
+                f"{side} has {abs(len(rows_a) - len(rows_b))} extra "
+                f"event(s) from index {i} "
+                f"({len(rows_a)} vs {len(rows_b)} total)"
+            ),
+        )
+    return None
+
+
+def _flatten_metrics(doc: Dict[str, Any]) -> Dict[str, Any]:
+    flat: Dict[str, Any] = {}
+    for section in ("counters", "gauges", "histograms"):
+        for key, value in doc.get(section, {}).items():
+            flat[f"{section}.{key}"] = value
+    return flat
+
+
+def _diff_metrics(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> Optional[Divergence]:
+    fa, fb = _flatten_metrics(a), _flatten_metrics(b)
+    for key in sorted(set(fa) | set(fb)):
+        va, vb = fa.get(key, "<absent>"), fb.get(key, "<absent>")
+        if va != vb:
+            family = key.split(".", 1)[-1].split("/", 1)[0]
+            return Divergence(
+                kind="metrics",
+                index=None,
+                sim_time=None,
+                layer=family,
+                name=key,
+                detail=f"{va!r} != {vb!r}",
+            )
+    return None
+
+
+def diff_files(
+    path_a: str, path_b: str
+) -> Tuple[str, Optional[Divergence], int]:
+    """Compare two run artifacts.
+
+    Returns ``(kind, divergence, compared)`` — ``divergence`` is None
+    when the files agree; ``compared`` counts events (trace) or metric
+    keys (metrics).  Raises ``ValueError`` on unknown or mismatched
+    file kinds."""
+    kind_a, doc_a = _load(path_a)
+    kind_b, doc_b = _load(path_b)
+    if kind_a != kind_b:
+        raise ValueError(
+            f"cannot diff a {kind_a} file against a {kind_b} file "
+            f"({path_a} vs {path_b})"
+        )
+    if kind_a == "trace":
+        compared = max(
+            len(doc_a.get("traceEvents", [])),
+            len(doc_b.get("traceEvents", [])),
+        )
+        return "trace", _diff_trace(doc_a, doc_b), compared
+    compared = len(set(_flatten_metrics(doc_a)) | set(_flatten_metrics(doc_b)))
+    return "metrics", _diff_metrics(doc_a, doc_b), compared

@@ -40,6 +40,22 @@ DEFAULT_BOUNDS: Tuple[float, ...] = (
     600.0, 1800.0, 3600.0, 7200.0, 14400.0,
 )
 
+#: Every metric family (the segment before ``/`` in instrument names)
+#: with its one-line meaning.  This is the single source of truth that
+#: ``tools/check_metrics.py`` holds the code and the ARCHITECTURE.md
+#: family table against: emitting a metric under an unlisted family —
+#: or documenting a family nothing emits — fails the CI docs job.
+METRIC_FAMILIES: Dict[str, str] = {
+    "cluster": "volatile-node availability transitions (suspensions, resumes)",
+    "detector": "failure-detection verdicts: trips, false positives, requeues, detection latency",
+    "dfs": "NameNode namespace/block-map operations, journal activity and recovery",
+    "mapreduce": "job/task execution accounting (wasted duplicate work)",
+    "net": "shared-uplink flow counts and fair-share water-fill rounds",
+    "service": "admission, queueing and SLO accounting for the serving layer",
+    "obs": "the recorder's own health (trace events dropped at the cap)",
+    "blame": "causal blame attribution: seconds of response time per cause",
+}
+
 
 class Counter:
     """A monotonically increasing integer counter."""

@@ -19,6 +19,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+#: Version stamp of the ``repro profile --json`` envelope.  Bump on
+#: any key change so downstream tooling can detect incompatible
+#: profiles instead of misreading them.
+PROFILE_SCHEMA_VERSION = 1
+
 
 class DispatchProfiler:
     """Per-event-type count + cumulative wall-clock seconds."""

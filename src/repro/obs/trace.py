@@ -82,10 +82,14 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, max_events: int = 1_000_000) -> None:
+    def __init__(self, max_events: int = 1_000_000, on_drop=None) -> None:
         self.events: List[TraceEvent] = []
         self.max_events = max_events
         self.dropped = 0
+        #: Optional zero-arg callback fired per dropped event — the
+        #: Observability bundle hooks the ``obs/dropped_events``
+        #: counter here, so a capped trace is never silent.
+        self._on_drop = on_drop
 
     def __len__(self) -> int:
         return len(self.events)
@@ -93,10 +97,15 @@ class Tracer:
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
+    def _drop(self) -> None:
+        self.dropped += 1
+        if self._on_drop is not None:
+            self._on_drop()
+
     def instant(self, name: str, cat: str, ts: float, tid: Optional[int] = None, **args: Any) -> None:
         """Record a zero-duration marker at simulated time ``ts``."""
         if len(self.events) >= self.max_events:
-            self.dropped += 1
+            self._drop()
             return
         lane = CATEGORY_LANES.get(cat, 0) if tid is None else tid
         self.events.append(TraceEvent(name, cat, ts, None, lane, args))
@@ -112,7 +121,7 @@ class Tracer:
     ) -> None:
         """Record a completed span covering ``[start, end]`` sim-seconds."""
         if len(self.events) >= self.max_events:
-            self.dropped += 1
+            self._drop()
             return
         lane = CATEGORY_LANES.get(cat, 0) if tid is None else tid
         self.events.append(TraceEvent(name, cat, start, max(0.0, end - start), lane, args))

@@ -307,6 +307,7 @@ class PreemptionController:
                 self.sim.now,
                 self.sim.now,
                 seq=record.seq,
+                job=job.job_id,
                 tight_waiting=tight,
                 reason=reason,
             )

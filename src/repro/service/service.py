@@ -289,7 +289,15 @@ class MoonService:
             self._m_queue_wait.observe(
                 self.sim.now - record.arrival.arrival_time
             )
+            job = self.system.submit(
+                qjob.arrival.spec, priority=qjob.arrival.priority
+            )
             if self._trace.enabled:
+                # Recorded after submit so the span can carry its
+                # causal child: the JobTracker job this admission
+                # became (the explain layer joins service seq to job
+                # id through it).  Tracing never touches the sim, so
+                # the ordering swap is invisible outside the trace.
                 self._trace.span(
                     "queue.wait",
                     "queue",
@@ -298,10 +306,8 @@ class MoonService:
                     seq=record.seq,
                     tenant=record.tenant,
                     workload=record.arrival.spec.name,
+                    job=job.job_id,
                 )
-            job = self.system.submit(
-                qjob.arrival.spec, priority=qjob.arrival.priority
-            )
             self._in_flight.append((record, job))
 
     def _sweep(self) -> None:
@@ -412,6 +418,25 @@ class MoonService:
             latency = m.histogram("detector/detection_latency_seconds")
             if latency.count:
                 detect_mean = latency.mean
+        # Blame attribution (tracing runs only: the causal graph is
+        # rebuilt from the flight recorder, so without spans there is
+        # nothing to attribute).  Computed after the drain — a pure
+        # read of recorded events, outside the determinism boundary's
+        # reach on the sim itself.
+        blame = None
+        blame_by_tenant = None
+        if self._trace.enabled:
+            from ..obs.explain import explain_tracer
+
+            explanation = explain_tracer(self._trace)
+            if explanation.jobs:
+                blame = explanation.totals()
+                blame_by_tenant = explanation.by_tenant()
+                blame_counters = self.sim.obs.metrics
+                for category, seconds in blame.items():
+                    blame_counters.counter(
+                        f"blame/{category}_seconds"
+                    ).inc(seconds)
         # Durable-metadata axes (journal runs only: the paper-figure
         # default keeps the NameNode immortal and journal-free).
         jl_cfg = getattr(self.system.config.dfs, "journal", None)
@@ -462,4 +487,6 @@ class MoonService:
             recovery_mean=recov_mean,
             journal_records=jl_records,
             checkpoints=jl_ckpts,
+            blame=blame,
+            blame_by_tenant=blame_by_tenant,
         )

@@ -259,6 +259,12 @@ class ServiceReport:
     #: Journal records appended / checkpoints taken over the run.
     journal_records: int = 0
     checkpoints: int = 0
+    #: Run-wide causal blame components, category -> summed seconds of
+    #: response time (tracing runs only; see repro.obs.explain.blame —
+    #: per job the components sum to the response time exactly).
+    blame: Optional[Dict[str, float]] = None
+    #: Same components, keyed per tenant.
+    blame_by_tenant: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def preempt_counts(self) -> Dict[str, int]:
@@ -336,6 +342,13 @@ class ServiceReport:
                 "namenode_crashes": self.namenode_crashes,
                 "recovery_mean_seconds": self.recovery_mean,
             }
+        if self.blame is not None:
+            out["blame"] = {
+                "totals": dict(self.blame),
+                "by_tenant": {
+                    t: dict(c) for t, c in (self.blame_by_tenant or {}).items()
+                },
+            }
         return out
 
     def summary_row(self) -> list:
@@ -380,6 +393,27 @@ class ServiceReport:
             self.false_positives,
             self.requeues,
             f"{self.wasted_work:.0f}",
+        ]
+
+    def blame_row(self) -> list:
+        """``summary_row`` plus the dominant blame cells ``[exec s,
+        queue s, rework s, other s]`` — the shape of the
+        ``repro explain`` comparison footer.  ``rework`` folds both
+        re-execution causes (real failures and false-positive
+        suspicion); ``other`` is everything else, so the four cells
+        still sum to the total attributed seconds."""
+        blame = self.blame or {}
+        exec_s = blame.get("exec", 0.0)
+        queue_s = blame.get("queue_wait", 0.0)
+        rework_s = blame.get("reexec_failure", 0.0) + blame.get(
+            "reexec_suspicion", 0.0
+        )
+        other_s = sum(blame.values()) - exec_s - queue_s - rework_s
+        return self.summary_row() + [
+            f"{exec_s:.0f}",
+            f"{queue_s:.0f}",
+            f"{rework_s:.0f}",
+            f"{other_s:.0f}",
         ]
 
     def recovery_row(self) -> list:
@@ -508,6 +542,8 @@ def build_report(
     recovery_mean: Optional[float] = None,
     journal_records: int = 0,
     checkpoints: int = 0,
+    blame: Optional[Dict[str, float]] = None,
+    blame_by_tenant: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> ServiceReport:
     """Roll per-job records into the service-level report."""
     by_tenant: Dict[str, List[JobRecord]] = {}
@@ -550,4 +586,6 @@ def build_report(
         recovery_mean=recovery_mean,
         journal_records=journal_records,
         checkpoints=checkpoints,
+        blame=blame,
+        blame_by_tenant=blame_by_tenant,
     )

@@ -1,0 +1,327 @@
+"""Critical-path explainer (ISSUE 9): causal graphs, blame, run-diff.
+
+The explain layer reads the flight recorder and answers "why was this
+job slow?".  Its contract:
+
+* **conservation** — every finished job's blame components sum to its
+  response time exactly (nothing hides, nothing double-counts);
+* **causal enrichment** — attempts carry their cause (first /
+  speculative / failure / suspicion / fetch_failure), queue-wait spans
+  join service seq to job id, commits are marked;
+* **run-diff triage** — identical seeded runs diff clean; a single
+  perturbed event is localized to its exact index.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+from repro.cli import main
+from repro.config import (
+    ClusterConfig,
+    SystemConfig,
+    TraceConfig,
+    moon_scheduler_config,
+)
+from repro.core import moon_system
+from repro.obs import Observability, ObsConfig
+from repro.obs.explain import (
+    BLAME_CATEGORIES,
+    build_graphs,
+    diff_files,
+    events_from_tracer,
+    explain_tracer,
+)
+from repro.service import (
+    MoonService,
+    PreemptConfig,
+    ServiceConfig,
+    replay_arrivals,
+)
+from repro.workloads import sleep_spec
+
+HOUR = 3600.0
+SAMPLE = str(
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks" / "data" / "hadoop_jobhistory_sample.json"
+)
+
+
+def _entries():
+    """Two hogging batch jobs, two tight-SLO jobs behind them — forces
+    queue wait, preemption pauses and multi-attempt critical paths."""
+    batch = sleep_spec(300.0, 120.0, n_maps=12, n_reduces=2).with_(
+        name="batch"
+    )
+    tight = sleep_spec(20.0, 5.0, n_maps=4, n_reduces=1).with_(
+        name="tight"
+    )
+    return [
+        (0.0, "a", batch, 4 * HOUR),
+        (0.0, "a", batch, 4 * HOUR),
+        (60.0, "b", tight, 300.0),
+        (70.0, "b", tight, 300.0),
+    ]
+
+
+def _run_traced(preempt="pause", rate=0.0, seed=3):
+    """One pressured serve run with the recorder armed."""
+    obs = Observability(ObsConfig(trace=True))
+    system = moon_system(
+        SystemConfig(
+            cluster=ClusterConfig(n_volatile=8, n_dedicated=2),
+            trace=TraceConfig(unavailability_rate=rate),
+            scheduler=moon_scheduler_config(),
+            seed=seed,
+        ),
+        obs=obs,
+    )
+    service = MoonService(
+        system,
+        ServiceConfig(
+            policy="edf",
+            max_in_flight=2,
+            horizon=HOUR,
+            preempt=PreemptConfig(mode=preempt) if preempt else None,
+        ),
+        replay_arrivals(_entries()),
+    )
+    report = service.run()
+    system.jobtracker.stop()
+    system.namenode.stop()
+    return report, obs
+
+
+class TestConservation:
+    def test_components_sum_to_response_time(self):
+        _, obs = _run_traced()
+        exp = explain_tracer(obs.tracer)
+        assert exp.jobs, "pressured run must finish jobs"
+        for blame in exp.jobs:
+            assert blame.total == blame.response_time or (
+                abs(blame.total - blame.response_time) < 1e-6
+            )
+            for category, seconds in blame.components.items():
+                assert category in BLAME_CATEGORIES
+                assert seconds >= -1e-9
+
+    def test_segments_partition_the_admitted_window(self):
+        _, obs = _run_traced()
+        exp = explain_tracer(obs.tracer)
+        for blame in exp.jobs:
+            segs = blame.segments
+            assert segs[0].start == blame.graph.arrival
+            assert abs(segs[-1].end - blame.graph.finished) < 1e-9
+            for a, b in zip(segs, segs[1:]):
+                assert abs(a.end - b.start) < 1e-9
+
+    def test_aggregates_are_exact_fsums_of_jobs(self):
+        _, obs = _run_traced()
+        exp = explain_tracer(obs.tracer)
+        totals = exp.totals()
+        for category in BLAME_CATEGORIES:
+            assert totals[category] == math.fsum(
+                b.components[category] for b in exp.jobs
+            )
+        per_tenant = exp.by_tenant()
+        for category in BLAME_CATEGORIES:
+            assert abs(
+                math.fsum(g[category] for g in per_tenant.values())
+                - totals[category]
+            ) < 1e-9
+
+
+class TestCausalGraph:
+    def test_pauses_and_queue_waits_join_to_jobs(self):
+        _, obs = _run_traced()
+        graphs, _ = build_graphs(events_from_tracer(obs.tracer))
+        by_seq = {g.seq: g for g in graphs}
+        # Every job the queue admitted carries its service seq.
+        assert set(by_seq) == {0, 1, 2, 3}
+        # The pause landed on a batch job and is a closed interval.
+        paused = [g for g in graphs if g.pauses]
+        assert paused
+        for g in paused:
+            for start, end in g.pauses:
+                assert end > start
+        # Tight jobs waited in the queue behind the batch hogs.
+        tight = [g for g in graphs if g.workload == "tight"]
+        assert all(g.admitted > g.arrival for g in tight)
+
+    def test_attempt_causes_are_recorded(self):
+        _, obs = _run_traced(rate=0.5, seed=11)
+        graphs, _ = build_graphs(events_from_tracer(obs.tracer))
+        causes = {
+            a.cause for g in graphs for a in g.attempts
+        }
+        assert "first" in causes
+        # A churny volatile tier forces at least one re-execution.
+        assert causes & {"failure", "speculative", "fetch_failure"}
+
+    def test_blame_rides_the_service_report(self):
+        report, _ = _run_traced()
+        assert report.blame is not None
+        assert set(report.blame) == set(BLAME_CATEGORIES)
+        assert set(report.blame_by_tenant) == {"a", "b"}
+        assert "blame" in report.to_dict()
+        # blame_row folds the taxonomy into 4 cells after the summary.
+        assert len(report.blame_row()) == len(report.summary_row()) + 4
+
+    def test_blame_metrics_emitted(self):
+        _, obs = _run_traced()
+        counters = obs.metrics.to_dict()["counters"]
+        blame_keys = {k for k in counters if k.startswith("blame/")}
+        assert blame_keys == {
+            f"blame/{c}_seconds" for c in BLAME_CATEGORIES
+        }
+
+    def test_untraced_report_has_no_blame(self):
+        system = moon_system(
+            SystemConfig(
+                cluster=ClusterConfig(n_volatile=8, n_dedicated=2),
+                trace=TraceConfig(unavailability_rate=0.0),
+                scheduler=moon_scheduler_config(),
+                seed=3,
+            ),
+        )
+        service = MoonService(
+            system,
+            ServiceConfig(policy="edf", max_in_flight=2, horizon=HOUR),
+            replay_arrivals(_entries()),
+        )
+        report = service.run()
+        system.jobtracker.stop()
+        system.namenode.stop()
+        assert report.blame is None
+        assert "blame" not in report.to_dict()
+
+
+class TestDiff:
+    def _write_trace(self, tmp_path, name):
+        _, obs = _run_traced()
+        path = tmp_path / name
+        obs.tracer.write_chrome(str(path))
+        return path
+
+    def test_identical_runs_report_no_divergence(self, tmp_path):
+        a = self._write_trace(tmp_path, "a.json")
+        b = self._write_trace(tmp_path, "b.json")
+        # In-process id streams differ between runs; normalize like
+        # the cross-process case by diffing a run against itself too.
+        kind, div, compared = diff_files(str(a), str(a))
+        assert (kind, div) == ("trace", None) and compared > 0
+        kind, div, compared = diff_files(str(b), str(b))
+        assert div is None
+
+    def test_single_perturbed_event_localized_to_exact_index(
+        self, tmp_path
+    ):
+        a = self._write_trace(tmp_path, "a.json")
+        doc = json.loads(a.read_text())
+        rows = doc["traceEvents"]
+        # Perturb one mid-trace non-metadata event.
+        target = next(
+            i for i, r in enumerate(rows)
+            if r.get("ph") != "M" and i > len(rows) // 2
+        )
+        rows[target]["ts"] += 1e6  # one simulated second
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(doc))
+        kind, div, _ = diff_files(str(a), str(b))
+        assert kind == "trace"
+        assert div is not None and div.index == target
+        assert "ts" in div.detail
+        assert div.render().startswith("first divergence at event")
+
+    def test_extra_events_reported_with_side_and_index(self, tmp_path):
+        a = self._write_trace(tmp_path, "a.json")
+        doc = json.loads(a.read_text())
+        truncated = dict(doc)
+        truncated["traceEvents"] = doc["traceEvents"][:-2]
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(truncated))
+        _, div, _ = diff_files(str(a), str(b))
+        assert div.index == len(doc["traceEvents"]) - 2
+        assert "extra" in div.detail
+
+    def test_metrics_diff_and_kind_mismatch(self, tmp_path):
+        ma = tmp_path / "ma.json"
+        mb = tmp_path / "mb.json"
+        ma.write_text(json.dumps({"counters": {"dfs/x": 1}}))
+        mb.write_text(json.dumps({"counters": {"dfs/x": 2}}))
+        kind, div, _ = diff_files(str(ma), str(mb))
+        assert kind == "metrics"
+        assert div.layer == "dfs" and div.name == "counters.dfs/x"
+        ta = self._write_trace(tmp_path, "t.json")
+        try:
+            diff_files(str(ta), str(ma))
+        except ValueError as exc:
+            assert "cannot diff" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("mixed kinds must raise")
+
+
+class TestCli:
+    def test_explain_replay_prints_blame_tables(self, capsys):
+        rc = main(["explain", "--trace", SAMPLE, "--worst", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "blame by tenant" in out
+        assert "blame by job class" in out
+        assert "critical path" in out
+
+    def test_explain_job_and_tenant_selection(self, capsys):
+        rc = main(["explain", "--trace", SAMPLE, "--job", "0"])
+        assert rc == 0
+        assert "seq0" in capsys.readouterr().out
+        rc = main(["explain", "--trace", SAMPLE, "--tenant", "etl"])
+        assert rc == 0
+        assert "tenant etl" in capsys.readouterr().out
+
+    def test_explain_json_is_versioned(self, tmp_path, capsys):
+        out = tmp_path / "explain.json"
+        rc = main(
+            ["explain", "--trace", SAMPLE, "--json", str(out)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema_version"] == 1
+        for job in doc["jobs"]:
+            assert abs(
+                math.fsum(job["blame"].values()) - job["response_time"]
+            ) < 1e-6
+
+    def test_explain_from_recorded_trace(self, tmp_path, capsys):
+        trace_out = tmp_path / "run.json"
+        _, obs = _run_traced()
+        obs.tracer.write_chrome(str(trace_out))
+        rc = main(["explain", "--from", str(trace_out), "--worst", "1"])
+        assert rc == 0
+        assert "blame by tenant" in capsys.readouterr().out
+
+    def test_explain_usage_errors(self, capsys):
+        assert main(["explain"]) == 2
+        assert (
+            main(["explain", "--trace", SAMPLE, "--detector", "all"])
+            == 2
+        )
+        assert (
+            main(["explain", "--trace", SAMPLE, "--job", "9999"]) == 2
+        )
+
+    def test_diff_cli_exit_codes(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        _, obs = _run_traced()
+        obs.tracer.write_chrome(str(a))
+        assert main(["diff", str(a), str(a)]) == 0
+        assert "no divergence" in capsys.readouterr().out
+        doc = json.loads(a.read_text())
+        doc["traceEvents"][5]["name"] = "renamed"
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(doc))
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "first divergence at event 5" in capsys.readouterr().out
+        assert main(["diff", str(a), "/nonexistent.json"]) == 2

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Metric-family lock-step checks, run by the CI docs job.
+
+Metric names are a contract between three copies: the instruments the
+code actually creates (``metrics.counter("dfs/...")`` and friends),
+the family registry (``repro.obs.metrics.METRIC_FAMILIES``), and the
+family table in docs/ARCHITECTURE.md.  This keeps them in lock-step:
+
+1. Every family emitted by code (scanned from ``.counter(`` /
+   ``.gauge(`` / ``.histogram(`` literals, f-string prefixes and
+   ``CounterBag`` prefixes under ``src/``) is listed in
+   ``METRIC_FAMILIES`` — no undocumented families.
+2. Every family in ``METRIC_FAMILIES`` is emitted by code — no
+   zombie entries surviving a refactor.
+3. The docs family table lists exactly the registry's families, with
+   the registry's exact one-line description.
+
+Exit code 0 when clean; 1 with a line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+SRC = REPO / "src"
+
+sys.path.insert(0, str(SRC))
+
+from repro.obs.metrics import METRIC_FAMILIES  # noqa: E402
+
+#: Instrument creations with a literal (or f-string-prefixed) name:
+#: ``.counter("dfs/...")``, ``.histogram(\n    f"blame/{cat}_...")``.
+#: DOTALL-free but the name may sit on the next line, so match across
+#: whitespace explicitly.
+INSTRUMENT_RE = re.compile(
+    r"\.(?:counter|gauge|histogram)\(\s*f?\"([a-z_]+)/"
+)
+#: ``CounterBag(<registry>, "dfs/")`` prefix adapters.
+BAG_RE = re.compile(r"CounterBag\(\s*[^,()]+,\s*\"([a-z_]+)/\"")
+#: Docs table rows: ``| `family` | description |``.
+ROW_RE = re.compile(
+    r"^\|\s*`(?P<family>[a-z_]+)`\s*\|\s*(?P<desc>[^|]+?)\s*\|\s*$",
+    re.MULTILINE,
+)
+
+
+def scan_code_families() -> dict:
+    """family -> sorted list of files that emit under it."""
+    found: dict = {}
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for regex in (INSTRUMENT_RE, BAG_RE):
+            for m in regex.finditer(text):
+                found.setdefault(m.group(1), set()).add(
+                    str(path.relative_to(REPO))
+                )
+    return {fam: sorted(paths) for fam, paths in sorted(found.items())}
+
+
+def check_code_vs_registry(code: dict, errors: list) -> None:
+    for family, files in code.items():
+        if family not in METRIC_FAMILIES:
+            errors.append(
+                f"family `{family}` emitted by {', '.join(files)} "
+                "but missing from METRIC_FAMILIES"
+            )
+    for family in METRIC_FAMILIES:
+        if family not in code:
+            errors.append(
+                f"METRIC_FAMILIES lists `{family}` but nothing under "
+                "src/ emits it"
+            )
+
+
+def check_docs_table(text: str, errors: list) -> None:
+    # Only rows between the metric-families heading and the next
+    # heading, so other two-column tables in the file don't bleed in.
+    section = re.search(
+        r"### Metric families\n(.*?)(?=\n#|\Z)", text, re.DOTALL
+    )
+    if not section:
+        errors.append(
+            "ARCHITECTURE.md: no '### Metric families' section"
+        )
+        return
+    rows = {
+        m.group("family"): m.group("desc")
+        for m in ROW_RE.finditer(section.group(1))
+        if m.group("family") != "family"  # header row guard
+    }
+    if not rows:
+        errors.append("ARCHITECTURE.md: metric-family table not found")
+        return
+    for family, desc in METRIC_FAMILIES.items():
+        if family not in rows:
+            errors.append(
+                f"family `{family}` missing from the docs table"
+            )
+        elif rows[family] != desc:
+            errors.append(
+                f"family `{family}`: docs say {rows[family]!r}, "
+                f"METRIC_FAMILIES says {desc!r}"
+            )
+    for family in rows:
+        if family not in METRIC_FAMILIES:
+            errors.append(
+                f"docs table lists `{family}`, not in METRIC_FAMILIES"
+            )
+
+
+def main() -> int:
+    errors: list = []
+    code = scan_code_families()
+    check_code_vs_registry(code, errors)
+    if not ARCHITECTURE.exists():
+        errors.append(f"missing file: {ARCHITECTURE.relative_to(REPO)}")
+    else:
+        check_docs_table(
+            ARCHITECTURE.read_text(encoding="utf-8"), errors
+        )
+    for err in errors:
+        print(err)
+    if not errors:
+        print(
+            f"metric families: {len(METRIC_FAMILIES)} documented, "
+            f"{len(code)} emitted, in lock-step"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
