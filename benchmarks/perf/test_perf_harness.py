@@ -113,6 +113,7 @@ class TestRegistry:
         assert set(SCENARIOS) == {
             "fig6", "fig7", "service2k", "fairshare", "autoscale2k",
             "replay2k", "preempt2k", "detect2k", "recover2k",
+            "scale10k",
         }
 
     def test_descriptions_present(self):

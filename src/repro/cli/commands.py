@@ -435,6 +435,24 @@ def cmd_serve(args) -> int:
         return 2
     if _reject_detector_all_conflicts(args):
         return 2
+    if args.checkpoint is not None or args.checkpoint_at is not None:
+        if args.checkpoint is None or args.checkpoint_at is None:
+            log.error(
+                "--checkpoint PATH and --checkpoint-at T go together"
+            )
+            return 2
+        if (
+            args.policy == "all"
+            or args.preempt == "all"
+            or args.detector == "all"
+            or args.autoscale is not None
+        ):
+            log.error(
+                "--checkpoint snapshots one run; pass a single "
+                "--policy/--preempt/--detector and drop --autoscale"
+            )
+            return 2
+        return _serve_checkpointed(args)
     if args.autoscale is not None:
         return _serve_autoscaled(args)
     from ..service import render_preempt_events
@@ -506,6 +524,152 @@ def cmd_serve(args) -> int:
     if args.json_out is not None:
         _write_reports_json(args.json_out, json_reports)
     _export_obs(obs)
+    return 0
+
+
+def _serve_checkpointed(args) -> int:
+    """One serve cell with a mid-run snapshot: advance to
+    --checkpoint-at, persist the world, then keep serving to the usual
+    report.  `repro resume` picks the snapshot up in a fresh process
+    and produces the identical report."""
+    from ..core import save_snapshot
+    from ..service import MoonService, ServiceConfig
+
+    obs = _make_obs(args)
+    system = _serve_system(
+        args, obs=obs, detector=_detector_cfg(args, args.detector)
+    )
+    arrivals = _serve_arrivals(args, system)
+    service_cfg = ServiceConfig(
+        policy=args.policy,
+        max_in_flight=args.max_in_flight,
+        max_queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        horizon=args.hours * 3600.0,
+        preempt=_preempt_cfg(args.preempt),
+        admission_prices=args.admission_prices,
+    )
+    service = MoonService(
+        system, service_cfg, arrivals, pattern=args.pattern
+    )
+    service.advance(args.checkpoint_at)
+    save_snapshot(service, args.checkpoint)
+    print(
+        f"checkpoint written at t={service.sim.now:.1f}s -> "
+        f"{args.checkpoint} (resume with `repro resume "
+        f"{args.checkpoint}`)"
+    )
+    service.advance(service_cfg.horizon + service_cfg.drain_limit)
+    report = service.finalize()
+    system.jobtracker.stop()
+    system.namenode.stop()
+    print(report.render())
+    if args.json_out is not None:
+        _write_reports_json(args.json_out, [report.to_dict()])
+    _export_obs(obs)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Fan a policy x scale x seed grid across processes and merge."""
+    from ..errors import ConfigError
+    from ..plotting import table
+    from ..service import (
+        QUEUE_POLICIES,
+        SweepSpec,
+        run_sweep,
+        sweep_summary_rows,
+    )
+
+    try:
+        policies = (
+            tuple(QUEUE_POLICIES)
+            if args.policies == "all"
+            else tuple(p.strip() for p in args.policies.split(","))
+        )
+        spec = SweepSpec(
+            policies=policies,
+            scales=tuple(
+                float(s) for s in args.scales.split(",") if s.strip()
+            ),
+            seeds=tuple(
+                int(s) for s in args.seeds.split(",") if s.strip()
+            ),
+            jobs_per_hour=args.jobs_per_hour,
+            hours=args.hours,
+            n_volatile=args.volatile,
+            n_dedicated=args.dedicated,
+            unavailability_rate=args.rate,
+            catalog=args.catalog,
+            max_in_flight=args.max_in_flight,
+            max_queue_depth=args.queue_depth,
+            tenants=args.tenants,
+        )
+        spec.validate()
+    except (ConfigError, ValueError) as exc:
+        log.error("bad sweep grid: %s", exc)
+        return 2
+    n_cells = (
+        len(spec.policies) * len(spec.scales) * len(spec.seeds)
+    )
+    log.info("sweeping %d cell(s) on %d process(es)", n_cells, args.procs)
+    result = run_sweep(spec, procs=args.procs)
+    print(
+        table(
+            ["policy", "scale", "seed", "done", "p50 s", "p95 s",
+             "miss", "good/h"],
+            sweep_summary_rows(result),
+            title=(
+                f"sweep - {n_cells} cells, "
+                f"{spec.jobs_per_hour:g} jobs/h base, "
+                f"{spec.hours:g}h horizon"
+            ),
+        )
+    )
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+        log.info("wrote %s", args.json_out)
+    return 0
+
+
+def cmd_resume(args) -> int:
+    """Continue a serve checkpoint: to drain (report), or to --until
+    (re-checkpointed)."""
+    from ..core import load_snapshot, save_snapshot
+    from ..errors import SnapshotError
+
+    if args.until is not None and args.checkpoint is None:
+        log.error(
+            "--until advances the world without finishing it; the "
+            "progress must be persisted — add --checkpoint PATH"
+        )
+        return 2
+    try:
+        service = load_snapshot(args.snapshot)
+    except (SnapshotError, OSError) as exc:
+        log.error("cannot load %s: %s", args.snapshot, exc)
+        return 2
+    cfg = service.config
+    if args.until is not None:
+        drained = service.advance(args.until)
+        save_snapshot(service, args.checkpoint)
+        print(
+            f"advanced to t={service.sim.now:.1f}s "
+            f"({'drained' if drained else 'still serving'}); "
+            f"checkpoint written -> {args.checkpoint}"
+        )
+        return 0
+    service.advance(cfg.horizon + cfg.drain_limit)
+    report = service.finalize()
+    service.system.jobtracker.stop()
+    service.system.namenode.stop()
+    if args.checkpoint is not None:
+        save_snapshot(service, args.checkpoint)
+        print(f"final checkpoint written -> {args.checkpoint}")
+    print(report.render())
+    if args.json_out is not None:
+        _write_reports_json(args.json_out, [report.to_dict()])
     return 0
 
 

@@ -287,6 +287,23 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_out",
         help="also write the report(s) as versioned JSON",
     )
+    serve_p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a snapshot of the running service at sim-time "
+             "--checkpoint-at, then keep serving to the usual report "
+             "(resume later with `repro resume PATH`); single-cell "
+             "runs only",
+    )
+    serve_p.add_argument(
+        "--checkpoint-at",
+        type=float,
+        default=None,
+        metavar="T",
+        help="sim-time (seconds) at which to take the --checkpoint "
+             "snapshot",
+    )
     _add_autoscale_bounds(serve_p)
     _add_preemption_flags(serve_p)
     _add_detector_flags(serve_p)
@@ -385,6 +402,112 @@ def build_parser() -> argparse.ArgumentParser:
     _add_detector_flags(replay_p)
     _add_journal_flags(replay_p)
     _add_obs_flags(replay_p)
+
+    # --- sweep ----------------------------------------------------------
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="parallel policy x scale x seed sweep with a merged report",
+        description=(
+            "Fan a grid of independent serve cells — queue policy x "
+            "load multiplier x seed — across worker processes and "
+            "merge the results into one byte-stable report: the same "
+            "grid produces identical JSON at any --procs, so two "
+            "sweep files can be compared with `repro diff` or plain "
+            "cmp.  The scale axis multiplies --jobs-per-hour."
+        ),
+        epilog=(
+            "examples:\n"
+            "  all four policies at 1x and 2x load, three seeds, "
+            "8 workers:\n"
+            "    repro sweep --scales 1,2 --seeds 1,2,3 --procs 8 "
+            "--json sweep.json\n"
+            "  is the SJF win seed-luck? one policy pair, many seeds:\n"
+            "    repro sweep --policies fifo,sjf --seeds 1,2,3,4,5,6"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sweep_p.add_argument(
+        "--policies",
+        default="all",
+        help="comma-separated queue policies, or 'all' (default)",
+    )
+    sweep_p.add_argument(
+        "--scales",
+        default="1.0",
+        help="comma-separated load multipliers on --jobs-per-hour",
+    )
+    sweep_p.add_argument(
+        "--seeds", default="42", help="comma-separated seeds"
+    )
+    sweep_p.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="worker processes (results are byte-identical at any "
+             "value)",
+    )
+    sweep_p.add_argument("--jobs-per-hour", type=float, default=12.0,
+                         help="base mean arrival rate (scaled per cell)")
+    sweep_p.add_argument("--hours", type=float, default=1.0,
+                         help="admission horizon in simulated hours")
+    sweep_p.add_argument(
+        "--catalog",
+        choices=["mixed", "sleep"],
+        default="sleep",
+        help="workload mix of every cell",
+    )
+    sweep_p.add_argument("--max-in-flight", type=int, default=4)
+    sweep_p.add_argument("--queue-depth", type=int, default=64)
+    sweep_p.add_argument("--rate", type=float, default=0.3,
+                         help="volatile-node unavailability rate")
+    sweep_p.add_argument("--volatile", type=int, default=8)
+    sweep_p.add_argument("--dedicated", type=int, default=2)
+    sweep_p.add_argument("--tenants", type=int, default=3)
+    sweep_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_out",
+        help="write the merged sweep report (canonical bytes)",
+    )
+
+    # --- resume ---------------------------------------------------------
+    resume_p = sub.add_parser(
+        "resume",
+        help="resume a serve checkpoint instead of re-simulating from 0",
+        description=(
+            "Load a snapshot written by `repro serve --checkpoint` and "
+            "continue the run from the captured instant: same events, "
+            "same RNG draws, same report as the uninterrupted run.  "
+            "Without --until the stream is served to drain and the SLO "
+            "report printed; with --until the world advances to that "
+            "sim-time and is re-checkpointed (requires --checkpoint)."
+        ),
+    )
+    resume_p.add_argument(
+        "snapshot", help="checkpoint file from `serve --checkpoint`"
+    )
+    resume_p.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        metavar="T",
+        help="advance to sim-time T and stop (instead of serving to "
+             "drain); the progress must be persisted with --checkpoint",
+    )
+    resume_p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a new snapshot after advancing",
+    )
+    resume_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_out",
+        help="also write the final report as versioned JSON",
+    )
 
     # --- explain --------------------------------------------------------
     explain_p = sub.add_parser(
@@ -597,6 +720,8 @@ _DISPATCH = {
     "ablations": commands.cmd_ablations,
     "run": commands.cmd_run,
     "serve": commands.cmd_serve,
+    "sweep": commands.cmd_sweep,
+    "resume": commands.cmd_resume,
     "replay": commands.cmd_replay,
     "explain": commands.cmd_explain,
     "diff": commands.cmd_diff,

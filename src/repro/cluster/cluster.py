@@ -13,6 +13,7 @@ complete via :meth:`finish_decommission`.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import ClusterConfig, NodeSpec, TraceConfig
@@ -177,12 +178,25 @@ def connect_network(cluster: Cluster, network) -> None:
     abort transfers only after the NameNode has dropped the node's
     replicas, i.e. it must be the *last* decommission listener.
     """
-    cluster.on_suspend(lambda node: network.node_down(node.node_id))
-    cluster.on_resume(lambda node: network.node_up(node.node_id))
-    cluster.on_provision(
-        lambda node: network.register_node(
-            node.node_id, node.spec.disk_mbps, node.spec.nic_mbps
-        )
+    # Partials of module-level adapters, not lambdas: these listeners
+    # live on the cluster for the whole run and must survive
+    # snapshot/resume pickling.
+    cluster.on_suspend(partial(_net_suspend, network))
+    cluster.on_resume(partial(_net_resume, network))
+    cluster.on_provision(partial(_net_provision, network))
+
+
+def _net_suspend(network, node) -> None:
+    network.node_down(node.node_id)
+
+
+def _net_resume(network, node) -> None:
+    network.node_up(node.node_id)
+
+
+def _net_provision(network, node) -> None:
+    network.register_node(
+        node.node_id, node.spec.disk_mbps, node.spec.nic_mbps
     )
 
 

@@ -52,7 +52,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..config import DETECTOR_MODES, DetectorConfig
-from ..simulation import PRIORITY_HEARTBEAT, Simulation
+from ..simulation import PRIORITY_HEARTBEAT, Simulation, StreamSampler
 from .cluster import Cluster
 from .detector import FailureDetector
 from .node import Node
@@ -170,7 +170,11 @@ class HonestDetector(FailureDetector):
         self._silence_rate = self.config.silences_per_hour / 3600.0
         #: node_id -> Welford stats over observed silence gaps
         self._gaps: Dict[int, _Welford] = {}
-        self._rngs: Dict[int, np.random.Generator] = {}
+        #: node_id -> block-prefetching sampler over the node's stream.
+        #: Both draw sites (silence gap and silence duration) are
+        #: exponential, so the sampler stays byte-identical to the
+        #: scalar Generator calls it replaced.
+        self._rngs: Dict[int, StreamSampler] = {}
         #: node_id -> pending silence-arrival event
         self._silence_arrival: Dict[int, object] = {}
         #: node_id -> events of the silence currently in progress
@@ -211,10 +215,13 @@ class HonestDetector(FailureDetector):
     # ------------------------------------------------------------------
     # Silence episodes (observation noise on a healthy node)
     # ------------------------------------------------------------------
-    def _rng_for(self, node: Node) -> np.random.Generator:
+    def _rng_for(self, node: Node) -> StreamSampler:
         rng = self._rngs.get(node.node_id)
         if rng is None:
-            rng = self.sim.rng_indexed(f"detector/{self.view.name}", node.node_id)
+            rng = StreamSampler(
+                self.sim.rng_indexed(f"detector/{self.view.name}", node.node_id),
+                block=64,
+            )
             self._rngs[node.node_id] = rng
         return rng
 

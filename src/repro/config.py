@@ -187,6 +187,14 @@ class DfsConfig:
     client_read_timeout: float = 15.0
     #: Re-replication work issued per NameNode scan (anti-storm cap).
     max_replications_per_scan: int = 40
+    #: Pre-plan the next block's pipeline while the current block
+    #: streams, overlapping NameNode allocation with data transfer the
+    #: way HDFS clients do.  Off by default: pre-planning samples
+    #: cluster state and the placement RNG earlier, which legitimately
+    #: shifts placements — goldens and the perf baselines pin the
+    #: plan-per-block behaviour.  Stale pre-plans (a target dying
+    #: between plan and use) take the normal pipeline-failure path.
+    preplan_writes: bool = False
     #: Durable-metadata layer (off for the paper figures).
     journal: JournalConfig = field(default_factory=JournalConfig)
 
@@ -298,6 +306,13 @@ class SchedulerConfig:
     tracker_expiry_interval: float = 1800.0
     #: MOON's SuspensionInterval (ignored by the Hadoop scheduler).
     suspension_interval: float = 60.0
+    #: Master switch for backup copies (every policy gates its
+    #: speculative paths on it).  Off, the assignment walk is pure
+    #: pending-task placement, and jobs whose tasks are all running
+    #: drop out of the walk in O(1) — what lets a 10k-node cluster
+    #: place a one-task job without probing every tracker against
+    #: every in-flight job.  Default True keeps the paper runs intact.
+    speculative_enabled: bool = True
     #: Straggler rule: running longer than this (seconds)...
     speculative_min_runtime: float = 60.0
     #: ... and progress below the type average minus this gap.

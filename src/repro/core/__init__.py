@@ -14,6 +14,23 @@ this layer; see docs/ARCHITECTURE.md#system-assembly.
 """
 
 from .results import JobResult
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    load_snapshot,
+    restore_bytes,
+    save_snapshot,
+    snapshot_bytes,
+)
 from .system import MoonSystem, hadoop_system, moon_system
 
-__all__ = ["MoonSystem", "moon_system", "hadoop_system", "JobResult"]
+__all__ = [
+    "MoonSystem",
+    "moon_system",
+    "hadoop_system",
+    "JobResult",
+    "SNAPSHOT_VERSION",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_bytes",
+    "restore_bytes",
+]

@@ -86,11 +86,12 @@ class MoonSystem:
         # replicas are already gone from the replica maps, so failure
         # callbacks (fetch failures, pipeline retries) observe a
         # consistent file system.
-        self.cluster.on_decommission(
-            lambda node: self.network.unregister_node(node.node_id)
-        )
+        self.cluster.on_decommission(self._unregister_node_from_network)
 
     # ------------------------------------------------------------------
+    def _unregister_node_from_network(self, node) -> None:
+        self.network.unregister_node(node.node_id)
+
     def submit(self, spec: JobSpec, priority: int = 0) -> Job:
         return self.jobtracker.submit(spec, priority)
 

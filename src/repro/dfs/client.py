@@ -17,10 +17,12 @@ the timeout penalty hibernation exists to avoid (IV-C).
 from __future__ import annotations
 
 import itertools
-from typing import Callable, List, Optional, Sequence
+from functools import partial
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import BlockUnavailable, DfsError, WriteDeclined
 from .namenode import NameNode
+from .placement import WritePlan
 from .types import BlockInfo, FileInfo, FileKind, ReplicationFactor
 
 OnDone = Callable[[], None]
@@ -48,6 +50,9 @@ class WriteOp:
         self.on_fail = on_fail
         self.block_index = 0
         self.cancelled = False
+        #: Plan allocated ahead of time for the next block (when
+        #: ``preplan_writes`` is on): ``(block, plan)``.
+        self._next_plan: Optional[Tuple[BlockInfo, WritePlan]] = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -57,8 +62,22 @@ class WriteOp:
         """Abandon the write (task killed); replicas already registered
         stay in the namespace until the file is deleted."""
         self.cancelled = True
+        self._next_plan = None
 
     # ------------------------------------------------------------------
+    def _take_plan(self, block: BlockInfo) -> WritePlan:
+        """Consume the pre-allocated plan for ``block`` if one exists and
+        still names at least one target; otherwise plan now.  An empty
+        pre-plan (the cluster had no room when it was drawn) is dropped
+        rather than failing a write the current cluster could serve."""
+        staged = self._next_plan
+        self._next_plan = None
+        if staged is not None and staged[0] is block and staged[1].targets:
+            return staged[1]
+        return self.client.namenode.placement.plan_write(
+            self.file, block, self.client_node
+        )
+
     def _next_block(self) -> None:
         if self.cancelled:
             return
@@ -67,9 +86,7 @@ class WriteOp:
             return
         block = self.file.blocks[self.block_index]
         self.block_index += 1
-        plan = self.client.namenode.placement.plan_write(
-            self.file, block, self.client_node
-        )
+        plan = self._take_plan(block)
         if plan.adjusted_volatile is not None:
             self.client.namenode.set_adjusted_volatile(
                 self.file, plan.adjusted_volatile
@@ -81,6 +98,21 @@ class WriteOp:
                 )
             )
             return
+        if (
+            self.client.namenode.config.preplan_writes
+            and self.block_index < len(self.file.blocks)
+        ):
+            # Overlap the next allocation with this block's streaming.
+            # The plan is allowed to go stale: targets that die before
+            # it is used fail through the pipeline's normal skip path,
+            # so replica maps still reflect the races.
+            nxt = self.file.blocks[self.block_index]
+            self._next_plan = (
+                nxt,
+                self.client.namenode.placement.plan_write(
+                    self.file, nxt, self.client_node
+                ),
+            )
         self._pipeline(block, plan.targets, plan.dedicated_declined, 0, None)
 
     def _pipeline(
@@ -107,13 +139,10 @@ class WriteOp:
         target = targets[idx]
         source = last_good if last_good is not None else self.client_node
 
-        def ok(_t) -> None:
-            nn.register_replica(block, target)
-            self._pipeline(block, targets, declined, idx + 1, target)
-
-        def bad(_t) -> None:
-            nn.counters["write_pipeline_failures"] += 1
-            self._pipeline(block, targets, declined, idx + 1, last_good)
+        # Picklable continuations (snapshot/resume): partials of bound
+        # methods, never local closures.
+        ok = partial(self._stage_ok, block, targets, declined, idx, target)
+        bad = partial(self._stage_bad, block, targets, declined, idx, last_good)
 
         if source is None or source == target:
             nn.network.disk_io(
@@ -124,6 +153,30 @@ class WriteOp:
                 source, target, block.size_mb, on_complete=ok, on_fail=bad,
                 kind="dfs_write",
             )
+
+    def _stage_ok(
+        self,
+        block: BlockInfo,
+        targets: List[int],
+        declined: bool,
+        idx: int,
+        target: int,
+        _t,
+    ) -> None:
+        self.client.namenode.register_replica(block, target)
+        self._pipeline(block, targets, declined, idx + 1, target)
+
+    def _stage_bad(
+        self,
+        block: BlockInfo,
+        targets: List[int],
+        declined: bool,
+        idx: int,
+        last_good: Optional[int],
+        _t,
+    ) -> None:
+        self.client.namenode.counters["write_pipeline_failures"] += 1
+        self._pipeline(block, targets, declined, idx + 1, last_good)
 
 
 class ReadOp:
@@ -173,17 +226,8 @@ class ReadOp:
             return
         source = candidates[0]
         self._tried.add(source)
-
-        def ok(_t) -> None:
-            if not self.cancelled:
-                self.on_complete()
-
-        def bad(_t) -> None:
-            if self.cancelled:
-                return
-            # Undetected outage: the client burns a timeout first (IV-C).
-            nn.counters["read_timeouts"] += 1
-            nn.sim.call_after(nn.config.client_read_timeout, self._try_next)
+        ok = self._read_ok
+        bad = self._read_bad
 
         if source == self.reader_node:
             nn.network.disk_io(
@@ -195,6 +239,18 @@ class ReadOp:
                 source, self.reader_node, self.size_mb, on_complete=ok,
                 on_fail=bad, kind="dfs_read",
             )
+
+    def _read_ok(self, _t) -> None:
+        if not self.cancelled:
+            self.on_complete()
+
+    def _read_bad(self, _t) -> None:
+        if self.cancelled:
+            return
+        # Undetected outage: the client burns a timeout first (IV-C).
+        nn = self.client.namenode
+        nn.counters["read_timeouts"] += 1
+        nn.sim.call_after(nn.config.client_read_timeout, self._try_next)
 
 
 class DfsClient:

@@ -373,10 +373,23 @@ class NameNode:
 
         Draining nodes are excluded: their copies still serve reads but
         are about to disappear, so they must not satisfy a factor."""
+        # Inlined node_is_servable: this runs per dedicated replica on
+        # every deficit probe, and the replication scan re-probes its
+        # whole deferred queue each period.
+        states = self._states
+        draining = self._draining_ids
+        if self._honest:
+            dead = NodeState.DEAD
+            return {
+                n
+                for n in block.dedicated_replicas
+                if states[n] is not dead and n not in draining
+            }
+        alive = NodeState.ALIVE
         return {
             n
             for n in block.dedicated_replicas
-            if self.node_is_servable(n) and n not in self._draining_ids
+            if states[n] is alive and n not in draining
         }
 
     def effective_volatile_count(self, block: BlockInfo) -> int:
@@ -390,8 +403,15 @@ class NameNode:
         """
         if self.live_dedicated_replicas(block):
             return len(block.volatile_replicas)
+        states = self._states
+        if self._honest:
+            dead = NodeState.DEAD
+            return sum(
+                1 for n in block.volatile_replicas if states[n] is not dead
+            )
+        alive = NodeState.ALIVE
         return sum(
-            1 for n in block.volatile_replicas if self.node_is_servable(n)
+            1 for n in block.volatile_replicas if states[n] is alive
         )
 
     def block_availability_now(self, block: BlockInfo) -> bool:

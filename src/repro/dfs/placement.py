@@ -17,6 +17,7 @@ Rules implemented:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
@@ -158,8 +159,14 @@ class PlacementPolicy:
             if not info.has_room(size):
                 continue
             candidates.append(info)
-        candidates.sort(key=lambda i: (i.used_mb, i.node_id))
-        return [c.node_id for c in candidates[:count]]
+        # Least-loaded first, node-id tiebreak.  nsmallest(k) returns
+        # exactly sorted(...)[:k] for any key (the tiebreak makes the
+        # order total), at O(n log k) instead of O(n log n) — writes
+        # typically want one dedicated replica from a sizeable tier.
+        picked = heapq.nsmallest(
+            count, candidates, key=lambda i: (i.used_mb, i.node_id)
+        )
+        return [c.node_id for c in picked]
 
     def _pick_volatile(
         self,

@@ -68,3 +68,8 @@ class JobFailed(ReproError):
 
 class LocalRuntimeError(ReproError):
     """Functional (in-process) MapReduce engine failure."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot file is malformed, from an incompatible version, or
+    could not be captured (unpicklable state in the object graph)."""

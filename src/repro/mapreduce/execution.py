@@ -27,6 +27,7 @@ Reduce phases: shuffle -> sort -> compute -> write output
 from __future__ import annotations
 
 import heapq
+from functools import partial
 from typing import Optional
 
 from ..dfs import FileKind
@@ -193,6 +194,20 @@ class AttemptRunner:
             return
         retry(reason)
 
+    # Picklable I/O continuations (snapshot/resume): callbacks handed
+    # to the DFS/network must never be local closures.
+    def _read_io_failed(self, e) -> None:
+        self._io_failed_or_pause(self._read_failed, str(e))
+
+    def _write_io_failed(self, e) -> None:
+        self._io_failed_or_pause(self._write_failed, str(e))
+
+    def _read_failed(self, reason: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _write_failed(self, reason: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
     def mark(self, name: str) -> None:
         self.attempt.phase_marks[name] = self.rt.sim.now
 
@@ -228,9 +243,7 @@ class MapRunner(AttemptRunner):
             block,
             self.attempt.node_id,
             on_complete=self._on_read_ok,
-            on_fail=lambda e: self._io_failed_or_pause(
-                self._read_failed, str(e)
-            ),
+            on_fail=self._read_io_failed,
         )
 
     def _on_read_ok(self) -> None:
@@ -277,10 +290,8 @@ class MapRunner(AttemptRunner):
             kind,
             spec.intermediate_rf,
             client_node=self.attempt.node_id,
-            on_complete=lambda: self._on_write_ok(path),
-            on_fail=lambda e: self._io_failed_or_pause(
-                self._write_failed, str(e)
-            ),
+            on_complete=partial(self._on_write_ok, path),
+            on_fail=self._write_io_failed,
             block_size_mb=max(spec.map_output_mb, 1.0),
         )
 
@@ -421,42 +432,44 @@ class ReduceRunner(AttemptRunner):
         size = job.spec.partition_mb(job.n_reduces)
         block = map_task.output_file.blocks[0]
         index = map_task.index
-
-        def ok() -> None:
-            self._inflight.pop(index, None)
-            if self.done:
-                return
-            self.fetched.add(index)
-            self._retry_counts.pop(index, None)
-            self.shuffled_mb += size
-            self._shuffle_pump()
-
-        def fail(err) -> None:
-            self._inflight.pop(index, None)
-            if self.done:
-                return
-            if not self.node.available:
-                self.paused = True
-                return
-            if isinstance(err, BlockUnavailable):
-                self.rt.jobtracker.report_fetch_failure(
-                    self.attempt.task, map_task
-                )
-            # Retry with exponential backoff; a re-executed map's
-            # completion notification re-triggers us immediately.
-            n = self._retry_counts.get(index, 0)
-            self._retry_counts[index] = n + 1
-            delay = min(
-                self.rt.shuffle_cfg.fetch_retry_interval * (2.0**n),
-                self.MAX_RETRY_INTERVAL,
-            )
-            self._retry_events[index] = self.rt.sim.call_after(
-                delay, self._retry_fetch, index
-            )
-
         self._inflight[index] = self.rt.dfs.read_block(
-            block, self.attempt.node_id, on_complete=ok, on_fail=fail,
+            block,
+            self.attempt.node_id,
+            on_complete=partial(self._fetch_ok, index, size),
+            on_fail=partial(self._fetch_failed, index, map_task),
             size_mb=size,
+        )
+
+    def _fetch_ok(self, index: int, size: float) -> None:
+        self._inflight.pop(index, None)
+        if self.done:
+            return
+        self.fetched.add(index)
+        self._retry_counts.pop(index, None)
+        self.shuffled_mb += size
+        self._shuffle_pump()
+
+    def _fetch_failed(self, index: int, map_task, err) -> None:
+        self._inflight.pop(index, None)
+        if self.done:
+            return
+        if not self.node.available:
+            self.paused = True
+            return
+        if isinstance(err, BlockUnavailable):
+            self.rt.jobtracker.report_fetch_failure(
+                self.attempt.task, map_task
+            )
+        # Retry with exponential backoff; a re-executed map's
+        # completion notification re-triggers us immediately.
+        n = self._retry_counts.get(index, 0)
+        self._retry_counts[index] = n + 1
+        delay = min(
+            self.rt.shuffle_cfg.fetch_retry_interval * (2.0**n),
+            self.MAX_RETRY_INTERVAL,
+        )
+        self._retry_events[index] = self.rt.sim.call_after(
+            delay, self._retry_fetch, index
         )
 
     def _retry_fetch(self, index: int) -> None:
@@ -518,10 +531,8 @@ class ReduceRunner(AttemptRunner):
             FileKind.OPPORTUNISTIC,  # converted to reliable at commit
             job.spec.output_rf,
             client_node=self.attempt.node_id,
-            on_complete=lambda: self._on_write_ok(path),
-            on_fail=lambda e: self._io_failed_or_pause(
-                self._write_failed, str(e)
-            ),
+            on_complete=partial(self._on_write_ok, path),
+            on_fail=self._write_io_failed,
         )
 
     def _on_write_ok(self, path: str) -> None:

@@ -35,6 +35,26 @@ class Job:
         #: scheduler's has-pending probe runs once per free slot).
         self._pending_maps = 0
         self._pending_reduces = 0
+        #: Per-state task indices (``{task.index: task}``), maintained
+        #: by :meth:`note_state` from the ``Task.state`` setter so the
+        #: scheduler's candidate scans cost O(tasks in that state)
+        #: instead of O(all tasks) per probe.  Keyed by task index and
+        #: read back in sorted-index order, which is exactly the pool
+        #: order the original full-pool comprehensions produced.
+        self._pending_idx = {TaskType.MAP: {}, TaskType.REDUCE: {}}
+        self._running_idx = {TaskType.MAP: {}, TaskType.REDUCE: {}}
+        self._completed_maps = 0
+        self._completed_reduces = 0
+        #: Assignment-candidacy index wiring, stamped by the JobTracker
+        #: at submit: ``_assign_index`` is its shared ``{task_type:
+        #: {job: None}}`` map of jobs the walk must consider, kept
+        #: exact by :meth:`note_state` (every candidacy-changing fact —
+        #: pending/running counts, map completions — flows through task
+        #: state transitions).  ``None`` until submitted; must exist
+        #: before the first Task below fires ``note_state``.
+        self._assign_index = None
+        self._slowstart_fraction = 0.0
+        self._spec_enabled = True
         self.maps: List[Task] = [
             Task(self, TaskType.MAP, i) for i in range(spec.n_maps)
         ]
@@ -43,6 +63,9 @@ class Job:
         self.submitted_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.counters: Counter = Counter()
+        #: Output files still replicating during COMMITTING (the commit
+        #: countdown lives here so the continuation pickles).
+        self.commit_remaining = 0
         #: set when the job fails (diagnostics / tests).
         self.failure_reason: Optional[str] = None
         #: live count of unfinished speculative attempts, maintained by
@@ -71,18 +94,102 @@ class Job:
         state = self.state
         return state is JobState.SUCCEEDED or state is JobState.FAILED
 
-    def note_pending(self, task: Task, delta: int) -> None:
-        """Task.state transition hook (see ``pending_count``)."""
-        if task.is_map:
-            self._pending_maps += delta
+    def note_state(self, task: Task, old, new) -> None:
+        """Task.state transition hook: keeps the pending counters and
+        the per-state indices exact (``old is None`` at task creation).
+        """
+        tt = task.task_type
+        if old is TaskState.PENDING:
+            del self._pending_idx[tt][task.index]
+            if task.is_map:
+                self._pending_maps -= 1
+            else:
+                self._pending_reduces -= 1
+        elif old is TaskState.RUNNING:
+            del self._running_idx[tt][task.index]
+        elif old is TaskState.SUCCEEDED:
+            if task.is_map:
+                self._completed_maps -= 1
+            else:
+                self._completed_reduces -= 1
+        if new is TaskState.PENDING:
+            self._pending_idx[tt][task.index] = task
+            if task.is_map:
+                self._pending_maps += 1
+            else:
+                self._pending_reduces += 1
+        elif new is TaskState.RUNNING:
+            self._running_idx[tt][task.index] = task
+        elif new is TaskState.SUCCEEDED:
+            if task.is_map:
+                self._completed_maps += 1
+            else:
+                self._completed_reduces += 1
+        if self._assign_index is not None:
+            self._sync_candidacy(tt)
+            if tt is TaskType.MAP and (
+                old is TaskState.SUCCEEDED or new is TaskState.SUCCEEDED
+            ):
+                # Map completions move the reduce slow-start gate.
+                self._sync_candidacy(TaskType.REDUCE)
+
+    def assign_candidate(self, task_type: TaskType) -> bool:
+        """Mirror of ``SchedulerPolicy.job_is_candidate`` evaluated
+        from the job's own counters (the slow-start fraction and the
+        speculation switch are stamped on the job at submit), so the
+        index can be maintained at transition time instead of being
+        recomputed over every active job on every tick."""
+        if self.pending_count(task_type) > 0:
+            if task_type is TaskType.MAP:
+                return True
+            maps = self.maps
+            if (
+                not maps
+                or self._completed_maps / len(maps)
+                >= self._slowstart_fraction
+            ):
+                return True
+            if self._spec_enabled and self.any_pending_attempted(task_type):
+                return True
+        return bool(self._spec_enabled and self._running_idx[task_type])
+
+    def _sync_candidacy(self, task_type: TaskType) -> None:
+        idx = self._assign_index[task_type]
+        if self.assign_candidate(task_type):
+            idx[self] = None
         else:
-            self._pending_reduces += delta
+            idx.pop(self, None)
+
+    def register_candidacy(self, index, slowstart_fraction, spec_enabled):
+        """JobTracker submit-time hook: wire the shared index and seed
+        this job's entries (task creation predates registration)."""
+        self._assign_index = index
+        self._slowstart_fraction = slowstart_fraction
+        self._spec_enabled = spec_enabled
+        self._sync_candidacy(TaskType.MAP)
+        self._sync_candidacy(TaskType.REDUCE)
+
+    def unregister_candidacy(self) -> None:
+        if self._assign_index is not None:
+            self._assign_index[TaskType.MAP].pop(self, None)
+            self._assign_index[TaskType.REDUCE].pop(self, None)
+            self._assign_index = None
 
     def pending_count(self, task_type: TaskType) -> int:
         return (
             self._pending_maps
             if task_type is TaskType.MAP
             else self._pending_reduces
+        )
+
+    def running_count(self, task_type: TaskType) -> int:
+        return len(self._running_idx[task_type])
+
+    def any_pending_attempted(self, task_type: TaskType) -> bool:
+        """Any PENDING task that ran before (i.e. was requeued)?  Feeds
+        the assignment-walk candidate gate; O(pending of that type)."""
+        return any(
+            t.attempts for t in self._pending_idx[task_type].values()
         )
 
     @property
@@ -101,33 +208,44 @@ class Job:
         return f"/{self.job_id}/output/r{reduce_index}/a{attempt_id}"
 
     # ------------------------------------------------------------------
+    def _incomplete_of(self, task_type: TaskType) -> List[Task]:
+        # Incomplete == PENDING or RUNNING (FAILED is terminal and
+        # SUCCEEDED is complete): merge the two indices in index order.
+        pend = self._pending_idx[task_type]
+        run = self._running_idx[task_type]
+        if not pend:
+            return [run[i] for i in sorted(run)]
+        if not run:
+            return [pend[i] for i in sorted(pend)]
+        merged = {**pend, **run}
+        return [merged[i] for i in sorted(merged)]
+
     def incomplete_tasks(self, task_type: Optional[TaskType] = None) -> List[Task]:
-        pool = (
-            self.tasks
-            if task_type is None
-            else (self.maps if task_type is TaskType.MAP else self.reduces)
-        )
-        return [t for t in pool if not t.complete and t.state is not TaskState.FAILED]
+        if task_type is None:
+            return self._incomplete_of(TaskType.MAP) + self._incomplete_of(
+                TaskType.REDUCE
+            )
+        return self._incomplete_of(task_type)
 
     def pending_tasks(self, task_type: TaskType) -> List[Task]:
-        pool = self.maps if task_type is TaskType.MAP else self.reduces
-        return [t for t in pool if t.state is TaskState.PENDING]
+        idx = self._pending_idx[task_type]
+        return [idx[i] for i in sorted(idx)]
 
     def running_tasks(self, task_type: TaskType) -> List[Task]:
-        pool = self.maps if task_type is TaskType.MAP else self.reduces
-        return [t for t in pool if t.state is TaskState.RUNNING]
+        idx = self._running_idx[task_type]
+        return [idx[i] for i in sorted(idx)]
 
     def maps_completed(self) -> int:
-        return sum(1 for t in self.maps if t.complete)
+        return self._completed_maps
 
     def reduces_completed(self) -> int:
-        return sum(1 for t in self.reduces if t.complete)
+        return self._completed_reduces
 
     def all_maps_done(self) -> bool:
-        return self.maps_completed() == len(self.maps)
+        return self._completed_maps == len(self.maps)
 
     def all_reduces_done(self) -> bool:
-        return self.reduces and self.reduces_completed() == len(self.reduces)
+        return self.reduces and self._completed_reduces == len(self.reduces)
 
     def speculative_attempts_active(self) -> int:
         return self._spec_active
@@ -143,11 +261,23 @@ class Job:
         )
 
     def average_progress(self, task_type: TaskType) -> float:
+        # Left-fold in pool (index) order, exactly like the original
+        # ``sum()`` over the started-task comprehension: float addition
+        # is order-sensitive and scheduling thresholds compare against
+        # this value, so the iteration order is part of the contract.
         pool = self.maps if task_type is TaskType.MAP else self.reduces
-        started = [t for t in pool if t.attempts or t.complete]
-        if not started:
+        total = 0.0
+        n = 0
+        for t in pool:
+            if t._state is TaskState.SUCCEEDED:
+                total += 1.0
+                n += 1
+            elif t.attempts:
+                total += max(a.progress for a in t.attempts)
+                n += 1
+        if not n:
             return 0.0
-        return sum(t.best_progress() for t in started) / len(started)
+        return total / n
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Job {self.job_id} {self.spec.name} {self.state.value}>"

@@ -14,6 +14,7 @@ for work.  Failure handling implements both generations of behaviour:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional
 
 from ..cluster import Cluster, Node, NodeView
@@ -72,8 +73,14 @@ class JobTracker:
         self.dfs = DfsClient(namenode)
         self.rt = Runtime(sim, cluster, namenode, self.dfs, shuffle_cfg, self)
 
+        # Trackers currently hosting live attempts, maintained by
+        # TaskTracker.add/release: the heartbeat's progress refresh
+        # walks this instead of the full membership, so big, mostly
+        # idle clusters pay for their busy handful per tick.
+        self._busy_trackers: Dict[int, TaskTracker] = {}
         self.trackers: Dict[int, TaskTracker] = {
-            n.node_id: TaskTracker(n, self.view) for n in cluster.nodes
+            n.node_id: TaskTracker(n, self.view, self._busy_trackers)
+            for n in cluster.nodes
         }
         # Tracker membership only changes on explicit provision or
         # decommission events (service autoscaling), so the assignment
@@ -88,7 +95,23 @@ class JobTracker:
         # walks this, so a long-lived service (thousands of completed
         # jobs in ``self.jobs``) never rescans its whole history.
         self._active_jobs: List[Job] = []
+        # Jobs the assignment walk must consider, per task type,
+        # maintained by Job.note_state at every task transition (see
+        # Job.assign_candidate).  The tick reads it instead of probing
+        # every active job, so a submit on a 10k-node cluster costs the
+        # handful of jobs with placeable work, not the whole window.
+        self._assign_candidates: Dict[TaskType, Dict[Job, None]] = {
+            TaskType.MAP: {},
+            TaskType.REDUCE: {},
+        }
         self._schedule_seq = 0
+        #: Monotone submission counter (equals ``len(self.jobs)`` until
+        #: :meth:`release` starts forgetting finished jobs).
+        self._submit_seq = 0
+        #: Opt-in for week-long streams: the service layer calls
+        #: :meth:`release` after reaping so memory tracks the in-flight
+        #: window, not the job history.
+        self.release_finished = False
 
         policy.bind(self)
 
@@ -143,14 +166,34 @@ class JobTracker:
             for task, block in zip(job.maps, input_file.blocks):
                 task.input_block = block
 
-        n_reduces = spec.resolve_reduces(self._available_reduce_slots())
+        # Explicit reduce counts skip the cluster-wide slot census —
+        # resolve_reduces only reads it for the slot-derived sizing.
+        n_reduces = (
+            spec.n_reduces
+            if spec.n_reduces is not None
+            else spec.resolve_reduces(self._available_reduce_slots())
+        )
         job.n_reduces = n_reduces
         job.reduces = [Task(job, TaskType.REDUCE, i) for i in range(n_reduces)]
 
-        job.submit_seq = len(self.jobs)
+        job.register_candidacy(
+            self._assign_candidates,
+            self.cfg.reduce_slowstart_fraction,
+            self.cfg.speculative_enabled,
+        )
+        job.submit_seq = self._submit_seq
+        self._submit_seq += 1
         self.jobs.append(job)
+        prev = self._active_jobs[-1] if self._active_jobs else None
         self._active_jobs.append(job)
-        self._resort_active_jobs()
+        # The walk order is kept sorted as an invariant, and submit_seq
+        # is monotone: an in-order append (every equal-priority stream)
+        # skips the resort.
+        if prev is not None and (
+            (prev.deprioritised, -prev.priority, prev.submit_seq)
+            > (job.deprioritised, -job.priority, job.submit_seq)
+        ):
+            self._resort_active_jobs()
         if self._trace.enabled:
             self._trace.instant(
                 "job.submit",
@@ -207,6 +250,25 @@ class JobTracker:
     def running_jobs(self) -> List[Job]:
         return [j for j in self._active_jobs if not j.finished]
 
+    def release(self, job: Job) -> None:
+        """Forget a finished job entirely (opt-in, long-lived streams).
+
+        The caller owns whatever record it needs — after this the
+        JobTracker no longer reports the job anywhere.
+        """
+        if not job.finished:
+            raise SchedulingError(
+                f"cannot release unfinished job {job.job_id}"
+            )
+        try:
+            self.jobs.remove(job)
+        except ValueError:
+            pass
+        try:
+            self._active_jobs.remove(job)
+        except ValueError:
+            pass
+
     def next_schedule_order(self) -> int:
         self._schedule_seq += 1
         return self._schedule_seq
@@ -231,28 +293,64 @@ class JobTracker:
                 self.cluster.finish_decommission(node_id)
         # Dirty-set refresh: only trackers that actually host attempts
         # are touched (idle trackers dominate on big, quiet clusters).
-        for tracker in self.trackers.values():
-            if not tracker.attempts:
-                continue
-            for attempt in tracker.attempts:
-                runner = attempt.runner
-                if runner is not None and not attempt.finished:
-                    runner.update_progress()
-        jobs = self.running_jobs()
-        if not jobs:
+        # The registry is walked in node-id order — trackers are
+        # created with ascending ids, so this is the same order the
+        # full membership scan used.  Mid-flight progress feeds only
+        # the straggler/frozen machinery, so the refresh rides the
+        # speculation switch: with backups disabled nothing reads it
+        # between an attempt's launch and its completion events.
+        if self.cfg.speculative_enabled:
+            for node_id in sorted(self._busy_trackers):
+                for attempt in self._busy_trackers[node_id].attempts:
+                    runner = attempt.runner
+                    if runner is not None and not attempt.finished:
+                        runner.update_progress()
+        # The candidacy index holds exactly the jobs select_task could
+        # accept on some tracker (see Job.assign_candidate): skipping
+        # the rest — and on a quiet cluster, the whole tracker sweep —
+        # changes no decision.  Launches re-sync the index through
+        # note_state, so the sweep stops as soon as both types run dry.
+        index = self._assign_candidates
+        idx_map, idx_red = index[TaskType.MAP], index[TaskType.REDUCE]
+        if not (idx_map or idx_red):
             return
         # Candidate lists (pending, stragglers, frozen...) are memoised
         # inside the policy for the duration of one tick, so idle ticks
         # on big clusters cost O(tasks) once instead of per free slot.
         self.policy.begin_tick()
+        # The walk visits candidates in the active-jobs order:
+        # deprioritised last, then priority-major, submission-minor.
+        def walk_order(members) -> List[Job]:
+            return sorted(
+                members,
+                key=lambda j: (j.deprioritised, -j.priority, j.submit_seq),
+            )
+
+        types = (TaskType.MAP, TaskType.REDUCE)
+        candidates = {tt: walk_order(index[tt]) for tt in types}
         for tracker in self._assignment_order():
             if not tracker.usable:
                 continue
-            for task_type in (TaskType.MAP, TaskType.REDUCE):
+            launched = False
+            for task_type in types:
+                cand = candidates[task_type]
+                if not cand:
+                    continue
                 free = tracker.free_slots(task_type)
                 for _ in range(free):
-                    if not self._assign_one(tracker, task_type, jobs):
+                    if not self._assign_one(tracker, task_type, cand):
                         break
+                    launched = True
+            if launched:
+                for tt in types:
+                    lst = candidates[tt]
+                    if lst:
+                        live = index[tt]
+                        lst[:] = [j for j in lst if j in live]
+                if not (
+                    candidates[TaskType.MAP] or candidates[TaskType.REDUCE]
+                ):
+                    break
 
     def _assignment_order(self) -> List[TaskTracker]:
         # Volatile trackers first so dedicated slots stay free for the
@@ -495,6 +593,13 @@ class JobTracker:
         job = map_task.job
         job.counters["map_reexecutions"] += 1
         job.counters["killed_map_attempts"] += 1  # the lost instance
+        # The lost instance is dead, not merely stale: its output is
+        # about to be deleted, so its attempt record must not read as a
+        # live success (execution profiles and dead-tracker re-execution
+        # probes both key on SUCCEEDED attempts).
+        for attempt in map_task.attempts:
+            if attempt.state is AttemptState.SUCCEEDED:
+                attempt.state = AttemptState.KILLED
         if map_task.output_file is not None:
             self._delete_quiet(map_task.output_file.path)
         map_task.output_file = None
@@ -627,7 +732,9 @@ class JobTracker:
         )
 
     def _node_provisioned(self, node: Node) -> None:
-        self.trackers[node.node_id] = TaskTracker(node, self.view)
+        self.trackers[node.node_id] = TaskTracker(
+            node, self.view, self._busy_trackers
+        )
         self._rebuild_assignment_order()
 
     def _node_drain_begin(self, node: Node) -> None:
@@ -643,6 +750,7 @@ class JobTracker:
         for attempt in list(tracker.running_attempts()):
             self.kill_attempt(attempt, "node decommissioned")
         del self.trackers[node.node_id]
+        self._busy_trackers.pop(node.node_id, None)
         self._draining_trackers.pop(node.node_id, None)
         self._rebuild_assignment_order()
 
@@ -772,19 +880,22 @@ class JobTracker:
             paths = [
                 t.output_file.path for t in job.maps if t.output_file is not None
             ]
-        remaining = {"n": len(paths)}
         if not paths:
             self._finish_job(job)
             return
 
-        def one_done() -> None:
-            remaining["n"] -= 1
-            if remaining["n"] == 0 and job.state is JobState.COMMITTING:
-                self._finish_job(job)
-
+        # Picklable commit continuation (snapshot/resume): the countdown
+        # lives on the job, the callback is a partial of a bound method.
+        job.commit_remaining = len(paths)
+        one_done = partial(self._commit_output_replicated, job)
         for path in paths:
             self.namenode.convert_to_reliable(path)
             self.namenode.when_fully_replicated(path, one_done)
+
+    def _commit_output_replicated(self, job: Job) -> None:
+        job.commit_remaining -= 1
+        if job.commit_remaining == 0 and job.state is JobState.COMMITTING:
+            self._finish_job(job)
 
     def _finish_job(self, job: Job) -> None:
         job.state = JobState.SUCCEEDED
@@ -809,6 +920,7 @@ class JobTracker:
         self._cleanup_job(job)
 
     def _cleanup_job(self, job: Job) -> None:
+        job.unregister_candidacy()
         try:
             self._active_jobs.remove(job)
         except ValueError:  # pragma: no cover - defensive

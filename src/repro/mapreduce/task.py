@@ -22,6 +22,14 @@ class TaskType(enum.Enum):
     MAP = "map"
     REDUCE = "reduce"
 
+    # Identity hash (C-level) instead of enum's per-call name hash:
+    # these members key the hottest dicts in the scheduler (per-state
+    # task indices, candidacy maps), tens of millions of lookups per
+    # big run.  Member equality is identity, so the hash stays
+    # consistent, and dicts iterate in insertion order regardless —
+    # no observable behaviour depends on the hash value.
+    __hash__ = object.__hash__
+
 
 class AttemptState(enum.Enum):
     """Attempt lifecycle; INACTIVE is MOON's suspended-not-killed state."""
@@ -31,6 +39,8 @@ class AttemptState(enum.Enum):
     FAILED = "failed"  # error (input unavailable, write declined...)
     KILLED = "killed"  # tracker death / redundant speculative copy
 
+    __hash__ = object.__hash__  # see TaskType
+
 
 class TaskState(enum.Enum):
     """Task lifecycle (PENDING until first launch)."""
@@ -38,6 +48,8 @@ class TaskState(enum.Enum):
     RUNNING = "running"
     SUCCEEDED = "succeeded"
     FAILED = "failed"
+
+    __hash__ = object.__hash__  # see TaskType
 
 
 class TaskAttempt:
@@ -51,7 +63,9 @@ class TaskAttempt:
         "node_id",
         "is_speculative",
         "on_dedicated",
-        "state",
+        "_state",
+        "active",
+        "finished",
         "started_at",
         "finished_at",
         "progress",
@@ -70,7 +84,13 @@ class TaskAttempt:
         self.node_id = node_id
         self.is_speculative = is_speculative
         self.on_dedicated = on_dedicated
-        self.state = AttemptState.RUNNING
+        self._state = AttemptState.RUNNING
+        #: Plain attributes mirroring ``state`` (kept exact by the
+        #: setter): the scheduler's per-slot liveness probes read these
+        #: millions of times per run, so they must be slot reads, not
+        #: property calls re-deriving the same enum comparisons.
+        self.active = True
+        self.finished = False
         self.started_at = now
         self.finished_at: Optional[float] = None
         self.progress = 0.0
@@ -89,16 +109,16 @@ class TaskAttempt:
         self.cause = "first"
 
     @property
-    def active(self) -> bool:
-        return self.state is AttemptState.RUNNING
+    def state(self) -> AttemptState:
+        return self._state
 
-    @property
-    def finished(self) -> bool:
-        state = self.state
-        return (
-            state is AttemptState.SUCCEEDED
-            or state is AttemptState.FAILED
-            or state is AttemptState.KILLED
+    @state.setter
+    def state(self, new: AttemptState) -> None:
+        self._state = new
+        self.active = new is AttemptState.RUNNING
+        self.finished = (
+            new is not AttemptState.RUNNING
+            and new is not AttemptState.INACTIVE
         )
 
     def runtime(self, now: float) -> float:
@@ -137,7 +157,7 @@ class Task:
         self.is_map = task_type is TaskType.MAP
         self.index = index
         self._state = TaskState.PENDING
-        job.note_pending(self, +1)
+        job.note_state(self, None, TaskState.PENDING)
         self.attempts: List[TaskAttempt] = []
         #: map input (set at staging time).
         self.input_block: Optional["BlockInfo"] = None
@@ -161,16 +181,15 @@ class Task:
 
     @state.setter
     def state(self, new: TaskState) -> None:
-        """Transitions keep the job's O(1) pending counters exact (the
-        scheduler probes 'any pending work?' once per free slot)."""
+        """Transitions keep the job's O(1) pending counters and the
+        per-state candidate indices exact (the scheduler probes 'any
+        pending work?' once per free slot and walks pending/running
+        candidates once per tick)."""
         old = self._state
         if old is new:
             return
         self._state = new
-        if old is TaskState.PENDING:
-            self.job.note_pending(self, -1)
-        elif new is TaskState.PENDING:
-            self.job.note_pending(self, +1)
+        self.job.note_state(self, old, new)
 
     @property
     def task_id(self) -> str:
@@ -201,11 +220,12 @@ class Task:
         )
 
     def best_progress(self) -> float:
-        if self.complete:
+        if self._state is TaskState.SUCCEEDED:
             return 1.0
-        if not self.attempts:
+        attempts = self.attempts
+        if not attempts:
             return 0.0
-        return max(a.progress for a in self.attempts)
+        return max(a.progress for a in attempts)
 
     def nodes_with_attempts(self) -> set:
         return {a.node_id for a in self.live_attempts()}

@@ -18,11 +18,16 @@ class TaskTracker:
     the scheduler's free-slot checks are O(1) instead of scanning.
     """
 
-    def __init__(self, node: Node, view=None) -> None:
+    def __init__(self, node: Node, view=None, busy_registry=None) -> None:
         self.node = node
         #: Honest observers cannot read ground truth: ``usable`` then
         #: rests purely on the suspicion flags the detector maintains.
         self._honest_view = view is not None and view.honest
+        #: Shared ``{node_id: tracker}`` map of trackers hosting live
+        #: attempts (owned by the JobTracker): the heartbeat's progress
+        #: refresh walks it instead of every tracker, so a 10k-node
+        #: cluster pays for its busy handful, not its idle thousands.
+        self._busy_registry = busy_registry
         self.map_slots = node.spec.map_slots
         self.reduce_slots = node.spec.reduce_slots
         self.attempts: Dict[TaskAttempt, None] = {}
@@ -90,6 +95,8 @@ class TaskTracker:
                 self._occupied_maps += 1
             else:
                 self._occupied_reduces += 1
+            if self._busy_registry is not None:
+                self._busy_registry[self.node_id] = self
 
     def release(self, attempt: TaskAttempt) -> None:
         if attempt in self.attempts:
@@ -98,6 +105,8 @@ class TaskTracker:
                 self._occupied_maps -= 1
             else:
                 self._occupied_reduces -= 1
+            if self._busy_registry is not None and not self.attempts:
+                self._busy_registry.pop(self.node_id, None)
 
     def running_attempts(self) -> List[TaskAttempt]:
         return [a for a in self.attempts if not a.finished]

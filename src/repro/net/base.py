@@ -153,7 +153,10 @@ class NetworkModel(ABC):
         # not a race.
         if node_id in self._retired:
             return False
-        return self.ports(node_id).up
+        port = self._ports.get(node_id)
+        if port is None:
+            raise NetworkError(f"unknown node {node_id}")
+        return port.up
 
     # -- availability ----------------------------------------------------
     def node_down(self, node_id: int) -> None:

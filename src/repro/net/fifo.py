@@ -80,17 +80,19 @@ class FifoNetwork(NetworkModel):
         kind: str = "net",
     ) -> Transfer:
         self._check_size(size_mb)
-        t = Transfer(src, dst, size_mb, kind, self.sim.now, on_complete, on_fail)
+        now = self.sim.now
+        t = Transfer(src, dst, size_mb, kind, now, on_complete, on_fail)
         if not self.is_up(src) or not self.is_up(dst):
             self._schedule_failure(t)
             return t
-        now = self.sim.now
         disk_mb = size_mb * self._disk_fraction
-        src_done = self._channels[src][NIC_OUT].enqueue(now, size_mb)
-        dst_done = self._channels[dst][NIC_IN].enqueue(now, size_mb)
+        src_ch = self._channels[src]
+        dst_ch = self._channels[dst]
+        src_done = src_ch[NIC_OUT].enqueue(now, size_mb)
+        dst_done = dst_ch[NIC_IN].enqueue(now, size_mb)
         if disk_mb > 0.0:
-            src_done = max(src_done, self._channels[src][DISK].enqueue(now, disk_mb))
-            dst_done = max(dst_done, self._channels[dst][DISK].enqueue(now, disk_mb))
+            src_done = max(src_done, src_ch[DISK].enqueue(now, disk_mb))
+            dst_done = max(dst_done, dst_ch[DISK].enqueue(now, disk_mb))
         self._commit(t, max(src_done, dst_done))
         return t
 

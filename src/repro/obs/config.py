@@ -65,15 +65,16 @@ class Observability:
             # uncapped runs export an unchanged metric set.
             self.tracer = Tracer(
                 max_events=cfg.max_trace_events,
-                on_drop=lambda: self.metrics.counter(
-                    "obs/dropped_events"
-                ).inc(),
+                on_drop=self._note_dropped_event,
             )
         else:
             self.tracer = NULL_TRACER
         self.profiler: Optional[DispatchProfiler] = (
             DispatchProfiler() if cfg.profile else None
         )
+
+    def _note_dropped_event(self) -> None:
+        self.metrics.counter("obs/dropped_events").inc()
 
     def export(self) -> List[str]:
         """Write any configured output files; return the paths written.

@@ -142,7 +142,32 @@ class SchedulerPolicy(ABC):
         walk reaches them last, but no policy grants them new
         speculative copies — backup instances are exactly the extra
         slots the preemption is trying to hand to tighter jobs."""
-        return not job.deprioritised
+        return self.cfg.speculative_enabled and not job.deprioritised
+
+    def job_is_candidate(self, job: Job, task_type: TaskType) -> bool:
+        """Can :meth:`select_task` possibly return a ``task_type`` task
+        of this job on *any* tracker this tick?
+
+        Exact, not heuristic: every selectable task is either PENDING —
+        and pending reduces are gated by the slow-start rule — or
+        incomplete-with-attempts (the speculative pools draw on running
+        tasks plus requeued tasks that ran before).  Both facts are
+        cheap reads against the job's per-state indices, so the
+        JobTracker can prefilter its assignment walk per tick instead
+        of asking every (job, tracker) pair, and a quiet big cluster
+        skips the walk entirely.  Jobs failing this gate are exactly
+        those every ``select_task`` call would refuse, so the filtered
+        walk makes identical decisions.
+        """
+        speculate = self.cfg.speculative_enabled
+        if job.pending_count(task_type) > 0:
+            if task_type is TaskType.MAP or self.reduces_eligible(job):
+                return True
+            # Pending-but-ineligible reduces that ran before remain
+            # homestretch material (MOON V-B).
+            if speculate and job.any_pending_attempted(task_type):
+                return True
+        return bool(speculate and job.running_count(task_type))
 
     def available_slots(self) -> int:
         cached = self._memo.get("avail_slots")

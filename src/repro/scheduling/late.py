@@ -61,6 +61,73 @@ class LateScheduler(SchedulerPolicy):
     def _ranked_by_time_left(
         self, job: Job, task_type: TaskType, tracker: TaskTracker
     ) -> List[Task]:
+        """Memoised per tick.  Two layers:
+
+        * per-task progress rates are launch-invariant within a tick (a
+          copy launched this tick contributes rate 0.0, which can never
+          raise the per-task ``max``), so they are computed once per
+          (job, type) and reused across every slot request;
+        * the percentile threshold and the ranking depend on the
+          *filtered* candidate subset — which shifts as same-tick
+          launches consume per-task caps and co-location slots — so the
+          ranked list is cached keyed by that subset.  Identical
+          subsets recur for most slot requests in a tick; recomputing
+          only on subset change is byte-identical to the per-slot
+          recompute (same inputs, same arithmetic).
+
+        ``_ranked_by_time_left_reference`` below is the original
+        unmemoised computation; the pinning test drives both over the
+        same cluster and asserts identical decisions.
+        """
+        running = [
+            t
+            for t in job.running_tasks(task_type)
+            if not t.complete
+            and t.live_attempts()
+            and self.under_per_task_cap(t)
+            and self.can_host(t, tracker)
+        ]
+        if not running:
+            return []
+        rates_key = ("late_rates", job.job_id, task_type)
+        all_rates = self._memo.get(rates_key)
+        if all_rates is None:
+            all_rates = self._memo[rates_key] = {}
+        rank_key = (
+            "late_rank",
+            job.job_id,
+            task_type,
+            tuple(t.index for t in running),
+        )
+        ranked = self._memo.get(rank_key)
+        if ranked is not None:
+            return ranked
+        rates = {}
+        for t in running:
+            r = all_rates.get(t.index)
+            if r is None:
+                r = all_rates[t.index] = self._rate(t)
+            rates[t.task_id] = r
+        threshold = float(
+            np.percentile(list(rates.values()), SLOW_TASK_PERCENTILE)
+        )
+        slow = [t for t in running if rates[t.task_id] <= threshold]
+
+        def time_left(t: Task) -> float:
+            r = rates[t.task_id]
+            if r <= 0:
+                return float("inf")
+            return (1.0 - t.best_progress()) / r
+
+        ranked = sorted(slow, key=lambda t: (-time_left(t), t.index))
+        self._memo[rank_key] = ranked
+        return ranked
+
+    def _ranked_by_time_left_reference(
+        self, job: Job, task_type: TaskType, tracker: TaskTracker
+    ) -> List[Task]:
+        """The original per-slot recompute (no memoisation): the
+        equivalence oracle for ``tests/test_late_memo.py``."""
         running = [
             t
             for t in job.running_tasks(task_type)

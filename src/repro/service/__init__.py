@@ -30,6 +30,8 @@ from .arrivals import (
     default_catalog,
     diurnal_arrivals,
     poisson_arrivals,
+    poisson_arrivals_reference,
+    poisson_arrivals_vectorised,
     replay_arrivals,
     sleep_catalog,
 )
@@ -57,6 +59,14 @@ from .queue import (
     make_queue_policy,
 )
 from .service import MoonService, ServiceConfig
+from .sweep import (
+    SWEEP_SCHEMA_VERSION,
+    SweepCell,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+    sweep_summary_rows,
+)
 from .slo import (
     REPORT_SCHEMA_VERSION,
     JobRecord,
@@ -74,6 +84,8 @@ __all__ = [
     "default_catalog",
     "sleep_catalog",
     "poisson_arrivals",
+    "poisson_arrivals_reference",
+    "poisson_arrivals_vectorised",
     "bursty_arrivals",
     "diurnal_arrivals",
     "replay_arrivals",
@@ -91,6 +103,12 @@ __all__ = [
     "render_preempt_events",
     "MoonService",
     "ServiceConfig",
+    "SWEEP_SCHEMA_VERSION",
+    "SweepSpec",
+    "SweepCell",
+    "SweepResult",
+    "run_sweep",
+    "sweep_summary_rows",
     "AUTOSCALE_POLICIES",
     "AutoscaleConfig",
     "Autoscaler",

@@ -75,6 +75,12 @@ def admission_price(arrival: JobArrival) -> float:
     return 1.0 / max(arrival.deadline - arrival.arrival_time, 1e-9)
 
 
+def _zero_cost(spec: JobSpec) -> float:
+    """Default estimator for cost-blind policies (module-level so a
+    queue built without an estimator pickles)."""
+    return 0.0
+
+
 def make_cost_estimator(
     n_volatile: int, unavailability_rate: float
 ) -> Callable[[JobSpec], float]:
@@ -86,18 +92,34 @@ def make_cost_estimator(
     """
     if n_volatile < 1:
         raise ConfigError("need at least one volatile node")
-    cache: Dict[JobSpec, float] = {}
+    return _MakespanEstimator(n_volatile, unavailability_rate)
 
-    def estimate(spec: JobSpec) -> float:
-        cost = cache.get(spec)
+
+class _MakespanEstimator:
+    """Memoised wave-model cost — a class, not a closure, so a queue
+    holding one survives snapshot/resume pickling (the cache travels)."""
+
+    __slots__ = ("n_volatile", "unavailability_rate", "cache")
+
+    def __init__(self, n_volatile: int, unavailability_rate: float) -> None:
+        self.n_volatile = n_volatile
+        self.unavailability_rate = unavailability_rate
+        self.cache: Dict[JobSpec, float] = {}
+
+    def __call__(self, spec: JobSpec) -> float:
+        cost = self.cache.get(spec)
         if cost is None:
             cost = estimate_makespan(
-                spec, n_volatile, unavailability_rate
+                spec, self.n_volatile, self.unavailability_rate
             ).total
-            cache[spec] = cost
+            self.cache[spec] = cost
         return cost
 
-    return estimate
+    def __getstate__(self):
+        return (self.n_volatile, self.unavailability_rate, self.cache)
+
+    def __setstate__(self, state):
+        self.n_volatile, self.unavailability_rate, self.cache = state
 
 
 # ======================================================================
@@ -238,7 +260,7 @@ class JobQueue:
         self.policy = policy
         self.max_queue_depth = max_queue_depth
         self.tenant_quota = tenant_quota
-        self._estimator = estimator or (lambda spec: 0.0)
+        self._estimator = estimator or _zero_cost
         self.admission_prices = admission_prices
         self._on_evict = on_evict
         self._pending: List[QueuedJob] = []

@@ -76,6 +76,12 @@ class ServiceConfig:
     #: Provenance label of the workload trace feeding this run
     #: (surfaced in the ServiceReport); None for synthetic streams.
     trace_name: Optional[str] = None
+    #: Forget finished jobs in the JobTracker after reaping them
+    #: (:class:`JobRecord` keeps everything the report needs).  Opt-in:
+    #: day-scale streams keep memory proportional to the in-flight
+    #: window instead of the full job history; off, the tracker's
+    #: ``jobs`` list stays complete for inspection.
+    release_finished: bool = False
 
     def validate(self, cluster=None) -> None:
         """Validate the config, and — when the serving ``cluster`` is
@@ -274,12 +280,25 @@ class MoonService:
         the whole point of pausing them.  (Resuming can transiently
         overshoot ``max_in_flight``; the pump simply admits nothing
         until completions bring the count back down.)"""
+        if self.preemptor is None:
+            # Only the preemption controller ever pauses jobs: without
+            # one armed, every in-flight job is active — O(1) on the
+            # admission path instead of a scan per admitted job.
+            return len(self._in_flight)
         return sum(1 for _r, job in self._in_flight if not job.paused)
 
     def _pump(self) -> None:
         """Admit queued jobs while in-flight slots are free."""
         while self.active_in_flight() < self.config.max_in_flight:
-            ctx = QueueContext(in_flight_by_tenant=self._tenant_counts())
+            # Tenant counts feed only the quota filter (no ordering
+            # policy reads them) — skip the in-flight scan otherwise.
+            ctx = QueueContext(
+                in_flight_by_tenant=(
+                    self._tenant_counts()
+                    if self.queue.tenant_quota is not None
+                    else {}
+                )
+            )
             qjob = self.queue.select(ctx)
             if qjob is None:
                 return
@@ -333,6 +352,8 @@ class MoonService:
             self._m_failed.inc()
         if self.autoscaler is not None:
             self.autoscaler.note_outcome(record)
+        if self.config.release_finished:
+            self.system.jobtracker.release(job)
 
     def _tenant_counts(self) -> Dict[str, int]:
         # Paused jobs release their quota seat along with their slots:
@@ -360,8 +381,32 @@ class MoonService:
     def run(self) -> ServiceReport:
         """Serve the stream to drain (or the drain limit) and report."""
         cfg = self.config
-        limit = cfg.horizon + cfg.drain_limit
+        self.advance(cfg.horizon + cfg.drain_limit)
+        return self.finalize()
+
+    def advance(self, until: float) -> bool:
+        """Advance the stream to ``until`` without finalizing.
+
+        The snapshot/resume entry point: run the simulation up to
+        ``min(until, horizon + drain_limit)`` (stopping early if the
+        stream drains), leaving every controller, sweeper and queue
+        live so the service can be checkpointed mid-stream and later
+        advanced again — a resumed run that reaches the drain produces
+        the same :meth:`finalize` report as a straight-through
+        :meth:`run`.  Returns ``True`` once the stream is drained.
+        """
+        cfg = self.config
+        limit = min(until, cfg.horizon + cfg.drain_limit)
         self.sim.run(until=limit, stop_when=self._drained)
+        return self._drained()
+
+    def finalize(self) -> ServiceReport:
+        """Stop the controllers, drain decommissions, and report.
+
+        Idempotence is *not* promised — call exactly once, after the
+        last :meth:`advance` (or let :meth:`run` do both)."""
+        cfg = self.config
+        limit = cfg.horizon + cfg.drain_limit
         # Final reap: completions between the last sweep and the stop.
         for record, job in self._in_flight:
             if job.finished:

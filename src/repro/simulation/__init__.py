@@ -16,6 +16,7 @@ from .engine import (
 from ..obs import Observability, ObsConfig
 from .event import Event, EventQueue
 from .rng import RngRegistry
+from .sampling import StreamSampler
 
 __all__ = [
     "Simulation",
@@ -25,6 +26,7 @@ __all__ = [
     "Event",
     "EventQueue",
     "RngRegistry",
+    "StreamSampler",
     "PRIORITY_NODE_STATE",
     "PRIORITY_TRANSFER",
     "PRIORITY_HEARTBEAT",

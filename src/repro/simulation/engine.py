@@ -47,6 +47,12 @@ class Simulation:
         self._rng = RngRegistry(seed)
         self._running = False
         self._executed = 0
+        #: Default dispatch mode for :meth:`run`.  Batched dispatch
+        #: drains every event sharing ``(time, priority)`` in one heap
+        #: pass; it is proven event-checksum-identical to the
+        #: sequential loop (``tests/test_batched_dispatch.py``), which
+        #: stays available via ``run(batch=False)`` as the reference.
+        self.batch_dispatch = True
         #: Observability bundle (tracer/metrics/profiler) — falls back
         #: to the ambient default installed by
         #: :func:`repro.obs.default_observability`, else a fresh
@@ -132,11 +138,37 @@ class Simulation:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _dispatch(self, event: Event) -> None:
+        """Execute one popped event: trace hook, profiler bracketing
+        and the executed-events count.  The single dispatch path shared
+        by :meth:`run` (both modes) and :meth:`step`, so every consumer
+        sees identical accounting.
+
+        The wall-clock profiler sits outside the determinism boundary:
+        when armed, each callback is bracketed with perf_counter, but
+        the event sequence (and everything the sim clock or RNGs see)
+        is identical to an unprofiled run.
+        """
+        if self.trace_hook is not None:
+            self.trace_hook(self._now, event)
+        profiler = self.obs.profiler
+        if profiler is None:
+            event.fn(*event.args)
+        else:
+            t0 = perf_counter()
+            event.fn(*event.args)
+            profiler.note(
+                getattr(event.fn, "__qualname__", repr(event.fn)),
+                perf_counter() - t0,
+            )
+        self._executed += 1
+
     def run(
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
         stop_when: Optional[Callable[[], bool]] = None,
+        batch: Optional[bool] = None,
     ) -> float:
         """Run events until the queue drains, ``until`` is reached, a
         ``stop_when`` predicate returns true, or ``max_events`` fire.
@@ -145,11 +177,26 @@ class Simulation:
         soon as only daemon events remain — otherwise self-re-arming
         infrastructure (heartbeats, periodic scans) would spin forever.
 
+        ``batch`` selects the dispatch mode (default: the simulation's
+        :attr:`batch_dispatch`).  Batched mode pops every event sharing
+        ``(time, priority)`` in one heap drain; ``batch=False`` is the
+        sequential reference loop the property suite compares against.
+
         Returns the simulated time at which the run stopped.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
+        if batch is None:
+            batch = self.batch_dispatch
         self._running = True
+        try:
+            if batch:
+                return self._run_batched(until, max_events, stop_when)
+            return self._run_sequential(until, max_events, stop_when)
+        finally:
+            self._running = False
+
+    def _run_sequential(self, until, max_events, stop_when) -> float:
         fired = 0
         # The dispatch loop runs hundreds of thousands of times per
         # experiment: bind the queue internals once instead of paying
@@ -157,55 +204,126 @@ class Simulation:
         queue = self._queue
         peek = queue.peek_time
         pop = queue.pop
-        # The wall-clock profiler sits outside the determinism
-        # boundary: when armed, each callback is bracketed with
-        # perf_counter, but the event sequence (and everything the sim
-        # clock or RNGs see) is identical to an unprofiled run.
-        profiler = self.obs.profiler
-        try:
-            while queue._live:
-                if until is None and queue._live_foreground == 0:
-                    break
-                if stop_when is not None and stop_when():
-                    break
-                next_time = peek()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = pop()
-                self._now = event.time
-                if self.trace_hook is not None:
-                    self.trace_hook(self._now, event)
-                if profiler is None:
-                    event.fn(*event.args)
-                else:
-                    t0 = perf_counter()
-                    event.fn(*event.args)
-                    profiler.note(
-                        getattr(event.fn, "__qualname__", repr(event.fn)),
-                        perf_counter() - t0,
-                    )
-                self._executed += 1
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    break
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
-        finally:
-            self._running = False
+        dispatch = self._dispatch
+        while queue._live:
+            if until is None and queue._live_foreground == 0:
+                break
+            if stop_when is not None and stop_when():
+                break
+            next_time = peek()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            event = pop()
+            self._now = event.time
+            dispatch(event)
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return self._now
+
+    def _run_batched(self, until, max_events, stop_when) -> float:
+        """Batched same-instant dispatch.
+
+        Equivalence with the sequential loop hinges on three rules:
+
+        * a push that sorts *before* the executing batch key sets the
+          queue's preempted flag — the unexecuted remainder goes back
+          on the heap (original keys, so original order) and the outer
+          loop re-peeks, exactly like the per-event re-peek would;
+        * the sequential loop's pre-pop checks (daemon-idle,
+          ``stop_when``) re-run between batch items, with the popped
+          remainder counted as still queued for the daemon-idle test;
+        * events cancelled by an earlier item in the same batch are
+          skipped, matching lazy deletion on pop.
+        """
+        fired = 0
+        queue = self._queue
+        peek_key = queue.peek_key
+        pop_batch = queue.pop_batch
+        dispatch = self._dispatch
+        while queue._live:
+            if until is None and queue._live_foreground == 0:
+                break
+            if stop_when is not None and stop_when():
+                break
+            key = peek_key()
+            if key is None:
+                break
+            if until is not None and key[0] > until:
+                self._now = until
+                break
+            events = pop_batch()
+            self._now = key[0]
+            queue.begin_batch(key)
+            i = 0
+            n = len(events)
+            executed_any = False
+            stop = False
+            try:
+                while i < n:
+                    event = events[i]
+                    if event.cancelled:
+                        i += 1
+                        continue
+                    if executed_any:
+                        # Re-run the sequential loop's pre-pop checks.
+                        # For the daemon-idle test the unexecuted
+                        # remainder (events[i:]) still counts as
+                        # queued, because sequentially it would be.
+                        if until is None and queue._live_foreground == 0:
+                            fg_left = sum(
+                                1
+                                for ev in events[i:]
+                                if not ev.daemon and not ev.cancelled
+                            )
+                            if fg_left == 0:
+                                stop = True
+                                break
+                        if stop_when is not None and stop_when():
+                            stop = True
+                            break
+                    dispatch(event)
+                    executed_any = True
+                    fired += 1
+                    i += 1
+                    if max_events is not None and fired >= max_events:
+                        stop = True
+                        break
+                    if queue._batch_preempted:
+                        break
+            finally:
+                queue.end_batch()
+                for ev in events[i:]:
+                    if not ev.cancelled:
+                        queue.requeue(ev)
+            if stop:
+                break
+        else:
+            if until is not None and until > self._now:
+                self._now = until
         return self._now
 
     def step(self) -> bool:
-        """Execute exactly one event; return False if the queue is empty."""
+        """Execute exactly one event through the same dispatch path as
+        :meth:`run` (trace hook, profiler, executed-events accounting);
+        return False if the queue is empty."""
+        if self._running:
+            raise SimulationError("step() is not allowed while run() is active")
         if not self._queue:
             return False
-        event = self._queue.pop()
-        self._now = event.time
-        event.fn(*event.args)
-        self._executed += 1
+        self._running = True
+        try:
+            event = self._queue.pop()
+            self._now = event.time
+            self._dispatch(event)
+        finally:
+            self._running = False
         return True
 
 

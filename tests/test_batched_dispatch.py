@@ -1,0 +1,312 @@
+"""Batched same-instant dispatch vs the sequential reference loop.
+
+The engine's batched mode (`Simulation.run(batch=True)`, the default)
+must be indistinguishable from the sequential loop (`batch=False`) in
+everything the simulation can observe: execution order, clock values,
+executed-event counts, and final queue state.  These tests drive both
+modes over adversarial same-instant schedules — mid-batch cancels,
+same-key and lower-key pushes from inside callbacks, early stops — and
+compare full execution logs.
+
+`test_step_matches_run_dispatch` is the regression test for the old
+`Simulation.step()` bypassing the `_running` guard, the trace hook and
+the profiler.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    PRIORITY_HEARTBEAT,
+    PRIORITY_NODE_STATE,
+    PRIORITY_PERIODIC,
+    PRIORITY_TRANSFER,
+    Simulation,
+)
+
+PRIORITIES = (
+    PRIORITY_NODE_STATE,
+    PRIORITY_TRANSFER,
+    PRIORITY_HEARTBEAT,
+    PRIORITY_PERIODIC,
+)
+
+
+class Recorder:
+    """Logs every executed event as (now, tag) through fn identity."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.log = []
+
+    def hit(self, tag):
+        self.log.append((self.sim.now, tag))
+
+
+def _run_both(build, **run_kwargs):
+    """Build + run the same schedule under both modes; return logs."""
+    logs = []
+    for batch in (False, True):
+        sim = Simulation(seed=7)
+        rec = Recorder(sim)
+        build(sim, rec)
+        end = sim.run(batch=batch, **run_kwargs)
+        logs.append((rec.log, end, sim.executed_events, sim.pending_events()))
+    return logs[0], logs[1]
+
+
+def test_same_instant_burst_order():
+    def build(sim, rec):
+        for i in range(20):
+            sim.call_at(5.0, rec.hit, f"a{i}")
+        for i in range(5):
+            sim.call_at(5.0, rec.hit, f"hb{i}", priority=PRIORITY_HEARTBEAT)
+        sim.call_at(9.0, rec.hit, "late")
+
+    seq, bat = _run_both(build)
+    assert seq == bat
+    # heartbeats (priority 10) before periodic (20), each in push order
+    tags = [t for _, t in bat[0]]
+    assert tags[:5] == [f"hb{i}" for i in range(5)]
+
+
+def test_mid_batch_cancel_skipped():
+    """An earlier batch item cancelling a later one must skip it."""
+
+    def build(sim, rec):
+        events = {}
+
+        def cancel_later():
+            rec.hit("canceller")
+            events["victim"].cancel()
+
+        sim.call_at(3.0, cancel_later)
+        events["victim"] = sim.call_at(3.0, rec.hit, "victim")
+        sim.call_at(3.0, rec.hit, "survivor")
+
+    seq, bat = _run_both(build)
+    assert seq == bat
+    assert "victim" not in [t for _, t in bat[0]]
+    assert "survivor" in [t for _, t in bat[0]]
+
+
+def test_lower_priority_push_preempts_batch():
+    """A same-time push that sorts before the executing batch must run
+    before the batch's unexecuted remainder (as it would sequentially)."""
+
+    def build(sim, rec):
+        def pusher():
+            rec.hit("pusher")
+            sim.call_at(4.0, rec.hit, "urgent", priority=PRIORITY_NODE_STATE)
+
+        sim.call_at(4.0, pusher)
+        for i in range(3):
+            sim.call_at(4.0, rec.hit, f"rest{i}")
+
+    seq, bat = _run_both(build)
+    assert seq == bat
+    tags = [t for _, t in bat[0]]
+    assert tags.index("urgent") < tags.index("rest0")
+
+
+def test_same_key_push_runs_after_batch():
+    def build(sim, rec):
+        def pusher():
+            rec.hit("pusher")
+            sim.call_at(4.0, rec.hit, "appended")
+
+        sim.call_at(4.0, pusher)
+        sim.call_at(4.0, rec.hit, "second")
+
+    seq, bat = _run_both(build)
+    assert seq == bat
+    assert [t for _, t in bat[0]] == ["pusher", "second", "appended"]
+
+
+def test_max_events_mid_batch():
+    def build(sim, rec):
+        for i in range(10):
+            sim.call_at(2.0, rec.hit, f"e{i}")
+
+    seq, bat = _run_both(build, max_events=4)
+    assert seq == bat
+    assert len(bat[0]) == 4
+    assert bat[3] == 6  # remainder still queued
+
+
+def test_stop_when_mid_batch():
+    def build(sim, rec):
+        def flip():
+            rec.hit("flip")
+            sim.flag = True
+
+        sim.flag = False
+        sim.call_at(2.0, flip)
+        for i in range(5):
+            sim.call_at(2.0, rec.hit, f"e{i}")
+
+    logs = []
+    for batch in (False, True):
+        sim = Simulation(seed=7)
+        rec = Recorder(sim)
+        build(sim, rec)
+        sim.run(batch=batch, stop_when=lambda: sim.flag)
+        logs.append((rec.log, sim.pending_events()))
+    assert logs[0] == logs[1]
+    assert logs[1][0] == [(2.0, "flip")]
+    assert logs[1][1] == 5  # the unexecuted remainder went back
+
+
+def test_daemon_idle_stop_mid_batch():
+    """The last foreground event finishing mid-batch stops a
+    horizonless run before the same-instant daemons fire."""
+
+    def build(sim, rec):
+        sim.call_at(2.0, rec.hit, "fg")
+        sim.call_at(2.0, rec.hit, "d0", daemon=True)
+        sim.call_at(2.0, rec.hit, "d1", daemon=True)
+
+    seq, bat = _run_both(build)
+    assert seq == bat
+    assert [t for _, t in bat[0]] == ["fg"]
+    assert bat[3] == 2  # daemons back in the queue
+
+
+def test_until_boundary():
+    def build(sim, rec):
+        sim.call_at(2.0, rec.hit, "in")
+        sim.call_at(5.0, rec.hit, "at")
+        sim.call_at(5.5, rec.hit, "out")
+
+    seq, bat = _run_both(build, until=5.0)
+    assert seq == bat
+    assert [t for _, t in bat[0]] == ["in", "at"]
+    assert bat[1] == 5.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 4),  # time bucket (collisions on purpose)
+            st.sampled_from(PRIORITIES),
+            st.booleans(),  # daemon
+            st.integers(0, 3),  # action: 0 none, 1 push, 2 cancel, 3 both
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(0, 2),
+)
+def test_property_random_storms(events, action_priority_ix):
+    """Random same-instant storms with callback-driven pushes and
+    cancels execute identically under both modes."""
+
+    def build(sim, rec):
+        handles = []
+
+        def act(tag, action):
+            rec.hit(tag)
+            if action in (1, 3):
+                sim.call_at(
+                    sim.now,
+                    rec.hit,
+                    f"{tag}+push",
+                    priority=PRIORITIES[action_priority_ix],
+                )
+            if action in (2, 3) and handles:
+                handles[len(rec.log) % len(handles)].cancel()
+
+        for i, (t, prio, daemon, action) in enumerate(events):
+            handles.append(
+                sim.call_at(
+                    float(t), act, f"e{i}", action, priority=prio, daemon=daemon
+                )
+            )
+
+    seq, bat = _run_both(build)
+    assert seq == bat
+
+
+def test_step_matches_run_dispatch():
+    """step() goes through the shared dispatch path: trace hook fires,
+    executed_events advances, and stepping during run() is an error."""
+    sim = Simulation(seed=1)
+    seen = []
+    sim.trace_hook = lambda now, event: seen.append(now)
+    sim.call_at(1.0, lambda: None)
+    assert sim.step() is True
+    assert seen == [1.0]
+    assert sim.executed_events == 1
+    assert sim.step() is False
+
+    sim2 = Simulation(seed=1)
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim2.step()
+
+    sim2.call_at(1.0, reenter)
+    sim2.run()
+
+
+def test_step_profiler_accounting():
+    """step() brackets callbacks with the profiler exactly like run()."""
+    from repro.obs import Observability
+
+    obs = Observability()
+    profs = []
+
+    class FakeProfiler:
+        def note(self, name, dt):
+            profs.append(name)
+
+    obs.profiler = FakeProfiler()
+    sim = Simulation(seed=1, obs=obs)
+
+    def work():
+        pass
+
+    sim.call_at(1.0, work)
+    sim.step()
+    assert len(profs) == 1
+
+
+def test_full_system_run_checksum_identical():
+    """End-to-end: a real MapReduce run (cluster churn, DFS writes,
+    shuffle, heartbeats) produces the identical event checksum, clock
+    and job timings under both dispatch modes."""
+    from repro.config import (
+        ClusterConfig,
+        SystemConfig,
+        TraceConfig,
+        moon_scheduler_config,
+    )
+    from repro.core import moon_system
+    from repro.workloads import sleep_spec
+
+    def run(batch):
+        cfg = SystemConfig(
+            cluster=ClusterConfig(n_volatile=8, n_dedicated=2),
+            trace=TraceConfig(unavailability_rate=0.3),
+            scheduler=moon_scheduler_config(),
+            seed=13,
+        )
+        system = moon_system(cfg)
+        system.sim.batch_dispatch = batch
+        result = system.run_job(
+            sleep_spec(5.0, 3.0, n_maps=12, n_reduces=4),
+            time_limit=2 * 3600.0,
+        )
+        system.jobtracker.stop()
+        system.namenode.stop()
+        return (
+            system.sim.executed_events,
+            system.sim.now,
+            result.succeeded,
+            result.elapsed,
+        )
+
+    assert run(False) == run(True)

@@ -1,0 +1,148 @@
+"""Write pre-planning: the next block's pipeline is allocated while the
+current block streams (``DfsConfig.preplan_writes``).
+
+The flag defaults to off — pre-planning samples cluster state and the
+placement RNG earlier, which legitimately shifts placements, and the
+goldens pin the plan-per-block behaviour — so the tests here cover both
+modes: overlap when on, strict sequencing when off, and the abort/
+failure races a stale pre-plan must still honour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DfsConfig
+from repro.dfs import DfsClient, FileKind, ReplicationFactor
+from repro.dfs.placement import WritePlan
+
+from helpers import build
+
+
+def _recording_placement(nn):
+    """Wrap plan_write to log (sim_now, block_id) per call."""
+    calls = []
+    original = nn.placement.plan_write
+
+    def recording(file, block, client_node, exclude=()):
+        calls.append((nn.sim.now, block.block_id))
+        return original(file, block, client_node, exclude)
+
+    nn.placement.plan_write = recording
+    return calls
+
+
+class TestPreplanOverlap:
+    def test_next_block_planned_while_current_streams(self, sim):
+        _, _, nn = build(sim, cfg=DfsConfig(preplan_writes=True))
+        calls = _recording_placement(nn)
+        done = []
+        DfsClient(nn).write_file(
+            "/big", 200.0, FileKind.RELIABLE, ReplicationFactor(1, 1), 3,
+            on_complete=lambda: done.append(sim.now),
+            on_fail=lambda e: pytest.fail(str(e)),
+            block_size_mb=64.0,
+        )
+        sim.run()
+        f = nn.file("/big")
+        assert done and len(f.blocks) == 4
+        assert all(len(b.replicas) == 2 for b in f.blocks)
+        # One plan per block, and block k+1's plan is drawn at block k's
+        # start — before block k finishes — not at its completion.
+        assert len(calls) == 4
+        times = [t for t, _ in calls]
+        assert times[1] == times[0] == 0.0
+        assert times[2] < done[0]
+        # plans arrive in block order
+        assert [b for _, b in calls] == [b.block_id for b in f.blocks]
+
+    def test_sequential_planning_when_flag_off(self, sim):
+        assert DfsConfig().preplan_writes is False
+        _, _, nn = build(sim)
+        calls = _recording_placement(nn)
+        done = []
+        DfsClient(nn).write_file(
+            "/big", 200.0, FileKind.RELIABLE, ReplicationFactor(1, 1), 3,
+            on_complete=lambda: done.append(1),
+            on_fail=lambda e: pytest.fail(str(e)),
+            block_size_mb=64.0,
+        )
+        sim.run()
+        assert done == [1]
+        # plan-per-block: each plan strictly after the previous block's
+        # pipeline finished, so times are strictly increasing
+        times = [t for t, _ in calls]
+        assert len(calls) == 4
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestStalePlanRaces:
+    def test_preplanned_target_dying_is_skipped(self, sim):
+        """A target allocated at block k's start that dies before block
+        k+1 streams takes the pipeline-failure path; the replica map
+        never claims the dead node."""
+        # v=4 over 4 volatile nodes: every volatile node is targeted, so
+        # the pre-plan for block 2 necessarily names node 4.
+        traces = {4: [(2.0, 2000.0)]}
+        cfg = DfsConfig(preplan_writes=True, max_volatile_replicas=8)
+        _, _, nn = build(sim, traces=traces, cfg=cfg)
+        outcome = []
+        DfsClient(nn).write_file(
+            "/x", 128.0, FileKind.RELIABLE, ReplicationFactor(1, 4), 3,
+            on_complete=lambda: outcome.append("done"),
+            on_fail=lambda e: outcome.append(f"fail:{e}"),
+            block_size_mb=64.0,
+        )
+        sim.run(until=100.0)
+        assert outcome == ["done"]
+        assert nn.counters["write_pipeline_failures"] >= 1
+        for b in nn.file("/x").blocks:
+            assert 4 not in b.replicas
+            assert len(b.replicas) >= 2  # dedicated + at least one volatile
+
+    def test_cancel_discards_pending_preplan(self, sim):
+        _, _, nn = build(sim, cfg=DfsConfig(preplan_writes=True))
+        calls = _recording_placement(nn)
+        fired = []
+        op = DfsClient(nn).write_file(
+            "/x", 200.0, FileKind.RELIABLE, ReplicationFactor(1, 1), 3,
+            on_complete=lambda: fired.append("done"),
+            on_fail=lambda e: fired.append("fail"),
+            block_size_mb=64.0,
+        )
+        # blocks 1 and 2 were planned at submit time; cancelling now
+        # must stop the state machine before block 2 is ever used
+        assert len(calls) == 2
+        op.cancel()
+        assert op._next_plan is None
+        sim.run()
+        assert fired == []
+        assert len(calls) == 2
+
+    def test_empty_preplan_replanned_at_use(self, sim):
+        """A pre-plan drawn when the cluster had no room is dropped and
+        the block is re-planned when it is actually needed."""
+        _, _, nn = build(sim, cfg=DfsConfig(preplan_writes=True))
+        original = nn.placement.plan_write
+        calls = []
+
+        def starving(file, block, client_node, exclude=()):
+            calls.append(block.block_id)
+            if len(calls) == 2:  # the first pre-plan comes back empty
+                return WritePlan()
+            return original(file, block, client_node, exclude)
+
+        nn.placement.plan_write = starving
+        done = []
+        DfsClient(nn).write_file(
+            "/x", 128.0, FileKind.RELIABLE, ReplicationFactor(1, 1), 3,
+            on_complete=lambda: done.append(1),
+            on_fail=lambda e: pytest.fail(str(e)),
+            block_size_mb=64.0,
+        )
+        sim.run()
+        assert done == [1]
+        f = nn.file("/x")
+        assert all(len(b.replicas) == 2 for b in f.blocks)
+        # block 2 was planned twice: the starved pre-plan + the re-plan
+        assert calls.count(f.blocks[1].block_id) == 2
